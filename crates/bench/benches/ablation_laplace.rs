@@ -1,0 +1,71 @@
+//! Ablation of the Laplace-inversion design choices (paper Section 2.2).
+//!
+//! The paper motivates `T = 8t` + ε-acceleration as the sweet spot between
+//! Crump's fast-but-unstable `T = t` and Piessens–Huysmans' stable-but-slow
+//! `T = 16t`. This bench isolates the *inversion stage* (transform
+//! evaluations only, construction hoisted out) across those settings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use regenr_bench::{Variant, Workload, EPSILON};
+use regenr_core::{RegenOptions, RrlOptions, RrlSolver};
+use regenr_laplace::InverterOptions;
+use regenr_transient::MeasureKind;
+use std::hint::black_box;
+
+fn bench_inversion(c: &mut Criterion) {
+    let w = Workload::new();
+    let chain = w.chain(20, Variant::Ur);
+    let t = 10_000.0;
+
+    let base = RrlSolver::new(
+        &chain,
+        0,
+        RrlOptions {
+            regen: RegenOptions {
+                epsilon: EPSILON,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    // Construction is shared by every configuration; do it once.
+    let params = base.parameters(t).unwrap();
+
+    let mut group = c.benchmark_group("ablation_laplace_inversion");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    for mult in [1.0, 8.0, 16.0] {
+        for accel in [true, false] {
+            // Unaccelerated runs never converge within any practical term
+            // budget (see `repro -- ablation`); cap the series here so the
+            // bench measures the per-term cost rather than spinning.
+            let max_terms = if accel { 100_000 } else { 2_000 };
+            let solver = RrlSolver::new(
+                &chain,
+                0,
+                RrlOptions {
+                    regen: RegenOptions {
+                        epsilon: EPSILON,
+                        ..Default::default()
+                    },
+                    inverter: InverterOptions {
+                        t_multiplier: mult,
+                        accelerate: accel,
+                        max_terms,
+                        ..Default::default()
+                    },
+                },
+            )
+            .unwrap();
+            let label = format!("T={mult}t/accel={accel}");
+            group.bench_with_input(BenchmarkId::new("invert", label), &t, |b, &t| {
+                b.iter(|| black_box(solver.invert_params(&params, MeasureKind::Trr, t).value))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inversion);
+criterion_main!(benches);

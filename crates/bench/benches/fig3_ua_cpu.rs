@@ -1,0 +1,49 @@
+//! Figure 3 workload: end-to-end CPU time of RRL vs RR vs RSD for `UA(t)`.
+//!
+//! The paper's Fig. 3 is a log–log CPU-time plot over
+//! `t ∈ {1 … 10⁵} h`; criterion covers the moderate horizons for both model
+//! sizes (the full curve including RR's `Θ(Λt)` inner solve at `t = 10⁵` is
+//! produced by `repro -- fig3`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use regenr_bench::{make_rr, make_rrl, make_rsd, Variant, Workload};
+use regenr_transient::MeasureKind;
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    let w = Workload::new();
+    for g in [20u32, 40] {
+        let chain = w.chain(g, Variant::Ua);
+        let rrl = make_rrl(&chain);
+        let rr = make_rr(&chain);
+        let rsd = make_rsd(&chain);
+
+        let mut group = c.benchmark_group(format!("fig3_ua_cpu_g{g}"));
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_secs(1));
+        group.measurement_time(std::time::Duration::from_secs(5));
+        for t in [10.0, 1_000.0] {
+            group.bench_with_input(BenchmarkId::new("rrl", t), &t, |b, &t| {
+                b.iter(|| black_box(rrl.trr(t).unwrap().value))
+            });
+            group.bench_with_input(BenchmarkId::new("rr", t), &t, |b, &t| {
+                b.iter(|| black_box(rr.solve(MeasureKind::Trr, t).unwrap().value))
+            });
+            group.bench_with_input(BenchmarkId::new("rsd", t), &t, |b, &t| {
+                b.iter(|| black_box(rsd.solve(MeasureKind::Trr, t).value))
+            });
+        }
+        // Large-t regime: RRL and RSD stay flat (RR left to `repro`).
+        let t_large = 100_000.0;
+        group.bench_with_input(BenchmarkId::new("rrl", t_large), &t_large, |b, &t| {
+            b.iter(|| black_box(rrl.trr(t).unwrap().value))
+        });
+        group.bench_with_input(BenchmarkId::new("rsd", t_large), &t_large, |b, &t| {
+            b.iter(|| black_box(rsd.solve(MeasureKind::Trr, t).value))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

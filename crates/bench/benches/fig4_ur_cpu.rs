@@ -1,0 +1,44 @@
+//! Figure 4 workload: end-to-end CPU time of RRL vs RR vs SR for `UR(t)`.
+//!
+//! The paper's Fig. 4 shows SR exploding for large `t` while RRL stays flat;
+//! criterion measures the crossover region (the extreme entries are produced
+//! by `repro -- fig4`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use regenr_bench::{make_rr, make_rrl, make_sr, Variant, Workload};
+use regenr_transient::MeasureKind;
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let w = Workload::new();
+    for g in [20u32, 40] {
+        let chain = w.chain(g, Variant::Ur);
+        let rrl = make_rrl(&chain);
+        let rr = make_rr(&chain);
+        let sr = make_sr(&chain);
+
+        let mut group = c.benchmark_group(format!("fig4_ur_cpu_g{g}"));
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_secs(1));
+        group.measurement_time(std::time::Duration::from_secs(5));
+        for t in [10.0, 1_000.0] {
+            group.bench_with_input(BenchmarkId::new("rrl", t), &t, |b, &t| {
+                b.iter(|| black_box(rrl.trr(t).unwrap().value))
+            });
+            group.bench_with_input(BenchmarkId::new("rr", t), &t, |b, &t| {
+                b.iter(|| black_box(rr.solve(MeasureKind::Trr, t).unwrap().value))
+            });
+            group.bench_with_input(BenchmarkId::new("sr", t), &t, |b, &t| {
+                b.iter(|| black_box(sr.solve(MeasureKind::Trr, t).value))
+            });
+        }
+        // Large-t regime: only RRL remains tractable at bench sample counts.
+        group.bench_with_input(BenchmarkId::new("rrl", 100_000.0), &100_000.0, |b, &t| {
+            b.iter(|| black_box(rrl.trr(t).unwrap().value))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

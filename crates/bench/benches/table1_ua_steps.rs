@@ -1,0 +1,34 @@
+//! Table 1 workload (UA measure): cost of the step-bounded stages.
+//!
+//! The paper's Table 1 reports *step counts*; this bench measures what those
+//! steps cost — the RR/RRL model-construction stage (K killed-chain products)
+//! and the RSD stepping-until-detection stage — at representative horizons.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use regenr_bench::{make_rrl, make_rsd, Variant, Workload};
+use regenr_transient::MeasureKind;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let w = Workload::new();
+    let chain = w.chain(20, Variant::Ua);
+    let rrl = make_rrl(&chain);
+    let rsd = make_rsd(&chain);
+
+    let mut group = c.benchmark_group("table1_ua_steps_g20");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    for t in [10.0, 1_000.0, 100_000.0] {
+        group.bench_with_input(BenchmarkId::new("rr_rrl_construction", t), &t, |b, &t| {
+            b.iter(|| black_box(rrl.parameters(t).unwrap().construction_steps()))
+        });
+        group.bench_with_input(BenchmarkId::new("rsd_detection", t), &t, |b, &t| {
+            b.iter(|| black_box(rsd.solve(MeasureKind::Trr, t).steps))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Table 2 workload (UR measure): RR/RRL construction vs SR stepping.
+//!
+//! SR's step count is `Θ(Λt)` — the bench keeps it to horizons where a
+//! criterion measurement stays reasonable (the full grid, including the
+//! millions-of-steps entries, is produced by `repro -- table2`/`fig4`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use regenr_bench::{make_rrl, make_sr, Variant, Workload};
+use regenr_transient::MeasureKind;
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let w = Workload::new();
+    let chain = w.chain(20, Variant::Ur);
+    let rrl = make_rrl(&chain);
+    let sr = make_sr(&chain);
+
+    let mut group = c.benchmark_group("table2_ur_steps_g20");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    for t in [10.0, 100.0, 1_000.0] {
+        group.bench_with_input(BenchmarkId::new("rr_rrl_construction", t), &t, |b, &t| {
+            b.iter(|| black_box(rrl.parameters(t).unwrap().construction_steps()))
+        });
+        group.bench_with_input(BenchmarkId::new("sr_full_solve", t), &t, |b, &t| {
+            b.iter(|| black_box(sr.solve(MeasureKind::Trr, t).value))
+        });
+    }
+    // The large-t regime where RRL's flat cost pays off (SR is omitted here;
+    // see `repro -- fig4` for the full curve).
+    for t in [10_000.0, 100_000.0] {
+        group.bench_with_input(BenchmarkId::new("rrl_full_solve", t), &t, |b, &t| {
+            b.iter(|| black_box(rrl.trr(t).unwrap().value))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,237 @@
+//! The original regenerative randomization method (RR) — the paper's
+//! predecessor baseline: build `V_{K,L}`, then solve it with standard
+//! randomization.
+
+use crate::params::{RegenOptions, RegenParams};
+use crate::vmodel::build_truncated_model;
+use regenr_ctmc::{analyze, Ctmc, CtmcError, Uniformized};
+use regenr_transient::{MeasureKind, SrOptions, SrSolver};
+
+/// Options for [`RrSolver`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RrOptions {
+    /// Shared regenerative-randomization options (`ε`, `θ`, caps).
+    pub regen: RegenOptions,
+}
+
+/// Result of an RR solve.
+#[derive(Clone, Copy, Debug)]
+pub struct RrSolution {
+    /// The measure value.
+    pub value: f64,
+    /// Construction steps `K (+ L)` — the paper's reported step count.
+    pub construction_steps: usize,
+    /// Depth `K` of the main chain.
+    pub k: usize,
+    /// Depth `L` of the primed chain (0 when absent).
+    pub l: usize,
+    /// Steps of the *inner* standard-randomization solve of `V_{K,L}`
+    /// (`≈ Λt` — the cost RRL eliminates).
+    pub inner_steps: usize,
+    /// Total error bound (`ε`).
+    pub error_bound: f64,
+}
+
+/// Regenerative-randomization solver (truncated model solved by SR).
+pub struct RrSolver<'a> {
+    ctmc: &'a Ctmc,
+    unif: Uniformized,
+    absorbing: Vec<usize>,
+    r: usize,
+    opts: RrOptions,
+}
+
+impl<'a> RrSolver<'a> {
+    /// Validates the chain structure and the regenerative state, and
+    /// uniformizes once (shared across `solve` calls).
+    pub fn new(ctmc: &'a Ctmc, r: usize, opts: RrOptions) -> Result<Self, CtmcError> {
+        let info = analyze(ctmc)?;
+        if r >= ctmc.n_states() {
+            return Err(CtmcError::BadRegenerativeState {
+                state: r,
+                reason: "index out of range",
+            });
+        }
+        if info.absorbing.contains(&r) {
+            return Err(CtmcError::BadRegenerativeState {
+                state: r,
+                reason: "state is absorbing",
+            });
+        }
+        let unif = Uniformized::new(ctmc, opts.regen.theta);
+        Ok(RrSolver {
+            ctmc,
+            unif,
+            absorbing: info.absorbing,
+            r,
+            opts,
+        })
+    }
+
+    /// The randomization rate.
+    pub fn lambda(&self) -> f64 {
+        self.unif.lambda
+    }
+
+    /// Computes the measure at horizon `t` with total error `≤ ε`
+    /// (`ε/2` model truncation + `ε/2` inner SR).
+    pub fn solve(&self, measure: MeasureKind, t: f64) -> Result<RrSolution, CtmcError> {
+        assert!(t >= 0.0);
+        if t == 0.0 {
+            return Ok(RrSolution {
+                value: self.ctmc.reward_dot(self.ctmc.initial()),
+                construction_steps: 0,
+                k: 0,
+                l: 0,
+                inner_steps: 0,
+                error_bound: 0.0,
+            });
+        }
+        let params = RegenParams::compute_with(
+            self.ctmc,
+            &self.unif,
+            &self.absorbing,
+            self.r,
+            t,
+            &self.opts.regen,
+        )?;
+        let (vmodel, _) = build_truncated_model(&params)?;
+        let inner = SrSolver::new(
+            &vmodel,
+            SrOptions {
+                epsilon: self.opts.regen.epsilon / 2.0,
+                theta: self.opts.regen.theta,
+                parallel: self.opts.regen.parallel,
+            },
+        );
+        let sol = inner.solve(measure, t);
+        Ok(RrSolution {
+            value: sol.value,
+            construction_steps: params.construction_steps(),
+            k: params.main.depth(),
+            l: params.primed.as_ref().map_or(0, |p| p.depth()),
+            inner_steps: sol.steps,
+            error_bound: self.opts.regen.epsilon,
+        })
+    }
+
+    /// Exposes the computed parameters for a horizon (diagnostics, benches).
+    pub fn parameters(&self, t: f64) -> Result<RegenParams, CtmcError> {
+        RegenParams::compute_with(
+            self.ctmc,
+            &self.unif,
+            &self.absorbing,
+            self.r,
+            t,
+            &self.opts.regen,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(eps: f64) -> RrOptions {
+        RrOptions {
+            regen: RegenOptions {
+                epsilon: eps,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// RR against the closed form of the 2-state repairable unit.
+    #[test]
+    fn matches_closed_form_availability() {
+        let (l, m) = (1e-3, 1.0);
+        let c =
+            Ctmc::from_rates(2, &[(0, 1, l), (1, 0, m)], vec![1.0, 0.0], vec![0.0, 1.0]).unwrap();
+        let rr = RrSolver::new(&c, 0, opts(1e-12)).unwrap();
+        for &t in &[1.0, 100.0, 10_000.0] {
+            let got = rr.solve(MeasureKind::Trr, t).unwrap();
+            let want = l / (l + m) * (1.0 - (-(l + m) * t).exp());
+            assert!(
+                (got.value - want).abs() < 1e-11,
+                "t={t}: {} vs {want}",
+                got.value
+            );
+        }
+    }
+
+    /// RR against SR on a 4-state model with an absorbing failure state.
+    #[test]
+    fn matches_sr_with_absorbing() {
+        let c = Ctmc::from_rates(
+            4,
+            &[
+                (0, 1, 0.2),
+                (1, 0, 2.0),
+                (1, 2, 0.5),
+                (2, 0, 1.0),
+                (2, 3, 0.05),
+            ],
+            vec![1.0, 0.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.0, 1.0],
+        )
+        .unwrap();
+        let rr = RrSolver::new(&c, 0, opts(1e-11)).unwrap();
+        let sr = SrSolver::new(
+            &c,
+            SrOptions {
+                epsilon: 1e-12,
+                ..Default::default()
+            },
+        );
+        for &t in &[0.5, 10.0, 200.0] {
+            for meas in [MeasureKind::Trr, MeasureKind::Mrr] {
+                let got = rr.solve(meas, t).unwrap().value;
+                let want = sr.solve(meas, t).value;
+                assert!(
+                    (got - want).abs() < 5e-11,
+                    "t={t} {meas:?}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    /// Construction steps must be far below SR steps for large t (the whole
+    /// point of the method).
+    #[test]
+    fn construction_steps_sublinear_in_t() {
+        let c = Ctmc::from_rates(
+            3,
+            &[(0, 1, 0.05), (1, 2, 1.0), (2, 0, 0.5), (1, 0, 0.5)],
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 1.0],
+        )
+        .unwrap();
+        let rr = RrSolver::new(&c, 0, opts(1e-12)).unwrap();
+        let s1 = rr.solve(MeasureKind::Trr, 1e2).unwrap();
+        let s2 = rr.solve(MeasureKind::Trr, 1e4).unwrap();
+        assert!(s2.construction_steps < 2 * s1.construction_steps + 200);
+        assert!(s2.inner_steps > 50 * s2.construction_steps);
+    }
+
+    #[test]
+    fn zero_horizon() {
+        let c = Ctmc::from_rates(
+            2,
+            &[(0, 1, 1.0), (1, 0, 1.0)],
+            vec![1.0, 0.0],
+            vec![0.5, 1.0],
+        )
+        .unwrap();
+        let rr = RrSolver::new(&c, 0, opts(1e-12)).unwrap();
+        let s = rr.solve(MeasureKind::Trr, 0.0).unwrap();
+        assert_eq!(s.value, 0.5);
+        assert_eq!(s.construction_steps, 0);
+    }
+
+    #[test]
+    fn bad_regenerative_state_rejected() {
+        let c = Ctmc::from_rates(2, &[(0, 1, 1.0)], vec![1.0, 0.0], vec![0.0, 1.0]).unwrap();
+        assert!(RrSolver::new(&c, 1, opts(1e-12)).is_err());
+        assert!(RrSolver::new(&c, 5, opts(1e-12)).is_err());
+    }
+}

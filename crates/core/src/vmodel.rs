@@ -1,0 +1,326 @@
+//! Explicit construction of the truncated transformed model `V_{K,L}`.
+//!
+//! This materializes Fig. 1 of the paper as a [`Ctmc`]: states
+//! `s_0 … s_K` (the chain from `r`), optionally `s'_0 … s'_L` (the chain from
+//! the off-`r` initial distribution), the original absorbing states
+//! `f_1 … f_A`, and the truncation-absorbing state `a`. It is used by the RR
+//! baseline (which solves it with standard randomization) and by tests that
+//! cross-check the closed-form transform of [`crate::transform`] against a
+//! time-domain solution of the very same model.
+
+use crate::params::{KilledChainParams, RegenParams};
+use regenr_ctmc::{Ctmc, CtmcError};
+
+/// Index map for the states of the constructed `V_{K,L}`.
+#[derive(Clone, Debug)]
+pub struct VModelLayout {
+    /// `s_k` has index `k` for `k = 0..=K`.
+    pub k_depth: usize,
+    /// `s'_l` has index `primed_base + l`, if the primed chain exists.
+    pub primed_base: Option<usize>,
+    /// Depth `L` of the primed chain (if present).
+    pub l_depth: Option<usize>,
+    /// `f_i` has index `absorbing_base + i`.
+    pub absorbing_base: usize,
+    /// Index of the truncation state `a`.
+    pub trunc_state: usize,
+    /// Total number of states.
+    pub n_states: usize,
+}
+
+/// Builds the truncated transformed CTMC from computed parameters.
+///
+/// Rewards: `r_{s_k} = b(k) = c(k)/a(k)` (0 where `a(k) = 0`), the original
+/// absorbing rewards on `f_i`, and 0 on `a`. The initial distribution puts
+/// `α_r` on `s_0` and `1 − α_r` on `s'_0`.
+pub fn build_truncated_model(params: &RegenParams) -> Result<(Ctmc, VModelLayout), CtmcError> {
+    let k_depth = params.main.depth();
+    let n_abs = params.absorbing.len();
+    let l_depth = params.primed.as_ref().map(|p| p.depth());
+
+    let primed_base = params.primed.as_ref().map(|_| k_depth + 1);
+    let absorbing_base = k_depth + 1 + l_depth.map_or(0, |l| l + 1);
+    let trunc_state = absorbing_base + n_abs;
+    let n = trunc_state + 1;
+
+    let lambda = params.lambda;
+    let mut rates: Vec<(usize, usize, f64)> = Vec::new();
+    let mut rewards = vec![0.0f64; n];
+    let mut initial = vec![0.0f64; n];
+
+    // The K-chain.
+    push_chain(
+        &mut rates,
+        &mut rewards,
+        &params.main,
+        lambda,
+        0,
+        0, // returns go to s_0
+        absorbing_base,
+        trunc_state,
+        true,
+    );
+    initial[0] = params.alpha_r;
+
+    // The L-chain.
+    if let (Some(primed), Some(base)) = (&params.primed, primed_base) {
+        push_chain(
+            &mut rates,
+            &mut rewards,
+            primed,
+            lambda,
+            base,
+            0,
+            absorbing_base,
+            trunc_state,
+            true,
+        );
+        initial[base] = 1.0 - params.alpha_r;
+    }
+
+    for (i, &rf) in params.absorbing_rewards.iter().enumerate() {
+        rewards[absorbing_base + i] = rf;
+    }
+
+    let ctmc = Ctmc::from_rates(n, &rates, initial, rewards)?;
+    Ok((
+        ctmc,
+        VModelLayout {
+            k_depth,
+            primed_base,
+            l_depth,
+            absorbing_base,
+            trunc_state,
+            n_states: n,
+        },
+    ))
+}
+
+/// Emits the transitions and rewards of one killed chain.
+///
+/// State `base + k` is depth `k`. Conditional probabilities are recovered
+/// from the unnormalized masses: `w_k = a(k+1)/a(k)`, `q_k = u(k)/a(k)`,
+/// `v^i_k = y_i(k)/a(k)`; depth `K` routes everything to the truncation state.
+#[allow(clippy::too_many_arguments)]
+fn push_chain(
+    rates: &mut Vec<(usize, usize, f64)>,
+    rewards: &mut [f64],
+    chain: &KilledChainParams,
+    lambda: f64,
+    base: usize,
+    return_target: usize,
+    absorbing_base: usize,
+    trunc_state: usize,
+    route_tail_to_trunc: bool,
+) {
+    let depth = chain.depth();
+    for k in 0..=depth {
+        let ak = chain.a[k];
+        if ak <= 0.0 {
+            // Unreachable depth (chain died exactly); no transitions needed.
+            continue;
+        }
+        rewards[base + k] = (chain.c[k] / ak).max(0.0);
+        if k < depth {
+            let w = (chain.a[k + 1] / ak).max(0.0);
+            if w > 0.0 {
+                rates.push((base + k, base + k + 1, w * lambda));
+            }
+            let q = (chain.u[k] / ak).max(0.0);
+            if q > 0.0 && base + k != return_target {
+                rates.push((base + k, return_target, q * lambda));
+            }
+            // A self-loop at s_0 (k = 0 of the main chain) is dropped —
+            // `Ctmc::from_rates` ignores self-rates, which is the correct
+            // CTMC semantics for the randomized self-transition.
+            for (i, yi) in chain.y.iter().enumerate() {
+                let v = (yi[k] / ak).max(0.0);
+                if v > 0.0 {
+                    rates.push((base + k, absorbing_base + i, v * lambda));
+                }
+            }
+        } else if route_tail_to_trunc {
+            // s_K -> a at full rate Λ.
+            rates.push((base + k, trunc_state, lambda));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{RegenOptions, RegenParams};
+    use regenr_ctmc::Ctmc;
+    use regenr_transient::{MeasureKind, SrOptions, SrSolver};
+
+    fn cyclic() -> Ctmc {
+        Ctmc::from_rates(
+            3,
+            &[(0, 1, 0.05), (1, 2, 1.0), (2, 0, 0.5), (1, 0, 0.3)],
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 1.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn layout_is_consistent() {
+        let c = cyclic();
+        let p = RegenParams::compute(&c, 0, 10.0, &RegenOptions::default()).unwrap();
+        let (v, layout) = build_truncated_model(&p).unwrap();
+        assert_eq!(layout.n_states, v.n_states());
+        assert_eq!(layout.k_depth, p.main.depth());
+        assert!(layout.primed_base.is_none());
+        // a must be absorbing; s_K must route to a at rate Λ.
+        assert_eq!(v.exit_rate(layout.trunc_state), 0.0);
+        let last_reachable = (0..=layout.k_depth)
+            .rev()
+            .find(|&k| p.main.a[k] > 0.0)
+            .unwrap();
+        if last_reachable == layout.k_depth {
+            assert!(
+                (v.generator().get(layout.k_depth, layout.trunc_state) - p.lambda).abs() < 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn v_model_reproduces_original_trr() {
+        // The key theorem: TRR of V matches TRR of X within ε.
+        let c = cyclic();
+        let eps = 1e-10;
+        let opts = RegenOptions {
+            epsilon: eps,
+            ..Default::default()
+        };
+        let sr = SrSolver::new(
+            &c,
+            SrOptions {
+                epsilon: eps,
+                ..Default::default()
+            },
+        );
+        for &t in &[0.5, 5.0, 50.0] {
+            let p = RegenParams::compute(&c, 0, t, &opts).unwrap();
+            let (v, _) = build_truncated_model(&p).unwrap();
+            let sr_v = SrSolver::new(
+                &v,
+                SrOptions {
+                    epsilon: eps,
+                    ..Default::default()
+                },
+            );
+            let want = sr.solve(MeasureKind::Trr, t).value;
+            let got = sr_v.solve(MeasureKind::Trr, t).value;
+            assert!(
+                (got - want).abs() < 5.0 * eps,
+                "t={t}: V gives {got}, X gives {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn v_model_reproduces_original_mrr() {
+        let c = cyclic();
+        let eps = 1e-10;
+        let opts = RegenOptions {
+            epsilon: eps,
+            ..Default::default()
+        };
+        let sr = SrSolver::new(
+            &c,
+            SrOptions {
+                epsilon: eps,
+                ..Default::default()
+            },
+        );
+        for &t in &[1.0, 20.0] {
+            let p = RegenParams::compute(&c, 0, t, &opts).unwrap();
+            let (v, _) = build_truncated_model(&p).unwrap();
+            let sr_v = SrSolver::new(
+                &v,
+                SrOptions {
+                    epsilon: eps,
+                    ..Default::default()
+                },
+            );
+            let want = sr.solve(MeasureKind::Mrr, t).value;
+            let got = sr_v.solve(MeasureKind::Mrr, t).value;
+            assert!(
+                (got - want).abs() < 5.0 * eps,
+                "t={t}: V gives {got}, X gives {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn v_model_with_absorbing_states() {
+        // 0 <-> 1, 1 -> f: unreliability through the transformed model.
+        let c = Ctmc::from_rates(
+            3,
+            &[(0, 1, 0.4), (1, 0, 1.0), (1, 2, 0.1)],
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        )
+        .unwrap();
+        let eps = 1e-10;
+        let opts = RegenOptions {
+            epsilon: eps,
+            ..Default::default()
+        };
+        let sr = SrSolver::new(
+            &c,
+            SrOptions {
+                epsilon: eps,
+                ..Default::default()
+            },
+        );
+        for &t in &[1.0, 10.0, 100.0] {
+            let p = RegenParams::compute(&c, 0, t, &opts).unwrap();
+            let (v, layout) = build_truncated_model(&p).unwrap();
+            assert_eq!(v.rewards()[layout.absorbing_base], 1.0);
+            let sr_v = SrSolver::new(
+                &v,
+                SrOptions {
+                    epsilon: eps,
+                    ..Default::default()
+                },
+            );
+            let want = sr.solve(MeasureKind::Trr, t).value;
+            let got = sr_v.solve(MeasureKind::Trr, t).value;
+            assert!((got - want).abs() < 5.0 * eps, "t={t}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn v_model_with_primed_chain() {
+        let c = cyclic().with_initial(vec![0.3, 0.5, 0.2]).unwrap();
+        let eps = 1e-10;
+        let opts = RegenOptions {
+            epsilon: eps,
+            ..Default::default()
+        };
+        let p = RegenParams::compute(&c, 0, 5.0, &opts).unwrap();
+        let (v, layout) = build_truncated_model(&p).unwrap();
+        let base = layout.primed_base.expect("primed chain");
+        assert!((v.initial()[0] - 0.3).abs() < 1e-15);
+        assert!((v.initial()[base] - 0.7).abs() < 1e-15);
+        let sr = SrSolver::new(
+            &c,
+            SrOptions {
+                epsilon: eps,
+                ..Default::default()
+            },
+        );
+        let sr_v = SrSolver::new(
+            &v,
+            SrOptions {
+                epsilon: eps,
+                ..Default::default()
+            },
+        );
+        let want = sr.solve(MeasureKind::Trr, 5.0).value;
+        let got = sr_v.solve(MeasureKind::Trr, 5.0).value;
+        assert!((got - want).abs() < 5.0 * eps, "{got} vs {want}");
+    }
+}

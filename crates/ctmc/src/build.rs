@@ -1,0 +1,288 @@
+//! High-level model specification and reachable-state-space generation.
+//!
+//! The paper's evaluation models (level-5 RAID dependability) were produced by
+//! the authors' in-house modeling tool. This module is our substitute: a model
+//! is a type implementing [`ModelSpec`] — a state struct plus a transition
+//! function — and [`CtmcBuilder::explore`] compiles it into a validated
+//! [`Ctmc`] by breadth-first exploration of the reachable state space.
+//!
+//! State numbering is deterministic (BFS discovery order from the initial
+//! states, which are numbered first in the given order), so state indices are
+//! stable across runs and usable in regression tests.
+
+use crate::chain::{Ctmc, CtmcError};
+use regenr_sparse::CooBuilder;
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+
+/// A high-level stochastic model: implement this for your domain model and
+/// compile it with [`CtmcBuilder::explore`].
+pub trait ModelSpec {
+    /// State descriptor. Must be hashable; keep it small (it is cloned into
+    /// the state table).
+    type State: Clone + Eq + Hash;
+
+    /// Initial states with their probabilities (must sum to 1).
+    fn initial(&self) -> Vec<(Self::State, f64)>;
+
+    /// Outgoing transitions `(target, rate)` of a state; rates must be > 0.
+    /// An empty vector makes the state absorbing.
+    fn transitions(&self, state: &Self::State) -> Vec<(Self::State, f64)>;
+
+    /// Reward rate of a state (≥ 0).
+    fn reward(&self, state: &Self::State) -> f64;
+}
+
+/// Result of state-space exploration: the compiled chain plus the mapping
+/// between state structs and indices.
+#[derive(Clone, Debug)]
+pub struct BuiltModel<S> {
+    /// The compiled, validated CTMC.
+    pub ctmc: Ctmc,
+    /// `states[i]` is the high-level state with index `i`.
+    pub states: Vec<S>,
+    /// Reverse mapping.
+    pub index: HashMap<S, usize>,
+}
+
+impl<S: Clone + Eq + Hash> BuiltModel<S> {
+    /// Index of a high-level state, if reachable.
+    pub fn state_index(&self, s: &S) -> Option<usize> {
+        self.index.get(s).copied()
+    }
+}
+
+/// Breadth-first reachable-state-space compiler.
+pub struct CtmcBuilder {
+    /// Hard cap on the number of explored states (guards against model bugs
+    /// that make the space explode).
+    pub max_states: usize,
+}
+
+impl Default for CtmcBuilder {
+    fn default() -> Self {
+        CtmcBuilder {
+            max_states: 5_000_000,
+        }
+    }
+}
+
+impl CtmcBuilder {
+    /// Builder with a custom exploration cap.
+    pub fn with_max_states(max_states: usize) -> Self {
+        CtmcBuilder { max_states }
+    }
+
+    /// Explores the reachable state space of `spec` and compiles it.
+    ///
+    /// # Panics
+    /// If the exploration exceeds `max_states` (a model bug, not an input
+    /// condition a caller should handle).
+    pub fn explore<M: ModelSpec>(&self, spec: &M) -> Result<BuiltModel<M::State>, CtmcError> {
+        let mut states: Vec<M::State> = Vec::new();
+        let mut index: HashMap<M::State, usize> = HashMap::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        let mut initial_pairs: Vec<(usize, f64)> = Vec::new();
+
+        for (s, p) in spec.initial() {
+            let id = match index.entry(s.clone()) {
+                Entry::Occupied(e) => *e.get(),
+                Entry::Vacant(e) => {
+                    let id = states.len();
+                    e.insert(id);
+                    states.push(s);
+                    queue.push_back(id);
+                    id
+                }
+            };
+            initial_pairs.push((id, p));
+        }
+
+        // Triplets are accumulated first because the state count is unknown
+        // until exploration finishes.
+        let mut triplets: Vec<(usize, usize, f64)> = Vec::new();
+        while let Some(id) = queue.pop_front() {
+            let from = states[id].clone();
+            for (target, rate) in spec.transitions(&from) {
+                assert!(
+                    rate > 0.0 && rate.is_finite(),
+                    "model produced a non-positive or non-finite rate {rate}"
+                );
+                let tid = match index.entry(target.clone()) {
+                    Entry::Occupied(e) => *e.get(),
+                    Entry::Vacant(e) => {
+                        let tid = states.len();
+                        assert!(
+                            tid < self.max_states,
+                            "state space exceeded the cap of {} states",
+                            self.max_states
+                        );
+                        e.insert(tid);
+                        states.push(target);
+                        queue.push_back(tid);
+                        tid
+                    }
+                };
+                if tid != id {
+                    triplets.push((id, tid, rate));
+                }
+            }
+        }
+
+        let n = states.len();
+        let mut exit = vec![0.0f64; n];
+        let mut b = CooBuilder::with_capacity(n, n, triplets.len() + n);
+        for (i, j, r) in triplets {
+            b.push(i, j, r);
+            exit[i] += r;
+        }
+        for (i, &e) in exit.iter().enumerate() {
+            if e > 0.0 {
+                b.push(i, i, -e);
+            }
+        }
+
+        let mut initial = vec![0.0f64; n];
+        for (id, p) in initial_pairs {
+            initial[id] += p;
+        }
+        let rewards: Vec<f64> = states.iter().map(|s| spec.reward(s)).collect();
+        let ctmc = Ctmc::new(b.build(), initial, rewards)?;
+        Ok(BuiltModel {
+            ctmc,
+            states,
+            index,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An M/M/1/K queue: arrivals λ, service μ, capacity K; reward = queue
+    /// occupancy (a classic performability structure).
+    struct Mm1k {
+        lambda: f64,
+        mu: f64,
+        k: u32,
+    }
+
+    impl ModelSpec for Mm1k {
+        type State = u32;
+
+        fn initial(&self) -> Vec<(u32, f64)> {
+            vec![(0, 1.0)]
+        }
+
+        fn transitions(&self, &n: &u32) -> Vec<(u32, f64)> {
+            let mut out = Vec::new();
+            if n < self.k {
+                out.push((n + 1, self.lambda));
+            }
+            if n > 0 {
+                out.push((n - 1, self.mu));
+            }
+            out
+        }
+
+        fn reward(&self, &n: &u32) -> f64 {
+            n as f64
+        }
+    }
+
+    #[test]
+    fn mm1k_has_k_plus_one_states() {
+        let built = CtmcBuilder::default()
+            .explore(&Mm1k {
+                lambda: 1.0,
+                mu: 2.0,
+                k: 10,
+            })
+            .unwrap();
+        assert_eq!(built.ctmc.n_states(), 11);
+        assert_eq!(built.states[0], 0);
+        // BFS order: 0, 1, 2, ...
+        for (i, s) in built.states.iter().enumerate() {
+            assert_eq!(*s as usize, i);
+        }
+        assert_eq!(built.ctmc.exit_rate(0), 1.0);
+        assert_eq!(built.ctmc.exit_rate(5), 3.0);
+        assert_eq!(built.ctmc.exit_rate(10), 2.0);
+        assert_eq!(built.ctmc.rewards()[7], 7.0);
+        assert_eq!(built.state_index(&3), Some(3));
+        assert_eq!(built.state_index(&11), None);
+    }
+
+    /// Transitions to the same target are merged by the COO builder.
+    struct TwoPaths;
+    impl ModelSpec for TwoPaths {
+        type State = u8;
+        fn initial(&self) -> Vec<(u8, f64)> {
+            vec![(0, 1.0)]
+        }
+        fn transitions(&self, &s: &u8) -> Vec<(u8, f64)> {
+            match s {
+                0 => vec![(1, 2.0), (1, 3.0)], // two events, same lumped target
+                1 => vec![(0, 1.0)],
+                _ => vec![],
+            }
+        }
+        fn reward(&self, _: &u8) -> f64 {
+            0.0
+        }
+    }
+
+    #[test]
+    fn duplicate_transitions_are_summed() {
+        let built = CtmcBuilder::default().explore(&TwoPaths).unwrap();
+        assert_eq!(built.ctmc.generator().get(0, 1), 5.0);
+        assert_eq!(built.ctmc.exit_rate(0), 5.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn cap_is_enforced() {
+        // Unbounded birth chain.
+        struct Unbounded;
+        impl ModelSpec for Unbounded {
+            type State = u64;
+            fn initial(&self) -> Vec<(u64, f64)> {
+                vec![(0, 1.0)]
+            }
+            fn transitions(&self, &s: &u64) -> Vec<(u64, f64)> {
+                vec![(s + 1, 1.0)]
+            }
+            fn reward(&self, _: &u64) -> f64 {
+                0.0
+            }
+        }
+        let _ = CtmcBuilder::with_max_states(100).explore(&Unbounded);
+    }
+
+    #[test]
+    fn split_initial_distribution() {
+        let spec = Mm1k {
+            lambda: 1.0,
+            mu: 1.0,
+            k: 3,
+        };
+        struct Wrapper(Mm1k);
+        impl ModelSpec for Wrapper {
+            type State = u32;
+            fn initial(&self) -> Vec<(u32, f64)> {
+                vec![(0, 0.25), (2, 0.75)]
+            }
+            fn transitions(&self, s: &u32) -> Vec<(u32, f64)> {
+                self.0.transitions(s)
+            }
+            fn reward(&self, s: &u32) -> f64 {
+                self.0.reward(s)
+            }
+        }
+        let built = CtmcBuilder::default().explore(&Wrapper(spec)).unwrap();
+        assert_eq!(built.ctmc.initial()[built.state_index(&0).unwrap()], 0.25);
+        assert_eq!(built.ctmc.initial()[built.state_index(&2).unwrap()], 0.75);
+    }
+}

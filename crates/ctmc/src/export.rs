@@ -1,0 +1,149 @@
+//! Diagnostics: model statistics and Graphviz export.
+//!
+//! Reconstructing a published model from prose (as done for the RAID chain)
+//! needs inspection tooling; these helpers render small chains as DOT graphs
+//! and summarize large ones.
+
+use crate::chain::Ctmc;
+use std::fmt::Write as _;
+
+/// Summary statistics of a chain.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CtmcStats {
+    /// Number of states.
+    pub n_states: usize,
+    /// Number of off-diagonal transitions.
+    pub n_transitions: usize,
+    /// Maximum exit rate (`Λ` lower bound).
+    pub max_exit_rate: f64,
+    /// Minimum non-zero exit rate (stiffness indicator together with max).
+    pub min_exit_rate: f64,
+    /// Number of absorbing states.
+    pub n_absorbing: usize,
+    /// Largest reward rate.
+    pub r_max: f64,
+}
+
+impl CtmcStats {
+    /// Stiffness ratio `max exit rate / min non-zero exit rate` (∞-free:
+    /// returns 1 for chains without transitions).
+    pub fn stiffness(&self) -> f64 {
+        if self.min_exit_rate > 0.0 {
+            self.max_exit_rate / self.min_exit_rate
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Computes summary statistics.
+pub fn stats(ctmc: &Ctmc) -> CtmcStats {
+    let n = ctmc.n_states();
+    let mut n_transitions = 0usize;
+    let mut max_exit: f64 = 0.0;
+    let mut min_exit = f64::INFINITY;
+    let mut n_absorbing = 0usize;
+    for i in 0..n {
+        let e = ctmc.exit_rate(i);
+        if e == 0.0 {
+            n_absorbing += 1;
+        } else {
+            max_exit = max_exit.max(e);
+            min_exit = min_exit.min(e);
+        }
+        n_transitions += ctmc.generator().row(i).filter(|&(j, _)| j != i).count();
+    }
+    CtmcStats {
+        n_states: n,
+        n_transitions,
+        max_exit_rate: max_exit,
+        min_exit_rate: if min_exit.is_finite() { min_exit } else { 0.0 },
+        n_absorbing,
+        r_max: ctmc.max_reward(),
+    }
+}
+
+/// Renders the chain as a Graphviz `digraph` (small models only; the output
+/// grows with nnz). States are labelled `i [r=reward]`; edges carry rates.
+pub fn to_dot(ctmc: &Ctmc, names: Option<&[String]>) -> String {
+    let mut out = String::from("digraph ctmc {\n  rankdir=LR;\n");
+    for i in 0..ctmc.n_states() {
+        let label = match names {
+            Some(ns) => ns[i].clone(),
+            None => format!("s{i}"),
+        };
+        let shape = if ctmc.exit_rate(i) == 0.0 {
+            "doublecircle"
+        } else {
+            "circle"
+        };
+        let _ = writeln!(
+            out,
+            "  {i} [label=\"{label}\\nr={}\" shape={shape}];",
+            ctmc.rewards()[i]
+        );
+    }
+    for (i, j, rate) in ctmc.generator().iter() {
+        if i != j {
+            let _ = writeln!(out, "  {i} -> {j} [label=\"{rate:.3e}\"];");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> Ctmc {
+        Ctmc::from_rates(
+            3,
+            &[(0, 1, 0.5), (1, 0, 2.0), (1, 2, 0.1)],
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 0.5, 1.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn stats_are_correct() {
+        let s = stats(&chain());
+        assert_eq!(s.n_states, 3);
+        assert_eq!(s.n_transitions, 3);
+        assert_eq!(s.max_exit_rate, 2.1);
+        assert_eq!(s.min_exit_rate, 0.5);
+        assert_eq!(s.n_absorbing, 1);
+        assert_eq!(s.r_max, 1.0);
+        assert!((s.stiffness() - 4.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_output_is_well_formed() {
+        let dot = to_dot(&chain(), None);
+        assert!(dot.starts_with("digraph ctmc {"));
+        assert!(dot.ends_with("}\n"));
+        // One node line per state, one edge line per transition.
+        assert_eq!(dot.matches("shape=circle").count(), 2);
+        assert_eq!(dot.matches("shape=doublecircle").count(), 1);
+        assert_eq!(dot.matches(" -> ").count(), 3);
+        assert!(dot.contains("s1"));
+    }
+
+    #[test]
+    fn dot_with_custom_names() {
+        let names: Vec<String> = ["up", "degraded", "failed"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let dot = to_dot(&chain(), Some(&names));
+        assert!(dot.contains("degraded"));
+        assert!(!dot.contains("s1 "));
+    }
+
+    #[test]
+    fn stiffness_of_transition_free_chain() {
+        let c = Ctmc::from_rates(2, &[], vec![1.0, 0.0], vec![0.0; 2]).unwrap();
+        assert_eq!(stats(&c).stiffness(), 1.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Randomization (uniformization) of a CTMC.
+//!
+//! Given a CTMC with generator `Q` and a rate `Λ ≥ max_i |q_ii|`, the
+//! randomized DTMC has transition matrix `P = I + Q/Λ`; the CTMC at time `t`
+//! equals the DTMC observed at a Poisson(`Λt`) number of steps. Every solver
+//! in the workspace starts from a [`Uniformized`] view.
+
+use crate::chain::Ctmc;
+use regenr_sparse::{CsrMatrix, ParallelConfig};
+
+/// A uniformized view of a CTMC: the randomized DTMC matrix `P`, its transpose
+/// (for gather-style products) and the randomization rate `Λ`.
+#[derive(Clone, Debug)]
+pub struct Uniformized {
+    /// Randomization rate `Λ`.
+    pub lambda: f64,
+    /// `P = I + Q/Λ` (row-stochastic).
+    pub p: CsrMatrix,
+    /// `Pᵀ`, used to propagate row distributions as `π ← Pᵀπ`.
+    pub p_t: CsrMatrix,
+}
+
+impl Uniformized {
+    /// Uniformizes at `Λ = (1+θ) · max_i |q_ii|`.
+    ///
+    /// `θ = 0` is the paper's choice (rate exactly the maximum output rate).
+    /// Strictly positive `θ` guarantees an aperiodic DTMC (every state gets a
+    /// self-loop), which matters for steady-state detection. If the chain has
+    /// no transitions at all (`max = 0`), `Λ = 1` is used.
+    pub fn new(ctmc: &Ctmc, theta: f64) -> Self {
+        assert!(theta >= 0.0, "safety factor must be non-negative");
+        let max_rate = ctmc.generator().max_abs_diag();
+        let lambda = if max_rate == 0.0 {
+            1.0
+        } else {
+            max_rate * (1.0 + theta)
+        };
+        Self::with_rate(ctmc, lambda)
+    }
+
+    /// Uniformizes at an explicit rate `Λ ≥ max_i |q_ii|`.
+    ///
+    /// # Panics
+    /// If `Λ` is below the maximum output rate (the resulting matrix would
+    /// have negative diagonal entries).
+    pub fn with_rate(ctmc: &Ctmc, lambda: f64) -> Self {
+        let max_rate = ctmc.generator().max_abs_diag();
+        assert!(
+            lambda >= max_rate * (1.0 - 1e-12),
+            "uniformization rate {lambda} below max output rate {max_rate}"
+        );
+        let p = ctmc.generator().identity_plus_scaled(1.0 / lambda);
+        debug_assert!(p.is_row_stochastic(1e-9));
+        let p_t = p.transpose();
+        Uniformized { lambda, p, p_t }
+    }
+
+    /// One DTMC step: `out = πᵀP` computed as `Pᵀ·π` (gather), optionally in
+    /// parallel.
+    pub fn step_into(&self, pi: &[f64], out: &mut [f64], cfg: &ParallelConfig) {
+        self.p_t.mul_vec_parallel_into(pi, out, cfg);
+    }
+
+    /// Number of states.
+    pub fn n_states(&self) -> usize {
+        self.p.nrows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> Ctmc {
+        Ctmc::from_rates(
+            3,
+            &[(0, 1, 2.0), (1, 0, 1.0), (1, 2, 3.0), (2, 0, 0.5)],
+            vec![1.0, 0.0, 0.0],
+            vec![1.0, 0.5, 0.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rate_is_max_exit_rate() {
+        let u = Uniformized::new(&chain(), 0.0);
+        assert_eq!(u.lambda, 4.0);
+        assert!(u.p.is_row_stochastic(1e-12));
+        // P[1][1] = 1 - 4/4 = 0, P[0][0] = 1 - 2/4 = 0.5.
+        assert_eq!(u.p.get(1, 1), 0.0);
+        assert_eq!(u.p.get(0, 0), 0.5);
+        assert_eq!(u.p.get(0, 1), 0.5);
+    }
+
+    #[test]
+    fn safety_factor_adds_self_loops() {
+        let u = Uniformized::new(&chain(), 0.1);
+        assert!((u.lambda - 4.4).abs() < 1e-12);
+        // Every diagonal entry now strictly positive => aperiodic.
+        for i in 0..3 {
+            assert!(u.p.get(i, i) > 0.0, "state {i} lacks self-loop");
+        }
+    }
+
+    #[test]
+    fn step_preserves_mass() {
+        let u = Uniformized::new(&chain(), 0.0);
+        let cfg = ParallelConfig::default();
+        let mut pi = vec![1.0, 0.0, 0.0];
+        let mut next = vec![0.0; 3];
+        for _ in 0..50 {
+            u.step_into(&pi, &mut next, &cfg);
+            std::mem::swap(&mut pi, &mut next);
+            let mass: f64 = pi.iter().sum();
+            assert!((mass - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn absorbing_only_chain_gets_unit_rate() {
+        let c = Ctmc::from_rates(2, &[], vec![1.0, 0.0], vec![0.0, 0.0]).unwrap();
+        let u = Uniformized::new(&c, 0.0);
+        assert_eq!(u.lambda, 1.0);
+        assert_eq!(u.p.get(0, 0), 1.0);
+        assert_eq!(u.p.get(1, 1), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_small_rate_panics() {
+        Uniformized::with_rate(&chain(), 1.0);
+    }
+}

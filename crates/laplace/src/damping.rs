@@ -1,0 +1,142 @@
+//! Damping-parameter selection (the `a` of Durbin's formula).
+//!
+//! The discretization error of Durbin's approximation with period `2T` is
+//! `f*(t) = Σ_{k≥1} f(2kT + t)·e^{−2akT}`; `a` is chosen so that a priori
+//! bounds on `f` push this below the allotted `ε/4`.
+
+/// Damping parameter for a *bounded* original, `0 ≤ f ≤ f_max` (the TRR case:
+/// `f_max = r_max`).
+///
+/// From `f*(t) ≤ f_max · e^{−2aT}/(1 − e^{−2aT}) = ε/4`:
+/// `a = ln(1 + 4·f_max/ε) / (2T)` (the paper's first formula, rearranged to
+/// avoid evaluating `log(1/(1+x))`).
+pub fn damping_for_bounded(epsilon: f64, f_max: f64, t_period: f64) -> f64 {
+    assert!(epsilon > 0.0 && t_period > 0.0);
+    assert!(f_max >= 0.0);
+    if f_max == 0.0 {
+        // Any positive damping works for the zero function; pick a benign one.
+        return 1.0 / t_period;
+    }
+    (4.0 * f_max / epsilon).ln_1p() / (2.0 * t_period)
+}
+
+/// Damping parameter for a *linearly growing* original,
+/// `0 ≤ f(τ) ≤ f_rate·τ` (the `C(t) = t·MRR(t)` case: `f_rate = r_max`), with
+/// the inversion performed at time `t` and an error budget `ε_t = ε·t/4`
+/// expressed in `C` units.
+///
+/// The bound is
+/// `f*(t) ≤ f_rate·[(t+2T)u − t·u²]/(1−u)²` with `u = e^{−2aT}`, leading to
+/// the quadratic `A·u² − B·u + C = 0` with
+/// `A = ε_t + t·f_rate`, `B = 2ε_t + (t+2T)·f_rate`, `C = ε_t`
+/// (this re-derivation matches the paper's eq. (2) after scaling by 4).
+///
+/// The paper patches the catastrophic cancellation of the textbook root
+/// formula with a Taylor expansion; we instead use the numerically stable
+/// small-root form `u = 2C / (B + √(B² − 4AC))`, which is exact in all
+/// regimes — the equivalence is unit-tested against high-precision bisection.
+pub fn damping_for_linear_growth(epsilon: f64, f_rate: f64, t: f64, t_period: f64) -> f64 {
+    assert!(epsilon > 0.0 && t > 0.0 && t_period > 0.0);
+    assert!(f_rate >= 0.0);
+    if f_rate == 0.0 {
+        return 1.0 / t_period;
+    }
+    let eps_t = epsilon * t / 4.0;
+    let a_coef = eps_t + t * f_rate;
+    let b_coef = 2.0 * eps_t + (t + 2.0 * t_period) * f_rate;
+    let c_coef = eps_t;
+    let disc = b_coef * b_coef - 4.0 * a_coef * c_coef;
+    debug_assert!(disc >= 0.0, "discriminant must be non-negative");
+    let u = 2.0 * c_coef / (b_coef + disc.sqrt());
+    debug_assert!(u > 0.0 && u < 1.0, "root must lie in (0,1), got {u}");
+    -u.ln() / (2.0 * t_period)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The bounded-case `a` must satisfy its defining equation.
+    #[test]
+    fn bounded_defining_equation() {
+        for &(eps, fmax, tt) in &[(1e-12, 1.0, 8.0), (1e-6, 5.0, 80.0), (1e-10, 0.3, 1.0)] {
+            let a = damping_for_bounded(eps, fmax, tt);
+            let u = (-2.0 * a * tt).exp();
+            let err = fmax * u / (1.0 - u);
+            assert!(
+                (err - eps / 4.0).abs() < 1e-6 * (eps / 4.0),
+                "eps={eps} fmax={fmax}: bound {err} vs {}",
+                eps / 4.0
+            );
+        }
+    }
+
+    /// The linear-growth `a` must satisfy ITS defining equation.
+    #[test]
+    fn linear_defining_equation() {
+        for &(eps, rate, t) in &[
+            (1e-12, 1.0, 1.0),
+            (1e-12, 1.0, 1e5),
+            (1e-8, 2.5, 100.0),
+            (1e-12, 1e-3, 10.0),
+        ] {
+            let tt = 8.0 * t;
+            let a = damping_for_linear_growth(eps, rate, t, tt);
+            let u = (-2.0 * a * tt).exp();
+            let err = rate * ((t + 2.0 * tt) * u - t * u * u) / ((1.0 - u) * (1.0 - u));
+            let budget = eps * t / 4.0;
+            assert!(
+                (err - budget).abs() < 1e-6 * budget,
+                "eps={eps} rate={rate} t={t}: bound {err} vs {budget}"
+            );
+        }
+    }
+
+    /// The stable small-root formula must agree with bisection of the original
+    /// error expression, including the cancellation regime the paper patches
+    /// with a Taylor series (tiny ε against huge t·r_max).
+    #[test]
+    fn stable_root_matches_bisection() {
+        for &(eps, rate, t) in &[
+            (1e-12, 1.0, 1e5), // y ≪ 1e-3: the paper's Taylor regime
+            (1e-12, 1.0, 1.0),
+            (1e-3, 1.0, 1.0), // comfortable regime
+        ] {
+            let tt = 8.0 * t;
+            let budget = eps * t / 4.0;
+            let err_at = |u: f64| rate * ((t + 2.0 * tt) * u - t * u * u) / ((1.0 - u) * (1.0 - u));
+            // Bisection on u in (0, u_hi) where err is increasing.
+            let (mut lo, mut hi) = (0.0f64, 0.999_999f64);
+            for _ in 0..200 {
+                let mid = 0.5 * (lo + hi);
+                if err_at(mid) > budget {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            let u_ref = 0.5 * (lo + hi);
+            let a = damping_for_linear_growth(eps, rate, t, tt);
+            let u = (-2.0 * a * tt).exp();
+            assert!(
+                (u - u_ref).abs() <= 1e-9 * u_ref.max(1e-300),
+                "u {u} vs bisection {u_ref} (eps={eps}, t={t})"
+            );
+        }
+    }
+
+    #[test]
+    fn damping_decreases_with_longer_period() {
+        let a1 = damping_for_bounded(1e-12, 1.0, 8.0);
+        let a2 = damping_for_bounded(1e-12, 1.0, 16.0);
+        assert!(a2 < a1);
+        // a·T is period-invariant for the bounded case.
+        assert!((a1 * 8.0 - a2 * 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_function_gets_benign_damping() {
+        assert!(damping_for_bounded(1e-12, 0.0, 8.0) > 0.0);
+        assert!(damping_for_linear_growth(1e-12, 0.0, 1.0, 8.0) > 0.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the numerical Laplace inversion: random
+//! exponential mixtures (the transform family the RRL method actually
+//! produces — rational with real negative poles, possibly plus a pole at 0)
+//! must invert to their known time-domain values.
+
+use proptest::prelude::*;
+use regenr_laplace::{damping_for_bounded, damping_for_linear_growth, DurbinInverter};
+use regenr_numeric::Complex64;
+
+/// A random mixture `f(t) = Σ_i c_i e^{-a_i t}` with `c_i ≥ 0`, plus an
+/// optional constant term — shapes like TRR of a dependability model.
+#[derive(Clone, Debug)]
+struct Mixture {
+    constant: f64,
+    modes: Vec<(f64, f64)>, // (weight, decay rate)
+}
+
+impl Mixture {
+    fn value(&self, t: f64) -> f64 {
+        self.constant
+            + self
+                .modes
+                .iter()
+                .map(|&(c, a)| c * (-a * t).exp())
+                .sum::<f64>()
+    }
+
+    fn transform(&self, s: Complex64) -> Complex64 {
+        let mut acc = Complex64::from_real(self.constant) / s;
+        for &(c, a) in &self.modes {
+            acc += Complex64::from_real(c) / (s + a);
+        }
+        acc
+    }
+
+    fn bound(&self) -> f64 {
+        self.constant + self.modes.iter().map(|&(c, _)| c).sum::<f64>()
+    }
+}
+
+fn arb_mixture() -> impl Strategy<Value = Mixture> {
+    (
+        0.0f64..1.0,
+        prop::collection::vec((0.01f64..2.0, 0.01f64..5.0), 1..5),
+    )
+        .prop_map(|(constant, modes)| Mixture { constant, modes })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    /// Bounded-mode inversion (the TRR path) recovers random mixtures.
+    #[test]
+    fn inverts_exponential_mixtures(m in arb_mixture(), t in 0.05f64..30.0) {
+        let eps = 1e-10;
+        let inv = DurbinInverter::default();
+        let t_period = inv.opts.t_multiplier * t;
+        let a = damping_for_bounded(eps, m.bound(), t_period);
+        let r = inv.invert(|s| m.transform(s), t, a, eps / 100.0);
+        let want = m.value(t);
+        prop_assert!(r.converged, "did not converge at t={t}");
+        prop_assert!((r.value - want).abs() < 1e-8 * want.abs().max(1.0),
+            "t={t}: {} vs {want}", r.value);
+    }
+
+    /// Integral-mode inversion (the C(t) = t·MRR(t) path) recovers the
+    /// running integral of random mixtures.
+    #[test]
+    fn inverts_integrals_of_mixtures(m in arb_mixture(), t in 0.1f64..20.0) {
+        let eps = 1e-9;
+        let inv = DurbinInverter::default();
+        let t_period = inv.opts.t_multiplier * t;
+        // ∫₀ᵗ f grows at most like bound()·t.
+        let a = damping_for_linear_growth(eps, m.bound(), t, t_period);
+        let r = inv.invert(|s| m.transform(s) / s, t, a, eps * t / 100.0);
+        // ∫₀ᵗ (k + Σ c e^{-aτ}) dτ = k·t + Σ (c/a)(1 − e^{-at}).
+        let want = m.constant * t
+            + m.modes.iter().map(|&(c, a)| c / a * (1.0 - (-a * t).exp())).sum::<f64>();
+        prop_assert!(r.converged);
+        prop_assert!((r.value - want).abs() < 1e-7 * want.abs().max(1.0),
+            "t={t}: {} vs {want}", r.value);
+    }
+
+    /// The damping parameters satisfy their defining discretization-error
+    /// equations for random budgets.
+    #[test]
+    fn damping_solves_defining_equation(
+        eps in 1e-14f64..1e-3, fmax in 1e-3f64..100.0, t in 0.01f64..1e5,
+    ) {
+        let tt = 8.0 * t;
+        let a = damping_for_bounded(eps, fmax, tt);
+        let u = (-2.0 * a * tt).exp();
+        let err = fmax * u / (1.0 - u);
+        prop_assert!((err - eps / 4.0).abs() < 1e-6 * eps, "bounded: {err} vs {}", eps / 4.0);
+
+        let a2 = damping_for_linear_growth(eps, fmax, t, tt);
+        let u2 = (-2.0 * a2 * tt).exp();
+        let err2 = fmax * ((t + 2.0 * tt) * u2 - t * u2 * u2) / ((1.0 - u2) * (1.0 - u2));
+        let budget = eps * t / 4.0;
+        prop_assert!((err2 - budget).abs() < 1e-6 * budget, "linear: {err2} vs {budget}");
+    }
+}

@@ -1,0 +1,26 @@
+//! Dependability/performability models used by the paper's evaluation and by
+//! this repository's tests, examples, and benches.
+//!
+//! * [`raid`] — the level-5 RAID architecture of the paper's Section 3
+//!   (Fig. 2): `G` parity groups × `N` disks, `N` controllers, hot spares,
+//!   reconstruction with overload, global repair; `UA(t)` (irreducible) and
+//!   `UR(t)` (absorbing) variants;
+//! * [`two_state`] — the textbook repairable unit with closed-form
+//!   availability (the validation anchor of the test suite);
+//! * [`machines`] — machines-repairman performability model (reward = number
+//!   of working machines), exercising non-binary reward structures;
+//! * [`redundant`] — duplex system with imperfect failure coverage and an
+//!   absorbing uncovered-failure state;
+//! * [`multiproc`] — degradable multiprocessor (processors × memories,
+//!   coverage, priority repair) with capacity rewards `min(p, m)`;
+//! * [`cyclic`] — a ring of states; with equal rates its randomized DTMC is
+//!   periodic, stressing steady-state detection.
+
+pub mod cyclic;
+pub mod machines;
+pub mod multiproc;
+pub mod raid;
+pub mod redundant;
+pub mod two_state;
+
+pub use raid::{RaidModel, RaidParams, RaidState};

@@ -1,0 +1,66 @@
+//! The textbook 2-state repairable unit — the closed-form anchor of the
+//! test suite.
+//!
+//! State 0 = up, state 1 = down; failure rate `λ`, repair rate `μ`, reward 1
+//! on the down state, so `TRR(t)` is the point unavailability
+//!
+//! `UA(t) = λ/(λ+μ) · (1 − e^{−(λ+μ)t})`.
+
+use regenr_ctmc::Ctmc;
+
+/// Builds the repairable unit (initially up).
+pub fn repairable_unit(lambda: f64, mu: f64) -> Ctmc {
+    Ctmc::from_rates(
+        2,
+        &[(0, 1, lambda), (1, 0, mu)],
+        vec![1.0, 0.0],
+        vec![0.0, 1.0],
+    )
+    .expect("two-state parameters are always valid")
+}
+
+/// Closed-form point unavailability.
+pub fn unavailability(lambda: f64, mu: f64, t: f64) -> f64 {
+    lambda / (lambda + mu) * (1.0 - (-(lambda + mu) * t).exp())
+}
+
+/// Closed-form interval unavailability `MRR(t) = (1/t)∫₀ᵗ UA`.
+pub fn interval_unavailability(lambda: f64, mu: f64, t: f64) -> f64 {
+    let lm = lambda + mu;
+    lambda / lm * (t - (1.0 - (-lm * t).exp()) / lm) / t
+}
+
+/// Non-repairable variant: the down state is absorbing and
+/// `UR(t) = 1 − e^{−λt}`.
+pub fn non_repairable_unit(lambda: f64) -> Ctmc {
+    Ctmc::from_rates(2, &[(0, 1, lambda)], vec![1.0, 0.0], vec![0.0, 1.0])
+        .expect("parameters are always valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regenr_transient::{MeasureKind, SrOptions, SrSolver};
+
+    #[test]
+    fn closed_forms_match_sr() {
+        let (l, m) = (2e-3, 0.5);
+        let c = repairable_unit(l, m);
+        let sr = SrSolver::new(&c, SrOptions::default());
+        for &t in &[0.5, 10.0, 500.0] {
+            assert!((sr.solve(MeasureKind::Trr, t).value - unavailability(l, m, t)).abs() < 1e-11);
+            assert!(
+                (sr.solve(MeasureKind::Mrr, t).value - interval_unavailability(l, m, t)).abs()
+                    < 1e-11
+            );
+        }
+    }
+
+    #[test]
+    fn limits_are_sane() {
+        let (l, m) = (0.1, 1.0);
+        assert!(unavailability(l, m, 0.0) == 0.0);
+        assert!((unavailability(l, m, 1e9) - l / (l + m)).abs() < 1e-12);
+        assert!(interval_unavailability(l, m, 1e9) < unavailability(l, m, 1e9));
+    }
+}

@@ -1,0 +1,333 @@
+//! Minimal double-precision complex arithmetic.
+//!
+//! Only the operations needed by Laplace-transform evaluation and inversion are
+//! provided: field operations, conjugation, modulus, exponential, and a
+//! numerically robust division (Smith's algorithm) that avoids overflow for
+//! well-scaled operands.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number `re + i·im` in double precision.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The complex zero.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// The complex one.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `i`.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Creates `re + i·im`.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// Embeds a real number.
+    #[inline]
+    pub const fn from_real(re: f64) -> Self {
+        Complex64 { re, im: 0.0 }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex64::new(self.re, -self.im)
+    }
+
+    /// Squared modulus `re² + im²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`, computed with `hypot` for robustness.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Argument (phase) in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex exponential `e^z = e^re (cos im + i sin im)`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        let r = self.re.exp();
+        Complex64::new(r * self.im.cos(), r * self.im.sin())
+    }
+
+    /// Multiplicative inverse `1/z` (Smith's algorithm).
+    #[inline]
+    pub fn inv(self) -> Self {
+        Complex64::ONE / self
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Complex64::new(self.re * k, self.im * k)
+    }
+
+    /// `true` if either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+
+    /// `true` if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Integer power by binary exponentiation.
+    pub fn powi(self, mut n: u32) -> Self {
+        let mut base = self;
+        let mut acc = Complex64::ONE;
+        while n > 0 {
+            if n & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            n >>= 1;
+        }
+        acc
+    }
+}
+
+impl fmt::Debug for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}{:+}i)", self.re, self.im)
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{:+}i", self.re, self.im)
+    }
+}
+
+impl From<f64> for Complex64 {
+    fn from(re: f64) -> Self {
+        Complex64::from_real(re)
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn neg(self) -> Complex64 {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, o: Complex64) -> Complex64 {
+        Complex64::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, o: Complex64) -> Complex64 {
+        Complex64::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, o: Complex64) -> Complex64 {
+        Complex64::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+/// Division via Smith's algorithm: scale by the dominant component of the
+/// denominator to avoid intermediate overflow/underflow.
+impl Div for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, o: Complex64) -> Complex64 {
+        if o.re.abs() >= o.im.abs() {
+            let r = o.im / o.re;
+            let d = o.re + o.im * r;
+            Complex64::new((self.re + self.im * r) / d, (self.im - self.re * r) / d)
+        } else {
+            let r = o.re / o.im;
+            let d = o.re * r + o.im;
+            Complex64::new((self.re * r + self.im) / d, (self.im * r - self.re) / d)
+        }
+    }
+}
+
+impl Add<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, o: f64) -> Complex64 {
+        Complex64::new(self.re + o, self.im)
+    }
+}
+
+impl Sub<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, o: f64) -> Complex64 {
+        Complex64::new(self.re - o, self.im)
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, o: f64) -> Complex64 {
+        self.scale(o)
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, o: f64) -> Complex64 {
+        Complex64::new(self.re / o, self.im / o)
+    }
+}
+
+impl Add<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, o: Complex64) -> Complex64 {
+        o + self
+    }
+}
+
+impl Sub<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, o: Complex64) -> Complex64 {
+        Complex64::new(self - o.re, -o.im)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, o: Complex64) -> Complex64 {
+        o.scale(self)
+    }
+}
+
+impl Div<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, o: Complex64) -> Complex64 {
+        Complex64::from_real(self) / o
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, o: Complex64) {
+        *self = *self + o;
+    }
+}
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, o: Complex64) {
+        *self = *self - o;
+    }
+}
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, o: Complex64) {
+        *self = *self * o;
+    }
+}
+impl DivAssign for Complex64 {
+    #[inline]
+    fn div_assign(&mut self, o: Complex64) {
+        *self = *self / o;
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Complex64>>(iter: I) -> Complex64 {
+        iter.fold(Complex64::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex64, b: Complex64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn field_ops() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(-3.0, 0.5);
+        assert_eq!(a + b, Complex64::new(-2.0, 2.5));
+        assert_eq!(a - b, Complex64::new(4.0, 1.5));
+        assert_eq!(a * b, Complex64::new(-3.0 - 1.0, 0.5 - 6.0));
+        assert!(close((a / b) * b, a, 1e-15));
+        assert!(close(a * a.inv(), Complex64::ONE, 1e-15));
+    }
+
+    #[test]
+    fn division_is_robust_to_scale() {
+        let a = Complex64::new(1e300, 1e300);
+        let b = Complex64::new(1e300, -1e300);
+        let q = a / b;
+        assert!(q.is_finite());
+        assert!(close(q, Complex64::new(0.0, 1.0), 1e-14));
+    }
+
+    #[test]
+    fn exp_matches_euler() {
+        let z = Complex64::new(0.0, std::f64::consts::PI);
+        assert!(close(z.exp(), Complex64::new(-1.0, 0.0), 1e-14));
+        let z = Complex64::new(1.0, 1.0);
+        let e = z.exp();
+        assert!((e.abs() - std::f64::consts::E).abs() < 1e-12);
+        assert!((e.arg() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn powi_matches_repeated_mul() {
+        let z = Complex64::new(0.9, 0.21);
+        let mut acc = Complex64::ONE;
+        for n in 0..20u32 {
+            assert!(close(z.powi(n), acc, 1e-12 * acc.abs().max(1.0)));
+            acc *= z;
+        }
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let z = Complex64::new(3.0, -4.0);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(z.conj(), Complex64::new(3.0, 4.0));
+        assert!(close(z * z.conj(), Complex64::from_real(25.0), 1e-14));
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the numerical substrate.
+
+use proptest::prelude::*;
+use regenr_numeric::{
+    poisson_cdf_complement, poisson_pmf, Complex64, EpsilonAccelerator, KahanSum, PoissonWeights,
+};
+
+proptest! {
+    /// Complex field axioms on random operands (up to roundoff).
+    #[test]
+    fn complex_field_axioms(
+        ar in -1e3f64..1e3, ai in -1e3f64..1e3,
+        br in -1e3f64..1e3, bi in -1e3f64..1e3,
+    ) {
+        let a = Complex64::new(ar, ai);
+        let b = Complex64::new(br, bi);
+        // Commutativity.
+        prop_assert!(((a + b) - (b + a)).abs() == 0.0);
+        prop_assert!(((a * b) - (b * a)).abs() < 1e-9 * (a.abs() * b.abs()).max(1.0));
+        // Multiplicative inverse.
+        if b.abs() > 1e-6 {
+            let q = (a / b) * b;
+            prop_assert!((q - a).abs() < 1e-9 * a.abs().max(1.0), "{q:?} vs {a:?}");
+        }
+        // |ab| = |a||b|.
+        prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-8 * (a.abs()*b.abs()).max(1.0));
+    }
+
+    /// Kahan summation beats (or ties) naive summation against a shuffled
+    /// pairing of large and tiny terms whose exact sum is known.
+    #[test]
+    fn kahan_is_exact_on_cancelling_pairs(xs in prop::collection::vec(1e-8f64..1e8, 1..200)) {
+        // Σ (x + 1) − Σ x = len exactly.
+        let mut k = KahanSum::new();
+        for &x in &xs {
+            k.add(x + 1.0);
+        }
+        for &x in &xs {
+            k.add(-x);
+        }
+        let exact = xs.len() as f64;
+        prop_assert!((k.value() - exact).abs() < 1e-6, "{} vs {exact}", k.value());
+    }
+
+    /// Poisson weights agree with the log-space pmf and capture ≥ 1−δ mass.
+    #[test]
+    fn poisson_weights_consistent(lambda in 0.01f64..5e4) {
+        let w = PoissonWeights::new(lambda, 1e-10);
+        prop_assert!((w.total - 1.0).abs() < 1e-6);
+        // Spot-check the mode region against the direct pmf.
+        let mode = lambda.floor() as u64;
+        let direct = poisson_pmf(lambda, mode);
+        let rel = (w.pmf(mode) - direct).abs() / direct;
+        prop_assert!(rel < 1e-6, "mode pmf rel err {rel}");
+        // Survival at the mode is between the two tail halves.
+        let s = w.survival(mode);
+        prop_assert!(s > 0.2 && s < 0.8, "survival at mode = {s}");
+    }
+
+    /// survival(k) is the complement of the cdf (checked at moderate λ).
+    #[test]
+    fn poisson_survival_matches_direct(lambda in 0.5f64..200.0, frac in 0.0f64..2.0) {
+        let w = PoissonWeights::new(lambda, 1e-13);
+        let k = (lambda * frac) as u64;
+        let direct = poisson_cdf_complement(lambda, k);
+        prop_assert!((w.survival(k) - direct).abs() < 1e-9,
+            "k={k}: {} vs {direct}", w.survival(k));
+    }
+
+    /// The ε-algorithm sums random geometric series essentially exactly from
+    /// ~8 partial sums.
+    #[test]
+    fn epsilon_sums_random_geometric(ratio in -0.95f64..0.95, scale in 0.1f64..10.0) {
+        let limit = scale / (1.0 - ratio);
+        let mut acc = EpsilonAccelerator::new();
+        let mut partial = 0.0;
+        let mut term = scale;
+        let mut est = 0.0;
+        for _ in 0..10 {
+            partial += term;
+            term *= ratio;
+            est = acc.push(partial);
+        }
+        prop_assert!((est - limit).abs() < 1e-8 * limit.abs().max(1.0),
+            "ratio={ratio}: {est} vs {limit}");
+    }
+
+    /// Mixtures of two geometric modes are summed exactly by order-4 ε
+    /// (rational extrapolation is exact for rank-2 sequences).
+    #[test]
+    fn epsilon_sums_two_mode_mixtures(
+        r1 in -0.9f64..0.9, r2 in -0.9f64..0.9, c1 in 0.1f64..5.0, c2 in 0.1f64..5.0,
+    ) {
+        let limit = c1 / (1.0 - r1) + c2 / (1.0 - r2);
+        let mut acc = EpsilonAccelerator::new();
+        let (mut t1, mut t2) = (c1, c2);
+        let mut partial = 0.0;
+        let mut est = 0.0;
+        for _ in 0..16 {
+            partial += t1 + t2;
+            t1 *= r1;
+            t2 *= r2;
+            est = acc.push(partial);
+        }
+        prop_assert!((est - limit).abs() < 1e-6 * limit.abs().max(1.0),
+            "{est} vs {limit}");
+    }
+}

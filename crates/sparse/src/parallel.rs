@@ -1,0 +1,154 @@
+//! Parallel sparse matrix–vector products.
+//!
+//! The randomization solvers are SpMV-bound: a single `UR(10⁵ h)` standard-
+//! randomization run performs millions of products over the same matrix. The
+//! parallel kernel here splits the *output* rows into nnz-balanced chunks and
+//! lets scoped threads write disjoint slices — no synchronization inside the
+//! product, deterministic results (each row is reduced serially, so the
+//! parallel product is bitwise identical to the serial one).
+//!
+//! Spawning threads per product would dominate for small matrices, so the
+//! kernel falls back to the serial path under [`ParallelConfig::min_nnz`].
+
+use crate::csr::CsrMatrix;
+
+/// Tuning for [`CsrMatrix::mul_vec_parallel_into`].
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelConfig {
+    /// Below this nnz the serial kernel is used (thread spawn ≫ product cost).
+    pub min_nnz: usize,
+    /// Worker thread count; `0` means "use available parallelism".
+    pub threads: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            // ~50k nnz ≈ the point where a few microseconds of spawn overhead
+            // stops mattering relative to memory-bound SpMV work.
+            min_nnz: 50_000,
+            threads: 0,
+        }
+    }
+}
+
+/// Resolves `threads = 0` to the machine's available parallelism.
+pub fn effective_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+impl CsrMatrix {
+    /// `y = A·x` using scoped threads over nnz-balanced row chunks.
+    ///
+    /// Falls back to [`CsrMatrix::mul_vec_into`] when the matrix is small or
+    /// only one thread is available. Results are bitwise identical to the
+    /// serial product.
+    pub fn mul_vec_parallel_into(&self, x: &[f64], y: &mut [f64], cfg: &ParallelConfig) {
+        assert_eq!(x.len(), self.ncols(), "x length mismatch");
+        assert_eq!(y.len(), self.nrows(), "y length mismatch");
+        let threads = effective_threads(cfg.threads);
+        if self.nnz() < cfg.min_nnz || threads <= 1 {
+            self.mul_vec_into(x, y);
+            return;
+        }
+        let chunks = self.balanced_row_chunks(threads);
+        // Split `y` into disjoint mutable slices matching the row chunks.
+        std::thread::scope(|scope| {
+            let mut rest = y;
+            let mut offset = 0usize;
+            for chunk in &chunks {
+                let (head, tail) = rest.split_at_mut(chunk.end - offset);
+                offset = chunk.end;
+                rest = tail;
+                let chunk = chunk.clone();
+                scope.spawn(move || {
+                    let row_ptr = self.row_ptr();
+                    let col_idx = self.col_idx();
+                    let values = self.values();
+                    for (local, i) in chunk.clone().enumerate() {
+                        let mut acc = 0.0;
+                        for k in row_ptr[i]..row_ptr[i + 1] {
+                            acc += values[k] * x[col_idx[k] as usize];
+                        }
+                        head[local] = acc;
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CooBuilder;
+
+    fn band_matrix(n: usize) -> CsrMatrix {
+        let mut b = CooBuilder::new(n, n);
+        for i in 0..n {
+            b.push(i, i, 2.0 + i as f64 * 1e-3);
+            if i > 0 {
+                b.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                b.push(i, i + 1, -0.5);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn parallel_equals_serial_various_thread_counts() {
+        let n = 997;
+        let m = band_matrix(n);
+        let x: Vec<f64> = (0..n).map(|i| ((i * 31) % 17) as f64 - 8.0).collect();
+        let mut want = vec![0.0; n];
+        m.mul_vec_into(&x, &mut want);
+        for threads in [1, 2, 3, 8, 64] {
+            let cfg = ParallelConfig {
+                min_nnz: 0,
+                threads,
+            };
+            let mut got = vec![0.0; n];
+            m.mul_vec_parallel_into(&x, &mut got, &cfg);
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn small_matrix_uses_serial_path() {
+        let m = band_matrix(4);
+        let cfg = ParallelConfig::default(); // min_nnz = 50k > nnz
+        let mut y = vec![0.0; 4];
+        m.mul_vec_parallel_into(&[1.0; 4], &mut y, &cfg);
+        let mut want = vec![0.0; 4];
+        m.mul_vec_into(&[1.0; 4], &mut want);
+        assert_eq!(y, want);
+    }
+
+    #[test]
+    fn effective_threads_resolution() {
+        assert_eq!(effective_threads(3), 3);
+        assert!(effective_threads(0) >= 1);
+    }
+
+    #[test]
+    fn more_threads_than_rows() {
+        let m = band_matrix(3);
+        let cfg = ParallelConfig {
+            min_nnz: 0,
+            threads: 16,
+        };
+        let mut y = vec![0.0; 3];
+        m.mul_vec_parallel_into(&[1.0, 2.0, 3.0], &mut y, &cfg);
+        let mut want = vec![0.0; 3];
+        m.mul_vec_into(&[1.0, 2.0, 3.0], &mut want);
+        assert_eq!(y, want);
+    }
+}

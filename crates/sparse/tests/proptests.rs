@@ -1,0 +1,117 @@
+//! Property-based tests for the sparse substrate: every operation is checked
+//! against a dense reference on random matrices.
+
+use proptest::prelude::*;
+use regenr_sparse::{CooBuilder, CsrMatrix, ParallelConfig};
+
+/// Random dense matrix plus its CSR image.
+fn arb_matrix() -> impl Strategy<Value = (Vec<Vec<f64>>, usize, usize)> {
+    (1usize..12, 1usize..12).prop_flat_map(|(n, m)| {
+        prop::collection::vec(prop::collection::vec(-5.0f64..5.0, m), n).prop_map(
+            move |mut rows| {
+                // Sparsify ~half the entries.
+                for (i, row) in rows.iter_mut().enumerate() {
+                    for (j, v) in row.iter_mut().enumerate() {
+                        if (i * 31 + j * 17) % 2 == 0 {
+                            *v = 0.0;
+                        }
+                    }
+                }
+                (rows, n, m)
+            },
+        )
+    })
+}
+
+fn to_csr(rows: &[Vec<f64>], n: usize, m: usize) -> CsrMatrix {
+    let mut b = CooBuilder::new(n, m);
+    for (i, row) in rows.iter().enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            if v != 0.0 {
+                b.push(i, j, v);
+            }
+        }
+    }
+    b.build()
+}
+
+proptest! {
+    #[test]
+    fn get_matches_dense((rows, n, m) in arb_matrix()) {
+        let c = to_csr(&rows, n, m);
+        for (i, row) in rows.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                prop_assert_eq!(c.get(i, j), v);
+            }
+        }
+    }
+
+    #[test]
+    fn mul_vec_matches_dense((rows, n, m) in arb_matrix(), seed in 0u64..1000) {
+        let c = to_csr(&rows, n, m);
+        let x: Vec<f64> = (0..m).map(|j| ((j as u64 + seed) % 7) as f64 - 3.0).collect();
+        let want: Vec<f64> = rows
+            .iter()
+            .map(|row| row.iter().zip(&x).map(|(r, v)| r * v).sum())
+            .collect();
+        let got = c.mul_vec(&x);
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert!((g - w).abs() < 1e-10, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn vec_mul_is_transpose_mul((rows, n, m) in arb_matrix()) {
+        let c = to_csr(&rows, n, m);
+        let ct = c.transpose();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+        let mut scatter = vec![0.0; m];
+        c.vec_mul_into(&x, &mut scatter);
+        let gather = ct.mul_vec(&x);
+        for (a, b) in scatter.iter().zip(&gather) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn transpose_involution((rows, n, m) in arb_matrix()) {
+        let c = to_csr(&rows, n, m);
+        let tt = c.transpose().transpose();
+        prop_assert_eq!(c.nnz(), tt.nnz());
+        for (i, j, v) in c.iter() {
+            prop_assert_eq!(tt.get(i, j), v);
+        }
+    }
+
+    #[test]
+    fn parallel_product_is_bitwise_serial((rows, n, m) in arb_matrix(), threads in 1usize..6) {
+        let c = to_csr(&rows, n, m);
+        let x: Vec<f64> = (0..m).map(|j| 1.0 / (j + 1) as f64).collect();
+        let mut serial = vec![0.0; n];
+        let mut par = vec![0.0; n];
+        c.mul_vec_into(&x, &mut serial);
+        c.mul_vec_parallel_into(&x, &mut par, &ParallelConfig { min_nnz: 0, threads });
+        prop_assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn row_sums_match_dense((rows, n, m) in arb_matrix()) {
+        let c = to_csr(&rows, n, m);
+        for (i, s) in c.row_sums().iter().enumerate() {
+            let want: f64 = rows[i].iter().sum();
+            prop_assert!((s - want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn balanced_chunks_partition_rows((rows, n, m) in arb_matrix(), chunks in 1usize..8) {
+        let c = to_csr(&rows, n, m);
+        let parts = c.balanced_row_chunks(chunks);
+        let mut next = 0;
+        for p in &parts {
+            prop_assert_eq!(p.start, next);
+            next = p.end;
+        }
+        prop_assert_eq!(next, n);
+    }
+}

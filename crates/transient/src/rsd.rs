@@ -1,0 +1,298 @@
+//! Randomization with steady-state detection (RSD).
+//!
+//! For an *irreducible* chain the DTMC iterates `π_n = α P^n` converge to the
+//! stationary vector; once they have converged to within the error budget,
+//! all remaining Poisson-weighted terms can reuse the detected vector and the
+//! stepping stops — the paper's Table 1 shows RSD's step count saturating at
+//! the detection step while SR's keeps growing with `t`.
+//!
+//! ## Detection criterion
+//!
+//! Let `d_n = ‖π_n − π_{n−1}‖₁`. Row-stochasticity makes `d_n` non-increasing
+//! (`‖μP‖₁ ≤ ‖μ‖₁`). For an aperiodic chain `d_n → 0` geometrically with the
+//! subdominant-eigenvalue modulus `ρ`; then for any `m > n`
+//!
+//! `|r·π_m − r·π_n| ≤ r_max Σ_{j>n} d_j ≤ r_max · d_n · ρ/(1−ρ)`.
+//!
+//! We estimate `ρ̂` from a sliding window of observed ratios (the fully
+//! rigorous bound of Sericola 1999 needs spectral information that is not
+//! available here; the estimate is conservative: we take the *maximum* ratio
+//! over the window) and stop at the first `n*` where
+//! `r_max · d_{n*} · ρ̂/(1−ρ̂) ≤ ε/2`. This is the practical variant documented
+//! in DESIGN.md §3.4.
+//!
+//! Periodic chains never trigger detection under `θ = 0` uniformization; pass
+//! `theta > 0` to force self-loops (aperiodicity) — the solver then behaves
+//! like SR until detection fires.
+
+use crate::{MeasureKind, Solution};
+use regenr_ctmc::{Ctmc, Uniformized};
+use regenr_numeric::{KahanSum, PoissonWeights};
+use regenr_sparse::ParallelConfig;
+
+/// Options for [`RsdSolver`].
+#[derive(Clone, Copy, Debug)]
+pub struct RsdOptions {
+    /// Total absolute error budget `ε`.
+    pub epsilon: f64,
+    /// Uniformization safety factor (`0` matches the paper; `> 0` guarantees
+    /// aperiodicity).
+    pub theta: f64,
+    /// Sliding-window length for the contraction-ratio estimate.
+    pub ratio_window: usize,
+    /// Minimum number of steps before detection may fire (guards against
+    /// transient plateaus in `d_n`).
+    pub warmup: usize,
+    /// Parallel SpMV configuration.
+    pub parallel: ParallelConfig,
+}
+
+impl Default for RsdOptions {
+    fn default() -> Self {
+        RsdOptions {
+            epsilon: 1e-12,
+            theta: 0.0,
+            ratio_window: 16,
+            warmup: 32,
+            parallel: ParallelConfig::default(),
+        }
+    }
+}
+
+/// Steady-state-detection solver bound to one chain.
+#[derive(Clone, Debug)]
+pub struct RsdSolver<'a> {
+    ctmc: &'a Ctmc,
+    unif: Uniformized,
+    opts: RsdOptions,
+}
+
+/// Extra diagnostics from an RSD run.
+#[derive(Clone, Copy, Debug)]
+pub struct RsdReport {
+    /// The solution proper.
+    pub solution: Solution,
+    /// Step at which stationarity was detected (`None` if the Poisson window
+    /// was exhausted first, in which case RSD degenerated to SR).
+    pub detected_at: Option<usize>,
+    /// Final `‖π_n − π_{n−1}‖₁` observed.
+    pub final_delta: f64,
+}
+
+impl<'a> RsdSolver<'a> {
+    /// Uniformizes the chain and prepares the solver.
+    pub fn new(ctmc: &'a Ctmc, opts: RsdOptions) -> Self {
+        assert!(opts.epsilon > 0.0, "epsilon must be positive");
+        assert!(opts.ratio_window >= 2);
+        let unif = Uniformized::new(ctmc, opts.theta);
+        RsdSolver { ctmc, unif, opts }
+    }
+
+    /// The randomization rate in use.
+    pub fn lambda(&self) -> f64 {
+        self.unif.lambda
+    }
+
+    /// Computes the measure with steady-state detection; see module docs for
+    /// the error-control discussion.
+    pub fn solve(&self, measure: MeasureKind, t: f64) -> Solution {
+        self.solve_report(measure, t).solution
+    }
+
+    /// Like [`RsdSolver::solve`] but with detection diagnostics.
+    pub fn solve_report(&self, measure: MeasureKind, t: f64) -> RsdReport {
+        assert!(t >= 0.0, "time must be non-negative");
+        let r_max = self.ctmc.max_reward();
+        let alpha = self.ctmc.initial().to_vec();
+        if t == 0.0 || r_max == 0.0 {
+            return RsdReport {
+                solution: Solution {
+                    value: self.ctmc.reward_dot(&alpha),
+                    steps: 0,
+                    error_bound: 0.0,
+                },
+                detected_at: None,
+                final_delta: f64::NAN,
+            };
+        }
+        let lambda_t = self.unif.lambda * t;
+        let delta_mass = (self.opts.epsilon / (2.0 * r_max)).min(0.5);
+        let w = PoissonWeights::new(lambda_t, delta_mass);
+        let detect_budget = self.opts.epsilon / 2.0;
+
+        let mut pi = alpha;
+        let mut next = vec![0.0; pi.len()];
+        let mut acc = KahanSum::new();
+        let mut ratios: Vec<f64> = Vec::with_capacity(self.opts.ratio_window);
+        let mut prev_delta = f64::INFINITY;
+        let mut detected_at = None;
+        let mut final_delta = f64::NAN;
+        let mut steps = 0usize;
+
+        for n in 0..=w.right {
+            let rr = self.ctmc.reward_dot(&pi);
+            match measure {
+                MeasureKind::Trr => {
+                    let wn = w.pmf(n);
+                    if wn > 0.0 {
+                        acc.add(wn * rr);
+                    }
+                }
+                MeasureKind::Mrr => acc.add(w.survival(n + 1) * rr),
+            }
+            if n == w.right {
+                break;
+            }
+
+            self.unif.step_into(&pi, &mut next, &self.opts.parallel);
+            // d_{n+1} = ||π_{n+1} − π_n||₁.
+            let d: f64 = next.iter().zip(&pi).map(|(a, b)| (a - b).abs()).sum();
+            std::mem::swap(&mut pi, &mut next);
+            steps = (n + 1) as usize;
+            final_delta = d;
+
+            if prev_delta.is_finite() && prev_delta > 0.0 {
+                let ratio = (d / prev_delta).min(1.0);
+                if ratios.len() == self.opts.ratio_window {
+                    ratios.remove(0);
+                }
+                ratios.push(ratio);
+            }
+            prev_delta = d;
+
+            if steps >= self.opts.warmup && ratios.len() == self.opts.ratio_window {
+                // Conservative contraction estimate: worst ratio in the window.
+                let rho = ratios.iter().copied().fold(0.0f64, f64::max);
+                if rho < 1.0 - 1e-9 {
+                    let tail_bound = r_max * d * rho / (1.0 - rho);
+                    if tail_bound <= detect_budget {
+                        detected_at = Some(steps);
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Account for the remaining Poisson mass with the detected vector.
+        // When detection fires at step n* the loop has accumulated the terms
+        // for π_0 … π_{n*−1}, and `pi` holds π_{n*}; the missing mass is
+        //   TRR: Σ_{n≥n*} Po(n)        = survival(n*),
+        //   MRR: Σ_{n≥n*} P[N ≥ n+1]   = Σ_{j≥n*+1} P[N ≥ j] = excess(n*+1).
+        let value = match (measure, detected_at) {
+            (MeasureKind::Trr, Some(n_star)) => {
+                let rr = self.ctmc.reward_dot(&pi);
+                acc.value() + w.survival(n_star as u64) * rr
+            }
+            (MeasureKind::Trr, None) => acc.value(),
+            (MeasureKind::Mrr, Some(n_star)) => {
+                let rr = self.ctmc.reward_dot(&pi);
+                (acc.value() + w.expected_excess(n_star as u64 + 1) * rr) / lambda_t
+            }
+            (MeasureKind::Mrr, None) => acc.value() / lambda_t,
+        };
+
+        RsdReport {
+            solution: Solution {
+                value,
+                steps,
+                error_bound: self.opts.epsilon,
+            },
+            detected_at,
+            final_delta,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sr::{SrOptions, SrSolver};
+
+    fn two_state(lambda: f64, mu: f64) -> Ctmc {
+        Ctmc::from_rates(
+            2,
+            &[(0, 1, lambda), (1, 0, mu)],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn matches_sr_on_small_model() {
+        let c = two_state(0.3, 1.7);
+        let rsd = RsdSolver::new(&c, RsdOptions::default());
+        let sr = SrSolver::new(&c, SrOptions::default());
+        for &t in &[0.5, 5.0, 50.0, 5000.0] {
+            let a = rsd.solve(MeasureKind::Trr, t).value;
+            let b = sr.solve(MeasureKind::Trr, t).value;
+            assert!((a - b).abs() < 1e-10, "t={t}: rsd {a} vs sr {b}");
+            let am = rsd.solve(MeasureKind::Mrr, t).value;
+            let bm = sr.solve(MeasureKind::Mrr, t).value;
+            assert!((am - bm).abs() < 1e-10, "t={t} (MRR): rsd {am} vs sr {bm}");
+        }
+    }
+
+    #[test]
+    fn detection_caps_steps_for_large_t() {
+        let c = two_state(0.3, 1.7);
+        let rsd = RsdSolver::new(&c, RsdOptions::default());
+        let r1 = rsd.solve_report(MeasureKind::Trr, 1e3);
+        let r2 = rsd.solve_report(MeasureKind::Trr, 1e6);
+        assert!(r2.detected_at.is_some(), "steady state must be detected");
+        assert_eq!(
+            r1.solution.steps, r2.solution.steps,
+            "detected step count must be t-independent once saturated"
+        );
+        // SR, by contrast, needs ~Λt steps at t = 1e6.
+        let sr = SrSolver::new(&c, SrOptions::default());
+        assert!(sr.solve(MeasureKind::Trr, 1e6).steps > 100 * r2.solution.steps);
+    }
+
+    #[test]
+    fn small_t_behaves_like_sr() {
+        let c = two_state(0.3, 1.7);
+        let rsd = RsdSolver::new(&c, RsdOptions::default());
+        let r = rsd.solve_report(MeasureKind::Trr, 0.5);
+        assert!(r.detected_at.is_none(), "no detection expected at tiny t");
+    }
+
+    #[test]
+    fn detected_value_is_stationary_limit() {
+        // As t → ∞, TRR(t) → stationary unavailability μ... λ/(λ+μ).
+        let (l, m) = (0.4, 1.3);
+        let c = two_state(l, m);
+        let rsd = RsdSolver::new(&c, RsdOptions::default());
+        let v = rsd.solve(MeasureKind::Trr, 1e9).value;
+        assert!((v - l / (l + m)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn periodic_chain_with_theta_zero_never_detects_but_stays_correct() {
+        // 3-cycle with uniform rates is periodic under θ=0 randomization.
+        let c = Ctmc::from_rates(
+            3,
+            &[(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)],
+            vec![1.0, 0.0, 0.0],
+            vec![1.0, 0.0, 0.0],
+        )
+        .unwrap();
+        let rsd = RsdSolver::new(&c, RsdOptions::default());
+        let r = rsd.solve_report(MeasureKind::Trr, 30.0);
+        assert!(r.detected_at.is_none(), "periodic chain must not detect");
+        let sr = SrSolver::new(&c, SrOptions::default());
+        let b = sr.solve(MeasureKind::Trr, 30.0).value;
+        assert!((r.solution.value - b).abs() < 1e-10);
+        // With θ>0 the chain becomes aperiodic and detection fires eventually.
+        let rsd2 = RsdSolver::new(
+            &c,
+            RsdOptions {
+                theta: 0.2,
+                ..Default::default()
+            },
+        );
+        let r2 = rsd2.solve_report(MeasureKind::Trr, 1e7);
+        assert!(r2.detected_at.is_some());
+        assert!((r2.solution.value - 1.0 / 3.0).abs() < 1e-9);
+    }
+}

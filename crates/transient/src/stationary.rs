@@ -1,0 +1,87 @@
+//! Stationary distribution of an irreducible CTMC.
+//!
+//! Power iteration on the uniformized DTMC (with a safety factor to guarantee
+//! aperiodicity): `π_{n+1} = π_n P`, stopping when `‖π_{n+1} − π_n‖₁ ≤ tol`.
+//! Used by tests to validate RSD's detected vector and by examples to report
+//! long-run measures.
+
+use regenr_ctmc::{Ctmc, Uniformized};
+use regenr_sparse::ParallelConfig;
+
+/// Computes the stationary distribution by power iteration.
+///
+/// Returns `None` when the iteration fails to converge within `max_iter`
+/// steps (periodicity is ruled out by the θ=0.05 self-loops, so this means
+/// the tolerance is too tight or the chain is reducible).
+pub fn stationary_distribution(ctmc: &Ctmc, tol: f64, max_iter: usize) -> Option<Vec<f64>> {
+    let unif = Uniformized::new(ctmc, 0.05);
+    let cfg = ParallelConfig::default();
+    let mut pi = ctmc.initial().to_vec();
+    let mut next = vec![0.0; pi.len()];
+    for _ in 0..max_iter {
+        unif.step_into(&pi, &mut next, &cfg);
+        let d: f64 = next.iter().zip(&pi).map(|(a, b)| (a - b).abs()).sum();
+        std::mem::swap(&mut pi, &mut next);
+        if d <= tol {
+            // Renormalize against accumulated drift.
+            let mass: f64 = pi.iter().sum();
+            for p in &mut pi {
+                *p /= mass;
+            }
+            return Some(pi);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_state_balance() {
+        let (l, m) = (0.3, 1.2);
+        let c =
+            Ctmc::from_rates(2, &[(0, 1, l), (1, 0, m)], vec![1.0, 0.0], vec![0.0, 1.0]).unwrap();
+        let pi = stationary_distribution(&c, 1e-14, 100_000).unwrap();
+        assert!((pi[0] - m / (l + m)).abs() < 1e-10);
+        assert!((pi[1] - l / (l + m)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn birth_death_detailed_balance() {
+        // M/M/1/4 with λ=1, μ=2: π_k ∝ (1/2)^k.
+        let mut rates = Vec::new();
+        for k in 0..4 {
+            rates.push((k, k + 1, 1.0));
+            rates.push((k + 1, k, 2.0));
+        }
+        let mut init = vec![0.0; 5];
+        init[0] = 1.0;
+        let c = Ctmc::from_rates(5, &rates, init, vec![0.0; 5]).unwrap();
+        let pi = stationary_distribution(&c, 1e-14, 1_000_000).unwrap();
+        let z: f64 = (0..5).map(|k| 0.5f64.powi(k)).sum();
+        for (k, p) in pi.iter().enumerate() {
+            let want = 0.5f64.powi(k as i32) / z;
+            assert!((p - want).abs() < 1e-9, "k={k}: {p} vs {want}");
+        }
+    }
+
+    #[test]
+    fn stationary_is_fixed_point_of_generator() {
+        let c = Ctmc::from_rates(
+            3,
+            &[(0, 1, 1.0), (1, 2, 2.0), (2, 0, 3.0), (1, 0, 0.5)],
+            vec![1.0, 0.0, 0.0],
+            vec![0.0; 3],
+        )
+        .unwrap();
+        let pi = stationary_distribution(&c, 1e-14, 1_000_000).unwrap();
+        // πQ should be ~0.
+        let mut out = vec![0.0; 3];
+        c.generator().vec_mul_into(&pi, &mut out);
+        for v in out {
+            assert!(v.abs() < 1e-9, "residual {v}");
+        }
+    }
+}

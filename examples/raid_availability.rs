@@ -1,0 +1,76 @@
+//! Point unavailability of the paper's level-5 RAID system (`UA(t)`,
+//! Section 3, Table 1 workload).
+//!
+//! ```text
+//! cargo run --example raid_availability --release [G]
+//! ```
+//!
+//! Builds the irreducible RAID model (`A = 0`), solves `UA(t)` over the
+//! paper's time grid with RRL and RSD, and prints values, step counts, and
+//! the share of RRL time spent in Laplace inversion.
+
+use regenr::models::{RaidModel, RaidParams};
+use regenr::prelude::*;
+
+fn main() {
+    let g: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+
+    println!("building RAID availability model, G={g} ...");
+    let built = RaidModel::new(RaidParams::paper(g)).build().unwrap();
+    println!(
+        "  {} states, {} generator entries, Λ = {:.4}/h",
+        built.ctmc.n_states(),
+        built.ctmc.generator().nnz(),
+        built.ctmc.generator().max_abs_diag()
+    );
+
+    let epsilon = 1e-12;
+    let rrl = RrlSolver::new(
+        &built.ctmc,
+        0,
+        RrlOptions {
+            regen: RegenOptions {
+                epsilon,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let rsd = RsdSolver::new(
+        &built.ctmc,
+        RsdOptions {
+            epsilon,
+            ..Default::default()
+        },
+    );
+
+    println!(
+        "\n{:>9} {:>14} {:>9} {:>9} {:>11} {:>10}",
+        "t (h)", "UA(t)", "K (RRL)", "RSD steps", "abscissae", "LT share"
+    );
+    for t in [1.0, 10.0, 100.0, 1_000.0, 10_000.0, 100_000.0] {
+        let a = rrl.trr(t).unwrap();
+        let b = rsd.solve(MeasureKind::Trr, t);
+        assert!(
+            (a.value - b.value).abs() < 1e-9,
+            "RRL and RSD disagree at t={t}: {} vs {}",
+            a.value,
+            b.value
+        );
+        let total = a.construction_time + a.inversion_time;
+        let share = a.inversion_time.as_secs_f64() / total.as_secs_f64().max(1e-12);
+        println!(
+            "{t:>9.0} {:>14.6e} {:>9} {:>9} {:>11} {:>9.1}%",
+            a.value,
+            a.construction_steps,
+            b.steps,
+            a.abscissae,
+            100.0 * share
+        );
+    }
+    println!("\nRRL and RSD agree to <1e-9 at every horizon.");
+}

@@ -1,0 +1,85 @@
+//! Unreliability of the paper's level-5 RAID system (`UR(t)`, Section 3,
+//! Table 2 workload): the system-failed state is absorbing (`A = 1`).
+//!
+//! ```text
+//! cargo run --example raid_unreliability --release [G]
+//! ```
+//!
+//! Reproduces the paper's headline scalars: `UR(10⁵ h) = 0.50480` at `G=20`
+//! and `0.74750` at `G=40` (with the calibrated `P_R`, see DESIGN.md §4).
+//! SR is also run for small `t` to cross-check (it is Θ(Λt), so the paper's
+//! large horizons are exactly where it becomes impractical — which RRL
+//! demonstrates by solving them in milliseconds).
+
+use regenr::models::{RaidModel, RaidParams};
+use regenr::prelude::*;
+
+fn main() {
+    let g: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+
+    println!("building RAID unreliability model, G={g} ...");
+    let built = RaidModel::new(RaidParams::paper(g).with_absorbing_failure())
+        .build()
+        .unwrap();
+    println!("  {} states", built.ctmc.n_states());
+
+    let epsilon = 1e-12;
+    let rrl = RrlSolver::new(
+        &built.ctmc,
+        0,
+        RrlOptions {
+            regen: RegenOptions {
+                epsilon,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let sr = SrSolver::new(
+        &built.ctmc,
+        SrOptions {
+            epsilon,
+            ..Default::default()
+        },
+    );
+
+    println!(
+        "\n{:>9} {:>14} {:>9} {:>12}",
+        "t (h)", "UR(t)", "K (RRL)", "SR check"
+    );
+    for t in [1.0, 10.0, 100.0, 1_000.0, 10_000.0, 100_000.0] {
+        let a = rrl.trr(t).unwrap();
+        let check = if t <= 100.0 {
+            let b = sr.solve(MeasureKind::Trr, t);
+            assert!((a.value - b.value).abs() < 1e-10, "t={t}");
+            format!("{:>12.4e}", b.value)
+        } else {
+            "   (skipped)".to_string() // SR needs ~Λt ≈ millions of steps here
+        };
+        println!(
+            "{t:>9.0} {:>14.6e} {:>9} {check}",
+            a.value, a.construction_steps
+        );
+    }
+
+    let headline = rrl.trr(1e5).unwrap().value;
+    let expected = if g == 20 {
+        Some(0.50480)
+    } else if g == 40 {
+        Some(0.74750)
+    } else {
+        None
+    };
+    if let Some(want) = expected {
+        println!(
+            "\nUR(1e5 h) = {headline:.5} — paper reports {want:.5} (Δ = {:+.1e})",
+            headline - want
+        );
+    } else {
+        println!("\nUR(1e5 h) = {headline:.5}");
+    }
+}

@@ -1,0 +1,126 @@
+//! Failure-injection tests: malformed inputs must be rejected with the
+//! documented errors, never silently mis-solved.
+
+use regenr::ctmc::{analyze, Ctmc, CtmcError};
+use regenr::models::cyclic;
+use regenr::prelude::*;
+use regenr::sparse::CooBuilder;
+
+#[test]
+fn negative_rate_rejected_at_construction() {
+    let err = Ctmc::from_rates(2, &[(0, 1, -0.5)], vec![1.0, 0.0], vec![0.0; 2]);
+    assert!(matches!(err, Err(CtmcError::NegativeRate { .. })));
+}
+
+#[test]
+fn non_generator_matrix_rejected() {
+    // Row sums must be zero: build a raw matrix violating that.
+    let mut b = CooBuilder::new(2, 2);
+    b.push(0, 0, -1.0);
+    b.push(0, 1, 2.0); // row sums to +1
+    b.push(1, 0, 1.0);
+    b.push(1, 1, -1.0);
+    let err = Ctmc::new(b.build(), vec![1.0, 0.0], vec![0.0; 2]);
+    assert!(matches!(
+        err,
+        Err(CtmcError::RowSumNonZero { state: 0, .. })
+    ));
+}
+
+#[test]
+fn unnormalized_initial_rejected() {
+    let err = Ctmc::from_rates(2, &[(0, 1, 1.0), (1, 0, 1.0)], vec![0.6, 0.6], vec![0.0; 2]);
+    assert!(matches!(err, Err(CtmcError::BadInitialDistribution { .. })));
+}
+
+#[test]
+fn negative_reward_rejected() {
+    let err = Ctmc::from_rates(
+        2,
+        &[(0, 1, 1.0), (1, 0, 1.0)],
+        vec![1.0, 0.0],
+        vec![-0.1, 0.0],
+    );
+    assert!(matches!(err, Err(CtmcError::NegativeReward { .. })));
+}
+
+#[test]
+fn initial_mass_on_absorbing_rejected_by_analysis() {
+    let c = Ctmc::from_rates(2, &[(0, 1, 1.0)], vec![0.4, 0.6], vec![0.0, 1.0]).unwrap();
+    assert!(matches!(
+        analyze(&c),
+        Err(CtmcError::InitialMassOnAbsorbing { state: 1 })
+    ));
+    // The regenerative solvers run the same analysis up front.
+    let err = RrlSolver::new(&c, 0, RrlOptions::default());
+    assert!(matches!(err, Err(CtmcError::InitialMassOnAbsorbing { .. })));
+}
+
+#[test]
+fn split_transient_part_rejected() {
+    // Two transient states that only reach the absorbing state: S is not
+    // strongly connected, violating the paper's assumption.
+    let c = Ctmc::from_rates(
+        3,
+        &[(0, 2, 1.0), (1, 2, 1.0)],
+        vec![0.5, 0.5, 0.0],
+        vec![0.0, 0.0, 1.0],
+    )
+    .unwrap();
+    assert!(matches!(
+        RrSolver::new(&c, 0, RrOptions::default()),
+        Err(CtmcError::NotStronglyConnected { .. })
+    ));
+}
+
+#[test]
+fn absorbing_regenerative_state_rejected() {
+    let c = Ctmc::from_rates(2, &[(0, 1, 1.0)], vec![1.0, 0.0], vec![0.0, 1.0]).unwrap();
+    for bad in [1usize, 2, 99] {
+        assert!(matches!(
+            RrlSolver::new(&c, bad, RrlOptions::default()),
+            Err(CtmcError::BadRegenerativeState { .. })
+        ));
+    }
+}
+
+#[test]
+fn periodic_chain_is_still_solved_correctly() {
+    // The ring is periodic under θ=0 randomization: RSD must not detect a
+    // bogus steady state, and RR/RRL must still produce correct values.
+    let c = cyclic::ring(4);
+    let sr = SrSolver::new(&c, SrOptions::default());
+    let rsd = RsdSolver::new(&c, RsdOptions::default());
+    let rrl = RrlSolver::new(&c, 0, RrlOptions::default()).unwrap();
+    for &t in &[1.0, 7.7, 40.0] {
+        let a = sr.solve(MeasureKind::Trr, t).value;
+        assert!(
+            (rsd.solve(MeasureKind::Trr, t).value - a).abs() < 1e-10,
+            "t={t}"
+        );
+        assert!((rrl.trr(t).unwrap().value - a).abs() < 1e-9, "t={t}");
+    }
+}
+
+#[test]
+#[should_panic]
+fn negative_time_panics() {
+    let c = cyclic::ring(3);
+    let sr = SrSolver::new(&c, SrOptions::default());
+    let _ = sr.solve(MeasureKind::Trr, -1.0);
+}
+
+#[test]
+fn zero_reward_chain_short_circuits() {
+    let c = Ctmc::from_rates(
+        2,
+        &[(0, 1, 1.0), (1, 0, 1.0)],
+        vec![1.0, 0.0],
+        vec![0.0, 0.0],
+    )
+    .unwrap();
+    let sr = SrSolver::new(&c, SrOptions::default());
+    let s = sr.solve(MeasureKind::Trr, 1e6);
+    assert_eq!(s.value, 0.0);
+    assert_eq!(s.steps, 0, "r_max = 0 must not step at all");
+}

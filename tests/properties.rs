@@ -1,0 +1,111 @@
+//! Property-based tests over randomly generated CTMCs.
+//!
+//! The central invariant of the whole repository: on *any* chain satisfying
+//! the paper's assumptions, the transformed-model methods (RR, RRL) agree
+//! with standard randomization within the error budgets, for both measures.
+
+use proptest::prelude::*;
+use regenr::ctmc::Ctmc;
+use regenr::prelude::*;
+
+/// Strategy: a random strongly connected CTMC with 2–7 states, a random
+/// reward structure, and optionally one absorbing state reachable from S.
+fn arb_chain() -> impl Strategy<Value = (Ctmc, f64)> {
+    (2usize..7, any::<bool>(), 0.1f64..50.0).prop_flat_map(|(n, absorbing, t)| {
+        let n_rates = n * n;
+        (
+            prop::collection::vec(0.0f64..2.0, n_rates),
+            prop::collection::vec(0.0f64..3.0, n + 1),
+            Just(absorbing),
+            Just(n),
+            Just(t),
+        )
+            .prop_map(|(raw, rewards, absorbing, n, t)| {
+                let mut rates: Vec<(usize, usize, f64)> = Vec::new();
+                // A cycle guarantees strong connectivity of S = {0..n-1}.
+                for i in 0..n {
+                    rates.push((i, (i + 1) % n, 0.5));
+                }
+                for i in 0..n {
+                    for j in 0..n {
+                        let r = raw[i * n + j];
+                        if i != j && r > 0.25 {
+                            rates.push((i, j, r));
+                        }
+                    }
+                }
+                let total = if absorbing { n + 1 } else { n };
+                if absorbing {
+                    // One absorbing state fed from state 1 at a slow rate.
+                    rates.push((1, n, 0.05));
+                }
+                let mut initial = vec![0.0; total];
+                initial[0] = 1.0;
+                let mut rw = rewards;
+                rw.truncate(total);
+                rw.resize(total, 1.0);
+                (Ctmc::from_rates(total, &rates, initial, rw).unwrap(), t)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// RRL == SR on random chains (TRR).
+    #[test]
+    fn rrl_matches_sr_trr((chain, t) in arb_chain()) {
+        let eps = 1e-10;
+        let sr = SrSolver::new(&chain, SrOptions { epsilon: eps, ..Default::default() });
+        let rrl = RrlSolver::new(
+            &chain, 0,
+            RrlOptions { regen: RegenOptions { epsilon: eps, ..Default::default() }, ..Default::default() },
+        ).unwrap();
+        let a = sr.solve(MeasureKind::Trr, t).value;
+        let b = rrl.trr(t).unwrap().value;
+        prop_assert!((a - b).abs() < 1e-8, "t={t}: SR {a} vs RRL {b}");
+    }
+
+    /// RR == SR on random chains (MRR).
+    #[test]
+    fn rr_matches_sr_mrr((chain, t) in arb_chain()) {
+        let eps = 1e-10;
+        let sr = SrSolver::new(&chain, SrOptions { epsilon: eps, ..Default::default() });
+        let rr = RrSolver::new(
+            &chain, 0,
+            RrOptions { regen: RegenOptions { epsilon: eps, ..Default::default() } },
+        ).unwrap();
+        let a = sr.solve(MeasureKind::Mrr, t).value;
+        let b = rr.solve(MeasureKind::Mrr, t).unwrap().value;
+        prop_assert!((a - b).abs() < 1e-8, "t={t}: SR {a} vs RR {b}");
+    }
+
+    /// Measures are bounded by r_max and MRR(t) lies between 0 and r_max.
+    #[test]
+    fn measures_respect_reward_bounds((chain, t) in arb_chain()) {
+        let sr = SrSolver::new(&chain, SrOptions::default());
+        let r_max = chain.max_reward();
+        for m in [MeasureKind::Trr, MeasureKind::Mrr] {
+            let v = sr.solve(m, t).value;
+            prop_assert!(v >= -1e-9 && v <= r_max + 1e-9, "{m:?} = {v}, r_max = {r_max}");
+        }
+    }
+
+    /// The regenerative parameters satisfy their conservation law on random
+    /// chains: u(k) + Σ_i y_i(k) + a(k+1) = a(k).
+    #[test]
+    fn regen_parameters_conserve_mass((chain, t) in arb_chain()) {
+        let params = RegenParams::compute(&chain, 0, t, &RegenOptions::default()).unwrap();
+        let m = &params.main;
+        for k in 0..m.u.len() {
+            let absorbed: f64 = m.y.iter().map(|yi| yi[k]).sum();
+            let lhs = m.u[k] + absorbed + m.a[k + 1];
+            prop_assert!((lhs - m.a[k]).abs() < 1e-12 * m.a[k].max(1e-30),
+                "k={k}: {lhs} vs {}", m.a[k]);
+        }
+        // a(k) non-increasing.
+        for k in 1..m.a.len() {
+            prop_assert!(m.a[k] <= m.a[k-1] * (1.0 + 1e-14));
+        }
+    }
+}
