@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cargo run -p regenr-bench --release --bin repro -- [--quick] <what>
-//!   what ∈ { sizes | table1 | table2 | fig3 | fig4 | scalars | ablation | sweep | all }
+//!   what ∈ { sizes | table1 | table2 | fig3 | fig4 | scalars | ablation |
+//!            sweep | engine | all }
 //! ```
 //!
 //! Output goes to stdout (pretty tables) and `results/*.csv` (series data).
@@ -36,6 +37,7 @@ fn main() {
             ablation_theta(&w);
         }
         "sweep" => sweep(),
+        "engine" => engine_grid(&w),
         "all" => {
             sizes(&w);
             table1(&w);
@@ -46,6 +48,7 @@ fn main() {
             ablation(&w);
             ablation_theta(&w);
             sweep();
+            engine_grid(&w);
         }
         other => {
             eprintln!("unknown target {other:?}; see --help in the module docs");
@@ -413,6 +416,81 @@ fn sweep() {
     }
     // Sanity: more spares must not hurt dependability.
     println!("  (monotonicity in D_H/C_H is asserted by tests/paper_results.rs)");
+}
+
+/// The whole paper grid through `regenr-engine`'s `Auto` dispatch: one
+/// parallel sweep over (model × horizon), with dispatch reasons, step
+/// counts, and artifact-cache counters — the production path that replaces
+/// hand-picking a solver per workload.
+fn engine_grid(w: &Workload) {
+    use regenr_engine::{Engine, SolveRequest};
+    println!("\n== engine: Auto dispatch over the paper grid ==");
+    let mut csv = CsvWriter::create(
+        "engine",
+        "g,variant,t,method,reason,steps,value,unif_cache_hit",
+    )
+    .unwrap();
+    let engine = Engine::new();
+    let reqs: Vec<SolveRequest> = G_VALUES
+        .iter()
+        .flat_map(|&g| {
+            [(Variant::Ua, "ua"), (Variant::Ur, "ur")].map(|(variant, tag)| {
+                SolveRequest::new(
+                    format!("raid_g{g}_{tag}"),
+                    w.chain(g, variant),
+                    T_GRID.to_vec(),
+                )
+                .epsilon(EPSILON)
+            })
+        })
+        .collect();
+    let report = engine.sweep(&reqs);
+    assert!(
+        report.failures.is_empty(),
+        "engine sweep failed: {:?}",
+        report.failures
+    );
+    println!(
+        "  {:>12} {:>9} {:>7} {:>26} {:>8} {:>14} {:>6}",
+        "model", "t (h)", "method", "reason", "steps", "value", "cache"
+    );
+    for r in &report.reports {
+        println!(
+            "  {:>12} {:>9.0} {:>7} {:>26} {:>8} {:>14.6e} {:>6}",
+            r.model,
+            r.t,
+            r.method.name(),
+            r.reason.as_str(),
+            r.steps,
+            r.value,
+            if r.unif_cache_hit { "hit" } else { "miss" }
+        );
+        let (g, variant) = r.model.split_once("_g").map_or(("?", "?"), |(_, rest)| {
+            rest.split_once('_').unwrap_or((rest, "?"))
+        });
+        csv.row(&[
+            g.to_string(),
+            variant.to_uppercase(),
+            r.t.to_string(),
+            r.method.name().to_string(),
+            r.reason.as_str().to_string(),
+            r.steps.to_string(),
+            format!("{:.10e}", r.value),
+            r.unif_cache_hit.to_string(),
+        ])
+        .unwrap();
+    }
+    let cache = report.cache;
+    println!(
+        "  cache: uniformized {}h/{}m, structure {}h/{}m, regen-params {}h/{}m; wall {:.2}s",
+        cache.uniformized.hits,
+        cache.uniformized.misses,
+        cache.structure.hits,
+        cache.structure.misses,
+        cache.regen_params.hits,
+        cache.regen_params.misses,
+        report.wall.as_secs_f64()
+    );
 }
 
 fn quick_note(quick: bool) -> &'static str {

@@ -6,6 +6,7 @@ use crate::params::{RegenOptions, RegenParams};
 use crate::vmodel::build_truncated_model;
 use regenr_ctmc::{analyze, Ctmc, CtmcError, Uniformized};
 use regenr_transient::{MeasureKind, SrOptions, SrSolver};
+use std::sync::Arc;
 
 /// Options for [`RrSolver`].
 #[derive(Clone, Copy, Debug, Default)]
@@ -35,16 +36,17 @@ pub struct RrSolution {
 /// Regenerative-randomization solver (truncated model solved by SR).
 pub struct RrSolver<'a> {
     ctmc: &'a Ctmc,
-    unif: Uniformized,
+    unif: Arc<Uniformized>,
     absorbing: Vec<usize>,
     r: usize,
     opts: RrOptions,
 }
 
 impl<'a> RrSolver<'a> {
-    /// Validates the chain structure and the regenerative state, and
-    /// uniformizes once (shared across `solve` calls).
-    pub fn new(ctmc: &'a Ctmc, r: usize, opts: RrOptions) -> Result<Self, CtmcError> {
+    /// Checks the chain structure and the regenerative state; returns the
+    /// absorbing-state list on success. Runs *before* the `O(nnz)`
+    /// uniformization so invalid inputs fail cheaply.
+    fn validate(ctmc: &Ctmc, r: usize) -> Result<Vec<usize>, CtmcError> {
         let info = analyze(ctmc)?;
         if r >= ctmc.n_states() {
             return Err(CtmcError::BadRegenerativeState {
@@ -58,11 +60,37 @@ impl<'a> RrSolver<'a> {
                 reason: "state is absorbing",
             });
         }
-        let unif = Uniformized::new(ctmc, opts.regen.theta);
+        Ok(info.absorbing)
+    }
+
+    /// Validates the chain structure and the regenerative state, and
+    /// uniformizes once (shared across `solve` calls).
+    pub fn new(ctmc: &'a Ctmc, r: usize, opts: RrOptions) -> Result<Self, CtmcError> {
+        let absorbing = Self::validate(ctmc, r)?;
+        let unif = Arc::new(Uniformized::new(ctmc, opts.regen.theta));
         Ok(RrSolver {
             ctmc,
             unif,
-            absorbing: info.absorbing,
+            absorbing,
+            r,
+            opts,
+        })
+    }
+
+    /// Reuses a prebuilt uniformization (the engine's artifact-cache path).
+    /// `unif` must have been built from `ctmc` at `opts.regen.theta`.
+    pub fn with_uniformized(
+        ctmc: &'a Ctmc,
+        r: usize,
+        unif: Arc<Uniformized>,
+        opts: RrOptions,
+    ) -> Result<Self, CtmcError> {
+        let absorbing = Self::validate(ctmc, r)?;
+        unif.assert_built_from(ctmc);
+        Ok(RrSolver {
+            ctmc,
+            unif,
+            absorbing,
             r,
             opts,
         })
@@ -115,6 +143,53 @@ impl<'a> RrSolver<'a> {
         })
     }
 
+    /// Solves the measure at *many* horizons, sharing a single parameter
+    /// computation (mirrors [`crate::RrlSolver::solve_many`]): the sequences
+    /// computed at `max(ts)` serve every smaller horizon by prefix
+    /// truncation, so the `Θ(K·nnz)` construction stepping is paid once.
+    /// The per-`t` inner standard-randomization solve is still `Θ(Λt)` —
+    /// that is RR's defining cost, which RRL eliminates.
+    pub fn solve_many(
+        &self,
+        measure: MeasureKind,
+        ts: &[f64],
+    ) -> Result<Vec<RrSolution>, CtmcError> {
+        let t_max = ts.iter().copied().fold(0.0f64, f64::max);
+        if t_max == 0.0 {
+            return ts.iter().map(|&t| self.solve(measure, t)).collect();
+        }
+        let params = self.parameters(t_max)?;
+        ts.iter()
+            .map(|&t| {
+                if t == 0.0 {
+                    return self.solve(measure, t);
+                }
+                let (k, l) = params
+                    .depth_for_horizon(t, self.opts.regen.epsilon)
+                    .expect("depth available: t <= t_max");
+                let sliced = params.truncated(k, l);
+                let (vmodel, _) = build_truncated_model(&sliced)?;
+                let inner = SrSolver::new(
+                    &vmodel,
+                    SrOptions {
+                        epsilon: self.opts.regen.epsilon / 2.0,
+                        theta: self.opts.regen.theta,
+                        parallel: self.opts.regen.parallel,
+                    },
+                );
+                let sol = inner.solve(measure, t);
+                Ok(RrSolution {
+                    value: sol.value,
+                    construction_steps: sliced.construction_steps(),
+                    k: sliced.main.depth(),
+                    l: sliced.primed.as_ref().map_or(0, |p| p.depth()),
+                    inner_steps: sol.steps,
+                    error_bound: self.opts.regen.epsilon,
+                })
+            })
+            .collect()
+    }
+
     /// Exposes the computed parameters for a horizon (diagnostics, benches).
     pub fn parameters(&self, t: f64) -> Result<RegenParams, CtmcError> {
         RegenParams::compute_with(
@@ -131,6 +206,33 @@ impl<'a> RrSolver<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn solve_many_matches_per_t_solves() {
+        let c = Ctmc::from_rates(
+            3,
+            &[(0, 1, 0.05), (1, 2, 1.0), (2, 0, 0.5), (1, 0, 0.5)],
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 1.0],
+        )
+        .unwrap();
+        let rr = RrSolver::new(&c, 0, opts(1e-11)).unwrap();
+        let ts = [0.0, 0.5, 50.0, 5.0];
+        for meas in [MeasureKind::Trr, MeasureKind::Mrr] {
+            let many = rr.solve_many(meas, &ts).unwrap();
+            for (sol, &t) in many.iter().zip(&ts) {
+                let single = rr.solve(meas, t).unwrap();
+                // Identical truncation criterion ⇒ identical depths & values.
+                assert_eq!(sol.construction_steps, single.construction_steps, "t={t}");
+                assert!(
+                    (sol.value - single.value).abs() < 1e-13,
+                    "t={t} {meas:?}: {} vs {}",
+                    sol.value,
+                    single.value
+                );
+            }
+        }
+    }
 
     fn opts(eps: f64) -> RrOptions {
         RrOptions {

@@ -20,6 +20,7 @@ use regenr_laplace::{
     damping_for_bounded, damping_for_linear_growth, DurbinInverter, InverterOptions,
 };
 use regenr_transient::MeasureKind;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Options for [`RrlSolver`].
@@ -60,16 +61,17 @@ pub struct RrlSolution {
 /// The RRL solver.
 pub struct RrlSolver<'a> {
     ctmc: &'a Ctmc,
-    unif: Uniformized,
+    unif: Arc<Uniformized>,
     absorbing: Vec<usize>,
     r: usize,
     opts: RrlOptions,
 }
 
 impl<'a> RrlSolver<'a> {
-    /// Validates the chain structure and the regenerative state, and
-    /// uniformizes once (shared across `solve` calls).
-    pub fn new(ctmc: &'a Ctmc, r: usize, opts: RrlOptions) -> Result<Self, CtmcError> {
+    /// Checks the chain structure and the regenerative state; returns the
+    /// absorbing-state list on success. Runs *before* the `O(nnz)`
+    /// uniformization so invalid inputs fail cheaply.
+    fn validate(ctmc: &Ctmc, r: usize) -> Result<Vec<usize>, CtmcError> {
         let info = analyze(ctmc)?;
         if r >= ctmc.n_states() {
             return Err(CtmcError::BadRegenerativeState {
@@ -83,11 +85,37 @@ impl<'a> RrlSolver<'a> {
                 reason: "state is absorbing",
             });
         }
-        let unif = Uniformized::new(ctmc, opts.regen.theta);
+        Ok(info.absorbing)
+    }
+
+    /// Validates the chain structure and the regenerative state, and
+    /// uniformizes once (shared across `solve` calls).
+    pub fn new(ctmc: &'a Ctmc, r: usize, opts: RrlOptions) -> Result<Self, CtmcError> {
+        let absorbing = Self::validate(ctmc, r)?;
+        let unif = Arc::new(Uniformized::new(ctmc, opts.regen.theta));
         Ok(RrlSolver {
             ctmc,
             unif,
-            absorbing: info.absorbing,
+            absorbing,
+            r,
+            opts,
+        })
+    }
+
+    /// Reuses a prebuilt uniformization (the engine's artifact-cache path).
+    /// `unif` must have been built from `ctmc` at `opts.regen.theta`.
+    pub fn with_uniformized(
+        ctmc: &'a Ctmc,
+        r: usize,
+        unif: Arc<Uniformized>,
+        opts: RrlOptions,
+    ) -> Result<Self, CtmcError> {
+        let absorbing = Self::validate(ctmc, r)?;
+        unif.assert_built_from(ctmc);
+        Ok(RrlSolver {
+            ctmc,
+            unif,
+            absorbing,
             r,
             opts,
         })
@@ -96,6 +124,17 @@ impl<'a> RrlSolver<'a> {
     /// The randomization rate.
     pub fn lambda(&self) -> f64 {
         self.unif.lambda
+    }
+
+    /// The regenerative state in use (callers deriving cache keys must use
+    /// this, not re-run their own selection).
+    pub fn regenerative_state(&self) -> usize {
+        self.r
+    }
+
+    /// The options in effect.
+    pub fn options(&self) -> &RrlOptions {
+        &self.opts
     }
 
     /// `TRR(t)` with total error `≤ ε`.

@@ -65,6 +65,27 @@ impl Uniformized {
     pub fn n_states(&self) -> usize {
         self.p.nrows()
     }
+
+    /// Asserts this uniformization is plausibly built from `ctmc`: same
+    /// state count and a rate at least the chain's maximum exit rate.
+    /// Solvers accepting a caller-supplied (cached) uniformization call this
+    /// to catch artifact/chain mix-ups cheaply (`O(n)`, not `O(nnz)`).
+    ///
+    /// # Panics
+    /// If the state counts differ or the rate is below the maximum exit
+    /// rate (either means the artifact cannot belong to this chain).
+    pub fn assert_built_from(&self, ctmc: &Ctmc) {
+        assert_eq!(
+            self.n_states(),
+            ctmc.n_states(),
+            "uniformization does not match the chain"
+        );
+        assert!(
+            self.lambda >= ctmc.generator().max_abs_diag() * (1.0 - 1e-12),
+            "uniformization rate {} below the chain's max exit rate (artifact from a different chain?)",
+            self.lambda
+        );
+    }
 }
 
 #[cfg(test)]

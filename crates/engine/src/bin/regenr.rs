@@ -1,0 +1,136 @@
+//! `regenr` — run a solver-engine sweep from a JSON spec.
+//!
+//! ```text
+//! regenr sweep <spec.json>     run the spec (use '-' for stdin)
+//! regenr sweep - --pretty      pretty-print the report
+//! regenr demo [G]              built-in paper workload (RAID UA+UR grid)
+//! regenr methods               list methods and capability flags
+//! ```
+//!
+//! Output is a single JSON report on stdout: one entry per
+//! `(model, measure, horizon)` cell with the value, the method chosen and
+//! why, step counts, error bounds, and artifact-cache counters. See
+//! `regenr_engine::spec` for the spec schema.
+
+use regenr_engine::{report_to_json, Engine, Json, SweepSpec, ALL_METHODS};
+use std::io::Read;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let pretty = args.iter().any(|a| a == "--pretty");
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let code = match positional.first().map(|s| s.as_str()) {
+        Some("sweep") => sweep(positional.get(1).map(|s| s.as_str()), pretty),
+        Some("demo") => demo(
+            positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(20),
+            pretty,
+        ),
+        Some("methods") => {
+            methods(pretty);
+            0
+        }
+        _ => {
+            eprintln!(
+                "usage: regenr <sweep <spec.json|->|demo [G]|methods> [--pretty]\n\
+                 see the module docs of regenr_engine::spec for the spec schema"
+            );
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn emit(doc: &Json, pretty: bool) {
+    if pretty {
+        println!("{}", doc.pretty());
+    } else {
+        println!("{doc}");
+    }
+}
+
+fn run_spec(text: &str, pretty: bool) -> i32 {
+    let spec = match SweepSpec::parse(text) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("spec error: {e}");
+            return 2;
+        }
+    };
+    let engine = Engine::with_options(spec.options);
+    let report = engine.sweep(&spec.requests);
+    emit(&report_to_json(&report), pretty);
+    if report.failures.is_empty() {
+        0
+    } else {
+        1
+    }
+}
+
+fn sweep(path: Option<&str>, pretty: bool) -> i32 {
+    let Some(path) = path else {
+        eprintln!("usage: regenr sweep <spec.json|->");
+        return 2;
+    };
+    let text = if path == "-" {
+        let mut buf = String::new();
+        match std::io::stdin().read_to_string(&mut buf) {
+            Ok(_) => buf,
+            Err(e) => {
+                eprintln!("failed to read stdin: {e}");
+                return 2;
+            }
+        }
+    } else {
+        match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("failed to read {path}: {e}");
+                return 2;
+            }
+        }
+    };
+    run_spec(&text, pretty)
+}
+
+/// The paper's Section 3 workload as a built-in spec: level-5 RAID, UA
+/// (irreducible) and UR (absorbing) across the full horizon grid.
+fn demo(g: u32, pretty: bool) -> i32 {
+    let spec = format!(
+        r#"{{
+            "epsilon": 1e-12,
+            "horizons": [1, 10, 100, 1000, 10000, 100000],
+            "models": [
+                {{"kind": "raid", "g": {g}}},
+                {{"kind": "raid", "g": {g}, "absorbing": true}}
+            ]
+        }}"#
+    );
+    run_spec(&spec, pretty)
+}
+
+fn methods(pretty: bool) {
+    let list = ALL_METHODS
+        .iter()
+        .map(|m| {
+            let caps = m.capabilities();
+            Json::Obj(vec![
+                ("method".into(), Json::Str(m.name().into())),
+                (
+                    "supports_absorbing".into(),
+                    Json::Bool(caps.supports_absorbing),
+                ),
+                ("supports_mrr".into(), Json::Bool(caps.supports_mrr)),
+                (
+                    "rigorous_error_bound".into(),
+                    Json::Bool(caps.rigorous_error_bound),
+                ),
+                (
+                    "horizon_independent_cost".into(),
+                    Json::Bool(caps.horizon_independent_cost),
+                ),
+                ("dense_only".into(), Json::Bool(caps.dense_only)),
+            ])
+        })
+        .collect();
+    emit(&Json::Arr(list), pretty);
+}

@@ -1,0 +1,308 @@
+//! The engine's artifact cache.
+//!
+//! Solving a model at several horizons/tolerances/measures keeps recomputing
+//! the same expensive intermediates. The cache keys them by the model's
+//! structural [fingerprint](crate::fingerprint::fingerprint) so *any*
+//! request over an identical chain reuses:
+//!
+//! * **structure facts** — Tarjan SCC analysis plus the maximum exit rate
+//!   (what `Auto` dispatch consults per horizon),
+//! * **uniformizations** — `P = I + Q/Λ` and its transpose, keyed by the
+//!   safety factor `θ` (shared by SR, RSD, adaptive, RR and RRL through the
+//!   solvers' `with_uniformized` constructors),
+//! * **regenerative parameters** — the killed-chain sequences
+//!   (`a(k)`, …) consumed by RRL, keyed by `(regenerative state, ε, θ)`
+//!   (RR shares the same construction *within* a request through
+//!   `RrSolver::solve_many`, but is not cached across requests here). The
+//!   truncation bound is monotone in `t`, so parameters computed at some
+//!   horizon serve every smaller one by prefix truncation
+//!   ([`RegenParams::truncated`]); the cache transparently *widens* the
+//!   stored entry when a larger horizon arrives.
+//!
+//! This generalizes the one-off chain cache of `regenr-bench`'s `Workload`
+//! (which memoizes only built RAID chains, for exactly four keys).
+//!
+//! All pools are guarded by `std::sync` mutexes and the hit/miss counters
+//! are atomics: the sweep executor calls into one shared cache from many
+//! worker threads.
+
+use crate::fingerprint::fingerprint;
+use regenr_core::{RegenOptions, RegenParams, RrlOptions, RrlSolver};
+use regenr_ctmc::{analyze, Ctmc, CtmcError, Uniformized};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Cached structural facts about one chain.
+#[derive(Clone, Debug)]
+pub struct ChainFacts {
+    /// The structural fingerprint the facts were computed for.
+    pub fingerprint: u64,
+    /// State count.
+    pub n_states: usize,
+    /// Absorbing state indices (ascending).
+    pub absorbing: Vec<usize>,
+    /// Whether the chain is irreducible in the paper's sense (`A = 0`,
+    /// single SCC).
+    pub irreducible: bool,
+    /// Maximum exit rate `max_i |q_ii|` — `Λ` at `θ = 0`.
+    pub max_rate: f64,
+}
+
+/// Hit/miss counters for one artifact pool.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Requests served from the pool.
+    pub hits: u64,
+    /// Requests that had to build the artifact.
+    pub misses: u64,
+}
+
+/// A snapshot of all cache counters, embedded in sweep reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Structure-analysis pool.
+    pub structure: PoolStats,
+    /// Uniformized-chain pool.
+    pub uniformized: PoolStats,
+    /// Regenerative-parameter pool.
+    pub regen_params: PoolStats,
+}
+
+#[derive(Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Counters {
+    fn record(&self, hit: bool) {
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn snapshot(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Key for the uniformization pool: fingerprint plus `θ` bits.
+type UnifKey = (u64, u64);
+/// Key for the parameter pool: fingerprint, regenerative state, `ε` bits,
+/// `θ` bits.
+type ParamsKey = (u64, usize, u64, u64);
+
+struct ParamsEntry {
+    /// Largest horizon the stored sequences cover.
+    t_max: f64,
+    params: Arc<RegenParams>,
+}
+
+/// Shared artifact cache; see the module docs.
+#[derive(Default)]
+pub struct ArtifactCache {
+    structure: Mutex<HashMap<u64, Arc<ChainFacts>>>,
+    // Per-key OnceLock so a first-time build happens exactly once even when
+    // parallel sweep jobs race on the same chain (racers block on the cell,
+    // not the whole pool, and count as hits).
+    uniformized: Mutex<HashMap<UnifKey, Arc<OnceLock<Arc<Uniformized>>>>>,
+    params: Mutex<HashMap<ParamsKey, ParamsEntry>>,
+    structure_counters: Counters,
+    uniformized_counters: Counters,
+    params_counters: Counters,
+}
+
+impl ArtifactCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The chain's fingerprint (convenience re-export).
+    pub fn fingerprint_of(&self, ctmc: &Ctmc) -> u64 {
+        fingerprint(ctmc)
+    }
+
+    /// Structure facts for `ctmc`, computed on first use.
+    pub fn facts(&self, fp: u64, ctmc: &Ctmc) -> Result<Arc<ChainFacts>, CtmcError> {
+        if let Some(hit) = self.structure.lock().unwrap().get(&fp) {
+            self.structure_counters.record(true);
+            return Ok(hit.clone());
+        }
+        // Analysis runs outside the lock: it is read-only on the chain and
+        // racing builders at worst duplicate work once.
+        let info = analyze(ctmc)?;
+        let facts = Arc::new(ChainFacts {
+            fingerprint: fp,
+            n_states: ctmc.n_states(),
+            irreducible: info.is_irreducible(),
+            absorbing: info.absorbing,
+            max_rate: ctmc.generator().max_abs_diag(),
+        });
+        self.structure_counters.record(false);
+        Ok(self
+            .structure
+            .lock()
+            .unwrap()
+            .entry(fp)
+            .or_insert(facts)
+            .clone())
+    }
+
+    /// The uniformized view of `ctmc` at safety factor `theta`, built
+    /// exactly once per `(fingerprint, θ)`. Returns the artifact and
+    /// whether it was a cache hit.
+    pub fn uniformized(&self, fp: u64, ctmc: &Ctmc, theta: f64) -> (Arc<Uniformized>, bool) {
+        let key = (fp, theta.to_bits());
+        let cell = self
+            .uniformized
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_default()
+            .clone();
+        let mut built_here = false;
+        let unif = cell
+            .get_or_init(|| {
+                built_here = true;
+                Arc::new(Uniformized::new(ctmc, theta))
+            })
+            .clone();
+        self.uniformized_counters.record(!built_here);
+        (unif, !built_here)
+    }
+
+    /// Regenerative parameters for `(chain, r, ε, θ)` covering horizon `t`,
+    /// reusing (or widening) a cached computation. The returned parameters
+    /// cover **at least** `t`; slice them with
+    /// [`RegenParams::depth_for_horizon`] + [`RegenParams::truncated`].
+    pub fn regen_params(
+        &self,
+        fp: u64,
+        solver: &RrlSolver<'_>,
+        regen: &RegenOptions,
+        r: usize,
+        t: f64,
+    ) -> Result<(Arc<RegenParams>, bool), CtmcError> {
+        let key = (fp, r, regen.epsilon.to_bits(), regen.theta.to_bits());
+        if let Some(entry) = self.params.lock().unwrap().get(&key) {
+            if entry.t_max >= t {
+                self.params_counters.record(true);
+                return Ok((entry.params.clone(), true));
+            }
+        }
+        let params = Arc::new(solver.parameters(t)?);
+        self.params_counters.record(false);
+        let mut pool = self.params.lock().unwrap();
+        let entry = pool.entry(key).or_insert(ParamsEntry {
+            t_max: t,
+            params: params.clone(),
+        });
+        if entry.t_max < t {
+            // A racing thread may have stored a smaller horizon; widen.
+            *entry = ParamsEntry {
+                t_max: t,
+                params: params.clone(),
+            };
+        }
+        Ok((entry.params.clone(), false))
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            structure: self.structure_counters.snapshot(),
+            uniformized: self.uniformized_counters.snapshot(),
+            regen_params: self.params_counters.snapshot(),
+        }
+    }
+
+    /// Drops every cached artifact (counters are kept).
+    pub fn clear(&self) {
+        self.structure.lock().unwrap().clear();
+        self.uniformized.lock().unwrap().clear();
+        self.params.lock().unwrap().clear();
+    }
+}
+
+/// Convenience wrapper for [`ArtifactCache::regen_params`] callers that
+/// need a solver first: builds an [`RrlSolver`] on the cached
+/// uniformization.
+pub fn rrl_on_cache<'a>(
+    cache: &ArtifactCache,
+    fp: u64,
+    ctmc: &'a Ctmc,
+    r: usize,
+    opts: RrlOptions,
+) -> Result<(RrlSolver<'a>, bool), CtmcError> {
+    let (unif, hit) = cache.uniformized(fp, ctmc, opts.regen.theta);
+    Ok((RrlSolver::with_uniformized(ctmc, r, unif, opts)?, hit))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> Ctmc {
+        Ctmc::from_rates(
+            2,
+            &[(0, 1, 1e-3), (1, 0, 1.0)],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn uniformized_hits_on_second_request() {
+        let cache = ArtifactCache::new();
+        let c = chain();
+        let fp = fingerprint(&c);
+        let (a, hit_a) = cache.uniformized(fp, &c, 0.0);
+        let (b, hit_b) = cache.uniformized(fp, &c, 0.0);
+        assert!(!hit_a);
+        assert!(hit_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        // Different θ is a different artifact.
+        let (_, hit_theta) = cache.uniformized(fp, &c, 0.1);
+        assert!(!hit_theta);
+        assert_eq!(cache.stats().uniformized, PoolStats { hits: 1, misses: 2 });
+    }
+
+    #[test]
+    fn facts_cached_and_correct() {
+        let cache = ArtifactCache::new();
+        let c = chain();
+        let fp = fingerprint(&c);
+        let f1 = cache.facts(fp, &c).unwrap();
+        let f2 = cache.facts(fp, &c).unwrap();
+        assert!(Arc::ptr_eq(&f1, &f2));
+        assert!(f1.irreducible);
+        assert_eq!(f1.max_rate, 1.0);
+        assert_eq!(cache.stats().structure, PoolStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn regen_params_widen_with_horizon() {
+        let cache = ArtifactCache::new();
+        let c = chain();
+        let fp = fingerprint(&c);
+        let opts = RrlOptions::default();
+        let (solver, _) = rrl_on_cache(&cache, fp, &c, 0, opts).unwrap();
+        let regen = opts.regen;
+        let (_, hit1) = cache.regen_params(fp, &solver, &regen, 0, 10.0).unwrap();
+        assert!(!hit1);
+        let (_, hit2) = cache.regen_params(fp, &solver, &regen, 0, 5.0).unwrap();
+        assert!(hit2, "smaller horizon must reuse the wider computation");
+        let (_, hit3) = cache.regen_params(fp, &solver, &regen, 0, 100.0).unwrap();
+        assert!(!hit3, "larger horizon must recompute (and widen the entry)");
+        let (_, hit4) = cache.regen_params(fp, &solver, &regen, 0, 50.0).unwrap();
+        assert!(hit4);
+    }
+}

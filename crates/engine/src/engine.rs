@@ -1,0 +1,707 @@
+//! The engine proper: batch requests, `Auto` method dispatch, and the
+//! parallel sweep executor.
+//!
+//! ## Dispatch
+//!
+//! `Auto` encodes the paper's Section 3 decision logic per horizon:
+//!
+//! 1. **small `Λt`** — standard randomization; at small horizons SR's
+//!    `Θ(Λt)` step count is tiny and it carries a rigorous bound;
+//! 2. **irreducible chain** — randomization with steady-state detection
+//!    (the `UA(t)` column of Table 1): its step count saturates at the
+//!    detection step;
+//! 3. **otherwise** (absorbing chains at stiff/large horizons — the `UR(t)`
+//!    column of Table 2, where SR needs millions of steps) — RRL, whose
+//!    construction cost saturates in `t` and whose inversion is `O(K)` per
+//!    abscissa.
+//!
+//! ## Sweep execution
+//!
+//! [`Engine::sweep`] plans every request into `(model, measure,
+//! method-group-of-horizons)` jobs and executes the jobs on a scoped-thread
+//! worker pool (the repo convention — see `regenr_sparse::parallel` — is
+//! std scoped threads, no external runtime). Horizons that share a method
+//! stay together so the per-method batch paths (`SrSolver::solve_many`'s
+//! single propagation sweep, RRL's shared construction) keep their savings;
+//! independent jobs run concurrently.
+
+use crate::cache::{ArtifactCache, CacheStats, ChainFacts};
+use crate::fingerprint::fingerprint;
+use crate::method::Method;
+use crate::solver::{build_solver, EngineSolution, SolveConfig, Solver};
+use crate::EngineError;
+use regenr_ctmc::Ctmc;
+use regenr_laplace::InverterOptions;
+use regenr_sparse::{effective_threads, ParallelConfig};
+use regenr_transient::MeasureKind;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How a request picks its method.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MethodChoice {
+    /// Per-horizon automatic dispatch (the engine's reason is reported).
+    Auto,
+    /// Force one method for every horizon; capability violations are errors.
+    Fixed(Method),
+}
+
+/// A batch solve request: one model, one measure, many horizons.
+#[derive(Clone)]
+pub struct SolveRequest {
+    /// The chain to analyse.
+    pub model: Arc<Ctmc>,
+    /// Display name used in reports.
+    pub name: String,
+    /// Which measure to compute.
+    pub measure: MeasureKind,
+    /// Horizons (hours); report order follows this order.
+    pub horizons: Vec<f64>,
+    /// Total absolute error budget `ε`.
+    pub epsilon: f64,
+    /// Method selection.
+    pub method: MethodChoice,
+    /// Regenerative state override for RR/RRL.
+    pub regen_state: Option<usize>,
+}
+
+impl SolveRequest {
+    /// A request with the paper's defaults (`TRR`, `ε = 10⁻¹²`, `Auto`).
+    pub fn new(name: impl Into<String>, model: Arc<Ctmc>, horizons: Vec<f64>) -> Self {
+        SolveRequest {
+            model,
+            name: name.into(),
+            measure: MeasureKind::Trr,
+            horizons,
+            epsilon: 1e-12,
+            method: MethodChoice::Auto,
+            regen_state: None,
+        }
+    }
+
+    /// Sets the measure.
+    pub fn measure(mut self, measure: MeasureKind) -> Self {
+        self.measure = measure;
+        self
+    }
+
+    /// Sets the error budget.
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the method selection.
+    pub fn method(mut self, method: MethodChoice) -> Self {
+        self.method = method;
+        self
+    }
+}
+
+/// Why dispatch picked a method.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DispatchReason {
+    /// The request fixed the method.
+    FixedByRequest,
+    /// `Λt` below the SR threshold: SR is cheap and rigorous.
+    SmallHorizon,
+    /// Irreducible chain at large `Λt`: steady-state detection saturates.
+    IrreducibleSteadyState,
+    /// Absorbing/stiff chain at large `Λt`: RRL's construction saturates.
+    StiffLargeHorizon,
+}
+
+impl DispatchReason {
+    /// Stable string used in JSON reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DispatchReason::FixedByRequest => "fixed_by_request",
+            DispatchReason::SmallHorizon => "small_lambda_t",
+            DispatchReason::IrreducibleSteadyState => "irreducible_steady_state",
+            DispatchReason::StiffLargeHorizon => "stiff_large_horizon",
+        }
+    }
+}
+
+impl fmt::Display for DispatchReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One solved (model, measure, horizon) cell.
+#[derive(Clone, Debug)]
+pub struct SolveReport {
+    /// Request display name.
+    pub model: String,
+    /// Structural fingerprint of the model.
+    pub fingerprint: u64,
+    /// The measure computed.
+    pub measure: MeasureKind,
+    /// The horizon.
+    pub t: f64,
+    /// The method that ran.
+    pub method: Method,
+    /// Why it was chosen.
+    pub reason: DispatchReason,
+    /// The measure value.
+    pub value: f64,
+    /// Work steps (see [`EngineSolution::steps`]).
+    pub steps: usize,
+    /// Error bound reported by the method.
+    pub error_bound: f64,
+    /// Laplace abscissae (RRL only).
+    pub abscissae: usize,
+    /// Method-specific convergence flag.
+    pub converged: bool,
+    /// `Λt` at dispatch time.
+    pub lambda_t: f64,
+    /// Whether the uniformization came from the artifact cache.
+    pub unif_cache_hit: bool,
+    /// Whether RRL's killed-chain parameters came from the cache.
+    pub params_cache_hit: bool,
+    /// Wall time of this cell's share of the solve.
+    pub wall: Duration,
+}
+
+/// A request that could not be planned or executed.
+#[derive(Clone, Debug)]
+pub struct SweepFailure {
+    /// Request display name.
+    pub model: String,
+    /// The measure requested.
+    pub measure: MeasureKind,
+    /// What went wrong.
+    pub error: String,
+}
+
+/// Everything a sweep produced.
+#[derive(Clone, Debug, Default)]
+pub struct SweepReport {
+    /// Per-cell reports, ordered by (request, horizon) as submitted.
+    pub reports: Vec<SolveReport>,
+    /// Requests that failed (the rest of the sweep still ran).
+    pub failures: Vec<SweepFailure>,
+    /// Cache counters accumulated on the engine at sweep end.
+    pub cache: CacheStats,
+    /// Total wall time of the sweep.
+    pub wall: Duration,
+}
+
+/// Engine tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineOptions {
+    /// Uniformization safety factor `θ` (`0` matches the paper).
+    pub theta: f64,
+    /// `Λt` threshold below which `Auto` prefers SR. The paper's grids show
+    /// SR competitive through `Λt ≈ 10³` and hopeless beyond `10⁴`.
+    pub small_lambda_t: f64,
+    /// Worker threads for sweeps (`0` = available parallelism).
+    pub threads: usize,
+    /// Dense ODE-oracle state limit.
+    pub dense_oracle_max_states: usize,
+    /// Laplace-inversion tuning for RRL.
+    pub inverter: InverterOptions,
+    /// Inner SpMV parallelism (per solver).
+    pub parallel: ParallelConfig,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            theta: 0.0,
+            small_lambda_t: 2_000.0,
+            threads: 0,
+            dense_oracle_max_states: 1_000,
+            inverter: InverterOptions::default(),
+            parallel: ParallelConfig::default(),
+        }
+    }
+}
+
+/// The solver engine: dispatch + artifact cache + sweep executor.
+#[derive(Default)]
+pub struct Engine {
+    opts: EngineOptions,
+    cache: ArtifactCache,
+}
+
+/// A sweep job's result slot, filled by whichever worker executes it.
+type JobCell = Mutex<Option<Result<Vec<SolveReport>, EngineError>>>;
+
+/// One planned unit of work: a run of horizons of one request that share a
+/// method.
+struct Job {
+    req_idx: usize,
+    /// Model fingerprint, computed once at plan time (hashing the full CSR
+    /// is `O(nnz)` — workers must not redo it).
+    fp: u64,
+    /// Structure facts, resolved once at plan time.
+    facts: Arc<ChainFacts>,
+    method: Method,
+    reason: DispatchReason,
+    /// Horizon values of this group.
+    ts: Vec<f64>,
+    /// Positions of those horizons in the request's `horizons` vector.
+    slots: Vec<usize>,
+}
+
+impl Engine {
+    /// An engine with default options and an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An engine with explicit options.
+    pub fn with_options(opts: EngineOptions) -> Self {
+        Engine {
+            opts,
+            cache: ArtifactCache::new(),
+        }
+    }
+
+    /// The options in effect.
+    pub fn options(&self) -> &EngineOptions {
+        &self.opts
+    }
+
+    /// The shared artifact cache (counters, manual clearing).
+    pub fn cache(&self) -> &ArtifactCache {
+        &self.cache
+    }
+
+    /// Dispatches one (facts, horizon) cell under `Auto`.
+    pub fn auto_method(&self, facts: &ChainFacts, t: f64) -> (Method, DispatchReason) {
+        let lambda = self.lambda(facts);
+        if lambda * t <= self.opts.small_lambda_t {
+            (Method::Sr, DispatchReason::SmallHorizon)
+        } else if facts.irreducible {
+            (Method::Rsd, DispatchReason::IrreducibleSteadyState)
+        } else {
+            (Method::Rrl, DispatchReason::StiffLargeHorizon)
+        }
+    }
+
+    fn lambda(&self, facts: &ChainFacts) -> f64 {
+        if facts.max_rate == 0.0 {
+            1.0
+        } else {
+            facts.max_rate * (1.0 + self.opts.theta)
+        }
+    }
+
+    fn solve_config(&self, req: &SolveRequest) -> SolveConfig {
+        SolveConfig {
+            epsilon: req.epsilon,
+            theta: self.opts.theta,
+            regen_state: req.regen_state,
+            inverter: self.opts.inverter,
+            parallel: self.opts.parallel,
+            dense_limit: self.opts.dense_oracle_max_states,
+        }
+    }
+
+    /// Plans a request into method groups (validates fixed methods).
+    fn plan(&self, req_idx: usize, req: &SolveRequest) -> Result<Vec<Job>, EngineError> {
+        if req.horizons.is_empty() {
+            return Err(EngineError::InvalidRequest(
+                "request has no horizons".into(),
+            ));
+        }
+        if !req.epsilon.is_finite() || req.epsilon <= 0.0 {
+            return Err(EngineError::InvalidRequest(format!(
+                "epsilon must be positive and finite, got {}",
+                req.epsilon
+            )));
+        }
+        // A bad θ would otherwise panic inside Uniformized::new on a sweep
+        // worker thread; surface it as a request failure instead.
+        if !self.opts.theta.is_finite() || self.opts.theta < 0.0 {
+            return Err(EngineError::InvalidRequest(format!(
+                "engine theta must be non-negative and finite, got {}",
+                self.opts.theta
+            )));
+        }
+        let fp = fingerprint(&req.model);
+        let facts = self.cache.facts(fp, &req.model)?;
+        let mut jobs: Vec<Job> = Vec::new();
+        for (slot, &t) in req.horizons.iter().enumerate() {
+            if !t.is_finite() || t < 0.0 {
+                return Err(EngineError::InvalidRequest(format!(
+                    "horizon must be non-negative and finite, got {t}"
+                )));
+            }
+            let (method, reason) = match req.method {
+                MethodChoice::Fixed(m) => (m, DispatchReason::FixedByRequest),
+                MethodChoice::Auto => self.auto_method(&facts, t),
+            };
+            match jobs.last_mut() {
+                Some(job) if job.method == method => {
+                    job.ts.push(t);
+                    job.slots.push(slot);
+                }
+                _ => jobs.push(Job {
+                    req_idx,
+                    fp,
+                    facts: facts.clone(),
+                    method,
+                    reason,
+                    ts: vec![t],
+                    slots: vec![slot],
+                }),
+            }
+        }
+        Ok(jobs)
+    }
+
+    /// Executes one planned job; returns reports in the job's slot order.
+    fn run_job(&self, req: &SolveRequest, job: &Job) -> Result<Vec<SolveReport>, EngineError> {
+        let ctmc: &Ctmc = &req.model;
+        let fp = job.fp;
+        let facts = &job.facts;
+        let cfg = self.solve_config(req);
+        // The ODE oracle never randomizes — don't build (or count) a
+        // uniformization for it.
+        let (unif, unif_hit) = if job.method == Method::Ode {
+            (None, false)
+        } else {
+            let (unif, hit) = self.cache.uniformized(fp, ctmc, cfg.theta);
+            (Some(unif), hit)
+        };
+        let solver = build_solver(job.method, ctmc, facts, unif, &cfg)?;
+        let lambda = self.lambda(facts);
+
+        let t0 = Instant::now();
+        let (solutions, params_hit) = match solver.as_rrl() {
+            Some(rrl) => self.run_rrl_cached(rrl, job, req, &cfg)?,
+            None => (solver.solve_many(req.measure, &job.ts)?, false),
+        };
+        let per_cell = t0.elapsed() / job.ts.len().max(1) as u32;
+
+        Ok(job
+            .ts
+            .iter()
+            .zip(&solutions)
+            .map(|(&t, sol)| SolveReport {
+                model: req.name.clone(),
+                fingerprint: fp,
+                measure: req.measure,
+                t,
+                method: job.method,
+                reason: job.reason,
+                value: sol.value,
+                steps: sol.steps,
+                error_bound: sol.error_bound,
+                abscissae: sol.abscissae,
+                converged: sol.converged,
+                lambda_t: lambda * t,
+                unif_cache_hit: unif_hit,
+                params_cache_hit: params_hit,
+                wall: per_cell,
+            })
+            .collect())
+    }
+
+    /// RRL fast path: killed-chain parameters come from (and widen) the
+    /// artifact cache, then each horizon is a cheap slice + inversion.
+    fn run_rrl_cached(
+        &self,
+        rrl: &regenr_core::RrlSolver<'_>,
+        job: &Job,
+        req: &SolveRequest,
+        cfg: &SolveConfig,
+    ) -> Result<(Vec<EngineSolution>, bool), EngineError> {
+        let ts: &[f64] = &job.ts;
+        let t_max = ts.iter().copied().fold(0.0f64, f64::max);
+        if t_max == 0.0 {
+            return Ok((Solver::solve_many(rrl, req.measure, ts)?, false));
+        }
+        // The cache key must describe the solver that will consume the
+        // parameters — take `r` and the options from it, never re-derive.
+        let r = rrl.regenerative_state();
+        let regen = rrl.options().regen;
+        let (params, hit) = self.cache.regen_params(job.fp, rrl, &regen, r, t_max)?;
+        let solutions = ts
+            .iter()
+            .map(|&t| {
+                if t == 0.0 {
+                    return Solver::solve(rrl, req.measure, t);
+                }
+                let (k, l) = params.depth_for_horizon(t, cfg.epsilon).ok_or_else(|| {
+                    EngineError::InvalidRequest(format!(
+                        "cached parameters do not cover horizon {t}"
+                    ))
+                })?;
+                let sliced = params.truncated(k, l);
+                Ok(rrl.invert_params(&sliced, req.measure, t).into())
+            })
+            .collect::<Result<Vec<EngineSolution>, EngineError>>()?;
+        Ok((solutions, hit))
+    }
+
+    /// Solves one request (sequentially); reports follow the horizon order.
+    pub fn solve(&self, req: &SolveRequest) -> Result<Vec<SolveReport>, EngineError> {
+        let jobs = self.plan(0, req)?;
+        let mut slots: Vec<Option<SolveReport>> = vec![None; req.horizons.len()];
+        for job in &jobs {
+            let reports = self.run_job(req, job)?;
+            for (slot, report) in job.slots.iter().zip(reports) {
+                slots[*slot] = Some(report);
+            }
+        }
+        Ok(slots
+            .into_iter()
+            .map(|r| r.expect("every slot solved"))
+            .collect())
+    }
+
+    /// Runs a batch of requests, fanning the planned jobs out over a scoped
+    /// worker pool. Failures are collected per request; healthy requests
+    /// still complete.
+    pub fn sweep(&self, reqs: &[SolveRequest]) -> SweepReport {
+        let t0 = Instant::now();
+        let mut jobs: Vec<Job> = Vec::new();
+        let mut failures: Vec<SweepFailure> = Vec::new();
+        for (req_idx, req) in reqs.iter().enumerate() {
+            match self.plan(req_idx, req) {
+                Ok(planned) => jobs.extend(planned),
+                Err(e) => failures.push(SweepFailure {
+                    model: req.name.clone(),
+                    measure: req.measure,
+                    error: e.to_string(),
+                }),
+            }
+        }
+
+        let results: Vec<JobCell> = jobs.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = effective_threads(self.opts.threads).min(jobs.len().max(1));
+
+        let run_worker = || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            let Some(job) = jobs.get(i) else { break };
+            let outcome = self.run_job(&reqs[job.req_idx], job);
+            *results[i].lock().unwrap() = Some(outcome);
+        };
+        if workers <= 1 {
+            run_worker();
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(run_worker);
+                }
+            });
+        }
+
+        // Collect in (request, horizon) submission order.
+        let mut per_req: Vec<Vec<Option<SolveReport>>> =
+            reqs.iter().map(|r| vec![None; r.horizons.len()]).collect();
+        let mut failed_reqs: Vec<Option<String>> = vec![None; reqs.len()];
+        for (job, cell) in jobs.iter().zip(results) {
+            match cell.into_inner().unwrap() {
+                Some(Ok(reports)) => {
+                    for (slot, report) in job.slots.iter().zip(reports) {
+                        per_req[job.req_idx][*slot] = Some(report);
+                    }
+                }
+                Some(Err(e)) => failed_reqs[job.req_idx] = Some(e.to_string()),
+                None => failed_reqs[job.req_idx] = Some("job was not executed".into()),
+            }
+        }
+        let mut reports = Vec::new();
+        for (req_idx, slots) in per_req.into_iter().enumerate() {
+            if let Some(error) = failed_reqs[req_idx].take() {
+                failures.push(SweepFailure {
+                    model: reqs[req_idx].name.clone(),
+                    measure: reqs[req_idx].measure,
+                    error,
+                });
+                continue;
+            }
+            reports.extend(slots.into_iter().flatten());
+        }
+
+        SweepReport {
+            reports,
+            failures,
+            cache: self.cache.stats(),
+            wall: t0.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regenr_models::two_state;
+
+    fn repairable() -> Arc<Ctmc> {
+        Arc::new(two_state::repairable_unit(1e-3, 1.0))
+    }
+
+    fn non_repairable() -> Arc<Ctmc> {
+        Arc::new(two_state::non_repairable_unit(1e-3))
+    }
+
+    #[test]
+    fn auto_picks_sr_for_small_horizons() {
+        let engine = Engine::new();
+        let reports = engine
+            .solve(&SolveRequest::new("u", repairable(), vec![1.0, 10.0]))
+            .unwrap();
+        for r in &reports {
+            assert_eq!(r.method, Method::Sr, "t={}", r.t);
+            assert_eq!(r.reason, DispatchReason::SmallHorizon);
+        }
+    }
+
+    #[test]
+    fn auto_picks_rsd_for_irreducible_large_horizons() {
+        let engine = Engine::new();
+        let reports = engine
+            .solve(&SolveRequest::new("u", repairable(), vec![1e6]))
+            .unwrap();
+        assert_eq!(reports[0].method, Method::Rsd);
+        assert_eq!(reports[0].reason, DispatchReason::IrreducibleSteadyState);
+        let exact = 1e-3 / 1.001;
+        assert!((reports[0].value - exact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auto_picks_rrl_for_absorbing_large_horizons() {
+        let engine = Engine::new();
+        // Λ = 1e-3, so t must be huge for Λt to pass the SR threshold.
+        let t = 4e6;
+        let reports = engine
+            .solve(&SolveRequest::new("u", non_repairable(), vec![t]).epsilon(1e-10))
+            .unwrap();
+        assert_eq!(reports[0].method, Method::Rrl);
+        assert_eq!(reports[0].reason, DispatchReason::StiffLargeHorizon);
+        let exact = 1.0 - (-1e-3 * t).exp();
+        assert!(
+            (reports[0].value - exact).abs() < 1e-8,
+            "{} vs {exact}",
+            reports[0].value
+        );
+    }
+
+    #[test]
+    fn fixed_rsd_on_absorbing_chain_is_rejected() {
+        let engine = Engine::new();
+        let req = SolveRequest::new("u", non_repairable(), vec![1.0])
+            .method(MethodChoice::Fixed(Method::Rsd));
+        match engine.solve(&req) {
+            Err(EngineError::Unsupported { method, .. }) => assert_eq!(method, Method::Rsd),
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fixed_methods_agree_on_the_same_cell() {
+        let engine = Engine::new();
+        let t = 50.0;
+        let mut values = Vec::new();
+        for m in [
+            Method::Sr,
+            Method::Adaptive,
+            Method::Ode,
+            Method::Rr,
+            Method::Rrl,
+        ] {
+            let req = SolveRequest::new("u", repairable(), vec![t])
+                .epsilon(1e-10)
+                .method(MethodChoice::Fixed(m));
+            values.push((m, engine.solve(&req).unwrap()[0].value));
+        }
+        let reference = values[0].1;
+        for (m, v) in values {
+            assert!((v - reference).abs() < 1e-8, "{m}: {v} vs {reference}");
+        }
+    }
+
+    #[test]
+    fn mrr_flows_through_dispatch() {
+        let engine = Engine::new();
+        let t = 1e5;
+        let req = SolveRequest::new("u", repairable(), vec![t])
+            .measure(MeasureKind::Mrr)
+            .epsilon(1e-10);
+        let reports = engine.solve(&req).unwrap();
+        assert_eq!(reports[0].method, Method::Rsd);
+        let want = two_state::interval_unavailability(1e-3, 1.0, t);
+        assert!((reports[0].value - want).abs() < 1e-8);
+    }
+
+    #[test]
+    fn repeated_requests_hit_the_uniformization_cache() {
+        let engine = Engine::new();
+        let model = repairable();
+        let req = SolveRequest::new("u", model.clone(), vec![1.0, 1e6]);
+        let first = engine.solve(&req).unwrap();
+        assert!(first.iter().any(|r| !r.unif_cache_hit));
+        // An independently *rebuilt* model with identical structure still
+        // hits: the key is the fingerprint, not the allocation.
+        let again = SolveRequest::new("u2", repairable(), vec![1.0, 1e6]);
+        let second = engine.solve(&again).unwrap();
+        assert!(
+            second.iter().all(|r| r.unif_cache_hit),
+            "second request must reuse the uniformization"
+        );
+        assert!(engine.cache().stats().uniformized.hits >= 2);
+    }
+
+    #[test]
+    fn sweep_collects_failures_without_poisoning_good_requests() {
+        let engine = Engine::new();
+        let good = SolveRequest::new("good", repairable(), vec![1.0]);
+        let bad = SolveRequest::new("bad", non_repairable(), vec![1.0])
+            .method(MethodChoice::Fixed(Method::Rsd));
+        let empty = SolveRequest::new("empty", repairable(), vec![]);
+        let report = engine.sweep(&[good, bad, empty]);
+        assert_eq!(report.reports.len(), 1);
+        assert_eq!(report.reports[0].model, "good");
+        assert_eq!(report.failures.len(), 2);
+    }
+
+    #[test]
+    fn sweep_parallel_matches_sequential() {
+        let mk = |threads| {
+            Engine::with_options(EngineOptions {
+                threads,
+                ..Default::default()
+            })
+        };
+        let reqs: Vec<SolveRequest> = (1..5)
+            .map(|i| {
+                SolveRequest::new(
+                    format!("m{i}"),
+                    Arc::new(two_state::repairable_unit(1e-3 * i as f64, 1.0)),
+                    vec![1.0, 100.0, 1e5],
+                )
+                .epsilon(1e-10)
+            })
+            .collect();
+        let seq = mk(1).sweep(&reqs);
+        let par = mk(4).sweep(&reqs);
+        assert!(seq.failures.is_empty() && par.failures.is_empty());
+        assert_eq!(seq.reports.len(), par.reports.len());
+        for (a, b) in seq.reports.iter().zip(&par.reports) {
+            assert_eq!(a.model, b.model);
+            assert_eq!(a.t, b.t);
+            assert_eq!(a.method, b.method);
+            assert_eq!(a.value, b.value, "parallel sweep must be deterministic");
+        }
+    }
+
+    #[test]
+    fn zero_horizon_reports_initial_reward() {
+        let engine = Engine::new();
+        let reports = engine
+            .solve(&SolveRequest::new("u", repairable(), vec![0.0]))
+            .unwrap();
+        assert_eq!(reports[0].value, 0.0);
+        assert_eq!(reports[0].steps, 0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Structural model fingerprints — the artifact-cache key.
+//!
+//! Two [`Ctmc`]s with identical state count, generator sparsity/rates,
+//! initial distribution and rewards produce the same fingerprint, so
+//! repeated [`crate::SolveRequest`]s over the same model (across horizons,
+//! tolerances, measures, or independently rebuilt model instances) land on
+//! the same cached artifacts. The hash is FNV-1a over the exact bit patterns
+//! — no float rounding, so "almost equal" models intentionally do *not*
+//! collide.
+
+use regenr_ctmc::Ctmc;
+
+/// 64-bit FNV-1a state.
+#[derive(Clone, Copy, Debug)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+
+    fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+}
+
+/// Computes the structural fingerprint of a chain.
+pub fn fingerprint(ctmc: &Ctmc) -> u64 {
+    let mut h = Fnv::new();
+    let g = ctmc.generator();
+    h.write_u64(ctmc.n_states() as u64);
+    for &p in g.row_ptr() {
+        h.write_u64(p as u64);
+    }
+    for &j in g.col_idx() {
+        h.write_u64(j as u64);
+    }
+    for &v in g.values() {
+        h.write_f64(v);
+    }
+    for &a in ctmc.initial() {
+        h.write_f64(a);
+    }
+    for &r in ctmc.rewards() {
+        h.write_f64(r);
+    }
+    h.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(lambda: f64) -> Ctmc {
+        Ctmc::from_rates(
+            2,
+            &[(0, 1, lambda), (1, 0, 1.0)],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn equal_models_share_fingerprint() {
+        assert_eq!(fingerprint(&chain(1e-3)), fingerprint(&chain(1e-3)));
+    }
+
+    #[test]
+    fn rate_change_alters_fingerprint() {
+        assert_ne!(fingerprint(&chain(1e-3)), fingerprint(&chain(2e-3)));
+    }
+
+    #[test]
+    fn reward_change_alters_fingerprint() {
+        let a = chain(1e-3);
+        let b = a.with_rewards(vec![0.0, 0.5]).unwrap();
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn initial_change_alters_fingerprint() {
+        let a = chain(1e-3);
+        let b = a.with_initial(vec![0.5, 0.5]).unwrap();
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+    }
+}

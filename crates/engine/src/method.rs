@@ -1,0 +1,158 @@
+//! The method taxonomy: every transient solver in the workspace, with the
+//! capability flags the dispatcher consults.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// One of the workspace's transient-analysis methods.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Standard randomization (uniformization) — the rigorous baseline,
+    /// `Θ(Λt)` steps.
+    Sr,
+    /// Randomization with steady-state detection — irreducible chains only;
+    /// step count saturates at the detection step.
+    Rsd,
+    /// Active-set randomization — SR with frontier-restricted products,
+    /// cheap for small `t`.
+    Adaptive,
+    /// Dense adaptive RK4(5) Kolmogorov integrator — cross-validation oracle
+    /// for small models.
+    Ode,
+    /// Regenerative randomization: truncated model solved by inner SR.
+    Rr,
+    /// Regenerative randomization with Laplace-transform inversion — the
+    /// paper's contribution; construction cost saturates in `t`.
+    Rrl,
+}
+
+/// All methods, in dispatch-preference order.
+pub const ALL_METHODS: [Method; 6] = [
+    Method::Sr,
+    Method::Rsd,
+    Method::Adaptive,
+    Method::Ode,
+    Method::Rr,
+    Method::Rrl,
+];
+
+/// What a method can and cannot do — consulted by `Auto` dispatch and by
+/// fixed-method validation.
+#[derive(Clone, Copy, Debug)]
+pub struct Capabilities {
+    /// Handles chains with absorbing states (`A ≥ 1`).
+    pub supports_absorbing: bool,
+    /// Computes the `MRR` measure (all of ours do; kept explicit because the
+    /// dispatch contract promises the check).
+    pub supports_mrr: bool,
+    /// The reported `error_bound` is a rigorous a-priori bound (SR, RR, RRL)
+    /// rather than a practical estimate (RSD's detection heuristic, ODE's
+    /// step control).
+    pub rigorous_error_bound: bool,
+    /// Per-solve cost stops growing with `t` once the transient saturates
+    /// (RSD detection, RR/RRL construction depth).
+    pub horizon_independent_cost: bool,
+    /// Requires dense state handling — only safe below
+    /// [`crate::EngineOptions::dense_oracle_max_states`].
+    pub dense_only: bool,
+}
+
+impl Method {
+    /// This method's capability flags.
+    pub fn capabilities(self) -> Capabilities {
+        match self {
+            Method::Sr => Capabilities {
+                supports_absorbing: true,
+                supports_mrr: true,
+                rigorous_error_bound: true,
+                horizon_independent_cost: false,
+                dense_only: false,
+            },
+            Method::Rsd => Capabilities {
+                supports_absorbing: false,
+                supports_mrr: true,
+                rigorous_error_bound: false,
+                horizon_independent_cost: true,
+                dense_only: false,
+            },
+            Method::Adaptive => Capabilities {
+                supports_absorbing: true,
+                supports_mrr: true,
+                rigorous_error_bound: true,
+                horizon_independent_cost: false,
+                dense_only: false,
+            },
+            Method::Ode => Capabilities {
+                supports_absorbing: true,
+                supports_mrr: true,
+                rigorous_error_bound: false,
+                horizon_independent_cost: false,
+                dense_only: true,
+            },
+            Method::Rr => Capabilities {
+                supports_absorbing: true,
+                supports_mrr: true,
+                rigorous_error_bound: true,
+                horizon_independent_cost: false,
+                dense_only: false,
+            },
+            Method::Rrl => Capabilities {
+                supports_absorbing: true,
+                supports_mrr: true,
+                rigorous_error_bound: true,
+                horizon_independent_cost: true,
+                dense_only: false,
+            },
+        }
+    }
+
+    /// Lower-case method name as used in specs and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Sr => "sr",
+            Method::Rsd => "rsd",
+            Method::Adaptive => "adaptive",
+            Method::Ode => "ode",
+            Method::Rr => "rr",
+            Method::Rrl => "rrl",
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Method {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ALL_METHODS
+            .into_iter()
+            .find(|m| m.name() == s.to_ascii_lowercase())
+            .ok_or_else(|| {
+                format!("unknown method {s:?} (expected one of sr/rsd/adaptive/ode/rr/rrl)")
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for m in ALL_METHODS {
+            assert_eq!(m.name().parse::<Method>().unwrap(), m);
+        }
+        assert!("fancy".parse::<Method>().is_err());
+    }
+
+    #[test]
+    fn rsd_rejects_absorbing_chains() {
+        assert!(!Method::Rsd.capabilities().supports_absorbing);
+        assert!(Method::Rrl.capabilities().supports_absorbing);
+    }
+}

@@ -1,0 +1,433 @@
+//! JSON sweep specs and JSON reports for the `regenr` CLI.
+//!
+//! A spec is one object with engine-wide settings plus a model list; every
+//! setting can be overridden per model. Example:
+//!
+//! ```json
+//! {
+//!   "epsilon": 1e-12,
+//!   "method": "auto",
+//!   "horizons": [1, 10, 100, 1000, 10000, 100000],
+//!   "measures": ["trr"],
+//!   "models": [
+//!     { "kind": "raid", "g": 20 },
+//!     { "kind": "raid", "g": 20, "absorbing": true },
+//!     { "kind": "two_state", "lambda": 1e-3, "mu": 1.0 },
+//!     { "kind": "cyclic", "n": 5, "horizons": [0.5, 5] },
+//!     { "kind": "duplex", "lambda": 0.01, "mu": 1.0, "coverage": 0.95 },
+//!     { "kind": "machines", "machines": 16, "repairmen": 2,
+//!       "lambda": 0.02, "mu": 1.0, "measures": ["trr", "mrr"] }
+//!   ]
+//! }
+//! ```
+
+use crate::engine::{EngineOptions, MethodChoice, SolveRequest, SweepReport};
+use crate::json::Json;
+use crate::method::Method;
+use regenr_ctmc::Ctmc;
+use regenr_models::{machines::MachinesModel, RaidModel, RaidParams};
+use regenr_transient::MeasureKind;
+use std::sync::Arc;
+
+/// A parsed sweep spec: engine options plus the request grid.
+pub struct SweepSpec {
+    /// Engine-wide options from the spec.
+    pub options: EngineOptions,
+    /// One request per (model, measure) pair.
+    pub requests: Vec<SolveRequest>,
+}
+
+fn measure_name(m: MeasureKind) -> &'static str {
+    match m {
+        MeasureKind::Trr => "trr",
+        MeasureKind::Mrr => "mrr",
+    }
+}
+
+fn parse_measure(s: &str) -> Result<MeasureKind, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "trr" => Ok(MeasureKind::Trr),
+        "mrr" => Ok(MeasureKind::Mrr),
+        other => Err(format!("unknown measure {other:?} (expected trr or mrr)")),
+    }
+}
+
+fn parse_method_choice(s: &str) -> Result<MethodChoice, String> {
+    if s.eq_ignore_ascii_case("auto") {
+        Ok(MethodChoice::Auto)
+    } else {
+        s.parse::<Method>().map(MethodChoice::Fixed)
+    }
+}
+
+fn get_f64(obj: &Json, key: &str) -> Result<Option<f64>, String> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| format!("field {key:?} must be a number")),
+    }
+}
+
+fn get_u32(obj: &Json, key: &str) -> Result<Option<u32>, String> {
+    match get_f64(obj, key)? {
+        None => Ok(None),
+        Some(x) if x >= 0.0 && x.fract() == 0.0 && x <= u32::MAX as f64 => Ok(Some(x as u32)),
+        Some(x) => Err(format!(
+            "field {key:?} must be a non-negative integer, got {x}"
+        )),
+    }
+}
+
+fn get_bool(obj: &Json, key: &str) -> Result<Option<bool>, String> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_bool()
+            .map(Some)
+            .ok_or_else(|| format!("field {key:?} must be a boolean")),
+    }
+}
+
+fn get_horizons(obj: &Json) -> Result<Option<Vec<f64>>, String> {
+    match obj.get("horizons") {
+        None => Ok(None),
+        Some(v) => {
+            let items = v
+                .as_arr()
+                .ok_or_else(|| "field \"horizons\" must be an array".to_string())?;
+            items
+                .iter()
+                .map(|x| {
+                    x.as_f64()
+                        .filter(|t| *t >= 0.0)
+                        .ok_or_else(|| "horizons must be non-negative numbers".to_string())
+                })
+                .collect::<Result<Vec<f64>, String>>()
+                .map(Some)
+        }
+    }
+}
+
+fn get_measures(obj: &Json) -> Result<Option<Vec<MeasureKind>>, String> {
+    match obj.get("measures") {
+        None => Ok(None),
+        Some(v) => {
+            let items = v
+                .as_arr()
+                .ok_or_else(|| "field \"measures\" must be an array".to_string())?;
+            items
+                .iter()
+                .map(|x| {
+                    x.as_str()
+                        .ok_or_else(|| "measures must be strings".to_string())
+                        .and_then(parse_measure)
+                })
+                .collect::<Result<Vec<MeasureKind>, String>>()
+                .map(Some)
+        }
+    }
+}
+
+/// Builds the chain described by one model object; returns (name, chain).
+fn build_model(obj: &Json) -> Result<(String, Ctmc), String> {
+    let kind = obj
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "model needs a string \"kind\"".to_string())?;
+    let (default_name, ctmc) = match kind {
+        "raid" => {
+            let g = get_u32(obj, "g")?.ok_or_else(|| "raid model needs \"g\"".to_string())?;
+            let mut params = RaidParams::paper(g);
+            if let Some(c_h) = get_u32(obj, "c_h")? {
+                params.c_h = c_h;
+            }
+            if let Some(d_h) = get_u32(obj, "d_h")? {
+                params.d_h = d_h;
+            }
+            if let Some(p_r) = get_f64(obj, "p_r")? {
+                params.p_r = p_r;
+            }
+            let absorbing = get_bool(obj, "absorbing")?.unwrap_or(false);
+            if absorbing {
+                params = params.with_absorbing_failure();
+            }
+            let built = RaidModel::new(params)
+                .build()
+                .map_err(|e| format!("raid model failed to build: {e}"))?;
+            (
+                format!("raid_g{g}_{}", if absorbing { "ur" } else { "ua" }),
+                built.ctmc,
+            )
+        }
+        "two_state" => {
+            let lambda =
+                get_f64(obj, "lambda")?.ok_or_else(|| "two_state needs \"lambda\"".to_string())?;
+            let absorbing = get_bool(obj, "absorbing")?.unwrap_or(false);
+            if absorbing {
+                (
+                    "two_state_nonrepairable".to_string(),
+                    regenr_models::two_state::non_repairable_unit(lambda),
+                )
+            } else {
+                let mu = get_f64(obj, "mu")?.ok_or_else(|| "two_state needs \"mu\"".to_string())?;
+                (
+                    "two_state".to_string(),
+                    regenr_models::two_state::repairable_unit(lambda, mu),
+                )
+            }
+        }
+        "cyclic" => {
+            let n = get_u32(obj, "n")?.ok_or_else(|| "cyclic needs \"n\"".to_string())?;
+            (
+                format!("cyclic_{n}"),
+                regenr_models::cyclic::ring(n as usize),
+            )
+        }
+        "duplex" => {
+            let lambda =
+                get_f64(obj, "lambda")?.ok_or_else(|| "duplex needs \"lambda\"".to_string())?;
+            let mu = get_f64(obj, "mu")?.ok_or_else(|| "duplex needs \"mu\"".to_string())?;
+            let coverage =
+                get_f64(obj, "coverage")?.ok_or_else(|| "duplex needs \"coverage\"".to_string())?;
+            (
+                "duplex".to_string(),
+                regenr_models::redundant::duplex_with_coverage(lambda, mu, coverage),
+            )
+        }
+        "machines" => {
+            let model = MachinesModel {
+                machines: get_u32(obj, "machines")?
+                    .ok_or_else(|| "machines model needs \"machines\"".to_string())?,
+                repairmen: get_u32(obj, "repairmen")?
+                    .ok_or_else(|| "machines model needs \"repairmen\"".to_string())?,
+                lambda: get_f64(obj, "lambda")?
+                    .ok_or_else(|| "machines model needs \"lambda\"".to_string())?,
+                mu: get_f64(obj, "mu")?.ok_or_else(|| "machines model needs \"mu\"".to_string())?,
+            };
+            let built = model
+                .build()
+                .map_err(|e| format!("machines model failed to build: {e}"))?;
+            (
+                format!("machines_{}x{}", model.machines, model.repairmen),
+                built.ctmc,
+            )
+        }
+        other => {
+            return Err(format!(
+                "unknown model kind {other:?} (expected raid/two_state/cyclic/duplex/machines)"
+            ))
+        }
+    };
+    let name = obj
+        .get("name")
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .unwrap_or(default_name);
+    Ok((name, ctmc))
+}
+
+impl SweepSpec {
+    /// Parses a spec document.
+    pub fn parse(text: &str) -> Result<SweepSpec, String> {
+        let doc = Json::parse(text).map_err(|e| e.to_string())?;
+        Self::from_json(&doc)
+    }
+
+    /// Interprets an already-parsed document.
+    pub fn from_json(doc: &Json) -> Result<SweepSpec, String> {
+        let mut options = EngineOptions::default();
+        if let Some(x) = get_f64(doc, "small_lambda_t")? {
+            options.small_lambda_t = x;
+        }
+        if let Some(x) = get_u32(doc, "threads")? {
+            options.threads = x as usize;
+        }
+        if let Some(x) = get_f64(doc, "theta")? {
+            if !x.is_finite() || x < 0.0 {
+                return Err(format!(
+                    "field \"theta\" must be a non-negative finite number, got {x}"
+                ));
+            }
+            options.theta = x;
+        }
+
+        let default_epsilon = get_f64(doc, "epsilon")?.unwrap_or(1e-12);
+        let default_method = match doc.get("method").and_then(Json::as_str) {
+            Some(s) => parse_method_choice(s)?,
+            None => MethodChoice::Auto,
+        };
+        let default_horizons = get_horizons(doc)?;
+        let default_measures = get_measures(doc)?.unwrap_or(vec![MeasureKind::Trr]);
+
+        let models = doc
+            .get("models")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| "spec needs a \"models\" array".to_string())?;
+        if models.is_empty() {
+            return Err("spec has an empty \"models\" array".to_string());
+        }
+
+        let mut requests = Vec::new();
+        for model_obj in models {
+            let (name, ctmc) = build_model(model_obj)?;
+            let model = Arc::new(ctmc);
+            let horizons = get_horizons(model_obj)?
+                .or_else(|| default_horizons.clone())
+                .ok_or_else(|| {
+                    format!("model {name:?} has no horizons (none at the top level either)")
+                })?;
+            let epsilon = get_f64(model_obj, "epsilon")?.unwrap_or(default_epsilon);
+            let method = match model_obj.get("method").and_then(Json::as_str) {
+                Some(s) => parse_method_choice(s)?,
+                None => default_method,
+            };
+            let regen_state = match model_obj.get("regen_state") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(v.as_usize().ok_or_else(|| {
+                    format!("field \"regen_state\" must be a non-negative integer, got {v}")
+                })?),
+            };
+            let measures = get_measures(model_obj)?.unwrap_or(default_measures.clone());
+            for measure in measures {
+                requests.push(SolveRequest {
+                    model: model.clone(),
+                    name: name.clone(),
+                    measure,
+                    horizons: horizons.clone(),
+                    epsilon,
+                    method,
+                    regen_state,
+                });
+            }
+        }
+        Ok(SweepSpec { options, requests })
+    }
+}
+
+/// Serializes a sweep report (the CLI's output document).
+pub fn report_to_json(report: &SweepReport) -> Json {
+    let reports = report
+        .reports
+        .iter()
+        .map(|r| {
+            Json::Obj(vec![
+                ("model".into(), Json::Str(r.model.clone())),
+                (
+                    "fingerprint".into(),
+                    Json::Str(format!("{:016x}", r.fingerprint)),
+                ),
+                ("measure".into(), Json::Str(measure_name(r.measure).into())),
+                ("t".into(), Json::Num(r.t)),
+                ("method".into(), Json::Str(r.method.name().into())),
+                ("reason".into(), Json::Str(r.reason.as_str().into())),
+                ("value".into(), Json::Num(r.value)),
+                ("steps".into(), Json::Num(r.steps as f64)),
+                ("error_bound".into(), Json::Num(r.error_bound)),
+                ("abscissae".into(), Json::Num(r.abscissae as f64)),
+                ("converged".into(), Json::Bool(r.converged)),
+                ("lambda_t".into(), Json::Num(r.lambda_t)),
+                ("unif_cache_hit".into(), Json::Bool(r.unif_cache_hit)),
+                ("params_cache_hit".into(), Json::Bool(r.params_cache_hit)),
+                ("wall_seconds".into(), Json::Num(r.wall.as_secs_f64())),
+            ])
+        })
+        .collect();
+    let failures = report
+        .failures
+        .iter()
+        .map(|f| {
+            Json::Obj(vec![
+                ("model".into(), Json::Str(f.model.clone())),
+                ("measure".into(), Json::Str(measure_name(f.measure).into())),
+                ("error".into(), Json::Str(f.error.clone())),
+            ])
+        })
+        .collect();
+    let pool = |p: crate::cache::PoolStats| {
+        Json::Obj(vec![
+            ("hits".into(), Json::Num(p.hits as f64)),
+            ("misses".into(), Json::Num(p.misses as f64)),
+        ])
+    };
+    Json::Obj(vec![
+        ("reports".into(), Json::Arr(reports)),
+        ("failures".into(), Json::Arr(failures)),
+        (
+            "cache".into(),
+            Json::Obj(vec![
+                ("structure".into(), pool(report.cache.structure)),
+                ("uniformized".into(), pool(report.cache.uniformized)),
+                ("regen_params".into(), pool(report.cache.regen_params)),
+            ]),
+        ),
+        ("wall_seconds".into(), Json::Num(report.wall.as_secs_f64())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_spec() {
+        let spec = SweepSpec::parse(
+            r#"{
+                "epsilon": 1e-10,
+                "horizons": [1, 10],
+                "models": [
+                    {"kind": "two_state", "lambda": 1e-3, "mu": 1.0},
+                    {"kind": "cyclic", "n": 4, "measures": ["trr", "mrr"]}
+                ]
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(spec.requests.len(), 3, "1 two_state + 2 cyclic measures");
+        assert_eq!(spec.requests[0].epsilon, 1e-10);
+        assert_eq!(spec.requests[0].horizons, vec![1.0, 10.0]);
+        assert_eq!(spec.requests[2].measure, MeasureKind::Mrr);
+    }
+
+    #[test]
+    fn per_model_overrides_win() {
+        let spec = SweepSpec::parse(
+            r#"{
+                "horizons": [1],
+                "method": "sr",
+                "models": [
+                    {"kind": "two_state", "lambda": 0.1, "mu": 1.0,
+                     "horizons": [5, 50], "method": "rrl", "epsilon": 1e-8}
+                ]
+            }"#,
+        )
+        .unwrap();
+        let req = &spec.requests[0];
+        assert_eq!(req.horizons, vec![5.0, 50.0]);
+        assert_eq!(req.method, MethodChoice::Fixed(Method::Rrl));
+        assert_eq!(req.epsilon, 1e-8);
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        assert!(SweepSpec::parse("{}").is_err());
+        assert!(SweepSpec::parse(r#"{"models": []}"#).is_err());
+        assert!(SweepSpec::parse(r#"{"models": [{"kind": "warp"}]}"#).is_err());
+        assert!(
+            SweepSpec::parse(r#"{"models": [{"kind": "cyclic", "n": 3}]}"#).is_err(),
+            "no horizons anywhere must be rejected"
+        );
+        assert!(SweepSpec::parse(
+            r#"{"horizons": [1], "method": "warp", "models": [{"kind": "cyclic", "n": 3}]}"#
+        )
+        .is_err());
+        assert!(
+            SweepSpec::parse(
+                r#"{"horizons": [1],
+                    "models": [{"kind": "cyclic", "n": 3, "regen_state": 1.5}]}"#
+            )
+            .is_err(),
+            "a mistyped regen_state must be rejected, not silently defaulted"
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! Offline stand-in for `criterion` (see `crates/shims/README.md`).
+//!
+//! Implements the group/bench API slice the workspace's benches use, with
+//! wall-clock measurement: each benchmark warms up, then runs batches until
+//! the measurement budget elapses, and reports the mean iteration time.
+//! There is no statistical analysis, plotting, or HTML output.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Entry point handed to benchmark functions.
+#[derive(Debug)]
+pub struct Criterion {
+    /// Substring filter from the command line (cargo bench -- <filter>).
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>`: ignore flags, keep the first free arg.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && !a.is_empty());
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let filter_pass = self
+            .filter
+            .as_deref()
+            .is_none_or(|needle| name.contains(needle));
+        if filter_pass {
+            run_one(name, Duration::from_millis(500), Duration::from_secs(3), f);
+        }
+        self
+    }
+}
+
+/// A group of related benchmarks sharing timing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a Criterion,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of samples (kept for API compatibility; the
+    /// shim's loop is time-budgeted, not sample-counted).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up budget.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks `f` with `input`, labelled by `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        if self.pass(&label) {
+            run_one(&label, self.warm_up_time, self.measurement_time, |b| {
+                f(b, input)
+            });
+        }
+        self
+    }
+
+    /// Benchmarks `f`, labelled by `name`.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, name);
+        if self.pass(&label) {
+            run_one(&label, self.warm_up_time, self.measurement_time, |b| f(b));
+        }
+        self
+    }
+
+    /// Closes the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+
+    fn pass(&self, label: &str) -> bool {
+        self.criterion
+            .filter
+            .as_deref()
+            .is_none_or(|needle| label.contains(needle))
+    }
+}
+
+/// A benchmark label `name/parameter`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds the `name/parameter` label.
+    pub fn new<P: Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+/// Timing harness passed to each benchmark closure.
+pub struct Bencher {
+    mean: Option<Duration>,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Bencher {
+    /// Times `f`: warm-up phase, then batches until the budget elapses.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_end = Instant::now() + self.warm_up;
+        let mut one = Duration::from_secs(0);
+        let mut warm_iters = 0u64;
+        while Instant::now() < warm_end || warm_iters == 0 {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            one = t0.elapsed();
+            warm_iters += 1;
+        }
+        let mut iters = 0u64;
+        let mut total = Duration::from_secs(0);
+        // At least one measured iteration, even for very slow benchmarks.
+        while total < self.measurement || iters == 0 {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            total += t0.elapsed();
+            iters += 1;
+            if one > self.measurement && iters >= 1 {
+                break;
+            }
+        }
+        self.mean = Some(total / iters.max(1) as u32);
+    }
+}
+
+fn run_one<F: FnOnce(&mut Bencher)>(label: &str, warm_up: Duration, measurement: Duration, f: F) {
+    let mut b = Bencher {
+        mean: None,
+        warm_up,
+        measurement,
+    };
+    f(&mut b);
+    match b.mean {
+        Some(mean) => println!("{label:<48} time: {mean:>12.3?}/iter"),
+        None => println!("{label:<48} (no measurement: Bencher::iter not called)"),
+    }
+}
+
+/// Declares the benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main`, mirroring criterion's macro. Exits immediately when the
+/// binary is invoked by `cargo test` (via `--test`), so benches stay fast
+/// under the test runner.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_id_label() {
+        let id = BenchmarkId::new("solve", 100.0);
+        assert_eq!(id.label, "solve/100");
+    }
+
+    #[test]
+    fn bencher_measures_mean() {
+        let mut b = Bencher {
+            mean: None,
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(5),
+        };
+        b.iter(|| std::hint::black_box(2u64 + 2));
+        assert!(b.mean.is_some());
+    }
+}

@@ -1,0 +1,112 @@
+//! Offline stand-in for `proptest` (see `crates/shims/README.md`).
+//!
+//! Implements the strategy-combinator slice this workspace's property tests
+//! use — numeric ranges, tuples, [`Just`], `prop::collection::vec`,
+//! `prop_map`/`prop_flat_map`, `any::<bool>()` — plus the [`proptest!`],
+//! [`prop_assert!`] and [`prop_assert_eq!`] macros and a deterministic
+//! splitmix64 generator. Differences from upstream: failures are plain
+//! panics with the generating case index, and there is **no shrinking** —
+//! the failing inputs are printed by the assertion message instead.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{Just, Strategy};
+pub use test_runner::TestRng;
+
+/// Per-test configuration (only `cases` is honoured by the shim).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Accepted for API compatibility; the shim never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// The `proptest::prelude` equivalent: everything the tests import.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+
+    /// Mirrors `proptest::prelude::prop` (module-path combinators).
+    pub mod prop {
+        /// Collection strategies.
+        pub mod collection {
+            pub use crate::strategy::collection::vec;
+        }
+    }
+}
+
+/// Top-level `prop` module, mirroring `proptest::prop` paths.
+pub mod prop {
+    pub use crate::prelude::prop::collection;
+}
+
+/// Defines property tests. Each function runs `config.cases` random cases;
+/// a failing case panics with the case index (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::from_name(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for __case in 0..config.cases {
+                    let __outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        $(let $pat = $crate::Strategy::generate(&$strat, &mut rng);)+
+                        $body
+                    }));
+                    if let Err(payload) = __outcome {
+                        eprintln!(
+                            "proptest shim: property {} failed at case {}/{} \
+                             (deterministic seed; re-run reproduces it)",
+                            stringify!($name), __case + 1, config.cases
+                        );
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a property-test condition (plain `assert!` in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality in a property test (plain `assert_eq!` in the shim).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}

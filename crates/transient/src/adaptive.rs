@@ -16,6 +16,7 @@
 use crate::{MeasureKind, Solution};
 use regenr_ctmc::{Ctmc, Uniformized};
 use regenr_numeric::{KahanSum, PoissonWeights};
+use std::sync::Arc;
 
 /// Options for [`AdaptiveSolver`].
 #[derive(Clone, Copy, Debug)]
@@ -38,7 +39,7 @@ impl Default for AdaptiveOptions {
 /// Active-set randomization solver.
 pub struct AdaptiveSolver<'a> {
     ctmc: &'a Ctmc,
-    unif: Uniformized,
+    unif: Arc<Uniformized>,
     opts: AdaptiveOptions,
 }
 
@@ -57,7 +58,14 @@ pub struct AdaptiveReport {
 impl<'a> AdaptiveSolver<'a> {
     /// Uniformizes the chain and prepares the solver.
     pub fn new(ctmc: &'a Ctmc, opts: AdaptiveOptions) -> Self {
-        let unif = Uniformized::new(ctmc, opts.theta);
+        let unif = Arc::new(Uniformized::new(ctmc, opts.theta));
+        Self::with_uniformized(ctmc, unif, opts)
+    }
+
+    /// Reuses a prebuilt uniformization (the engine's artifact-cache path).
+    /// `unif` must have been built from `ctmc` at `opts.theta`.
+    pub fn with_uniformized(ctmc: &'a Ctmc, unif: Arc<Uniformized>, opts: AdaptiveOptions) -> Self {
+        unif.assert_built_from(ctmc);
         AdaptiveSolver { ctmc, unif, opts }
     }
 

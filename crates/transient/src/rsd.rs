@@ -29,6 +29,7 @@ use crate::{MeasureKind, Solution};
 use regenr_ctmc::{Ctmc, Uniformized};
 use regenr_numeric::{KahanSum, PoissonWeights};
 use regenr_sparse::ParallelConfig;
+use std::sync::Arc;
 
 /// Options for [`RsdSolver`].
 #[derive(Clone, Copy, Debug)]
@@ -63,7 +64,7 @@ impl Default for RsdOptions {
 #[derive(Clone, Debug)]
 pub struct RsdSolver<'a> {
     ctmc: &'a Ctmc,
-    unif: Uniformized,
+    unif: Arc<Uniformized>,
     opts: RsdOptions,
 }
 
@@ -82,9 +83,16 @@ pub struct RsdReport {
 impl<'a> RsdSolver<'a> {
     /// Uniformizes the chain and prepares the solver.
     pub fn new(ctmc: &'a Ctmc, opts: RsdOptions) -> Self {
+        let unif = Arc::new(Uniformized::new(ctmc, opts.theta));
+        Self::with_uniformized(ctmc, unif, opts)
+    }
+
+    /// Reuses a prebuilt uniformization (the engine's artifact-cache path).
+    /// `unif` must have been built from `ctmc` at `opts.theta`.
+    pub fn with_uniformized(ctmc: &'a Ctmc, unif: Arc<Uniformized>, opts: RsdOptions) -> Self {
         assert!(opts.epsilon > 0.0, "epsilon must be positive");
         assert!(opts.ratio_window >= 2);
-        let unif = Uniformized::new(ctmc, opts.theta);
+        unif.assert_built_from(ctmc);
         RsdSolver { ctmc, unif, opts }
     }
 
@@ -150,6 +158,14 @@ impl<'a> RsdSolver<'a> {
             std::mem::swap(&mut pi, &mut next);
             steps = (n + 1) as usize;
             final_delta = d;
+
+            // An exact fixed point (d = 0, common when the contraction is so
+            // strong that d underflows before the ratio window fills) is
+            // stationarity with zero tail error: detect immediately.
+            if d == 0.0 {
+                detected_at = Some(steps);
+                break;
+            }
 
             if prev_delta.is_finite() && prev_delta > 0.0 {
                 let ratio = (d / prev_delta).min(1.0);
@@ -247,6 +263,20 @@ mod tests {
         // SR, by contrast, needs ~Λt steps at t = 1e6.
         let sr = SrSolver::new(&c, SrOptions::default());
         assert!(sr.solve(MeasureKind::Trr, 1e6).steps > 100 * r2.solution.steps);
+    }
+
+    #[test]
+    fn exact_fixed_point_detects_immediately() {
+        // λ + μ = Λ: the DTMC contracts by ~1e-3 per step, so d underflows
+        // to exactly 0 long before the ratio window fills; the fixed-point
+        // fast path must still detect.
+        let c = two_state(1e-3, 1.0);
+        let rsd = RsdSolver::new(&c, RsdOptions::default());
+        let r = rsd.solve_report(MeasureKind::Trr, 1e6);
+        assert!(r.detected_at.is_some(), "fixed point must be detected");
+        assert!(r.solution.steps < 200, "steps: {}", r.solution.steps);
+        let want = 1e-3 / 1.001;
+        assert!((r.solution.value - want).abs() < 1e-10);
     }
 
     #[test]

@@ -18,6 +18,7 @@ use crate::{MeasureKind, Solution};
 use regenr_ctmc::{Ctmc, Uniformized};
 use regenr_numeric::{KahanSum, PoissonWeights};
 use regenr_sparse::ParallelConfig;
+use std::sync::Arc;
 
 /// Options for [`SrSolver`].
 #[derive(Clone, Copy, Debug)]
@@ -45,15 +46,22 @@ impl Default for SrOptions {
 #[derive(Clone, Debug)]
 pub struct SrSolver<'a> {
     ctmc: &'a Ctmc,
-    unif: Uniformized,
+    unif: Arc<Uniformized>,
     opts: SrOptions,
 }
 
 impl<'a> SrSolver<'a> {
     /// Uniformizes the chain and prepares the solver.
     pub fn new(ctmc: &'a Ctmc, opts: SrOptions) -> Self {
+        let unif = Arc::new(Uniformized::new(ctmc, opts.theta));
+        Self::with_uniformized(ctmc, unif, opts)
+    }
+
+    /// Reuses a prebuilt uniformization (the engine's artifact-cache path).
+    /// `unif` must have been built from `ctmc` at `opts.theta`.
+    pub fn with_uniformized(ctmc: &'a Ctmc, unif: Arc<Uniformized>, opts: SrOptions) -> Self {
         assert!(opts.epsilon > 0.0, "epsilon must be positive");
-        let unif = Uniformized::new(ctmc, opts.theta);
+        unif.assert_built_from(ctmc);
         SrSolver { ctmc, unif, opts }
     }
 

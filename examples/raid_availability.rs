@@ -1,16 +1,20 @@
 //! Point unavailability of the paper's level-5 RAID system (`UA(t)`,
-//! Section 3, Table 1 workload).
+//! Section 3, Table 1 workload) — through the solver engine.
 //!
 //! ```text
 //! cargo run --example raid_availability --release [G]
 //! ```
 //!
-//! Builds the irreducible RAID model (`A = 0`), solves `UA(t)` over the
-//! paper's time grid with RRL and RSD, and prints values, step counts, and
-//! the share of RRL time spent in Laplace inversion.
+//! Builds the irreducible RAID model (`A = 0`) and submits the paper's time
+//! grid as one engine request with `Auto` dispatch: the engine runs SR at
+//! the small-`Λt` horizons and switches to steady-state detection (RSD) for
+//! the large ones — the per-horizon method choice Table 1 implies. A second,
+//! fixed-method RRL request cross-checks every value and demonstrates the
+//! artifact cache: both requests share one cached uniformization.
 
 use regenr::models::{RaidModel, RaidParams};
 use regenr::prelude::*;
+use std::sync::Arc;
 
 fn main() {
     let g: u32 = std::env::args()
@@ -26,51 +30,48 @@ fn main() {
         built.ctmc.generator().nnz(),
         built.ctmc.generator().max_abs_diag()
     );
+    let model = Arc::new(built.ctmc);
 
-    let epsilon = 1e-12;
-    let rrl = RrlSolver::new(
-        &built.ctmc,
-        0,
-        RrlOptions {
-            regen: RegenOptions {
-                epsilon,
-                ..Default::default()
-            },
-            ..Default::default()
-        },
-    )
-    .unwrap();
-    let rsd = RsdSolver::new(
-        &built.ctmc,
-        RsdOptions {
-            epsilon,
-            ..Default::default()
-        },
-    );
+    let t_grid = vec![1.0, 10.0, 100.0, 1_000.0, 10_000.0, 100_000.0];
+    let engine = Engine::new();
+    let auto = SolveRequest::new(format!("raid_g{g}_ua"), model.clone(), t_grid.clone());
+    let rrl_check = SolveRequest::new(format!("raid_g{g}_ua_rrl"), model, t_grid.clone())
+        .method(MethodChoice::Fixed(Method::Rrl));
+    let sweep = engine.sweep(&[auto, rrl_check]);
+    assert!(sweep.failures.is_empty(), "{:?}", sweep.failures);
 
+    let (auto_reports, rrl_reports) = sweep.reports.split_at(t_grid.len());
     println!(
-        "\n{:>9} {:>14} {:>9} {:>9} {:>11} {:>10}",
-        "t (h)", "UA(t)", "K (RRL)", "RSD steps", "abscissae", "LT share"
+        "\n{:>9} {:>14} {:>7} {:>26} {:>8} {:>9}",
+        "t (h)", "UA(t)", "method", "dispatch reason", "steps", "K (RRL)"
     );
-    for t in [1.0, 10.0, 100.0, 1_000.0, 10_000.0, 100_000.0] {
-        let a = rrl.trr(t).unwrap();
-        let b = rsd.solve(MeasureKind::Trr, t);
+    for (a, r) in auto_reports.iter().zip(rrl_reports) {
         assert!(
-            (a.value - b.value).abs() < 1e-9,
-            "RRL and RSD disagree at t={t}: {} vs {}",
+            (a.value - r.value).abs() < 1e-9,
+            "Auto and RRL disagree at t={}: {} vs {}",
+            a.t,
             a.value,
-            b.value
+            r.value
         );
-        let total = a.construction_time + a.inversion_time;
-        let share = a.inversion_time.as_secs_f64() / total.as_secs_f64().max(1e-12);
         println!(
-            "{t:>9.0} {:>14.6e} {:>9} {:>9} {:>11} {:>9.1}%",
+            "{:>9.0} {:>14.6e} {:>7} {:>26} {:>8} {:>9}",
+            a.t,
             a.value,
-            a.construction_steps,
-            b.steps,
-            a.abscissae,
-            100.0 * share
+            a.method.name(),
+            a.reason.as_str(),
+            a.steps,
+            r.steps
         );
     }
-    println!("\nRRL and RSD agree to <1e-9 at every horizon.");
+
+    let cache = sweep.cache;
+    println!(
+        "\nAuto dispatch and fixed RRL agree to <1e-9 at every horizon; \
+         uniformization cache: {} hits / {} misses.",
+        cache.uniformized.hits, cache.uniformized.misses
+    );
+    assert!(
+        cache.uniformized.hits > 0,
+        "the second request must reuse the cached uniformization"
+    );
 }

@@ -1,5 +1,6 @@
 //! Unreliability of the paper's level-5 RAID system (`UR(t)`, Section 3,
-//! Table 2 workload): the system-failed state is absorbing (`A = 1`).
+//! Table 2 workload): the system-failed state is absorbing (`A = 1`) —
+//! through the solver engine.
 //!
 //! ```text
 //! cargo run --example raid_unreliability --release [G]
@@ -7,12 +8,13 @@
 //!
 //! Reproduces the paper's headline scalars: `UR(10⁵ h) = 0.50480` at `G=20`
 //! and `0.74750` at `G=40` (with the calibrated `P_R`, see DESIGN.md §4).
-//! SR is also run for small `t` to cross-check (it is Θ(Λt), so the paper's
-//! large horizons are exactly where it becomes impractical — which RRL
-//! demonstrates by solving them in milliseconds).
+//! Under `Auto` dispatch the engine uses SR only where it is cheap (small
+//! `Λt`) and RRL beyond — exactly the regime split of Table 2, where SR
+//! needs millions of steps at `t = 10⁵ h` and RRL a few thousand.
 
 use regenr::models::{RaidModel, RaidParams};
 use regenr::prelude::*;
+use std::sync::Arc;
 
 fn main() {
     let g: u32 = std::env::args()
@@ -25,48 +27,37 @@ fn main() {
         .build()
         .unwrap();
     println!("  {} states", built.ctmc.n_states());
+    let model = Arc::new(built.ctmc);
 
-    let epsilon = 1e-12;
-    let rrl = RrlSolver::new(
-        &built.ctmc,
-        0,
-        RrlOptions {
-            regen: RegenOptions {
-                epsilon,
-                ..Default::default()
-            },
-            ..Default::default()
-        },
-    )
-    .unwrap();
-    let sr = SrSolver::new(
-        &built.ctmc,
-        SrOptions {
-            epsilon,
-            ..Default::default()
-        },
+    let engine = Engine::new();
+    let request = SolveRequest::new(
+        format!("raid_g{g}_ur"),
+        model,
+        vec![1.0, 10.0, 100.0, 1_000.0, 10_000.0, 100_000.0],
     );
+    let reports = engine.solve(&request).unwrap();
 
     println!(
-        "\n{:>9} {:>14} {:>9} {:>12}",
-        "t (h)", "UR(t)", "K (RRL)", "SR check"
+        "\n{:>9} {:>14} {:>7} {:>26} {:>8}",
+        "t (h)", "UR(t)", "method", "dispatch reason", "steps"
     );
-    for t in [1.0, 10.0, 100.0, 1_000.0, 10_000.0, 100_000.0] {
-        let a = rrl.trr(t).unwrap();
-        let check = if t <= 100.0 {
-            let b = sr.solve(MeasureKind::Trr, t);
-            assert!((a.value - b.value).abs() < 1e-10, "t={t}");
-            format!("{:>12.4e}", b.value)
-        } else {
-            "   (skipped)".to_string() // SR needs ~Λt ≈ millions of steps here
-        };
+    for r in &reports {
         println!(
-            "{t:>9.0} {:>14.6e} {:>9} {check}",
-            a.value, a.construction_steps
+            "{:>9.0} {:>14.6e} {:>7} {:>26} {:>8}",
+            r.t,
+            r.value,
+            r.method.name(),
+            r.reason.as_str(),
+            r.steps
         );
     }
+    assert_eq!(
+        reports.last().unwrap().method,
+        Method::Rrl,
+        "the large-horizon absorbing cells must dispatch to RRL"
+    );
 
-    let headline = rrl.trr(1e5).unwrap().value;
+    let headline = reports.last().unwrap().value;
     let expected = if g == 20 {
         Some(0.50480)
     } else if g == 40 {

@@ -20,7 +20,13 @@
 //! * [`core`] — the paper's contribution: regenerative randomization (RR) and
 //!   its Laplace-transform-inversion variant (RRL);
 //! * [`models`] — the level-5 RAID dependability model of the evaluation
-//!   section plus auxiliary models.
+//!   section plus auxiliary models;
+//! * [`engine`] — the unified solver engine: one [`Solver`](engine::Solver)
+//!   interface over all six methods with capability flags, batch
+//!   [`SolveRequest`](engine::SolveRequest)s with `Auto` dispatch (SR for
+//!   small `Λt`, RSD for irreducible chains, RRL for stiff/large-horizon
+//!   absorbing cases), a fingerprint-keyed artifact cache, parallel sweeps
+//!   over `(model × measure × horizon)` grids, and the `regenr` CLI.
 //!
 //! ## Quickstart
 //!
@@ -39,9 +45,38 @@
 //! let exact = 1e-3 / (1e-3 + 1.0) * (1.0 - (-(1e-3 + 1.0f64) * 1000.0).exp());
 //! assert!((ua.value - exact).abs() < 1e-9);
 //! ```
+//!
+//! ## Engine quickstart — batch sweeps with automatic method choice
+//!
+//! Hand-picking a solver per workload is exactly what the engine layer
+//! removes: submit a request per (model, measure) with a horizon grid, let
+//! `Auto` dispatch per horizon, and read structured reports.
+//!
+//! ```
+//! use regenr::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let engine = Engine::new();
+//! let unit = Arc::new(regenr::models::two_state::repairable_unit(1e-3, 1.0));
+//! let requests = vec![
+//!     SolveRequest::new("unit_ua", unit.clone(), vec![1.0, 10.0, 1e4]).epsilon(1e-10),
+//!     SolveRequest::new("unit_mrr", unit, vec![1e4])
+//!         .measure(MeasureKind::Mrr)
+//!         .epsilon(1e-10),
+//! ];
+//! let sweep = engine.sweep(&requests);
+//! assert!(sweep.failures.is_empty());
+//! // Small Λt cells ran SR; large-horizon cells of this irreducible chain
+//! // ran RSD — and every cell reports which method ran and why.
+//! assert_eq!(sweep.reports[0].method, Method::Sr);
+//! assert_eq!(sweep.reports[2].method, Method::Rsd);
+//! // Artifacts (uniformizations, …) were shared across the batch.
+//! assert!(sweep.cache.uniformized.hits > 0);
+//! ```
 
 pub use regenr_core as core;
 pub use regenr_ctmc as ctmc;
+pub use regenr_engine as engine;
 pub use regenr_laplace as laplace;
 pub use regenr_models as models;
 pub use regenr_numeric as numeric;
@@ -55,6 +90,9 @@ pub mod prelude {
         RrlSolver, SelectOptions,
     };
     pub use regenr_ctmc::{Ctmc, CtmcBuilder, ModelSpec, RewardedCtmc};
+    pub use regenr_engine::{
+        Engine, EngineOptions, Method, MethodChoice, SolveReport, SolveRequest, Solver, SweepReport,
+    };
     pub use regenr_laplace::{DurbinInverter, InverterOptions};
     pub use regenr_numeric::{Complex64, PoissonWeights};
     pub use regenr_sparse::CsrMatrix;
