@@ -88,6 +88,35 @@ impl KilledChainParams {
     pub fn depth(&self) -> usize {
         self.a.len() - 1
     }
+
+    fn approx_bytes(&self) -> usize {
+        let f = std::mem::size_of::<f64>();
+        (self.a.len() + self.c.len() + self.u.len()) * f
+            + self.y.iter().map(|v| v.len() * f).sum::<usize>()
+    }
+}
+
+/// Checks `r` against an already-computed absorbing-state list: in range and
+/// not absorbing. The cheap half of the solvers' validation, shared by the
+/// analyzing constructors and the facts-reusing ones.
+pub(crate) fn check_regen_state(
+    ctmc: &Ctmc,
+    absorbing: &[usize],
+    r: usize,
+) -> Result<(), CtmcError> {
+    if r >= ctmc.n_states() {
+        return Err(CtmcError::BadRegenerativeState {
+            state: r,
+            reason: "index out of range",
+        });
+    }
+    if absorbing.contains(&r) {
+        return Err(CtmcError::BadRegenerativeState {
+            state: r,
+            reason: "state is absorbing",
+        });
+    }
+    Ok(())
 }
 
 /// The complete parameter set describing the truncated transformed model
@@ -120,6 +149,16 @@ impl RegenParams {
     /// RR/RRL.
     pub fn construction_steps(&self) -> usize {
         self.main.depth() + self.primed.as_ref().map_or(0, |p| p.depth())
+    }
+
+    /// Approximate heap footprint in bytes (the stored scalar sequences).
+    /// Used by bounded artifact caches for byte accounting; not an exact
+    /// allocator measurement.
+    pub fn approx_bytes(&self) -> usize {
+        let f = std::mem::size_of::<f64>();
+        self.main.approx_bytes()
+            + self.primed.as_ref().map_or(0, |p| p.approx_bytes())
+            + (self.absorbing.len() + self.absorbing_rewards.len()) * f
     }
 
     /// Computes the parameters for horizon `t` under `opts`.

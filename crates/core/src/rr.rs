@@ -2,7 +2,7 @@
 //! predecessor baseline: build `V_{K,L}`, then solve it with standard
 //! randomization.
 
-use crate::params::{RegenOptions, RegenParams};
+use crate::params::{check_regen_state, RegenOptions, RegenParams};
 use crate::vmodel::build_truncated_model;
 use regenr_ctmc::{analyze, Ctmc, CtmcError, Uniformized};
 use regenr_transient::{MeasureKind, SrOptions, SrSolver};
@@ -48,18 +48,7 @@ impl<'a> RrSolver<'a> {
     /// uniformization so invalid inputs fail cheaply.
     fn validate(ctmc: &Ctmc, r: usize) -> Result<Vec<usize>, CtmcError> {
         let info = analyze(ctmc)?;
-        if r >= ctmc.n_states() {
-            return Err(CtmcError::BadRegenerativeState {
-                state: r,
-                reason: "index out of range",
-            });
-        }
-        if info.absorbing.contains(&r) {
-            return Err(CtmcError::BadRegenerativeState {
-                state: r,
-                reason: "state is absorbing",
-            });
-        }
+        check_regen_state(ctmc, &info.absorbing, r)?;
         Ok(info.absorbing)
     }
 
@@ -86,6 +75,31 @@ impl<'a> RrSolver<'a> {
         opts: RrOptions,
     ) -> Result<Self, CtmcError> {
         let absorbing = Self::validate(ctmc, r)?;
+        unif.assert_built_from(ctmc);
+        Ok(RrSolver {
+            ctmc,
+            unif,
+            absorbing,
+            r,
+            opts,
+        })
+    }
+
+    /// Reuses a prebuilt uniformization **and** a cached structure analysis:
+    /// `absorbing` must be the chain's ascending absorbing-state list as
+    /// produced by [`regenr_ctmc::analyze`] on this very chain (the engine
+    /// passes its cached `ChainFacts`). This skips the `O(n + nnz)` Tarjan
+    /// pass entirely — only the regenerative state is re-checked against the
+    /// supplied list — so a caller handing over facts from a *different*
+    /// chain gets whatever that list implies, not an error.
+    pub fn with_uniformized_facts(
+        ctmc: &'a Ctmc,
+        r: usize,
+        unif: Arc<Uniformized>,
+        absorbing: Vec<usize>,
+        opts: RrOptions,
+    ) -> Result<Self, CtmcError> {
+        check_regen_state(ctmc, &absorbing, r)?;
         unif.assert_built_from(ctmc);
         Ok(RrSolver {
             ctmc,

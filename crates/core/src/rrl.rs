@@ -13,7 +13,7 @@
 //! `ε/4` to its series-truncation error via the `ε/100` convergence tolerance
 //! (a factor-25 reserve).
 
-use crate::params::{RegenOptions, RegenParams};
+use crate::params::{check_regen_state, RegenOptions, RegenParams};
 use crate::transform::TransformEvaluator;
 use regenr_ctmc::{analyze, Ctmc, CtmcError, Uniformized};
 use regenr_laplace::{
@@ -73,18 +73,7 @@ impl<'a> RrlSolver<'a> {
     /// uniformization so invalid inputs fail cheaply.
     fn validate(ctmc: &Ctmc, r: usize) -> Result<Vec<usize>, CtmcError> {
         let info = analyze(ctmc)?;
-        if r >= ctmc.n_states() {
-            return Err(CtmcError::BadRegenerativeState {
-                state: r,
-                reason: "index out of range",
-            });
-        }
-        if info.absorbing.contains(&r) {
-            return Err(CtmcError::BadRegenerativeState {
-                state: r,
-                reason: "state is absorbing",
-            });
-        }
+        check_regen_state(ctmc, &info.absorbing, r)?;
         Ok(info.absorbing)
     }
 
@@ -111,6 +100,31 @@ impl<'a> RrlSolver<'a> {
         opts: RrlOptions,
     ) -> Result<Self, CtmcError> {
         let absorbing = Self::validate(ctmc, r)?;
+        unif.assert_built_from(ctmc);
+        Ok(RrlSolver {
+            ctmc,
+            unif,
+            absorbing,
+            r,
+            opts,
+        })
+    }
+
+    /// Reuses a prebuilt uniformization **and** a cached structure analysis:
+    /// `absorbing` must be the chain's ascending absorbing-state list as
+    /// produced by [`regenr_ctmc::analyze`] on this very chain (the engine
+    /// passes its cached `ChainFacts`). This skips the `O(n + nnz)` Tarjan
+    /// pass entirely — only the regenerative state is re-checked against the
+    /// supplied list — so a caller handing over facts from a *different*
+    /// chain gets whatever that list implies, not an error.
+    pub fn with_uniformized_facts(
+        ctmc: &'a Ctmc,
+        r: usize,
+        unif: Arc<Uniformized>,
+        absorbing: Vec<usize>,
+        opts: RrlOptions,
+    ) -> Result<Self, CtmcError> {
+        check_regen_state(ctmc, &absorbing, r)?;
         unif.assert_built_from(ctmc);
         Ok(RrlSolver {
             ctmc,

@@ -44,5 +44,5 @@ pub mod uniformize;
 pub use build::{BuiltModel, CtmcBuilder, ModelSpec};
 pub use chain::{Ctmc, CtmcError, RewardedCtmc};
 pub use export::{stats, to_dot, CtmcStats};
-pub use structure::{analyze, StructureInfo};
+pub use structure::{analysis_runs, analyze, StructureInfo};
 pub use uniformize::Uniformized;

@@ -7,6 +7,21 @@
 //! would overflow).
 
 use crate::chain::{Ctmc, CtmcError};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of [`analyze`] runs (monotone, never reset).
+///
+/// The Tarjan pass is `O(n + nnz)` and callers holding cached results (the
+/// engine's `ChainFacts` pool) are expected to share them instead of
+/// re-analyzing; this diagnostic counter lets tests assert exactly that —
+/// "structure analysis ran once per distinct chain" — without instrumenting
+/// every call site.
+static ANALYSIS_RUNS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of times [`analyze`] has run in this process.
+pub fn analysis_runs() -> u64 {
+    ANALYSIS_RUNS.load(Ordering::Relaxed)
+}
 
 /// Result of [`analyze`].
 #[derive(Clone, Debug)]
@@ -38,6 +53,7 @@ impl StructureInfo {
 /// when initial mass sits on an absorbing state (`P[X(0)=f_i] = 0` in the
 /// paper).
 pub fn analyze(ctmc: &Ctmc) -> Result<StructureInfo, CtmcError> {
+    ANALYSIS_RUNS.fetch_add(1, Ordering::Relaxed);
     let n = ctmc.n_states();
     let absorbing = ctmc.absorbing_states();
     let is_absorbing = {

@@ -66,6 +66,17 @@ impl Uniformized {
         self.p.nrows()
     }
 
+    /// Approximate heap footprint in bytes (both CSR matrices: values,
+    /// column indices, row pointers). Used by bounded artifact caches for
+    /// byte accounting; not an exact allocator measurement.
+    pub fn approx_bytes(&self) -> usize {
+        let csr = |m: &regenr_sparse::CsrMatrix| {
+            m.nnz() * (std::mem::size_of::<f64>() + std::mem::size_of::<u32>())
+                + (m.nrows() + 1) * std::mem::size_of::<usize>()
+        };
+        csr(&self.p) + csr(&self.p_t)
+    }
+
     /// Asserts this uniformization is plausibly built from `ctmc`: same
     /// state count and a rate at least the chain's maximum exit rate.
     /// Solvers accepting a caller-supplied (cached) uniformization call this

@@ -56,7 +56,7 @@ fn run_spec(text: &str, pretty: bool) -> i32 {
             return 2;
         }
     };
-    let engine = Engine::with_options(spec.options);
+    let engine = Engine::with_cache_config(spec.options, spec.cache);
     let report = engine.sweep(&spec.requests);
     emit(&report_to_json(&report), pretty);
     if report.failures.is_empty() {

@@ -2,11 +2,13 @@
 //!
 //! Solving a model at several horizons/tolerances/measures keeps recomputing
 //! the same expensive intermediates. The cache keys them by the model's
-//! structural [fingerprint](crate::fingerprint::fingerprint) so *any*
+//! structural [fingerprint] so *any*
 //! request over an identical chain reuses:
 //!
 //! * **structure facts** — Tarjan SCC analysis plus the maximum exit rate
-//!   (what `Auto` dispatch consults per horizon),
+//!   (what `Auto` dispatch consults per horizon, and what the RR/RRL
+//!   constructors consume through `with_uniformized_facts` so the analysis
+//!   runs once per fingerprint, not once per job),
 //! * **uniformizations** — `P = I + Q/Λ` and its transpose, keyed by the
 //!   safety factor `θ` (shared by SR, RSD, adaptive, RR and RRL through the
 //!   solvers' `with_uniformized` constructors),
@@ -22,16 +24,62 @@
 //! This generalizes the one-off chain cache of `regenr-bench`'s `Workload`
 //! (which memoizes only built RAID chains, for exactly four keys).
 //!
-//! All pools are guarded by `std::sync` mutexes and the hit/miss counters
-//! are atomics: the sweep executor calls into one shared cache from many
-//! worker threads.
+//! ## Lifecycle
+//!
+//! By default every pool is unbounded — right for a one-shot sweep, wrong
+//! for a long-running service that sees an open-ended stream of models. A
+//! [`CacheConfig`] (via [`ArtifactCache::with_config`] or
+//! `Engine::with_cache_config`) puts per-pool caps on entry count and
+//! approximate byte footprint; on overflow the least-recently-used entries
+//! are evicted. Eviction only drops the cache's reference — in-flight
+//! solvers holding an `Arc` to an evicted artifact keep it alive until they
+//! finish. Per-pool counters ([`PoolStats`]: hits, misses, evictions, plus
+//! the live entry/byte gauges) are embedded in sweep reports.
+//!
+//! ## Concurrency
+//!
+//! Each pool is a mutex-guarded LRU map whose values are per-key slots:
+//! a first-time build happens exactly once even when parallel sweep jobs
+//! race on the same key (racers block on the slot, not the whole pool, and
+//! count as hits). Float key components are bit-normalized so `-0.0`/`0.0`
+//! share an entry and NaNs cannot create unreachable ones. All locks
+//! tolerate poisoning: a panicking solver job must not take the cache down
+//! with it.
 
 use crate::fingerprint::fingerprint;
 use regenr_core::{RegenOptions, RegenParams, RrlOptions, RrlSolver};
 use regenr_ctmc::{analyze, Ctmc, CtmcError, Uniformized};
 use std::collections::HashMap;
+use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Capacity limits for an [`ArtifactCache`], applied to each pool
+/// independently. The default is unbounded (a pure memo).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Maximum live entries per pool (`None` = unbounded). On overflow the
+    /// least-recently-used entry is evicted.
+    pub max_entries: Option<usize>,
+    /// Maximum approximate bytes per pool (`None` = unbounded). Accounting
+    /// uses the artifacts' `approx_bytes` estimates, not allocator truth.
+    pub max_bytes: Option<usize>,
+}
+
+impl CacheConfig {
+    /// No limits (the default).
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// Caps every pool's entry count.
+    pub fn with_max_entries(max_entries: usize) -> Self {
+        CacheConfig {
+            max_entries: Some(max_entries),
+            max_bytes: None,
+        }
+    }
+}
 
 /// Cached structural facts about one chain.
 #[derive(Clone, Debug)]
@@ -49,13 +97,25 @@ pub struct ChainFacts {
     pub max_rate: f64,
 }
 
-/// Hit/miss counters for one artifact pool.
+impl ChainFacts {
+    fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.absorbing.len() * std::mem::size_of::<usize>()
+    }
+}
+
+/// Counters and gauges for one artifact pool.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PoolStats {
     /// Requests served from the pool.
     pub hits: u64,
     /// Requests that had to build the artifact.
     pub misses: u64,
+    /// Entries dropped by the LRU capacity limits.
+    pub evictions: u64,
+    /// Live entries right now.
+    pub entries: usize,
+    /// Approximate live bytes right now.
+    pub bytes: usize,
 }
 
 /// A snapshot of all cache counters, embedded in sweep reports.
@@ -83,19 +143,195 @@ impl Counters {
             self.misses.fetch_add(1, Ordering::Relaxed);
         }
     }
+}
 
-    fn snapshot(&self) -> PoolStats {
-        PoolStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-        }
+/// Normalized key bits for a float key component: both zeros collapse to
+/// `+0.0` and every NaN to one canonical pattern, so `-0.0` cannot key a
+/// duplicate artifact and a NaN cannot poison lookups with an entry no
+/// equal-comparing value will ever find again. Non-finite `θ`/`ε` are
+/// rejected upstream (request planning, spec parsing); this is defense in
+/// depth for direct cache callers.
+fn norm_key_bits(x: f64) -> u64 {
+    if x == 0.0 {
+        0
+    } else if x.is_nan() {
+        f64::NAN.to_bits()
+    } else {
+        x.to_bits()
     }
 }
 
-/// Key for the uniformization pool: fingerprint plus `θ` bits.
+/// Poison-tolerant lock: a panicking solver job on another worker must not
+/// wedge the cache (or the sweep executor, which shares this helper) for
+/// the rest of the sweep.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+struct PoolEntry<V> {
+    value: V,
+    bytes: usize,
+    /// Whether an artifact has materialized in this entry's slot
+    /// ([`LruPool::set_bytes`] ran). Only filled entries count toward — and
+    /// may be evicted for — the capacity limits: an empty in-flight build
+    /// slot must never cost a live artifact its place.
+    filled: bool,
+    /// LRU stamp from the pool clock; smallest is evicted first.
+    stamp: u64,
+}
+
+/// A mutex-free LRU map (callers wrap it in a `Mutex`). Eviction scans for
+/// the oldest stamp — `O(entries)`, fine at the capacities this cache is
+/// configured with (the artifacts themselves dwarf the scan).
+struct LruPool<K, V> {
+    map: HashMap<K, PoolEntry<V>>,
+    clock: u64,
+    bytes: usize,
+    evictions: u64,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LruPool<K, V> {
+    fn new() -> Self {
+        LruPool {
+            map: HashMap::new(),
+            clock: 0,
+            bytes: 0,
+            evictions: 0,
+        }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Looks up `key`, refreshing its LRU stamp.
+    fn get(&mut self, key: &K) -> Option<V> {
+        let stamp = self.tick();
+        self.map.get_mut(key).map(|e| {
+            e.stamp = stamp;
+            e.value.clone()
+        })
+    }
+
+    /// Returns the slot for `key`, inserting `make()` (unfilled, zero
+    /// bytes — see [`LruPool::set_bytes`]) if absent.
+    ///
+    /// Capacity is deliberately **not** enforced here: an empty build slot
+    /// must never evict a live artifact on behalf of a build that may still
+    /// fail. Enforcement happens in [`LruPool::set_bytes`], when an
+    /// artifact actually materializes, and ignores unfilled slots entirely;
+    /// until then concurrent first builds may transiently push the entry
+    /// gauge past `max_entries` by at most the number of in-flight builders
+    /// (each such slot is either filled — and the cap re-enforced — or
+    /// removed by its [`SlotCleanup`]).
+    fn get_or_insert_with(&mut self, key: K, make: impl FnOnce() -> V) -> V {
+        if let Some(v) = self.get(&key) {
+            return v;
+        }
+        let stamp = self.tick();
+        let value = make();
+        self.map.insert(
+            key,
+            PoolEntry {
+                value: value.clone(),
+                bytes: 0,
+                filled: false,
+                stamp,
+            },
+        );
+        value
+    }
+
+    /// Re-points `key`'s byte accounting at a freshly built/replaced
+    /// artifact (marking the entry filled), then enforces capacity. `same`
+    /// must identify the builder's own slot: if the entry was evicted —
+    /// even if another caller has already re-inserted a fresh slot under
+    /// the same key — this is a no-op, so a stale builder can never charge
+    /// its artifact's size against an entry that does not hold it. For
+    /// pools whose slots are *replaced* after filling (params widening),
+    /// slot identity alone does not pin down the contents — callers there
+    /// must compute `bytes` from the slot's current contents while holding
+    /// the slot lock, so store and accounting are one atomic step.
+    fn set_bytes(
+        &mut self,
+        key: &K,
+        same: impl FnOnce(&V) -> bool,
+        bytes: usize,
+        cfg: &CacheConfig,
+    ) {
+        if let Some(e) = self.map.get_mut(key) {
+            if same(&e.value) {
+                self.bytes = self.bytes - e.bytes + bytes;
+                e.bytes = bytes;
+                e.filled = true;
+                self.enforce(cfg);
+            }
+        }
+    }
+
+    /// Removes `key` if its current value still is the caller's slot
+    /// (identity via `same`): a builder whose build *failed* discards the
+    /// empty slot it inserted, so the pool does not accumulate — or, under
+    /// capacity pressure, evict live artifacts in favour of — keys that
+    /// hold nothing. Not counted as an eviction.
+    fn remove_if(&mut self, key: &K, same: impl FnOnce(&V) -> bool) {
+        if self.map.get(key).is_some_and(|e| same(&e.value)) {
+            if let Some(e) = self.map.remove(key) {
+                self.bytes -= e.bytes;
+            }
+        }
+    }
+
+    /// Evicts least-recently-used **filled** entries until both caps hold.
+    /// Unfilled in-flight build slots neither count toward `max_entries`
+    /// nor get evicted — they resolve through their own `set_bytes` or
+    /// [`SlotCleanup`]. A single artifact larger than `max_bytes` ends up
+    /// evicting itself — the build still succeeds, it is just not retained.
+    fn enforce(&mut self, cfg: &CacheConfig) {
+        loop {
+            let filled = self.map.values().filter(|e| e.filled).count();
+            let over_entries = cfg.max_entries.is_some_and(|cap| filled > cap);
+            let over_bytes = cfg.max_bytes.is_some_and(|cap| self.bytes > cap);
+            if !over_entries && !over_bytes {
+                return;
+            }
+            let Some(oldest) = self
+                .map
+                .iter()
+                .filter(|(_, e)| e.filled)
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone())
+            else {
+                return;
+            };
+            if let Some(e) = self.map.remove(&oldest) {
+                self.bytes -= e.bytes;
+                self.evictions += 1;
+            }
+        }
+    }
+
+    fn stats(&self, counters: &Counters) -> PoolStats {
+        PoolStats {
+            hits: counters.hits.load(Ordering::Relaxed),
+            misses: counters.misses.load(Ordering::Relaxed),
+            evictions: self.evictions,
+            entries: self.map.len(),
+            bytes: self.bytes,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.bytes = 0;
+    }
+}
+
+/// Key for the uniformization pool: fingerprint plus normalized `θ` bits.
 type UnifKey = (u64, u64);
-/// Key for the parameter pool: fingerprint, regenerative state, `ε` bits,
-/// `θ` bits.
+/// Key for the parameter pool: fingerprint, regenerative state, normalized
+/// `ε` bits, normalized `θ` bits.
 type ParamsKey = (u64, usize, u64, u64);
 
 struct ParamsEntry {
@@ -104,24 +340,88 @@ struct ParamsEntry {
     params: Arc<RegenParams>,
 }
 
+/// Per-key build slot: `None` until the first builder fills it. First
+/// builders hold the slot lock across the build, so racers on the *same*
+/// key block (then hit) while other keys proceed concurrently. A first
+/// build that does not complete — error or panic — removes its empty slot
+/// from the pool ([`SlotCleanup`]) so a key that never produced an artifact
+/// cannot occupy, or under caps displace, a live entry.
+type Slot<T> = Arc<Mutex<Option<T>>>;
+
+/// Drop guard for a first build in progress: until [`SlotCleanup::disarm`],
+/// dropping it (on `?` return or unwind) removes the builder's still-empty
+/// slot from the pool. Identity-checked, so a slot re-inserted by a later
+/// caller after an eviction is never touched.
+struct SlotCleanup<'a, K: Eq + Hash + Clone, V> {
+    pool: &'a Mutex<LruPool<K, Slot<V>>>,
+    key: K,
+    slot: Slot<V>,
+    armed: bool,
+}
+
+impl<'a, K: Eq + Hash + Clone, V> SlotCleanup<'a, K, V> {
+    fn new(pool: &'a Mutex<LruPool<K, Slot<V>>>, key: K, slot: Slot<V>) -> Self {
+        SlotCleanup {
+            pool,
+            key,
+            slot,
+            armed: true,
+        }
+    }
+
+    /// The build completed; keep the pool entry.
+    fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> Drop for SlotCleanup<'_, K, V> {
+    fn drop(&mut self) {
+        if self.armed {
+            lock(self.pool).remove_if(&self.key, |v| Arc::ptr_eq(v, &self.slot));
+        }
+    }
+}
+
 /// Shared artifact cache; see the module docs.
-#[derive(Default)]
 pub struct ArtifactCache {
-    structure: Mutex<HashMap<u64, Arc<ChainFacts>>>,
-    // Per-key OnceLock so a first-time build happens exactly once even when
-    // parallel sweep jobs race on the same chain (racers block on the cell,
-    // not the whole pool, and count as hits).
-    uniformized: Mutex<HashMap<UnifKey, Arc<OnceLock<Arc<Uniformized>>>>>,
-    params: Mutex<HashMap<ParamsKey, ParamsEntry>>,
+    cfg: CacheConfig,
+    structure: Mutex<LruPool<u64, Slot<Arc<ChainFacts>>>>,
+    uniformized: Mutex<LruPool<UnifKey, Slot<Arc<Uniformized>>>>,
+    params: Mutex<LruPool<ParamsKey, Slot<ParamsEntry>>>,
     structure_counters: Counters,
     uniformized_counters: Counters,
     params_counters: Counters,
 }
 
+impl Default for ArtifactCache {
+    fn default() -> Self {
+        Self::with_config(CacheConfig::unbounded())
+    }
+}
+
 impl ArtifactCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache with capacity limits.
+    pub fn with_config(cfg: CacheConfig) -> Self {
+        ArtifactCache {
+            cfg,
+            structure: Mutex::new(LruPool::new()),
+            uniformized: Mutex::new(LruPool::new()),
+            params: Mutex::new(LruPool::new()),
+            structure_counters: Counters::default(),
+            uniformized_counters: Counters::default(),
+            params_counters: Counters::default(),
+        }
+    }
+
+    /// The capacity limits in effect.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
     }
 
     /// The chain's fingerprint (convenience re-export).
@@ -129,14 +429,17 @@ impl ArtifactCache {
         fingerprint(ctmc)
     }
 
-    /// Structure facts for `ctmc`, computed on first use.
+    /// Structure facts for `ctmc`, computed exactly once per live
+    /// fingerprint entry (racers block on the per-key slot and count as
+    /// hits). Analysis errors are returned, not cached.
     pub fn facts(&self, fp: u64, ctmc: &Ctmc) -> Result<Arc<ChainFacts>, CtmcError> {
-        if let Some(hit) = self.structure.lock().unwrap().get(&fp) {
+        let slot = lock(&self.structure).get_or_insert_with(fp, Slot::default);
+        let mut guard = lock(&slot);
+        if let Some(facts) = guard.as_ref() {
             self.structure_counters.record(true);
-            return Ok(hit.clone());
+            return Ok(facts.clone());
         }
-        // Analysis runs outside the lock: it is read-only on the chain and
-        // racing builders at worst duplicate work once.
+        let cleanup = SlotCleanup::new(&self.structure, fp, slot.clone());
         let info = analyze(ctmc)?;
         let facts = Arc::new(ChainFacts {
             fingerprint: fp,
@@ -146,42 +449,56 @@ impl ArtifactCache {
             max_rate: ctmc.generator().max_abs_diag(),
         });
         self.structure_counters.record(false);
-        Ok(self
-            .structure
-            .lock()
-            .unwrap()
-            .entry(fp)
-            .or_insert(facts)
-            .clone())
+        *guard = Some(facts.clone());
+        cleanup.disarm();
+        drop(guard);
+        lock(&self.structure).set_bytes(
+            &fp,
+            |v| Arc::ptr_eq(v, &slot),
+            facts.approx_bytes(),
+            &self.cfg,
+        );
+        Ok(facts)
     }
 
     /// The uniformized view of `ctmc` at safety factor `theta`, built
-    /// exactly once per `(fingerprint, θ)`. Returns the artifact and
-    /// whether it was a cache hit.
+    /// exactly once per live `(fingerprint, θ)` entry. Returns the artifact
+    /// and whether it was a cache hit.
     pub fn uniformized(&self, fp: u64, ctmc: &Ctmc, theta: f64) -> (Arc<Uniformized>, bool) {
-        let key = (fp, theta.to_bits());
-        let cell = self
-            .uniformized
-            .lock()
-            .unwrap()
-            .entry(key)
-            .or_default()
-            .clone();
-        let mut built_here = false;
-        let unif = cell
-            .get_or_init(|| {
-                built_here = true;
-                Arc::new(Uniformized::new(ctmc, theta))
-            })
-            .clone();
-        self.uniformized_counters.record(!built_here);
-        (unif, !built_here)
+        let key = (fp, norm_key_bits(theta));
+        let slot = lock(&self.uniformized).get_or_insert_with(key, Slot::default);
+        let mut guard = lock(&slot);
+        if let Some(unif) = guard.as_ref() {
+            self.uniformized_counters.record(true);
+            return (unif.clone(), true);
+        }
+        let cleanup = SlotCleanup::new(&self.uniformized, key, slot.clone());
+        let unif = Arc::new(Uniformized::new(ctmc, theta));
+        self.uniformized_counters.record(false);
+        *guard = Some(unif.clone());
+        cleanup.disarm();
+        drop(guard);
+        lock(&self.uniformized).set_bytes(
+            &key,
+            |v| Arc::ptr_eq(v, &slot),
+            unif.approx_bytes(),
+            &self.cfg,
+        );
+        (unif, false)
     }
 
     /// Regenerative parameters for `(chain, r, ε, θ)` covering horizon `t`,
     /// reusing (or widening) a cached computation. The returned parameters
     /// cover **at least** `t`; slice them with
     /// [`RegenParams::depth_for_horizon`] + [`RegenParams::truncated`].
+    ///
+    /// A *first* build runs under the per-key slot lock, so two threads
+    /// missing on the same key no longer both pay the full `parameters(t)`
+    /// computation with one result dropped: the second blocks, then reads
+    /// (or widens) the first's entry. A *widening* rebuild releases the
+    /// lock while stepping — readers covered by the existing entry must not
+    /// wait behind it (racing wideners may duplicate work; the widest
+    /// result wins).
     pub fn regen_params(
         &self,
         fp: u64,
@@ -190,50 +507,89 @@ impl ArtifactCache {
         r: usize,
         t: f64,
     ) -> Result<(Arc<RegenParams>, bool), CtmcError> {
-        let key = (fp, r, regen.epsilon.to_bits(), regen.theta.to_bits());
-        if let Some(entry) = self.params.lock().unwrap().get(&key) {
+        let key = (
+            fp,
+            r,
+            norm_key_bits(regen.epsilon),
+            norm_key_bits(regen.theta),
+        );
+        let slot = lock(&self.params).get_or_insert_with(key, Slot::default);
+        let guard = lock(&slot);
+        if let Some(entry) = guard.as_ref() {
             if entry.t_max >= t {
                 self.params_counters.record(true);
                 return Ok((entry.params.clone(), true));
             }
+            // Widening: the current entry keeps serving covered horizons
+            // while we rebuild, so step without the slot lock.
+            drop(guard);
+            let params = Arc::new(solver.parameters(t)?);
+            self.params_counters.record(false);
+            let guard = lock(&slot);
+            let superseded = guard.as_ref().is_some_and(|e| e.t_max >= t);
+            if !superseded {
+                // Store + accounting are one atomic step under the slot
+                // lock (see LruPool::set_bytes): a racing widener must not
+                // interleave and leave the pool charging the wrong size.
+                self.store_params(guard, &slot, key, t, &params);
+            }
+            return Ok((params, false));
         }
+        let cleanup = SlotCleanup::new(&self.params, key, slot.clone());
         let params = Arc::new(solver.parameters(t)?);
         self.params_counters.record(false);
-        let mut pool = self.params.lock().unwrap();
-        let entry = pool.entry(key).or_insert(ParamsEntry {
+        self.store_params(guard, &slot, key, t, &params);
+        cleanup.disarm();
+        Ok((params, false))
+    }
+
+    /// Installs a params entry and updates the pool's byte accounting while
+    /// *holding* the slot lock, so the recorded size always matches the
+    /// stored entry (slot identity alone cannot guarantee that: widening
+    /// replaces slot contents).
+    fn store_params(
+        &self,
+        mut guard: MutexGuard<'_, Option<ParamsEntry>>,
+        slot: &Slot<ParamsEntry>,
+        key: ParamsKey,
+        t: f64,
+        params: &Arc<RegenParams>,
+    ) {
+        *guard = Some(ParamsEntry {
             t_max: t,
             params: params.clone(),
         });
-        if entry.t_max < t {
-            // A racing thread may have stored a smaller horizon; widen.
-            *entry = ParamsEntry {
-                t_max: t,
-                params: params.clone(),
-            };
-        }
-        Ok((entry.params.clone(), false))
+        // Slot lock then pool lock — the established order (set_bytes is
+        // never called by a pool-lock holder).
+        lock(&self.params).set_bytes(
+            &key,
+            |v| Arc::ptr_eq(v, slot),
+            params.approx_bytes(),
+            &self.cfg,
+        );
     }
 
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            structure: self.structure_counters.snapshot(),
-            uniformized: self.uniformized_counters.snapshot(),
-            regen_params: self.params_counters.snapshot(),
+            structure: lock(&self.structure).stats(&self.structure_counters),
+            uniformized: lock(&self.uniformized).stats(&self.uniformized_counters),
+            regen_params: lock(&self.params).stats(&self.params_counters),
         }
     }
 
-    /// Drops every cached artifact (counters are kept).
+    /// Drops every cached artifact (counters are kept; eviction counts are
+    /// not incremented — clearing is not capacity pressure).
     pub fn clear(&self) {
-        self.structure.lock().unwrap().clear();
-        self.uniformized.lock().unwrap().clear();
-        self.params.lock().unwrap().clear();
+        lock(&self.structure).clear();
+        lock(&self.uniformized).clear();
+        lock(&self.params).clear();
     }
 }
 
 /// Convenience wrapper for [`ArtifactCache::regen_params`] callers that
-/// need a solver first: builds an [`RrlSolver`] on the cached
-/// uniformization.
+/// need a solver first: builds an [`RrlSolver`] on the cached uniformization
+/// and the cached structure facts (no duplicate Tarjan pass).
 pub fn rrl_on_cache<'a>(
     cache: &ArtifactCache,
     fp: u64,
@@ -241,8 +597,12 @@ pub fn rrl_on_cache<'a>(
     r: usize,
     opts: RrlOptions,
 ) -> Result<(RrlSolver<'a>, bool), CtmcError> {
+    let facts = cache.facts(fp, ctmc)?;
     let (unif, hit) = cache.uniformized(fp, ctmc, opts.regen.theta);
-    Ok((RrlSolver::with_uniformized(ctmc, r, unif, opts)?, hit))
+    Ok((
+        RrlSolver::with_uniformized_facts(ctmc, r, unif, facts.absorbing.clone(), opts)?,
+        hit,
+    ))
 }
 
 #[cfg(test)]
@@ -253,6 +613,17 @@ mod tests {
         Ctmc::from_rates(
             2,
             &[(0, 1, 1e-3), (1, 0, 1.0)],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+        )
+        .unwrap()
+    }
+
+    /// A family of structurally distinct chains (distinct fingerprints).
+    fn chain_with_rate(lambda: f64) -> Ctmc {
+        Ctmc::from_rates(
+            2,
+            &[(0, 1, lambda), (1, 0, 1.0)],
             vec![1.0, 0.0],
             vec![0.0, 1.0],
         )
@@ -272,7 +643,22 @@ mod tests {
         // Different θ is a different artifact.
         let (_, hit_theta) = cache.uniformized(fp, &c, 0.1);
         assert!(!hit_theta);
-        assert_eq!(cache.stats().uniformized, PoolStats { hits: 1, misses: 2 });
+        let stats = cache.stats().uniformized;
+        assert_eq!((stats.hits, stats.misses), (1, 2));
+        assert_eq!(stats.entries, 2);
+        assert!(stats.bytes > 0, "uniformizations must be byte-accounted");
+    }
+
+    #[test]
+    fn negative_zero_theta_shares_the_entry() {
+        let cache = ArtifactCache::new();
+        let c = chain();
+        let fp = fingerprint(&c);
+        let (a, _) = cache.uniformized(fp, &c, 0.0);
+        let (b, hit) = cache.uniformized(fp, &c, -0.0);
+        assert!(hit, "-0.0 and 0.0 must key the same artifact");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().uniformized.entries, 1);
     }
 
     #[test]
@@ -285,7 +671,8 @@ mod tests {
         assert!(Arc::ptr_eq(&f1, &f2));
         assert!(f1.irreducible);
         assert_eq!(f1.max_rate, 1.0);
-        assert_eq!(cache.stats().structure, PoolStats { hits: 1, misses: 1 });
+        let stats = cache.stats().structure;
+        assert_eq!((stats.hits, stats.misses), (1, 1));
     }
 
     #[test]
@@ -304,5 +691,203 @@ mod tests {
         assert!(!hit3, "larger horizon must recompute (and widen the entry)");
         let (_, hit4) = cache.regen_params(fp, &solver, &regen, 0, 50.0).unwrap();
         assert!(hit4);
+        assert_eq!(cache.stats().regen_params.entries, 1, "widening replaces");
+    }
+
+    /// Regression (PR 2): two threads missing on the same params key must
+    /// not both run the full `parameters(t)` computation. The build happens
+    /// under the per-key slot lock, so exactly one thread misses and every
+    /// racer scores a hit.
+    #[test]
+    fn regen_params_contention_builds_once() {
+        let cache = Arc::new(ArtifactCache::new());
+        let c = Arc::new(chain());
+        let fp = fingerprint(&c);
+        let opts = RrlOptions::default();
+        let n_threads = 8;
+        let barrier = Arc::new(std::sync::Barrier::new(n_threads));
+        std::thread::scope(|scope| {
+            for _ in 0..n_threads {
+                let cache = cache.clone();
+                let c = c.clone();
+                let barrier = barrier.clone();
+                scope.spawn(move || {
+                    let (solver, _) = rrl_on_cache(&cache, fp, &c, 0, opts).unwrap();
+                    barrier.wait();
+                    let (params, _) = cache
+                        .regen_params(fp, &solver, &opts.regen, 0, 1_000.0)
+                        .unwrap();
+                    assert!(params
+                        .depth_for_horizon(1_000.0, opts.regen.epsilon)
+                        .is_some());
+                });
+            }
+        });
+        let stats = cache.stats().regen_params;
+        assert_eq!(
+            stats.misses, 1,
+            "exactly one thread may build; got {stats:?}"
+        );
+        assert_eq!(stats.hits, (n_threads - 1) as u64);
+    }
+
+    /// A failed structure analysis must not leave its empty build slot in
+    /// the pool — a stream of invalid models would otherwise grow the map
+    /// without bound (or, under caps, displace live artifacts).
+    #[test]
+    fn failed_analysis_does_not_leak_a_pool_entry() {
+        let cache = ArtifactCache::new();
+        // Two separate transient SCCs: analyze() rejects this chain.
+        let bad = Ctmc::from_rates(
+            3,
+            &[(0, 2, 1.0), (1, 2, 1.0)],
+            vec![0.5, 0.5, 0.0],
+            vec![0.0; 3],
+        )
+        .unwrap();
+        let fp = fingerprint(&bad);
+        for _ in 0..3 {
+            assert!(cache.facts(fp, &bad).is_err());
+        }
+        let stats = cache.stats().structure;
+        assert_eq!(stats.entries, 0, "failed builds must not occupy entries");
+        assert_eq!(stats.bytes, 0);
+        // A valid chain still caches normally afterwards.
+        let good = chain();
+        let good_fp = fingerprint(&good);
+        assert!(cache.facts(good_fp, &good).is_ok());
+        assert_eq!(cache.stats().structure.entries, 1);
+    }
+
+    /// Capacity is enforced when an artifact materializes, never when an
+    /// empty build slot is inserted: a stream of invalid models at a full
+    /// cap must not flush the live artifacts it can never replace.
+    #[test]
+    fn failing_builds_do_not_evict_live_artifacts() {
+        let cache = ArtifactCache::with_config(CacheConfig::with_max_entries(2));
+        let a = chain_with_rate(1e-3);
+        let b = chain_with_rate(2e-3);
+        let (fa, fb) = (fingerprint(&a), fingerprint(&b));
+        cache.facts(fa, &a).unwrap();
+        cache.facts(fb, &b).unwrap();
+
+        let bad = Ctmc::from_rates(
+            3,
+            &[(0, 2, 1.0), (1, 2, 1.0)],
+            vec![0.5, 0.5, 0.0],
+            vec![0.0; 3],
+        )
+        .unwrap();
+        let bad_fp = fingerprint(&bad);
+        for _ in 0..4 {
+            assert!(cache.facts(bad_fp, &bad).is_err());
+        }
+
+        let stats = cache.stats().structure;
+        assert_eq!(stats.evictions, 0, "no live artifact may be displaced");
+        assert_eq!(stats.entries, 2);
+        // Both live artifacts are still served from the pool.
+        cache.facts(fa, &a).unwrap();
+        cache.facts(fb, &b).unwrap();
+        assert_eq!(cache.stats().structure.hits, 2);
+    }
+
+    /// A *panicking* build must clean up like a failing one: the empty slot
+    /// leaves the pool (no cap-occupying ghost entry) and the key stays
+    /// buildable afterwards.
+    #[test]
+    fn panicking_build_does_not_leak_a_pool_entry() {
+        let cache = ArtifactCache::with_config(CacheConfig::with_max_entries(2));
+        let c = chain();
+        let fp = fingerprint(&c);
+        // θ < 0 panics inside Uniformized::new (the engine validates θ
+        // upstream; the cache API is public).
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.uniformized(fp, &c, -1.0)
+        }));
+        assert!(result.is_err(), "negative θ must panic");
+        assert_eq!(cache.stats().uniformized.entries, 0);
+        // The pool still serves fresh builds afterwards.
+        let (_, hit) = cache.uniformized(fp, &c, 0.0);
+        assert!(!hit);
+        assert_eq!(cache.stats().uniformized.entries, 1);
+    }
+
+    #[test]
+    fn max_entries_evicts_least_recently_used() {
+        let cache = ArtifactCache::with_config(CacheConfig::with_max_entries(2));
+        let chains: Vec<Ctmc> = [1e-3, 2e-3, 3e-3]
+            .iter()
+            .map(|&l| chain_with_rate(l))
+            .collect();
+        let fps: Vec<u64> = chains.iter().map(fingerprint).collect();
+        assert_eq!(
+            fps.iter().collect::<std::collections::HashSet<_>>().len(),
+            3
+        );
+
+        cache.uniformized(fps[0], &chains[0], 0.0);
+        cache.uniformized(fps[1], &chains[1], 0.0);
+        // Touch 0 so 1 becomes the LRU entry, then overflow with 2.
+        let (_, hit0) = cache.uniformized(fps[0], &chains[0], 0.0);
+        assert!(hit0);
+        cache.uniformized(fps[2], &chains[2], 0.0);
+
+        let stats = cache.stats().uniformized;
+        assert_eq!(stats.entries, 2, "cap must hold");
+        assert_eq!(stats.evictions, 1);
+        // 1 was evicted (LRU); 0 and 2 survive.
+        let (_, hit0) = cache.uniformized(fps[0], &chains[0], 0.0);
+        let (_, hit1) = cache.uniformized(fps[1], &chains[1], 0.0);
+        assert!(hit0, "recently used entry must survive");
+        assert!(!hit1, "LRU entry must have been evicted");
+    }
+
+    #[test]
+    fn max_bytes_evicts_and_oversized_artifact_is_not_retained() {
+        let c = chain();
+        let fp = fingerprint(&c);
+        let one = Uniformized::new(&c, 0.0).approx_bytes();
+
+        // Budget for one artifact: inserting a second evicts the first.
+        let cache = ArtifactCache::with_config(CacheConfig {
+            max_entries: None,
+            max_bytes: Some(one + one / 2),
+        });
+        cache.uniformized(fp, &c, 0.0);
+        cache.uniformized(fp, &c, 0.5);
+        let stats = cache.stats().uniformized;
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.evictions, 1);
+        assert!(stats.bytes <= one + one / 2);
+
+        // Budget below a single artifact: the build succeeds but nothing
+        // is retained.
+        let tiny = ArtifactCache::with_config(CacheConfig {
+            max_entries: None,
+            max_bytes: Some(1),
+        });
+        let (unif, hit) = tiny.uniformized(fp, &c, 0.0);
+        assert!(!hit);
+        assert_eq!(unif.n_states(), 2, "caller still gets the artifact");
+        let stats = tiny.stats().uniformized;
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.bytes, 0);
+    }
+
+    #[test]
+    fn eviction_then_reinsert_rebuilds() {
+        let cache = ArtifactCache::with_config(CacheConfig::with_max_entries(1));
+        let a = chain_with_rate(1e-3);
+        let b = chain_with_rate(2e-3);
+        let (fa, fb) = (fingerprint(&a), fingerprint(&b));
+        assert!(!cache.uniformized(fa, &a, 0.0).1);
+        assert!(!cache.uniformized(fb, &b, 0.0).1); // evicts a
+        assert!(!cache.uniformized(fa, &a, 0.0).1); // rebuild, evicts b
+        assert!(!cache.uniformized(fb, &b, 0.0).1);
+        let stats = cache.stats().uniformized;
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.evictions, 3);
+        assert_eq!(stats.misses, 4);
     }
 }

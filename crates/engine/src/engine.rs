@@ -25,7 +25,7 @@
 //! single propagation sweep, RRL's shared construction) keep their savings;
 //! independent jobs run concurrently.
 
-use crate::cache::{ArtifactCache, CacheStats, ChainFacts};
+use crate::cache::{ArtifactCache, CacheConfig, CacheStats, ChainFacts};
 use crate::fingerprint::fingerprint;
 use crate::method::Method;
 use crate::solver::{build_solver, EngineSolution, SolveConfig, Solver};
@@ -231,6 +231,17 @@ pub struct Engine {
 /// A sweep job's result slot, filled by whichever worker executes it.
 type JobCell = Mutex<Option<Result<Vec<SolveReport>, EngineError>>>;
 
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// One planned unit of work: a run of horizons of one request that share a
 /// method.
 struct Job {
@@ -256,9 +267,16 @@ impl Engine {
 
     /// An engine with explicit options.
     pub fn with_options(opts: EngineOptions) -> Self {
+        Self::with_cache_config(opts, CacheConfig::unbounded())
+    }
+
+    /// An engine with explicit options and artifact-cache capacity limits
+    /// (per-pool LRU eviction — the configuration a long-running service
+    /// wants so the cache does not grow with every model it has ever seen).
+    pub fn with_cache_config(opts: EngineOptions, cache_cfg: CacheConfig) -> Self {
         Engine {
             opts,
-            cache: ArtifactCache::new(),
+            cache: ArtifactCache::with_config(cache_cfg),
         }
     }
 
@@ -358,6 +376,13 @@ impl Engine {
 
     /// Executes one planned job; returns reports in the job's slot order.
     fn run_job(&self, req: &SolveRequest, job: &Job) -> Result<Vec<SolveReport>, EngineError> {
+        // Test seam for the sweep's panic isolation: solver panics are rare
+        // (they indicate bugs, not bad requests) and none is reachable
+        // through a planned request, so tests inject one by name.
+        #[cfg(test)]
+        if req.name == "__panic_injection__" {
+            panic!("injected solver panic (test seam)");
+        }
         let ctmc: &Ctmc = &req.model;
         let fp = job.fp;
         let facts = &job.facts;
@@ -479,11 +504,19 @@ impl Engine {
         let next = AtomicUsize::new(0);
         let workers = effective_threads(self.opts.threads).min(jobs.len().max(1));
 
+        // A panicking solver job must not unwind through the scoped pool and
+        // abort the whole sweep (nor poison anything another worker needs):
+        // catch it here and report it as that request's failure. The job
+        // cells themselves are written only after the catch, so they can
+        // never be poisoned by solver code.
         let run_worker = || loop {
             let i = next.fetch_add(1, Ordering::Relaxed);
             let Some(job) = jobs.get(i) else { break };
-            let outcome = self.run_job(&reqs[job.req_idx], job);
-            *results[i].lock().unwrap() = Some(outcome);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.run_job(&reqs[job.req_idx], job)
+            }))
+            .unwrap_or_else(|payload| Err(EngineError::JobPanicked(panic_message(&payload))));
+            *crate::cache::lock(&results[i]) = Some(outcome);
         };
         if workers <= 1 {
             run_worker();
@@ -500,7 +533,10 @@ impl Engine {
             reqs.iter().map(|r| vec![None; r.horizons.len()]).collect();
         let mut failed_reqs: Vec<Option<String>> = vec![None; reqs.len()];
         for (job, cell) in jobs.iter().zip(results) {
-            match cell.into_inner().unwrap() {
+            match cell
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+            {
                 Some(Ok(reports)) => {
                     for (slot, report) in job.slots.iter().zip(reports) {
                         per_req[job.req_idx][*slot] = Some(report);
@@ -692,6 +728,68 @@ mod tests {
             assert_eq!(a.t, b.t);
             assert_eq!(a.method, b.method);
             assert_eq!(a.value, b.value, "parallel sweep must be deterministic");
+        }
+    }
+
+    /// Regression (PR 2): a panicking solver job used to unwind through the
+    /// scoped worker pool and abort the entire sweep (poisoning its result
+    /// mutexes on the way). It must instead surface as that request's
+    /// failure while every other request completes.
+    #[test]
+    fn sweep_isolates_a_panicking_job() {
+        for threads in [1, 4] {
+            let engine = Engine::with_options(EngineOptions {
+                threads,
+                ..Default::default()
+            });
+            let good_a = SolveRequest::new("good_a", repairable(), vec![1.0, 10.0]);
+            let boom = SolveRequest::new("__panic_injection__", repairable(), vec![1.0]);
+            let good_b = SolveRequest::new("good_b", non_repairable(), vec![1.0]);
+            let report = engine.sweep(&[good_a, boom, good_b]);
+            assert_eq!(report.reports.len(), 3, "threads={threads}");
+            assert!(report.reports.iter().all(|r| r.model.starts_with("good")));
+            assert_eq!(report.failures.len(), 1);
+            assert!(
+                report.failures[0].error.contains("panicked"),
+                "failure must carry the panic: {}",
+                report.failures[0].error
+            );
+            // The engine (and its cache) stay usable after the panic.
+            let again = engine.sweep(&[SolveRequest::new("again", repairable(), vec![1.0])]);
+            assert!(again.failures.is_empty());
+            assert_eq!(again.reports.len(), 1);
+        }
+    }
+
+    /// With capacity limits the pools obey their caps while the sweep still
+    /// produces correct values and warm repeats still hit.
+    #[test]
+    fn bounded_cache_respects_caps_during_sweeps() {
+        let cap = 3;
+        let engine = Engine::with_cache_config(
+            EngineOptions::default(),
+            crate::cache::CacheConfig::with_max_entries(cap),
+        );
+        let reqs: Vec<SolveRequest> = (1..=8)
+            .map(|i| {
+                SolveRequest::new(
+                    format!("m{i}"),
+                    Arc::new(two_state::repairable_unit(1e-3 * i as f64, 1.0)),
+                    vec![1.0, 100.0],
+                )
+                .epsilon(1e-10)
+            })
+            .collect();
+        let report = engine.sweep(&reqs);
+        assert!(report.failures.is_empty());
+        let stats = engine.cache().stats();
+        assert!(stats.uniformized.entries <= cap);
+        assert!(stats.structure.entries <= cap);
+        assert!(stats.uniformized.evictions > 0, "8 models through cap 3");
+        for r in &report.reports {
+            let (l, m) = (1e-3 * r.model[1..].parse::<f64>().unwrap(), 1.0);
+            let exact = l / (l + m) * (1.0 - (-(l + m) * r.t).exp());
+            assert!((r.value - exact).abs() < 1e-8, "{} t={}", r.model, r.t);
         }
     }
 

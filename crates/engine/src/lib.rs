@@ -46,7 +46,7 @@ pub mod method;
 pub mod solver;
 pub mod spec;
 
-pub use cache::{ArtifactCache, CacheStats, ChainFacts, PoolStats};
+pub use cache::{ArtifactCache, CacheConfig, CacheStats, ChainFacts, PoolStats};
 pub use engine::{
     DispatchReason, Engine, EngineOptions, MethodChoice, SolveReport, SolveRequest, SweepFailure,
     SweepReport,
@@ -74,6 +74,10 @@ pub enum EngineError {
     },
     /// The request itself is malformed.
     InvalidRequest(String),
+    /// A solver job panicked; the sweep isolated it and carried on. The
+    /// payload is the panic message — this indicates a solver bug, not a
+    /// bad request.
+    JobPanicked(String),
 }
 
 impl fmt::Display for EngineError {
@@ -84,6 +88,9 @@ impl fmt::Display for EngineError {
                 write!(f, "method {method} unsupported here: {reason}")
             }
             EngineError::InvalidRequest(reason) => write!(f, "invalid request: {reason}"),
+            EngineError::JobPanicked(message) => {
+                write!(f, "solver job panicked: {message}")
+            }
         }
     }
 }

@@ -388,21 +388,26 @@ pub fn build_solver<'a>(
                 ..Default::default()
             },
         )),
+        // RR/RRL reuse the cached structure analysis: `with_uniformized`
+        // would re-run the `O(n + nnz)` Tarjan pass per job even though the
+        // engine already holds `ChainFacts` for this fingerprint.
         Method::Rr => {
             let r = pick_regen_state(ctmc, facts, cfg.regen_state, cfg.theta)?;
-            UnifiedSolver::Rr(RrSolver::with_uniformized(
+            UnifiedSolver::Rr(RrSolver::with_uniformized_facts(
                 ctmc,
                 r,
                 unif(),
+                facts.absorbing.clone(),
                 RrOptions { regen },
             )?)
         }
         Method::Rrl => {
             let r = pick_regen_state(ctmc, facts, cfg.regen_state, cfg.theta)?;
-            UnifiedSolver::Rrl(RrlSolver::with_uniformized(
+            UnifiedSolver::Rrl(RrlSolver::with_uniformized_facts(
                 ctmc,
                 r,
                 unif(),
+                facts.absorbing.clone(),
                 RrlOptions {
                     regen,
                     inverter: cfg.inverter,

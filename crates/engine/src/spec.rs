@@ -7,6 +7,7 @@
 //! {
 //!   "epsilon": 1e-12,
 //!   "method": "auto",
+//!   "cache": { "max_entries": 64, "max_bytes": 268435456 },
 //!   "horizons": [1, 10, 100, 1000, 10000, 100000],
 //!   "measures": ["trr"],
 //!   "models": [
@@ -21,6 +22,7 @@
 //! }
 //! ```
 
+use crate::cache::CacheConfig;
 use crate::engine::{EngineOptions, MethodChoice, SolveRequest, SweepReport};
 use crate::json::Json;
 use crate::method::Method;
@@ -33,6 +35,9 @@ use std::sync::Arc;
 pub struct SweepSpec {
     /// Engine-wide options from the spec.
     pub options: EngineOptions,
+    /// Artifact-cache capacity limits (`"cache": {"max_entries", "max_bytes"}`;
+    /// unbounded when absent).
+    pub cache: CacheConfig,
     /// One request per (model, measure) pair.
     pub requests: Vec<SolveRequest>,
 }
@@ -88,6 +93,47 @@ fn get_bool(obj: &Json, key: &str) -> Result<Option<bool>, String> {
             .map(Some)
             .ok_or_else(|| format!("field {key:?} must be a boolean")),
     }
+}
+
+/// `ε` keys artifact-cache entries and divides error budgets, so a
+/// non-finite or non-positive value is a spec error, not something to let
+/// degenerate into NaN-keyed cache entries or panics deep in a solver.
+fn get_epsilon(obj: &Json) -> Result<Option<f64>, String> {
+    match get_f64(obj, "epsilon")? {
+        None => Ok(None),
+        Some(x) if x.is_finite() && x > 0.0 => Ok(Some(x)),
+        Some(x) => Err(format!(
+            "field \"epsilon\" must be a positive finite number, got {x}"
+        )),
+    }
+}
+
+fn get_cache_config(doc: &Json) -> Result<CacheConfig, String> {
+    let obj = match doc.get("cache") {
+        None | Some(Json::Null) => return Ok(CacheConfig::unbounded()),
+        Some(v @ Json::Obj(_)) => v,
+        // A mistyped "cache" (e.g. a bare number) must not silently mean
+        // "unbounded" — the caller thinks they capped the cache.
+        Some(v) => {
+            return Err(format!(
+                "field \"cache\" must be an object like \
+                 {{\"max_entries\": 64, \"max_bytes\": 268435456}}, got {v}"
+            ))
+        }
+    };
+    let cap = |key: &str| -> Result<Option<usize>, String> {
+        match get_f64(obj, key)? {
+            None => Ok(None),
+            Some(x) if x >= 1.0 && x.fract() == 0.0 && x <= u64::MAX as f64 => Ok(Some(x as usize)),
+            Some(x) => Err(format!(
+                "field \"cache.{key}\" must be a positive integer, got {x}"
+            )),
+        }
+    };
+    Ok(CacheConfig {
+        max_entries: cap("max_entries")?,
+        max_bytes: cap("max_bytes")?,
+    })
 }
 
 fn get_horizons(obj: &Json) -> Result<Option<Vec<f64>>, String> {
@@ -253,7 +299,8 @@ impl SweepSpec {
             options.theta = x;
         }
 
-        let default_epsilon = get_f64(doc, "epsilon")?.unwrap_or(1e-12);
+        let cache = get_cache_config(doc)?;
+        let default_epsilon = get_epsilon(doc)?.unwrap_or(1e-12);
         let default_method = match doc.get("method").and_then(Json::as_str) {
             Some(s) => parse_method_choice(s)?,
             None => MethodChoice::Auto,
@@ -278,7 +325,7 @@ impl SweepSpec {
                 .ok_or_else(|| {
                     format!("model {name:?} has no horizons (none at the top level either)")
                 })?;
-            let epsilon = get_f64(model_obj, "epsilon")?.unwrap_or(default_epsilon);
+            let epsilon = get_epsilon(model_obj)?.unwrap_or(default_epsilon);
             let method = match model_obj.get("method").and_then(Json::as_str) {
                 Some(s) => parse_method_choice(s)?,
                 None => default_method,
@@ -302,7 +349,11 @@ impl SweepSpec {
                 });
             }
         }
-        Ok(SweepSpec { options, requests })
+        Ok(SweepSpec {
+            options,
+            cache,
+            requests,
+        })
     }
 }
 
@@ -349,6 +400,9 @@ pub fn report_to_json(report: &SweepReport) -> Json {
         Json::Obj(vec![
             ("hits".into(), Json::Num(p.hits as f64)),
             ("misses".into(), Json::Num(p.misses as f64)),
+            ("evictions".into(), Json::Num(p.evictions as f64)),
+            ("entries".into(), Json::Num(p.entries as f64)),
+            ("bytes".into(), Json::Num(p.bytes as f64)),
         ])
     };
     Json::Obj(vec![
@@ -406,6 +460,75 @@ mod tests {
         assert_eq!(req.horizons, vec![5.0, 50.0]);
         assert_eq!(req.method, MethodChoice::Fixed(Method::Rrl));
         assert_eq!(req.epsilon, 1e-8);
+    }
+
+    #[test]
+    fn parses_cache_config() {
+        let spec = SweepSpec::parse(
+            r#"{
+                "horizons": [1],
+                "cache": {"max_entries": 8, "max_bytes": 1048576},
+                "models": [{"kind": "cyclic", "n": 3}]
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(spec.cache.max_entries, Some(8));
+        assert_eq!(spec.cache.max_bytes, Some(1048576));
+        // Absent → unbounded; partial → only that cap.
+        let spec = SweepSpec::parse(r#"{"horizons": [1], "models": [{"kind": "cyclic", "n": 3}]}"#)
+            .unwrap();
+        assert_eq!(spec.cache, CacheConfig::unbounded());
+        let spec = SweepSpec::parse(
+            r#"{"horizons": [1], "cache": {"max_entries": 2},
+                "models": [{"kind": "cyclic", "n": 3}]}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.cache.max_entries, Some(2));
+        assert_eq!(spec.cache.max_bytes, None);
+    }
+
+    #[test]
+    fn rejects_bad_cache_config() {
+        for bad in ["0", "-1", "2.5", "1e400", "\"lots\""] {
+            let doc = format!(
+                r#"{{"horizons": [1], "cache": {{"max_entries": {bad}}},
+                    "models": [{{"kind": "cyclic", "n": 3}}]}}"#
+            );
+            assert!(SweepSpec::parse(&doc).is_err(), "cache cap {bad} accepted");
+        }
+        // A mistyped "cache" value must be an error, not a silent unbounded
+        // cache.
+        for bad in ["64", "\"small\"", "[4]", "true"] {
+            let doc = format!(
+                r#"{{"horizons": [1], "cache": {bad},
+                    "models": [{{"kind": "cyclic", "n": 3}}]}}"#
+            );
+            assert!(SweepSpec::parse(&doc).is_err(), "cache {bad} accepted");
+        }
+    }
+
+    /// Non-finite or non-positive ε must fail at parse time — downstream it
+    /// would key cache entries by NaN bits or break the error-budget splits.
+    #[test]
+    fn rejects_non_finite_epsilon() {
+        for bad in ["0", "-1e-12", "1e999", "-1e999"] {
+            let top = format!(
+                r#"{{"epsilon": {bad}, "horizons": [1],
+                    "models": [{{"kind": "cyclic", "n": 3}}]}}"#
+            );
+            assert!(
+                SweepSpec::parse(&top).is_err(),
+                "top-level ε {bad} accepted"
+            );
+            let per_model = format!(
+                r#"{{"horizons": [1],
+                    "models": [{{"kind": "cyclic", "n": 3, "epsilon": {bad}}}]}}"#
+            );
+            assert!(
+                SweepSpec::parse(&per_model).is_err(),
+                "per-model ε {bad} accepted"
+            );
+        }
     }
 
     #[test]

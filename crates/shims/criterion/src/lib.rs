@@ -11,7 +11,7 @@ use std::time::{Duration, Instant};
 /// Entry point handed to benchmark functions.
 #[derive(Debug)]
 pub struct Criterion {
-    /// Substring filter from the command line (cargo bench -- <filter>).
+    /// Substring filter from the command line (`cargo bench -- <filter>`).
     filter: Option<String>,
 }
 

@@ -161,7 +161,7 @@ impl Arbitrary for bool {
 pub mod collection {
     use super::*;
 
-    /// Length specification for [`vec`]: a fixed size or a `Range<usize>`.
+    /// Length specification for [`vec()`]: a fixed size or a `Range<usize>`.
     pub trait IntoSizeRange {
         /// Lower (inclusive) and upper (exclusive) length bounds.
         fn bounds(&self) -> (usize, usize);

@@ -91,7 +91,8 @@ pub mod prelude {
     };
     pub use regenr_ctmc::{Ctmc, CtmcBuilder, ModelSpec, RewardedCtmc};
     pub use regenr_engine::{
-        Engine, EngineOptions, Method, MethodChoice, SolveReport, SolveRequest, Solver, SweepReport,
+        CacheConfig, CacheStats, Engine, EngineOptions, Method, MethodChoice, SolveReport,
+        SolveRequest, Solver, SweepReport,
     };
     pub use regenr_laplace::{DurbinInverter, InverterOptions};
     pub use regenr_numeric::{Complex64, PoissonWeights};
