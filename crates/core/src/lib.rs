@@ -51,6 +51,6 @@ pub mod vmodel;
 pub use params::{KilledChainParams, RegenOptions, RegenParams};
 pub use rr::{RrOptions, RrSolution, RrSolver};
 pub use rrl::{RrlOptions, RrlSolution, RrlSolver};
-pub use select::{select_regenerative_state, SelectOptions};
+pub use select::{select_regenerative_state, select_regenerative_state_with, SelectOptions};
 pub use transform::TransformEvaluator;
 pub use vmodel::build_truncated_model;

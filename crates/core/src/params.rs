@@ -39,7 +39,7 @@
 
 use regenr_ctmc::{analyze, Ctmc, CtmcError, Uniformized};
 use regenr_numeric::{KahanSum, PoissonWeights};
-use regenr_sparse::ParallelConfig;
+use regenr_sparse::{ParallelConfig, Workspace};
 
 /// Options shared by RR and RRL.
 #[derive(Clone, Copy, Debug)]
@@ -201,6 +201,22 @@ impl RegenParams {
         t: f64,
         opts: &RegenOptions,
     ) -> Result<RegenParams, CtmcError> {
+        Self::compute_with_ws(ctmc, unif, absorbing, r, t, opts, &mut Workspace::new())
+    }
+
+    /// Like [`RegenParams::compute_with`] with caller-owned scratch: the
+    /// killed-chain stepping reuses `ws` buffers, so repeated computations
+    /// (horizon widening, sweeps) allocate no steady-state scratch vectors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn compute_with_ws(
+        ctmc: &Ctmc,
+        unif: &Uniformized,
+        absorbing: &[usize],
+        r: usize,
+        t: f64,
+        opts: &RegenOptions,
+        ws: &mut Workspace,
+    ) -> Result<RegenParams, CtmcError> {
         let n = ctmc.n_states();
         let r_max = ctmc.max_reward();
         let alpha_r = ctmc.initial()[r];
@@ -220,7 +236,7 @@ impl RegenParams {
         };
 
         // Main chain: starts at r with mass 1.
-        let mut start = vec![0.0; n];
+        let mut start = ws.take_zeroed(n);
         start[r] = 1.0;
         let (main, err_main) = step_killed_chain(
             ctmc,
@@ -232,12 +248,13 @@ impl RegenParams {
             budget_main,
             opts,
             CycleKind::Repeating,
+            ws,
         );
 
         // Primed chain: starts from α restricted to S∖{r} (absorbing states
         // carry no initial mass by the analyze() check).
         let (primed, err_primed) = if has_primed {
-            let mut start = ctmc.initial().to_vec();
+            let mut start = ws.take_copied(ctmc.initial());
             start[r] = 0.0;
             for &f in absorbing {
                 start[f] = 0.0;
@@ -252,6 +269,7 @@ impl RegenParams {
                 budget_primed,
                 opts,
                 CycleKind::OneShot,
+                ws,
             );
             (Some(p), e)
         } else {
@@ -366,7 +384,8 @@ enum CycleKind {
 }
 
 /// Steps one killed chain until its truncation bound meets `budget`.
-/// Returns the parameters and the certified error bound achieved.
+/// Returns the parameters and the certified error bound achieved. `start`
+/// is consumed as the iterate and returned to `ws` on exit.
 #[allow(clippy::too_many_arguments)]
 fn step_killed_chain(
     ctmc: &Ctmc,
@@ -378,11 +397,12 @@ fn step_killed_chain(
     budget: f64,
     opts: &RegenOptions,
     kind: CycleKind,
+    ws: &mut Workspace,
 ) -> (KilledChainParams, f64) {
     let r_max = ctmc.max_reward();
     let n_abs = absorbing.len();
     let mut pi = start;
-    let mut next = vec![0.0; pi.len()];
+    let mut next = ws.take_zeroed(pi.len());
 
     let a0 = KahanSum::sum_slice(&pi);
     let mut params = KilledChainParams {
@@ -407,12 +427,15 @@ fn step_killed_chain(
     // K = 0 (no stepping).
     if bound(0, a0) <= budget || a0 == 0.0 {
         let err = bound(0, a0);
+        ws.give(pi);
+        ws.give(next);
         return (params, err);
     }
 
+    let stepper = unif.stepper(&opts.parallel);
     loop {
         let k = params.u.len(); // about to compute step k -> k+1
-        unif.step_into(&pi, &mut next, &opts.parallel);
+        stepper.step(&pi, &mut next);
         // Kill on return to r / absorption, recording the killed mass.
         params.u.push(next[r]);
         next[r] = 0.0;
@@ -428,6 +451,8 @@ fn step_killed_chain(
         let depth = k + 1;
         let err = bound(depth, a_next);
         if err <= budget || a_next <= f64::MIN_POSITIVE {
+            ws.give(pi);
+            ws.give(next);
             return (params, err.min(budget));
         }
         assert!(

@@ -5,6 +5,7 @@
 use crate::params::{check_regen_state, RegenOptions, RegenParams};
 use crate::vmodel::build_truncated_model;
 use regenr_ctmc::{analyze, Ctmc, CtmcError, Uniformized};
+use regenr_sparse::Workspace;
 use regenr_transient::{MeasureKind, SrOptions, SrSolver};
 use std::sync::Arc;
 
@@ -115,9 +116,31 @@ impl<'a> RrSolver<'a> {
         self.unif.lambda
     }
 
+    /// The regenerative state in use (callers deriving cache keys must use
+    /// this, not re-run their own selection).
+    pub fn regenerative_state(&self) -> usize {
+        self.r
+    }
+
+    /// The options in effect.
+    pub fn options(&self) -> &RrOptions {
+        &self.opts
+    }
+
     /// Computes the measure at horizon `t` with total error `≤ ε`
     /// (`ε/2` model truncation + `ε/2` inner SR).
     pub fn solve(&self, measure: MeasureKind, t: f64) -> Result<RrSolution, CtmcError> {
+        self.solve_with(measure, t, &mut Workspace::new())
+    }
+
+    /// Like [`RrSolver::solve`] with caller-owned scratch for the
+    /// construction stepping and the inner SR propagation.
+    pub fn solve_with(
+        &self,
+        measure: MeasureKind,
+        t: f64,
+        ws: &mut Workspace,
+    ) -> Result<RrSolution, CtmcError> {
         assert!(t >= 0.0);
         if t == 0.0 {
             return Ok(RrSolution {
@@ -129,15 +152,30 @@ impl<'a> RrSolver<'a> {
                 error_bound: 0.0,
             });
         }
-        let params = RegenParams::compute_with(
+        let params = RegenParams::compute_with_ws(
             self.ctmc,
             &self.unif,
             &self.absorbing,
             self.r,
             t,
             &self.opts.regen,
+            ws,
         )?;
-        let (vmodel, _) = build_truncated_model(&params)?;
+        self.solve_from(&params, measure, t, ws)
+    }
+
+    /// Solves the truncated model described by already-computed (and, for
+    /// `t` below their horizon, already-sliced) parameters — the stage
+    /// shared by [`RrSolver::solve`], [`RrSolver::solve_many`] and the
+    /// engine's cross-request parameter cache.
+    pub fn solve_from(
+        &self,
+        params: &RegenParams,
+        measure: MeasureKind,
+        t: f64,
+        ws: &mut Workspace,
+    ) -> Result<RrSolution, CtmcError> {
+        let (vmodel, _) = build_truncated_model(params)?;
         let inner = SrSolver::new(
             &vmodel,
             SrOptions {
@@ -146,7 +184,7 @@ impl<'a> RrSolver<'a> {
                 parallel: self.opts.regen.parallel,
             },
         );
-        let sol = inner.solve(measure, t);
+        let sol = inner.solve_with(measure, t, ws);
         Ok(RrSolution {
             value: sol.value,
             construction_steps: params.construction_steps(),
@@ -168,51 +206,54 @@ impl<'a> RrSolver<'a> {
         measure: MeasureKind,
         ts: &[f64],
     ) -> Result<Vec<RrSolution>, CtmcError> {
+        self.solve_many_with(measure, ts, &mut Workspace::new())
+    }
+
+    /// Like [`RrSolver::solve_many`] with caller-owned scratch.
+    pub fn solve_many_with(
+        &self,
+        measure: MeasureKind,
+        ts: &[f64],
+        ws: &mut Workspace,
+    ) -> Result<Vec<RrSolution>, CtmcError> {
         let t_max = ts.iter().copied().fold(0.0f64, f64::max);
         if t_max == 0.0 {
-            return ts.iter().map(|&t| self.solve(measure, t)).collect();
+            return ts
+                .iter()
+                .map(|&t| self.solve_with(measure, t, ws))
+                .collect();
         }
-        let params = self.parameters(t_max)?;
+        let params = self.parameters_with(t_max, ws)?;
         ts.iter()
             .map(|&t| {
                 if t == 0.0 {
-                    return self.solve(measure, t);
+                    return self.solve_with(measure, t, ws);
                 }
                 let (k, l) = params
                     .depth_for_horizon(t, self.opts.regen.epsilon)
                     .expect("depth available: t <= t_max");
                 let sliced = params.truncated(k, l);
-                let (vmodel, _) = build_truncated_model(&sliced)?;
-                let inner = SrSolver::new(
-                    &vmodel,
-                    SrOptions {
-                        epsilon: self.opts.regen.epsilon / 2.0,
-                        theta: self.opts.regen.theta,
-                        parallel: self.opts.regen.parallel,
-                    },
-                );
-                let sol = inner.solve(measure, t);
-                Ok(RrSolution {
-                    value: sol.value,
-                    construction_steps: sliced.construction_steps(),
-                    k: sliced.main.depth(),
-                    l: sliced.primed.as_ref().map_or(0, |p| p.depth()),
-                    inner_steps: sol.steps,
-                    error_bound: self.opts.regen.epsilon,
-                })
+                self.solve_from(&sliced, measure, t, ws)
             })
             .collect()
     }
 
-    /// Exposes the computed parameters for a horizon (diagnostics, benches).
+    /// Exposes the computed parameters for a horizon (diagnostics, benches,
+    /// the engine's parameter cache).
     pub fn parameters(&self, t: f64) -> Result<RegenParams, CtmcError> {
-        RegenParams::compute_with(
+        self.parameters_with(t, &mut Workspace::new())
+    }
+
+    /// Like [`RrSolver::parameters`] with caller-owned scratch.
+    pub fn parameters_with(&self, t: f64, ws: &mut Workspace) -> Result<RegenParams, CtmcError> {
+        RegenParams::compute_with_ws(
             self.ctmc,
             &self.unif,
             &self.absorbing,
             self.r,
             t,
             &self.opts.regen,
+            ws,
         )
     }
 }

@@ -19,6 +19,7 @@ use regenr_ctmc::{analyze, Ctmc, CtmcError, Uniformized};
 use regenr_laplace::{
     damping_for_bounded, damping_for_linear_growth, DurbinInverter, InverterOptions,
 };
+use regenr_sparse::Workspace;
 use regenr_transient::MeasureKind;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -163,6 +164,17 @@ impl<'a> RrlSolver<'a> {
 
     /// Computes the measure at horizon `t`.
     pub fn solve(&self, measure: MeasureKind, t: f64) -> Result<RrlSolution, CtmcError> {
+        self.solve_with(measure, t, &mut Workspace::new())
+    }
+
+    /// Like [`RrlSolver::solve`] with caller-owned scratch for the
+    /// construction stepping (the inversion itself works on `O(K)` scalars).
+    pub fn solve_with(
+        &self,
+        measure: MeasureKind,
+        t: f64,
+        ws: &mut Workspace,
+    ) -> Result<RrlSolution, CtmcError> {
         assert!(t >= 0.0);
         if t == 0.0 {
             return Ok(RrlSolution {
@@ -178,14 +190,7 @@ impl<'a> RrlSolver<'a> {
             });
         }
         let t0 = Instant::now();
-        let params = RegenParams::compute_with(
-            self.ctmc,
-            &self.unif,
-            &self.absorbing,
-            self.r,
-            t,
-            &self.opts.regen,
-        )?;
+        let params = self.parameters_with(t, ws)?;
         let construction_time = t0.elapsed();
         let sol = self.invert_params(&params, measure, t);
         Ok(RrlSolution {
@@ -299,17 +304,30 @@ impl<'a> RrlSolver<'a> {
         measure: MeasureKind,
         ts: &[f64],
     ) -> Result<Vec<RrlSolution>, CtmcError> {
+        self.solve_many_with(measure, ts, &mut Workspace::new())
+    }
+
+    /// Like [`RrlSolver::solve_many`] with caller-owned scratch.
+    pub fn solve_many_with(
+        &self,
+        measure: MeasureKind,
+        ts: &[f64],
+        ws: &mut Workspace,
+    ) -> Result<Vec<RrlSolution>, CtmcError> {
         let t_max = ts.iter().copied().fold(0.0f64, f64::max);
         if t_max == 0.0 {
-            return ts.iter().map(|&t| self.solve(measure, t)).collect();
+            return ts
+                .iter()
+                .map(|&t| self.solve_with(measure, t, ws))
+                .collect();
         }
         let t0 = Instant::now();
-        let params = self.parameters(t_max)?;
+        let params = self.parameters_with(t_max, ws)?;
         let construction_time = t0.elapsed();
         ts.iter()
             .map(|&t| {
                 if t == 0.0 {
-                    return self.solve(measure, t);
+                    return self.solve_with(measure, t, ws);
                 }
                 let (k, l) = params
                     .depth_for_horizon(t, self.opts.regen.epsilon)
@@ -324,13 +342,19 @@ impl<'a> RrlSolver<'a> {
 
     /// Exposes the computed parameters for a horizon (diagnostics, benches).
     pub fn parameters(&self, t: f64) -> Result<RegenParams, CtmcError> {
-        RegenParams::compute_with(
+        self.parameters_with(t, &mut Workspace::new())
+    }
+
+    /// Like [`RrlSolver::parameters`] with caller-owned scratch.
+    pub fn parameters_with(&self, t: f64, ws: &mut Workspace) -> Result<RegenParams, CtmcError> {
+        RegenParams::compute_with_ws(
             self.ctmc,
             &self.unif,
             &self.absorbing,
             self.r,
             t,
             &self.opts.regen,
+            ws,
         )
     }
 }

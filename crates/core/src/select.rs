@@ -16,7 +16,7 @@
 //! sits on the `f_i`).
 
 use regenr_ctmc::{analyze, Ctmc, CtmcError, Uniformized};
-use regenr_sparse::ParallelConfig;
+use regenr_sparse::{ParallelConfig, Workspace};
 
 /// Options for [`select_regenerative_state`].
 #[derive(Clone, Copy, Debug)]
@@ -42,6 +42,16 @@ impl Default for SelectOptions {
 /// the structural errors of [`regenr_ctmc::analyze`] when the chain violates
 /// the paper's assumptions.
 pub fn select_regenerative_state(ctmc: &Ctmc, opts: SelectOptions) -> Result<usize, CtmcError> {
+    select_regenerative_state_with(ctmc, opts, &mut Workspace::new())
+}
+
+/// Like [`select_regenerative_state`] with caller-owned scratch for the
+/// occupancy iteration.
+pub fn select_regenerative_state_with(
+    ctmc: &Ctmc,
+    opts: SelectOptions,
+    ws: &mut Workspace,
+) -> Result<usize, CtmcError> {
     let info = analyze(ctmc)?;
     let is_absorbing = {
         let mut v = vec![false; ctmc.n_states()];
@@ -51,12 +61,12 @@ pub fn select_regenerative_state(ctmc: &Ctmc, opts: SelectOptions) -> Result<usi
         v
     };
     let unif = Uniformized::new(ctmc, opts.theta);
-    let cfg = ParallelConfig::default();
-    let mut pi = ctmc.initial().to_vec();
-    let mut next = vec![0.0; pi.len()];
-    let mut score = pi.clone();
+    let stepper = unif.stepper(&ParallelConfig::default());
+    let mut pi = ws.take_copied(ctmc.initial());
+    let mut next = ws.take_zeroed(pi.len());
+    let mut score = ws.take_copied(&pi);
     for _ in 0..opts.steps {
-        unif.step_into(&pi, &mut next, &cfg);
+        stepper.step(&pi, &mut next);
         std::mem::swap(&mut pi, &mut next);
         for (s, p) in score.iter_mut().zip(&pi) {
             *s += p;
@@ -69,6 +79,9 @@ pub fn select_regenerative_state(ctmc: &Ctmc, opts: SelectOptions) -> Result<usi
         .max_by(|a, b| a.1.partial_cmp(b.1).expect("scores are finite"))
         .map(|(i, _)| i)
         .expect("at least one non-absorbing state exists");
+    ws.give(pi);
+    ws.give(next);
+    ws.give(score);
     Ok(best)
 }
 

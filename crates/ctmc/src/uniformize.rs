@@ -6,7 +6,30 @@
 //! in the workspace starts from a [`Uniformized`] view.
 
 use crate::chain::Ctmc;
-use regenr_sparse::{CsrMatrix, ParallelConfig};
+use regenr_sparse::{effective_threads, ChunkPlan, CsrMatrix, ParallelConfig, WorkerPool};
+use std::sync::{Arc, Mutex};
+
+/// Shared memo of nnz-balanced [`ChunkPlan`]s for `Pᵀ`, keyed by chunk
+/// count. Wrapped in an `Arc` so clones of a [`Uniformized`] share the same
+/// plans (they describe the same matrix); the inner list is tiny — one entry
+/// per distinct thread count ever requested.
+#[derive(Clone, Debug, Default)]
+struct PlanCache(Arc<Mutex<PlanList>>);
+
+/// `(chunk count, plan)` pairs; linear scan — a handful of entries at most.
+type PlanList = Vec<(usize, Arc<ChunkPlan>)>;
+
+impl PlanCache {
+    fn get_or_plan(&self, matrix: &CsrMatrix, chunks: usize) -> Arc<ChunkPlan> {
+        let mut plans = regenr_sparse::pool::lock(&self.0);
+        if let Some((_, plan)) = plans.iter().find(|(c, _)| *c == chunks) {
+            return plan.clone();
+        }
+        let plan = Arc::new(ChunkPlan::new(matrix, chunks));
+        plans.push((chunks, plan.clone()));
+        plan
+    }
+}
 
 /// A uniformized view of a CTMC: the randomized DTMC matrix `P`, its transpose
 /// (for gather-style products) and the randomization rate `Λ`.
@@ -18,6 +41,38 @@ pub struct Uniformized {
     pub p: CsrMatrix,
     /// `Pᵀ`, used to propagate row distributions as `π ← Pᵀπ`.
     pub p_t: CsrMatrix,
+    /// Chunk plans for `p_t`, computed once per chunk count (see
+    /// [`Uniformized::stepper`]).
+    plans: PlanCache,
+}
+
+/// A DTMC stepping kernel bound to one uniformization: the chunk plan is
+/// resolved **once** (and cached on the [`Uniformized`]) instead of per
+/// product, and repeated steps run on the persistent shared [`WorkerPool`] —
+/// the execution shape every SpMV-bound solver loop wants. Obtain one from
+/// [`Uniformized::stepper`]; results are bitwise identical to the serial
+/// product regardless of pool size or chunk count.
+pub struct Stepper<'a> {
+    p_t: &'a CsrMatrix,
+    /// `None` ⇒ the matrix is below the parallel threshold (or one thread
+    /// was requested): steps run serially with zero dispatch overhead.
+    plan: Option<Arc<ChunkPlan>>,
+    pool: &'static Arc<WorkerPool>,
+}
+
+impl Stepper<'_> {
+    /// One DTMC step: `out = Pᵀ·π`.
+    pub fn step(&self, pi: &[f64], out: &mut [f64]) {
+        match &self.plan {
+            Some(plan) => self.p_t.mul_vec_pooled_into(pi, out, plan, self.pool),
+            None => self.p_t.mul_vec_into(pi, out),
+        }
+    }
+
+    /// Whether steps are dispatched to the worker pool (`false` ⇒ serial).
+    pub fn is_pooled(&self) -> bool {
+        self.plan.is_some()
+    }
 }
 
 impl Uniformized {
@@ -52,13 +107,34 @@ impl Uniformized {
         let p = ctmc.generator().identity_plus_scaled(1.0 / lambda);
         debug_assert!(p.is_row_stochastic(1e-9));
         let p_t = p.transpose();
-        Uniformized { lambda, p, p_t }
+        Uniformized {
+            lambda,
+            p,
+            p_t,
+            plans: PlanCache::default(),
+        }
+    }
+
+    /// A stepping kernel with its chunk plan resolved once under `cfg` (see
+    /// [`Stepper`]). Solver loops should build this once per solve and call
+    /// [`Stepper::step`] per product; [`Uniformized::step_into`] re-plans on
+    /// every call.
+    pub fn stepper(&self, cfg: &ParallelConfig) -> Stepper<'_> {
+        let threads = effective_threads(cfg.threads);
+        let plan = (self.p_t.nnz() >= cfg.min_nnz && threads > 1)
+            .then(|| self.plans.get_or_plan(&self.p_t, threads));
+        Stepper {
+            p_t: &self.p_t,
+            plan,
+            pool: WorkerPool::global(),
+        }
     }
 
     /// One DTMC step: `out = πᵀP` computed as `Pᵀ·π` (gather), optionally in
-    /// parallel.
+    /// parallel. Convenience wrapper around [`Uniformized::stepper`] for
+    /// one-shot steps.
     pub fn step_into(&self, pi: &[f64], out: &mut [f64], cfg: &ParallelConfig) {
-        self.p_t.mul_vec_parallel_into(pi, out, cfg);
+        self.stepper(cfg).step(pi, out);
     }
 
     /// Number of states.
@@ -161,5 +237,29 @@ mod tests {
     #[should_panic]
     fn too_small_rate_panics() {
         Uniformized::with_rate(&chain(), 1.0);
+    }
+
+    #[test]
+    fn stepper_matches_step_into_and_caches_plans() {
+        let u = Uniformized::new(&chain(), 0.0);
+        // Force the pooled path even on this tiny chain.
+        let cfg = ParallelConfig {
+            min_nnz: 0,
+            threads: 4,
+        };
+        let stepper = u.stepper(&cfg);
+        assert!(stepper.is_pooled());
+        let pi = [0.2, 0.3, 0.5];
+        let mut a = vec![0.0; 3];
+        let mut b = vec![0.0; 3];
+        stepper.step(&pi, &mut a);
+        u.p_t.mul_vec_into(&pi, &mut b);
+        assert_eq!(a, b, "pooled step must be bitwise identical to serial");
+        // Same chunk count → the cached plan is shared (same allocation).
+        let again = u.stepper(&cfg);
+        let (p1, p2) = (stepper.plan.as_ref().unwrap(), again.plan.as_ref().unwrap());
+        assert!(Arc::ptr_eq(p1, p2), "plan must be computed once per matrix");
+        // Below the nnz threshold the stepper is serial.
+        assert!(!u.stepper(&ParallelConfig::default()).is_pooled());
     }
 }

@@ -3,6 +3,9 @@
 //! ```text
 //! regenr sweep <spec.json>     run the spec (use '-' for stdin)
 //! regenr sweep - --pretty      pretty-print the report
+//! regenr sweep - --stable      omit timing/cache/pool fields so reports
+//!                              from runs differing only in thread counts
+//!                              diff byte-for-byte (CI determinism job)
 //! regenr demo [G]              built-in paper workload (RAID UA+UR grid)
 //! regenr methods               list methods and capability flags
 //! ```
@@ -12,18 +15,20 @@
 //! why, step counts, error bounds, and artifact-cache counters. See
 //! `regenr_engine::spec` for the spec schema.
 
-use regenr_engine::{report_to_json, Engine, Json, SweepSpec, ALL_METHODS};
+use regenr_engine::{report_to_json, stable_report_to_json, Engine, Json, SweepSpec, ALL_METHODS};
 use std::io::Read;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let pretty = args.iter().any(|a| a == "--pretty");
+    let stable = args.iter().any(|a| a == "--stable");
     let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     let code = match positional.first().map(|s| s.as_str()) {
-        Some("sweep") => sweep(positional.get(1).map(|s| s.as_str()), pretty),
+        Some("sweep") => sweep(positional.get(1).map(|s| s.as_str()), pretty, stable),
         Some("demo") => demo(
             positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(20),
             pretty,
+            stable,
         ),
         Some("methods") => {
             methods(pretty);
@@ -31,7 +36,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: regenr <sweep <spec.json|->|demo [G]|methods> [--pretty]\n\
+                "usage: regenr <sweep <spec.json|->|demo [G]|methods> [--pretty] [--stable]\n\
                  see the module docs of regenr_engine::spec for the spec schema"
             );
             2
@@ -48,7 +53,7 @@ fn emit(doc: &Json, pretty: bool) {
     }
 }
 
-fn run_spec(text: &str, pretty: bool) -> i32 {
+fn run_spec(text: &str, pretty: bool, stable: bool) -> i32 {
     let spec = match SweepSpec::parse(text) {
         Ok(spec) => spec,
         Err(e) => {
@@ -58,7 +63,12 @@ fn run_spec(text: &str, pretty: bool) -> i32 {
     };
     let engine = Engine::with_cache_config(spec.options, spec.cache);
     let report = engine.sweep(&spec.requests);
-    emit(&report_to_json(&report), pretty);
+    let doc = if stable {
+        stable_report_to_json(&report)
+    } else {
+        report_to_json(&report)
+    };
+    emit(&doc, pretty);
     if report.failures.is_empty() {
         0
     } else {
@@ -66,7 +76,7 @@ fn run_spec(text: &str, pretty: bool) -> i32 {
     }
 }
 
-fn sweep(path: Option<&str>, pretty: bool) -> i32 {
+fn sweep(path: Option<&str>, pretty: bool, stable: bool) -> i32 {
     let Some(path) = path else {
         eprintln!("usage: regenr sweep <spec.json|->");
         return 2;
@@ -89,12 +99,12 @@ fn sweep(path: Option<&str>, pretty: bool) -> i32 {
             }
         }
     };
-    run_spec(&text, pretty)
+    run_spec(&text, pretty, stable)
 }
 
 /// The paper's Section 3 workload as a built-in spec: level-5 RAID, UA
 /// (irreducible) and UR (absorbing) across the full horizon grid.
-fn demo(g: u32, pretty: bool) -> i32 {
+fn demo(g: u32, pretty: bool, stable: bool) -> i32 {
     let spec = format!(
         r#"{{
             "epsilon": 1e-12,
@@ -105,7 +115,7 @@ fn demo(g: u32, pretty: bool) -> i32 {
             ]
         }}"#
     );
-    run_spec(&spec, pretty)
+    run_spec(&spec, pretty, stable)
 }
 
 fn methods(pretty: bool) {

@@ -13,13 +13,15 @@
 //!   safety factor `θ` (shared by SR, RSD, adaptive, RR and RRL through the
 //!   solvers' `with_uniformized` constructors),
 //! * **regenerative parameters** — the killed-chain sequences
-//!   (`a(k)`, …) consumed by RRL, keyed by `(regenerative state, ε, θ)`
-//!   (RR shares the same construction *within* a request through
-//!   `RrSolver::solve_many`, but is not cached across requests here). The
-//!   truncation bound is monotone in `t`, so parameters computed at some
-//!   horizon serve every smaller one by prefix truncation
-//!   ([`RegenParams::truncated`]); the cache transparently *widens* the
-//!   stored entry when a larger horizon arrives.
+//!   (`a(k)`, …) consumed by RR *and* RRL, keyed by
+//!   `(regenerative state, ε, θ)`. The two methods construct identical
+//!   sequences for identical keys (only the solve stage differs — inner SR
+//!   vs Laplace inversion), so they share pool entries: an RR request warms
+//!   the cache for a later RRL request and vice versa. The truncation bound
+//!   is monotone in `t`, so parameters computed at some horizon serve every
+//!   smaller one by prefix truncation ([`RegenParams::truncated`]); the
+//!   cache transparently *widens* the stored entry when a larger horizon
+//!   arrives.
 //!
 //! This generalizes the one-off chain cache of `regenr-bench`'s `Workload`
 //! (which memoizes only built RAID chains, for exactly four keys).
@@ -163,10 +165,9 @@ fn norm_key_bits(x: f64) -> u64 {
 
 /// Poison-tolerant lock: a panicking solver job on another worker must not
 /// wedge the cache (or the sweep executor, which shares this helper) for
-/// the rest of the sweep.
-pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
-}
+/// the rest of the sweep. One policy, one copy — the execution layer's
+/// helper, re-exported for the engine's call sites.
+pub(crate) use regenr_sparse::pool::lock;
 
 struct PoolEntry<V> {
     value: V,
@@ -488,8 +489,12 @@ impl ArtifactCache {
     }
 
     /// Regenerative parameters for `(chain, r, ε, θ)` covering horizon `t`,
-    /// reusing (or widening) a cached computation. The returned parameters
-    /// cover **at least** `t`; slice them with
+    /// reusing (or widening) a cached computation. `build(horizon)` performs
+    /// the construction on a miss — pass the owning solver's
+    /// `parameters`/`parameters_with` so the key always describes the solver
+    /// that consumes the result. RR and RRL construct identical sequences
+    /// for identical keys, so both methods share this pool. The returned
+    /// parameters cover **at least** `t`; slice them with
     /// [`RegenParams::depth_for_horizon`] + [`RegenParams::truncated`].
     ///
     /// A *first* build runs under the per-key slot lock, so two threads
@@ -502,10 +507,10 @@ impl ArtifactCache {
     pub fn regen_params(
         &self,
         fp: u64,
-        solver: &RrlSolver<'_>,
         regen: &RegenOptions,
         r: usize,
         t: f64,
+        mut build: impl FnMut(f64) -> Result<RegenParams, CtmcError>,
     ) -> Result<(Arc<RegenParams>, bool), CtmcError> {
         let key = (
             fp,
@@ -523,7 +528,7 @@ impl ArtifactCache {
             // Widening: the current entry keeps serving covered horizons
             // while we rebuild, so step without the slot lock.
             drop(guard);
-            let params = Arc::new(solver.parameters(t)?);
+            let params = Arc::new(build(t)?);
             self.params_counters.record(false);
             let guard = lock(&slot);
             let superseded = guard.as_ref().is_some_and(|e| e.t_max >= t);
@@ -536,7 +541,7 @@ impl ArtifactCache {
             return Ok((params, false));
         }
         let cleanup = SlotCleanup::new(&self.params, key, slot.clone());
-        let params = Arc::new(solver.parameters(t)?);
+        let params = Arc::new(build(t)?);
         self.params_counters.record(false);
         self.store_params(guard, &slot, key, t, &params);
         cleanup.disarm();
@@ -683,13 +688,14 @@ mod tests {
         let opts = RrlOptions::default();
         let (solver, _) = rrl_on_cache(&cache, fp, &c, 0, opts).unwrap();
         let regen = opts.regen;
-        let (_, hit1) = cache.regen_params(fp, &solver, &regen, 0, 10.0).unwrap();
+        let build = |h| solver.parameters(h);
+        let (_, hit1) = cache.regen_params(fp, &regen, 0, 10.0, build).unwrap();
         assert!(!hit1);
-        let (_, hit2) = cache.regen_params(fp, &solver, &regen, 0, 5.0).unwrap();
+        let (_, hit2) = cache.regen_params(fp, &regen, 0, 5.0, build).unwrap();
         assert!(hit2, "smaller horizon must reuse the wider computation");
-        let (_, hit3) = cache.regen_params(fp, &solver, &regen, 0, 100.0).unwrap();
+        let (_, hit3) = cache.regen_params(fp, &regen, 0, 100.0, build).unwrap();
         assert!(!hit3, "larger horizon must recompute (and widen the entry)");
-        let (_, hit4) = cache.regen_params(fp, &solver, &regen, 0, 50.0).unwrap();
+        let (_, hit4) = cache.regen_params(fp, &regen, 0, 50.0, build).unwrap();
         assert!(hit4);
         assert_eq!(cache.stats().regen_params.entries, 1, "widening replaces");
     }
@@ -715,7 +721,7 @@ mod tests {
                     let (solver, _) = rrl_on_cache(&cache, fp, &c, 0, opts).unwrap();
                     barrier.wait();
                     let (params, _) = cache
-                        .regen_params(fp, &solver, &opts.regen, 0, 1_000.0)
+                        .regen_params(fp, &opts.regen, 0, 1_000.0, |h| solver.parameters(h))
                         .unwrap();
                     assert!(params
                         .depth_for_horizon(1_000.0, opts.regen.epsilon)

@@ -30,9 +30,11 @@ use crate::fingerprint::fingerprint;
 use crate::method::Method;
 use crate::solver::{build_solver, EngineSolution, SolveConfig, Solver};
 use crate::EngineError;
-use regenr_ctmc::Ctmc;
+use regenr_ctmc::{Ctmc, CtmcError};
 use regenr_laplace::InverterOptions;
-use regenr_sparse::{effective_threads, ParallelConfig};
+use regenr_sparse::{
+    effective_threads, ParallelConfig, WorkerPool, WorkerPoolStats, Workspace, WorkspaceStats,
+};
 use regenr_transient::MeasureKind;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -105,6 +107,10 @@ impl SolveRequest {
 pub enum DispatchReason {
     /// The request fixed the method.
     FixedByRequest,
+    /// Tiny `Λt` on a large sparse model: the active-set frontier stays far
+    /// below the state count, so adaptive randomization touches a fraction
+    /// of the matrix per step (numerically identical to SR).
+    TinyHorizonActiveSet,
     /// `Λt` below the SR threshold: SR is cheap and rigorous.
     SmallHorizon,
     /// Irreducible chain at large `Λt`: steady-state detection saturates.
@@ -118,6 +124,7 @@ impl DispatchReason {
     pub fn as_str(self) -> &'static str {
         match self {
             DispatchReason::FixedByRequest => "fixed_by_request",
+            DispatchReason::TinyHorizonActiveSet => "tiny_lambda_t_active_set",
             DispatchReason::SmallHorizon => "small_lambda_t",
             DispatchReason::IrreducibleSteadyState => "irreducible_steady_state",
             DispatchReason::StiffLargeHorizon => "stiff_large_horizon",
@@ -177,6 +184,26 @@ pub struct SweepFailure {
     pub error: String,
 }
 
+/// Execution-layer accounting for one sweep: how the shared worker pool and
+/// the per-worker workspaces were used.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Sweep-level concurrency actually achieved: the worker count after
+    /// resolving `threads = 0`, capping by the job count, and accounting
+    /// for the execution mode — `1` when the sweep ran inline (single job,
+    /// or the shared pool was busy at submission), the scoped/pooled
+    /// worker count otherwise.
+    pub sweep_workers: usize,
+    /// Threads the shared SpMV pool executes on.
+    pub pool_threads: usize,
+    /// Pool activity during this sweep (delta of the shared pool's
+    /// counters; inner SpMVs that found the pool busy count as inline).
+    pub pool: WorkerPoolStats,
+    /// Workspace activity summed over the sweep's workers. `fresh_allocs`
+    /// far below `takes` is the zero-steady-state-allocation property.
+    pub workspace: WorkspaceStats,
+}
+
 /// Everything a sweep produced.
 #[derive(Clone, Debug, Default)]
 pub struct SweepReport {
@@ -186,6 +213,8 @@ pub struct SweepReport {
     pub failures: Vec<SweepFailure>,
     /// Cache counters accumulated on the engine at sweep end.
     pub cache: CacheStats,
+    /// Worker-pool and workspace accounting for this sweep.
+    pub exec: ExecStats,
     /// Total wall time of the sweep.
     pub wall: Duration,
 }
@@ -198,7 +227,18 @@ pub struct EngineOptions {
     /// `Λt` threshold below which `Auto` prefers SR. The paper's grids show
     /// SR competitive through `Λt ≈ 10³` and hopeless beyond `10⁴`.
     pub small_lambda_t: f64,
-    /// Worker threads for sweeps (`0` = available parallelism).
+    /// `Λt` threshold below which `Auto` prefers *adaptive* (active-set)
+    /// randomization on large sparse models: the Poisson window ends after
+    /// `≈ Λt + O(√(Λt))` steps, so the reachable frontier stays a fraction
+    /// of the state space and each step touches only the active rows.
+    pub tiny_lambda_t: f64,
+    /// Minimum state count before `Auto` considers adaptive randomization —
+    /// on small models the frontier saturates immediately and plain SR's
+    /// simpler loop wins.
+    pub adaptive_min_states: usize,
+    /// Worker threads for sweeps (`0` = available parallelism). Sweep jobs
+    /// run on the shared persistent worker pool; this caps how many run
+    /// concurrently.
     pub threads: usize,
     /// Dense ODE-oracle state limit.
     pub dense_oracle_max_states: usize,
@@ -213,6 +253,11 @@ impl Default for EngineOptions {
         EngineOptions {
             theta: 0.0,
             small_lambda_t: 2_000.0,
+            // ≈ 2⁶ expected DTMC steps: deep enough to be worth solving,
+            // shallow enough that a breadth-`Λt` frontier stays local in
+            // the RAID-style models the paper evaluates.
+            tiny_lambda_t: 64.0,
+            adaptive_min_states: 2_048,
             threads: 0,
             dense_oracle_max_states: 1_000,
             inverter: InverterOptions::default(),
@@ -222,10 +267,25 @@ impl Default for EngineOptions {
 }
 
 /// The solver engine: dispatch + artifact cache + sweep executor.
-#[derive(Default)]
 pub struct Engine {
     opts: EngineOptions,
     cache: ArtifactCache,
+    /// The shared persistent worker pool: sweep jobs run on it, and the
+    /// solvers' pooled SpMV kernels dispatch to the same pool (falling back
+    /// to inline execution while the sweep occupies it — the
+    /// nested-parallelism budget; see `regenr_sparse::pool`).
+    ///
+    /// Invariant: this is always [`WorkerPool::global`] — the steppers
+    /// inside the solvers submit to the global pool directly, so an engine
+    /// on any *other* pool would break the shared-pool budget. A future
+    /// custom-pool constructor must plumb its pool into `Stepper` first.
+    pool: Arc<WorkerPool>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::with_options(EngineOptions::default())
+    }
 }
 
 /// A sweep job's result slot, filled by whichever worker executes it.
@@ -277,6 +337,7 @@ impl Engine {
         Engine {
             opts,
             cache: ArtifactCache::with_config(cache_cfg),
+            pool: WorkerPool::global().clone(),
         }
     }
 
@@ -290,10 +351,25 @@ impl Engine {
         &self.cache
     }
 
+    /// The worker pool sweep jobs and pooled SpMVs execute on.
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
     /// Dispatches one (facts, horizon) cell under `Auto`.
+    ///
+    /// Tiny `Λt` on a large sparse model goes to adaptive (active-set)
+    /// randomization — numerically identical to SR, but each step touches
+    /// only the reachable frontier; small `Λt` otherwise goes to SR; beyond
+    /// that, irreducible chains go to RSD and absorbing ones to RRL.
     pub fn auto_method(&self, facts: &ChainFacts, t: f64) -> (Method, DispatchReason) {
         let lambda = self.lambda(facts);
-        if lambda * t <= self.opts.small_lambda_t {
+        if t > 0.0
+            && lambda * t <= self.opts.tiny_lambda_t
+            && facts.n_states >= self.opts.adaptive_min_states
+        {
+            (Method::Adaptive, DispatchReason::TinyHorizonActiveSet)
+        } else if lambda * t <= self.opts.small_lambda_t {
             (Method::Sr, DispatchReason::SmallHorizon)
         } else if facts.irreducible {
             (Method::Rsd, DispatchReason::IrreducibleSteadyState)
@@ -375,7 +451,14 @@ impl Engine {
     }
 
     /// Executes one planned job; returns reports in the job's slot order.
-    fn run_job(&self, req: &SolveRequest, job: &Job) -> Result<Vec<SolveReport>, EngineError> {
+    /// `ws` is the executing worker's scratch arena, reused across the jobs
+    /// it claims.
+    fn run_job(
+        &self,
+        req: &SolveRequest,
+        job: &Job,
+        ws: &mut Workspace,
+    ) -> Result<Vec<SolveReport>, EngineError> {
         // Test seam for the sweep's panic isolation: solver panics are rare
         // (they indicate bugs, not bad requests) and none is reachable
         // through a planned request, so tests inject one by name.
@@ -399,9 +482,39 @@ impl Engine {
         let lambda = self.lambda(facts);
 
         let t0 = Instant::now();
-        let (solutions, params_hit) = match solver.as_rrl() {
-            Some(rrl) => self.run_rrl_cached(rrl, job, req, &cfg)?,
-            None => (solver.solve_many(req.measure, &job.ts)?, false),
+        // RR and RRL share the regen-params cache (identical sequences for
+        // identical `(r, ε, θ)` keys — see `ArtifactCache::regen_params`);
+        // only the per-horizon solve stage differs. The cache key must
+        // describe the solver that consumes the parameters — take `r` and
+        // the options from it, never re-derive.
+        let (solutions, params_hit) = if let Some(rrl) = solver.as_rrl() {
+            self.run_regen_cached(
+                job,
+                rrl.options().regen,
+                rrl.regenerative_state(),
+                cfg.epsilon,
+                ws,
+                |h, ws| rrl.parameters_with(h, ws),
+                |sliced, t, _ws| match sliced {
+                    None => Solver::solve(rrl, req.measure, t),
+                    Some(p) => Ok(rrl.invert_params(p, req.measure, t).into()),
+                },
+            )?
+        } else if let Some(rr) = solver.as_rr() {
+            self.run_regen_cached(
+                job,
+                rr.options().regen,
+                rr.regenerative_state(),
+                cfg.epsilon,
+                ws,
+                |h, ws| rr.parameters_with(h, ws),
+                |sliced, t, ws| match sliced {
+                    None => Ok(rr.solve_with(req.measure, t, ws)?.into()),
+                    Some(p) => Ok(rr.solve_from(p, req.measure, t, ws)?.into()),
+                },
+            )?
+        } else {
+            (solver.solve_many_ws(req.measure, &job.ts, ws)?, false)
         };
         let per_cell = t0.elapsed() / job.ts.len().max(1) as u32;
 
@@ -429,38 +542,54 @@ impl Engine {
             .collect())
     }
 
-    /// RRL fast path: killed-chain parameters come from (and widen) the
-    /// artifact cache, then each horizon is a cheap slice + inversion.
-    fn run_rrl_cached(
+    /// Shared regenerative fast path: killed-chain parameters come from
+    /// (and widen) the artifact cache, then each horizon is a cheap slice
+    /// plus the method's own solve stage. `build` computes parameters on a
+    /// cache miss (the owning solver's `parameters_with`); `solve_one`
+    /// solves one horizon — with `None` parameters for `t = 0`, or the
+    /// already-sliced parameters otherwise (RRL inverts, RR runs the inner
+    /// SR on the truncated model). Keeping the slicing protocol in one
+    /// place means the cached and uncached paths cannot diverge.
+    #[allow(clippy::too_many_arguments)]
+    fn run_regen_cached(
         &self,
-        rrl: &regenr_core::RrlSolver<'_>,
         job: &Job,
-        req: &SolveRequest,
-        cfg: &SolveConfig,
+        regen: regenr_core::RegenOptions,
+        r: usize,
+        epsilon: f64,
+        ws: &mut Workspace,
+        mut build: impl FnMut(f64, &mut Workspace) -> Result<regenr_core::RegenParams, CtmcError>,
+        mut solve_one: impl FnMut(
+            Option<&regenr_core::RegenParams>,
+            f64,
+            &mut Workspace,
+        ) -> Result<EngineSolution, EngineError>,
     ) -> Result<(Vec<EngineSolution>, bool), EngineError> {
         let ts: &[f64] = &job.ts;
         let t_max = ts.iter().copied().fold(0.0f64, f64::max);
         if t_max == 0.0 {
-            return Ok((Solver::solve_many(rrl, req.measure, ts)?, false));
+            let solutions = ts
+                .iter()
+                .map(|&t| solve_one(None, t, ws))
+                .collect::<Result<Vec<_>, _>>()?;
+            return Ok((solutions, false));
         }
-        // The cache key must describe the solver that will consume the
-        // parameters — take `r` and the options from it, never re-derive.
-        let r = rrl.regenerative_state();
-        let regen = rrl.options().regen;
-        let (params, hit) = self.cache.regen_params(job.fp, rrl, &regen, r, t_max)?;
+        let (params, hit) = self
+            .cache
+            .regen_params(job.fp, &regen, r, t_max, |h| build(h, ws))?;
         let solutions = ts
             .iter()
             .map(|&t| {
                 if t == 0.0 {
-                    return Solver::solve(rrl, req.measure, t);
+                    return solve_one(None, t, ws);
                 }
-                let (k, l) = params.depth_for_horizon(t, cfg.epsilon).ok_or_else(|| {
+                let (k, l) = params.depth_for_horizon(t, epsilon).ok_or_else(|| {
                     EngineError::InvalidRequest(format!(
                         "cached parameters do not cover horizon {t}"
                     ))
                 })?;
                 let sliced = params.truncated(k, l);
-                Ok(rrl.invert_params(&sliced, req.measure, t).into())
+                solve_one(Some(&sliced), t, ws)
             })
             .collect::<Result<Vec<EngineSolution>, EngineError>>()?;
         Ok((solutions, hit))
@@ -469,9 +598,10 @@ impl Engine {
     /// Solves one request (sequentially); reports follow the horizon order.
     pub fn solve(&self, req: &SolveRequest) -> Result<Vec<SolveReport>, EngineError> {
         let jobs = self.plan(0, req)?;
+        let mut ws = Workspace::new();
         let mut slots: Vec<Option<SolveReport>> = vec![None; req.horizons.len()];
         for job in &jobs {
-            let reports = self.run_job(req, job)?;
+            let reports = self.run_job(req, job, &mut ws)?;
             for (slot, report) in job.slots.iter().zip(reports) {
                 slots[*slot] = Some(report);
             }
@@ -482,11 +612,21 @@ impl Engine {
             .collect())
     }
 
-    /// Runs a batch of requests, fanning the planned jobs out over a scoped
-    /// worker pool. Failures are collected per request; healthy requests
-    /// still complete.
+    /// Runs a batch of requests, fanning the planned jobs out over sweep
+    /// workers. Failures are collected per request; healthy requests still
+    /// complete.
+    ///
+    /// Thread budget: at most [`EngineOptions::threads`] jobs run
+    /// concurrently. When the sweep needs the whole machine (worker count
+    /// ≥ pool threads) the jobs run *as* pool work and their inner pooled
+    /// SpMVs execute inline — `sweep workers × SpMV threads` never
+    /// oversubscribes. When the sweep is narrower than the machine (fewer
+    /// jobs than pool threads, including the single-job case and
+    /// [`Engine::solve`]), the sweep workers run on scoped threads (or
+    /// inline) and the pool stays free for the jobs' inner SpMVs.
     pub fn sweep(&self, reqs: &[SolveRequest]) -> SweepReport {
         let t0 = Instant::now();
+        let pool_before = self.pool.stats();
         let mut jobs: Vec<Job> = Vec::new();
         let mut failures: Vec<SweepFailure> = Vec::new();
         for (req_idx, req) in reqs.iter().enumerate() {
@@ -503,30 +643,55 @@ impl Engine {
         let results: Vec<JobCell> = jobs.iter().map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         let workers = effective_threads(self.opts.threads).min(jobs.len().max(1));
+        let ws_totals: Mutex<WorkspaceStats> = Mutex::new(WorkspaceStats::default());
 
-        // A panicking solver job must not unwind through the scoped pool and
+        // A panicking solver job must not unwind through the worker pool and
         // abort the whole sweep (nor poison anything another worker needs):
         // catch it here and report it as that request's failure. The job
         // cells themselves are written only after the catch, so they can
-        // never be poisoned by solver code.
-        let run_worker = || loop {
-            let i = next.fetch_add(1, Ordering::Relaxed);
-            let Some(job) = jobs.get(i) else { break };
-            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                self.run_job(&reqs[job.req_idx], job)
-            }))
-            .unwrap_or_else(|payload| Err(EngineError::JobPanicked(panic_message(&payload))));
-            *crate::cache::lock(&results[i]) = Some(outcome);
+        // never be poisoned by solver code. Each worker owns one workspace
+        // for all the jobs it claims, so scratch vectors are reused across
+        // jobs, not just across the horizons of one.
+        let run_worker = || {
+            let mut ws = Workspace::new();
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(i) else { break };
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.run_job(&reqs[job.req_idx], job, &mut ws)
+                }))
+                .unwrap_or_else(|payload| Err(EngineError::JobPanicked(panic_message(&payload))));
+                *crate::cache::lock(&results[i]) = Some(outcome);
+            }
+            crate::cache::lock(&ws_totals).merge(&ws.stats());
         };
-        if workers <= 1 {
+        // Sweep-level execution mode:
+        // * one worker — run inline, leaving the whole pool to the job's
+        //   inner SpMVs;
+        // * fewer workers than pool threads — run the sweep workers on
+        //   scoped threads so the pool stays free for inner SpMVs (a
+        //   2-job sweep on a 16-core box must not serialize its products);
+        // * otherwise — the jobs *are* the pool's work and inner SpMVs
+        //   inline on their workers (the no-oversubscription budget).
+        let achieved_workers = if workers <= 1 {
             run_worker();
-        } else {
+            1
+        } else if workers < self.pool.threads() {
             std::thread::scope(|scope| {
                 for _ in 0..workers {
+                    // The closure only captures shared references, so it is
+                    // `Copy` — each worker thread gets its own copy.
                     scope.spawn(run_worker);
                 }
             });
-        }
+            workers
+        } else if self.pool.run(workers, |_| run_worker()) {
+            workers.min(self.pool.threads())
+        } else {
+            // The shared pool was busy (another sweep or a long pooled
+            // product): every job ran inline on this thread.
+            1
+        };
 
         // Collect in (request, horizon) submission order.
         let mut per_req: Vec<Vec<Option<SolveReport>>> =
@@ -563,6 +728,14 @@ impl Engine {
             reports,
             failures,
             cache: self.cache.stats(),
+            exec: ExecStats {
+                sweep_workers: achieved_workers,
+                pool_threads: self.pool.threads(),
+                pool: self.pool.stats().since(&pool_before),
+                workspace: ws_totals
+                    .into_inner()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner),
+            },
             wall: t0.elapsed(),
         }
     }
@@ -591,6 +764,87 @@ mod tests {
             assert_eq!(r.method, Method::Sr, "t={}", r.t);
             assert_eq!(r.reason, DispatchReason::SmallHorizon);
         }
+    }
+
+    /// A birth–death chain big enough to clear `adaptive_min_states`.
+    fn large_birth_chain(n: usize) -> Arc<Ctmc> {
+        let mut rates = Vec::new();
+        for i in 0..n - 1 {
+            rates.push((i, i + 1, 1.0));
+            rates.push((i + 1, i, 0.5));
+        }
+        let mut init = vec![0.0; n];
+        init[0] = 1.0;
+        let rewards: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
+        Arc::new(Ctmc::from_rates(n, &rates, init, rewards).unwrap())
+    }
+
+    #[test]
+    fn auto_picks_adaptive_for_tiny_horizons_on_large_models() {
+        let engine = Engine::new();
+        let model = large_birth_chain(2_500);
+        // Λ = 1.5, t = 10 → Λt = 15 ≤ tiny_lambda_t: the frontier stays
+        // tiny compared to the 2 500 states.
+        let reports = engine
+            .solve(&SolveRequest::new("big", model.clone(), vec![10.0]).epsilon(1e-10))
+            .unwrap();
+        assert_eq!(reports[0].method, Method::Adaptive);
+        assert_eq!(reports[0].reason, DispatchReason::TinyHorizonActiveSet);
+        // Numerically the active-set method *is* SR.
+        let sr = engine
+            .solve(
+                &SolveRequest::new("big_sr", model.clone(), vec![10.0])
+                    .epsilon(1e-10)
+                    .method(MethodChoice::Fixed(Method::Sr)),
+            )
+            .unwrap();
+        assert!((reports[0].value - sr[0].value).abs() < 1e-12);
+        // The same horizon on a small model still dispatches to SR, and a
+        // larger horizon on the big model leaves the tiny-Λt regime.
+        let small = engine
+            .solve(&SolveRequest::new("small", repairable(), vec![10.0]))
+            .unwrap();
+        assert_eq!(small[0].method, Method::Sr);
+        let deeper = engine
+            .solve(&SolveRequest::new("big_t", model, vec![500.0]).epsilon(1e-10))
+            .unwrap();
+        assert_eq!(deeper[0].reason, DispatchReason::SmallHorizon);
+    }
+
+    /// RR killed-chain parameters are cached across requests — and because
+    /// RR and RRL build identical sequences for the same `(r, ε, θ)`, each
+    /// method warms the cache for the other.
+    #[test]
+    fn rr_params_cached_across_requests_and_shared_with_rrl() {
+        let engine = Engine::new();
+        let mk = |name: &str, method| {
+            SolveRequest::new(name, repairable(), vec![50.0, 500.0])
+                .epsilon(1e-10)
+                .method(MethodChoice::Fixed(method))
+        };
+        let first = engine.solve(&mk("rr1", Method::Rr)).unwrap();
+        assert!(first.iter().all(|r| !r.params_cache_hit));
+        let second = engine.solve(&mk("rr2", Method::Rr)).unwrap();
+        assert!(
+            second.iter().all(|r| r.params_cache_hit),
+            "second RR request must reuse the killed-chain parameters"
+        );
+        // RRL with the same (r, ε, θ) hits the entry RR built.
+        let rrl = engine.solve(&mk("rrl", Method::Rrl)).unwrap();
+        assert!(
+            rrl.iter().all(|r| r.params_cache_hit),
+            "RRL must reuse RR's cached parameters"
+        );
+        for (a, b) in first.iter().zip(&rrl) {
+            assert!(
+                (a.value - b.value).abs() < 1e-9,
+                "t={}: rr {} vs rrl {}",
+                a.t,
+                a.value,
+                b.value
+            );
+        }
+        assert_eq!(engine.cache().stats().regen_params.entries, 1);
     }
 
     #[test]
@@ -791,6 +1045,39 @@ mod tests {
             let exact = l / (l + m) * (1.0 - (-(l + m) * r.t).exp());
             assert!((r.value - exact).abs() < 1e-8, "{} t={}", r.model, r.t);
         }
+    }
+
+    #[test]
+    fn sweep_reports_execution_stats_with_workspace_reuse() {
+        let engine = Engine::with_options(EngineOptions {
+            threads: 1,
+            ..Default::default()
+        });
+        let reqs: Vec<SolveRequest> = (1..4)
+            .map(|i| {
+                SolveRequest::new(
+                    format!("m{i}"),
+                    Arc::new(two_state::repairable_unit(1e-3 * i as f64, 1.0)),
+                    vec![1.0, 10.0, 100.0],
+                )
+                .epsilon(1e-10)
+            })
+            .collect();
+        let report = engine.sweep(&reqs);
+        assert!(report.failures.is_empty());
+        let exec = report.exec;
+        assert_eq!(exec.sweep_workers, 1);
+        assert!(exec.pool_threads >= 1);
+        assert!(exec.workspace.takes > 0, "solvers must draw scratch");
+        assert!(
+            exec.workspace.reused > 0,
+            "one worker over three same-sized jobs must reuse scratch: {:?}",
+            exec.workspace
+        );
+        assert_eq!(
+            exec.workspace.takes,
+            exec.workspace.fresh_allocs + exec.workspace.reused
+        );
     }
 
     #[test]

@@ -48,14 +48,14 @@ pub mod spec;
 
 pub use cache::{ArtifactCache, CacheConfig, CacheStats, ChainFacts, PoolStats};
 pub use engine::{
-    DispatchReason, Engine, EngineOptions, MethodChoice, SolveReport, SolveRequest, SweepFailure,
-    SweepReport,
+    DispatchReason, Engine, EngineOptions, ExecStats, MethodChoice, SolveReport, SolveRequest,
+    SweepFailure, SweepReport,
 };
 pub use fingerprint::fingerprint;
 pub use json::Json;
 pub use method::{Capabilities, Method, ALL_METHODS};
 pub use solver::{build_solver, EngineSolution, SolveConfig, Solver, UnifiedSolver};
-pub use spec::{report_to_json, SweepSpec};
+pub use spec::{report_to_json, stable_report_to_json, SweepSpec};
 
 use regenr_ctmc::CtmcError;
 use std::fmt;

@@ -17,7 +17,7 @@ use regenr_core::{
 };
 use regenr_ctmc::{Ctmc, CtmcError, Uniformized};
 use regenr_laplace::InverterOptions;
-use regenr_sparse::ParallelConfig;
+use regenr_sparse::{ParallelConfig, Workspace};
 use regenr_transient::{
     AdaptiveOptions, AdaptiveSolver, MeasureKind, OdeOptions, OdeSolver, RsdOptions, RsdSolver,
     SrOptions, SrSolver,
@@ -105,6 +105,20 @@ pub trait Solver {
     ) -> Result<Vec<EngineSolution>, EngineError> {
         ts.iter().map(|&t| self.solve(measure, t)).collect()
     }
+
+    /// Like [`Solver::solve_many`] with caller-owned scratch: solvers
+    /// threading the [`Workspace`] through their inner loops perform zero
+    /// steady-state vector allocations across the horizon grid. The default
+    /// ignores the workspace and delegates.
+    fn solve_many_ws(
+        &self,
+        measure: MeasureKind,
+        ts: &[f64],
+        ws: &mut Workspace,
+    ) -> Result<Vec<EngineSolution>, EngineError> {
+        let _ = ws;
+        self.solve_many(measure, ts)
+    }
 }
 
 impl Solver for SrSolver<'_> {
@@ -126,6 +140,18 @@ impl Solver for SrSolver<'_> {
             .map(Into::into)
             .collect())
     }
+
+    fn solve_many_ws(
+        &self,
+        measure: MeasureKind,
+        ts: &[f64],
+        ws: &mut Workspace,
+    ) -> Result<Vec<EngineSolution>, EngineError> {
+        Ok(SrSolver::solve_many_with(self, measure, ts, ws)
+            .into_iter()
+            .map(Into::into)
+            .collect())
+    }
 }
 
 impl Solver for RsdSolver<'_> {
@@ -139,6 +165,18 @@ impl Solver for RsdSolver<'_> {
         // the two apart.
         Ok(RsdSolver::solve(self, measure, t).into())
     }
+
+    fn solve_many_ws(
+        &self,
+        measure: MeasureKind,
+        ts: &[f64],
+        ws: &mut Workspace,
+    ) -> Result<Vec<EngineSolution>, EngineError> {
+        Ok(ts
+            .iter()
+            .map(|&t| self.solve_report_with(measure, t, ws).solution.into())
+            .collect())
+    }
 }
 
 impl Solver for AdaptiveSolver<'_> {
@@ -149,6 +187,18 @@ impl Solver for AdaptiveSolver<'_> {
     fn solve(&self, measure: MeasureKind, t: f64) -> Result<EngineSolution, EngineError> {
         Ok(AdaptiveSolver::solve(self, measure, t).into())
     }
+
+    fn solve_many_ws(
+        &self,
+        measure: MeasureKind,
+        ts: &[f64],
+        ws: &mut Workspace,
+    ) -> Result<Vec<EngineSolution>, EngineError> {
+        Ok(ts
+            .iter()
+            .map(|&t| self.solve_report_with(measure, t, ws).solution.into())
+            .collect())
+    }
 }
 
 impl Solver for OdeSolver<'_> {
@@ -158,6 +208,18 @@ impl Solver for OdeSolver<'_> {
 
     fn solve(&self, measure: MeasureKind, t: f64) -> Result<EngineSolution, EngineError> {
         Ok(OdeSolver::solve(self, measure, t).into())
+    }
+
+    fn solve_many_ws(
+        &self,
+        measure: MeasureKind,
+        ts: &[f64],
+        ws: &mut Workspace,
+    ) -> Result<Vec<EngineSolution>, EngineError> {
+        Ok(ts
+            .iter()
+            .map(|&t| self.solve_with(measure, t, ws).into())
+            .collect())
     }
 }
 
@@ -180,6 +242,18 @@ impl Solver for RrSolver<'_> {
             .map(Into::into)
             .collect())
     }
+
+    fn solve_many_ws(
+        &self,
+        measure: MeasureKind,
+        ts: &[f64],
+        ws: &mut Workspace,
+    ) -> Result<Vec<EngineSolution>, EngineError> {
+        Ok(RrSolver::solve_many_with(self, measure, ts, ws)?
+            .into_iter()
+            .map(Into::into)
+            .collect())
+    }
 }
 
 impl Solver for RrlSolver<'_> {
@@ -197,6 +271,18 @@ impl Solver for RrlSolver<'_> {
         ts: &[f64],
     ) -> Result<Vec<EngineSolution>, EngineError> {
         Ok(RrlSolver::solve_many(self, measure, ts)?
+            .into_iter()
+            .map(Into::into)
+            .collect())
+    }
+
+    fn solve_many_ws(
+        &self,
+        measure: MeasureKind,
+        ts: &[f64],
+        ws: &mut Workspace,
+    ) -> Result<Vec<EngineSolution>, EngineError> {
+        Ok(RrlSolver::solve_many_with(self, measure, ts, ws)?
             .into_iter()
             .map(Into::into)
             .collect())
@@ -262,6 +348,14 @@ impl<'a> UnifiedSolver<'a> {
         }
     }
 
+    /// The inner RR solver, when this is the RR method.
+    pub fn as_rr(&self) -> Option<&RrSolver<'a>> {
+        match self {
+            UnifiedSolver::Rr(s) => Some(s),
+            _ => None,
+        }
+    }
+
     fn inner(&self) -> &dyn Solver {
         match self {
             UnifiedSolver::Sr(s) => s,
@@ -289,6 +383,15 @@ impl Solver for UnifiedSolver<'_> {
         ts: &[f64],
     ) -> Result<Vec<EngineSolution>, EngineError> {
         self.inner().solve_many(measure, ts)
+    }
+
+    fn solve_many_ws(
+        &self,
+        measure: MeasureKind,
+        ts: &[f64],
+        ws: &mut Workspace,
+    ) -> Result<Vec<EngineSolution>, EngineError> {
+        self.inner().solve_many_ws(measure, ts, ws)
     }
 }
 

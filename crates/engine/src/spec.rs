@@ -7,6 +7,7 @@
 //! {
 //!   "epsilon": 1e-12,
 //!   "method": "auto",
+//!   "threads": 4,
 //!   "cache": { "max_entries": 64, "max_bytes": 268435456 },
 //!   "horizons": [1, 10, 100, 1000, 10000, 100000],
 //!   "measures": ["trr"],
@@ -17,10 +18,19 @@
 //!     { "kind": "cyclic", "n": 5, "horizons": [0.5, 5] },
 //!     { "kind": "duplex", "lambda": 0.01, "mu": 1.0, "coverage": 0.95 },
 //!     { "kind": "machines", "machines": 16, "repairmen": 2,
-//!       "lambda": 0.02, "mu": 1.0, "measures": ["trr", "mrr"] }
+//!       "lambda": 0.02, "mu": 1.0, "measures": ["trr", "mrr"] },
+//!     { "kind": "inline", "name": "custom",
+//!       "rates": [[0, 1, 0.001], [1, 0, 1.0]],
+//!       "rewards": [0, 1] }
 //!   ]
 //! }
 //! ```
+//!
+//! Inline models describe the rate matrix directly: `"rates"` is a list of
+//! `[from, to, rate]` triples, `"rewards"` the per-state reward rates, and
+//! the optional `"initial"` distribution defaults to all mass on state 0
+//! (`"n"` overrides the inferred state count). This covers chains no named
+//! generator produces, without touching the CLI.
 
 use crate::cache::CacheConfig;
 use crate::engine::{EngineOptions, MethodChoice, SolveRequest, SweepReport};
@@ -176,6 +186,96 @@ fn get_measures(obj: &Json) -> Result<Option<Vec<MeasureKind>>, String> {
     }
 }
 
+/// Reads an optional array of numbers (e.g. `"rewards"`, `"initial"`).
+fn get_f64_array(obj: &Json, key: &str) -> Result<Option<Vec<f64>>, String> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => {
+            let items = v
+                .as_arr()
+                .ok_or_else(|| format!("field {key:?} must be an array of numbers"))?;
+            items
+                .iter()
+                .map(|x| {
+                    x.as_f64()
+                        .filter(|f| f.is_finite())
+                        .ok_or_else(|| format!("field {key:?} must contain finite numbers"))
+                })
+                .collect::<Result<Vec<f64>, String>>()
+                .map(Some)
+        }
+    }
+}
+
+/// Builds an inline model from a `"rates": [[from, to, rate], …]` triple
+/// list (see the module docs for the schema).
+fn build_inline_model(obj: &Json) -> Result<Ctmc, String> {
+    let triples = obj.get("rates").and_then(Json::as_arr).ok_or_else(|| {
+        "inline model needs a \"rates\" array of [from, to, rate] triples".to_string()
+    })?;
+    let mut rates: Vec<(usize, usize, f64)> = Vec::with_capacity(triples.len());
+    let mut max_state = 0usize;
+    for (i, item) in triples.iter().enumerate() {
+        let triple = item
+            .as_arr()
+            .filter(|a| a.len() == 3)
+            .ok_or_else(|| format!("rates[{i}] must be a [from, to, rate] triple"))?;
+        let state = |j: usize, what: &str| -> Result<usize, String> {
+            triple[j]
+                .as_usize()
+                .ok_or_else(|| format!("rates[{i}]: {what} must be a non-negative integer"))
+        };
+        let (from, to) = (state(0, "from")?, state(1, "to")?);
+        let rate = triple[2]
+            .as_f64()
+            .filter(|r| r.is_finite() && *r >= 0.0)
+            .ok_or_else(|| format!("rates[{i}]: rate must be a non-negative finite number"))?;
+        max_state = max_state.max(from).max(to);
+        rates.push((from, to, rate));
+    }
+    let rewards = get_f64_array(obj, "rewards")?.ok_or_else(|| {
+        "inline model needs a \"rewards\" array (per-state reward rates)".to_string()
+    })?;
+    let initial = get_f64_array(obj, "initial")?;
+    let inferred = (max_state + 1)
+        .max(rewards.len())
+        .max(initial.as_ref().map_or(0, Vec::len));
+    let n = match get_u32(obj, "n")? {
+        Some(n) if (n as usize) < inferred => {
+            return Err(format!(
+                "inline model \"n\" = {n} is below the {inferred} states its arrays imply"
+            ))
+        }
+        Some(n) => n as usize,
+        None => inferred,
+    };
+    if rewards.len() != n {
+        return Err(format!(
+            "inline model has {} rewards for {n} states",
+            rewards.len()
+        ));
+    }
+    let initial = match initial {
+        Some(init) => {
+            if init.len() != n {
+                return Err(format!(
+                    "inline model has {} initial entries for {n} states",
+                    init.len()
+                ));
+            }
+            init
+        }
+        None => {
+            // Default: all mass on state 0 (the paper's pristine state).
+            let mut init = vec![0.0; n];
+            init[0] = 1.0;
+            init
+        }
+    };
+    Ctmc::from_rates(n, &rates, initial, rewards)
+        .map_err(|e| format!("inline model failed to validate: {e}"))
+}
+
 /// Builds the chain described by one model object; returns (name, chain).
 fn build_model(obj: &Json) -> Result<(String, Ctmc), String> {
     let kind = obj
@@ -260,9 +360,11 @@ fn build_model(obj: &Json) -> Result<(String, Ctmc), String> {
                 built.ctmc,
             )
         }
+        "inline" => ("inline".to_string(), build_inline_model(obj)?),
         other => {
             return Err(format!(
-                "unknown model kind {other:?} (expected raid/two_state/cyclic/duplex/machines)"
+                "unknown model kind {other:?} \
+                 (expected raid/two_state/cyclic/duplex/machines/inline)"
             ))
         }
     };
@@ -286,6 +388,12 @@ impl SweepSpec {
         let mut options = EngineOptions::default();
         if let Some(x) = get_f64(doc, "small_lambda_t")? {
             options.small_lambda_t = x;
+        }
+        if let Some(x) = get_f64(doc, "tiny_lambda_t")? {
+            options.tiny_lambda_t = x;
+        }
+        if let Some(x) = get_u32(doc, "adaptive_min_states")? {
+            options.adaptive_min_states = x as usize;
         }
         if let Some(x) = get_u32(doc, "threads")? {
             options.threads = x as usize;
@@ -359,11 +467,24 @@ impl SweepSpec {
 
 /// Serializes a sweep report (the CLI's output document).
 pub fn report_to_json(report: &SweepReport) -> Json {
+    report_to_json_opts(report, false)
+}
+
+/// Like [`report_to_json`] but omitting every execution-dependent field —
+/// wall times, cache counters (hit/miss splits vary with scheduling under
+/// contention), pool/workspace gauges — so reports from runs that differ
+/// only in thread counts are **byte-for-byte identical**. This is what the
+/// CI determinism job diffs (`regenr sweep … --stable`).
+pub fn stable_report_to_json(report: &SweepReport) -> Json {
+    report_to_json_opts(report, true)
+}
+
+fn report_to_json_opts(report: &SweepReport, stable: bool) -> Json {
     let reports = report
         .reports
         .iter()
         .map(|r| {
-            Json::Obj(vec![
+            let mut fields = vec![
                 ("model".into(), Json::Str(r.model.clone())),
                 (
                     "fingerprint".into(),
@@ -379,10 +500,13 @@ pub fn report_to_json(report: &SweepReport) -> Json {
                 ("abscissae".into(), Json::Num(r.abscissae as f64)),
                 ("converged".into(), Json::Bool(r.converged)),
                 ("lambda_t".into(), Json::Num(r.lambda_t)),
-                ("unif_cache_hit".into(), Json::Bool(r.unif_cache_hit)),
-                ("params_cache_hit".into(), Json::Bool(r.params_cache_hit)),
-                ("wall_seconds".into(), Json::Num(r.wall.as_secs_f64())),
-            ])
+            ];
+            if !stable {
+                fields.push(("unif_cache_hit".into(), Json::Bool(r.unif_cache_hit)));
+                fields.push(("params_cache_hit".into(), Json::Bool(r.params_cache_hit)));
+                fields.push(("wall_seconds".into(), Json::Num(r.wall.as_secs_f64())));
+            }
+            Json::Obj(fields)
         })
         .collect();
     let failures = report
@@ -396,28 +520,64 @@ pub fn report_to_json(report: &SweepReport) -> Json {
             ])
         })
         .collect();
-    let pool = |p: crate::cache::PoolStats| {
-        Json::Obj(vec![
-            ("hits".into(), Json::Num(p.hits as f64)),
-            ("misses".into(), Json::Num(p.misses as f64)),
-            ("evictions".into(), Json::Num(p.evictions as f64)),
-            ("entries".into(), Json::Num(p.entries as f64)),
-            ("bytes".into(), Json::Num(p.bytes as f64)),
-        ])
-    };
-    Json::Obj(vec![
+    let mut doc = vec![
         ("reports".into(), Json::Arr(reports)),
         ("failures".into(), Json::Arr(failures)),
-        (
+    ];
+    if !stable {
+        let pool = |p: crate::cache::PoolStats| {
+            Json::Obj(vec![
+                ("hits".into(), Json::Num(p.hits as f64)),
+                ("misses".into(), Json::Num(p.misses as f64)),
+                ("evictions".into(), Json::Num(p.evictions as f64)),
+                ("entries".into(), Json::Num(p.entries as f64)),
+                ("bytes".into(), Json::Num(p.bytes as f64)),
+            ])
+        };
+        doc.push((
             "cache".into(),
             Json::Obj(vec![
                 ("structure".into(), pool(report.cache.structure)),
                 ("uniformized".into(), pool(report.cache.uniformized)),
                 ("regen_params".into(), pool(report.cache.regen_params)),
             ]),
-        ),
-        ("wall_seconds".into(), Json::Num(report.wall.as_secs_f64())),
-    ])
+        ));
+        let exec = &report.exec;
+        doc.push((
+            "execution".into(),
+            Json::Obj(vec![
+                ("sweep_workers".into(), Json::Num(exec.sweep_workers as f64)),
+                ("pool_threads".into(), Json::Num(exec.pool_threads as f64)),
+                (
+                    "pool".into(),
+                    Json::Obj(vec![
+                        (
+                            "pooled_runs".into(),
+                            Json::Num(exec.pool.pooled_runs as f64),
+                        ),
+                        (
+                            "inline_runs".into(),
+                            Json::Num(exec.pool.inline_runs as f64),
+                        ),
+                        ("chunks".into(), Json::Num(exec.pool.chunks as f64)),
+                    ]),
+                ),
+                (
+                    "workspace".into(),
+                    Json::Obj(vec![
+                        ("takes".into(), Json::Num(exec.workspace.takes as f64)),
+                        (
+                            "fresh_allocs".into(),
+                            Json::Num(exec.workspace.fresh_allocs as f64),
+                        ),
+                        ("reused".into(), Json::Num(exec.workspace.reused as f64)),
+                    ]),
+                ),
+            ]),
+        ));
+        doc.push(("wall_seconds".into(), Json::Num(report.wall.as_secs_f64())));
+    }
+    Json::Obj(doc)
 }
 
 #[cfg(test)]
@@ -529,6 +689,102 @@ mod tests {
                 "per-model ε {bad} accepted"
             );
         }
+    }
+
+    #[test]
+    fn parses_inline_rate_matrix_model() {
+        let spec = SweepSpec::parse(
+            r#"{
+                "horizons": [1, 100],
+                "models": [
+                    {"kind": "inline", "name": "unit",
+                     "rates": [[0, 1, 0.001], [1, 0, 1.0]],
+                     "rewards": [0, 1]}
+                ]
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(spec.requests.len(), 1);
+        let req = &spec.requests[0];
+        assert_eq!(req.name, "unit");
+        assert_eq!(req.model.n_states(), 2);
+        assert_eq!(req.model.initial(), &[1.0, 0.0], "default initial is e_0");
+        assert_eq!(req.model.rewards(), &[0.0, 1.0]);
+        // Explicit initial + padding states via "n".
+        let spec = SweepSpec::parse(
+            r#"{
+                "horizons": [1],
+                "models": [
+                    {"kind": "inline", "n": 3,
+                     "rates": [[0, 1, 0.5], [1, 0, 2.0]],
+                     "initial": [0.25, 0.75, 0],
+                     "rewards": [1, 0, 0]}
+                ]
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(spec.requests[0].model.n_states(), 3);
+        assert_eq!(spec.requests[0].model.initial()[1], 0.75);
+    }
+
+    #[test]
+    fn rejects_bad_inline_models() {
+        let parse = |models: &str| {
+            SweepSpec::parse(&format!(r#"{{"horizons": [1], "models": [{models}]}}"#))
+        };
+        // Missing rates / rewards.
+        assert!(parse(r#"{"kind": "inline", "rewards": [1]}"#).is_err());
+        assert!(parse(r#"{"kind": "inline", "rates": [[0, 1, 1.0]]}"#).is_err());
+        // Malformed triples.
+        assert!(parse(r#"{"kind": "inline", "rates": [[0, 1]], "rewards": [1, 1]}"#).is_err());
+        assert!(
+            parse(r#"{"kind": "inline", "rates": [[0, 1, -2.0]], "rewards": [1, 1]}"#).is_err(),
+            "negative rate must be rejected"
+        );
+        assert!(
+            parse(r#"{"kind": "inline", "rates": [[0, 1.5, 1.0]], "rewards": [1, 1]}"#).is_err(),
+            "fractional state index must be rejected"
+        );
+        // Dimension mismatches.
+        assert!(
+            parse(r#"{"kind": "inline", "rates": [[0, 1, 1.0]], "rewards": [1]}"#).is_err(),
+            "rewards shorter than the state count must be rejected"
+        );
+        assert!(
+            parse(r#"{"kind": "inline", "n": 1, "rates": [[0, 1, 1.0]], "rewards": [1, 1]}"#)
+                .is_err(),
+            "n below the implied state count must be rejected"
+        );
+        // Invalid chains still fail through Ctmc construction validation.
+        assert!(
+            parse(
+                r#"{"kind": "inline", "rates": [[0, 1, 1.0]],
+                    "initial": [0.25, 0.25], "rewards": [1, 1]}"#
+            )
+            .is_err(),
+            "an initial distribution not summing to 1 must be rejected"
+        );
+        assert!(
+            parse(r#"{"kind": "inline", "rates": [[0, 1, 1.0]], "rewards": [1, -1]}"#).is_err(),
+            "negative rewards must be rejected"
+        );
+    }
+
+    #[test]
+    fn stable_report_omits_execution_dependent_fields() {
+        let spec = SweepSpec::parse(
+            r#"{"horizons": [1], "models": [{"kind": "two_state", "lambda": 1e-3, "mu": 1.0}]}"#,
+        )
+        .unwrap();
+        let engine = crate::Engine::with_cache_config(spec.options, spec.cache);
+        let report = engine.sweep(&spec.requests);
+        let full = report_to_json(&report).to_string();
+        let stable = stable_report_to_json(&report).to_string();
+        for field in ["wall_seconds", "cache", "execution", "unif_cache_hit"] {
+            assert!(full.contains(field), "full report must contain {field}");
+            assert!(!stable.contains(field), "stable report leaks {field}");
+        }
+        assert!(stable.contains("\"value\""));
     }
 
     #[test]

@@ -10,16 +10,23 @@
 //! solvers keep `Pᵀ` in CSR form and compute `π ← Pᵀ·π` (see
 //! [`CsrMatrix::mul_vec_into`] and [`CsrMatrix::mul_vec_parallel_into`]).
 //!
-//! Parallel products use scoped threads over disjoint row chunks — no locks,
-//! no atomics, data-race freedom by construction.
+//! Parallel products distribute disjoint row chunks over a persistent
+//! [`WorkerPool`] of parked threads — no locks or atomics inside a product,
+//! data-race freedom by construction, and bitwise-identical results to the
+//! serial kernel. The [`Workspace`] arena gives solvers reusable scratch
+//! vectors so sweep-heavy workloads stop allocating in their inner loops.
 
 pub mod builder;
 pub mod csr;
 pub mod parallel;
+pub mod pool;
+pub mod workspace;
 
 pub use builder::CooBuilder;
 pub use csr::CsrMatrix;
-pub use parallel::{effective_threads, ParallelConfig};
+pub use parallel::{effective_threads, ChunkPlan, ParallelConfig};
+pub use pool::{WorkerPool, WorkerPoolStats};
+pub use workspace::{Workspace, WorkspaceStats};
 
 #[cfg(test)]
 mod dense_ref {

@@ -2,30 +2,45 @@
 //!
 //! The randomization solvers are SpMV-bound: a single `UR(10⁵ h)` standard-
 //! randomization run performs millions of products over the same matrix. The
-//! parallel kernel here splits the *output* rows into nnz-balanced chunks and
-//! lets scoped threads write disjoint slices — no synchronization inside the
-//! product, deterministic results (each row is reduced serially, so the
-//! parallel product is bitwise identical to the serial one).
+//! parallel kernels here split the *output* rows into nnz-balanced chunks
+//! ([`ChunkPlan`]) and let threads write disjoint slices — no synchronization
+//! inside the product, deterministic results (each row is reduced serially,
+//! so every parallel product is **bitwise identical** to the serial one).
 //!
-//! Spawning threads per product would dominate for small matrices, so the
-//! kernel falls back to the serial path under [`ParallelConfig::min_nnz`].
+//! Two execution strategies share that chunk decomposition:
+//!
+//! * [`CsrMatrix::mul_vec_pooled_into`] — chunks run on a persistent
+//!   [`WorkerPool`] of parked threads; this is what the solvers use (via
+//!   `Uniformized::stepper`), because repeated products pay only a condvar
+//!   wake instead of per-product thread creation.
+//! * [`CsrMatrix::mul_vec_spawn_into`] — the original per-call
+//!   `std::thread::scope` kernel, kept as the baseline the `repro engine`
+//!   target measures the pool against.
+//!
+//! [`CsrMatrix::mul_vec_parallel_into`] keeps its historical signature and
+//! routes through the shared global pool; small matrices fall back to the
+//! serial path under [`ParallelConfig::min_nnz`] (a pool wake ≫ product cost
+//! there).
 
 use crate::csr::CsrMatrix;
+use crate::pool::WorkerPool;
 
-/// Tuning for [`CsrMatrix::mul_vec_parallel_into`].
+/// Tuning for the parallel SpMV kernels.
 #[derive(Clone, Copy, Debug)]
 pub struct ParallelConfig {
-    /// Below this nnz the serial kernel is used (thread spawn ≫ product cost).
+    /// Below this nnz the serial kernel is used (dispatch overhead ≫ product
+    /// cost).
     pub min_nnz: usize,
-    /// Worker thread count; `0` means "use available parallelism".
+    /// Chunk count / maximum SpMV concurrency; `0` means "use available
+    /// parallelism".
     pub threads: usize,
 }
 
 impl Default for ParallelConfig {
     fn default() -> Self {
         ParallelConfig {
-            // ~50k nnz ≈ the point where a few microseconds of spawn overhead
-            // stops mattering relative to memory-bound SpMV work.
+            // ~50k nnz ≈ the point where a few microseconds of dispatch
+            // overhead stops mattering relative to memory-bound SpMV work.
             min_nnz: 50_000,
             threads: 0,
         }
@@ -43,13 +58,123 @@ pub fn effective_threads(requested: usize) -> usize {
     }
 }
 
+/// An nnz-balanced decomposition of a matrix's rows into contiguous chunks —
+/// the unit of work the parallel kernels distribute. Computing the plan is
+/// `O(nrows)`; steppers compute it **once per matrix** and reuse it across
+/// millions of products (`Uniformized::stepper` caches plans per chunk
+/// count).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChunkPlan {
+    ranges: Vec<std::ops::Range<usize>>,
+}
+
+impl ChunkPlan {
+    /// Plans `matrix`'s rows into at most `chunks` nnz-balanced pieces.
+    pub fn new(matrix: &CsrMatrix, chunks: usize) -> ChunkPlan {
+        ChunkPlan {
+            ranges: matrix.balanced_row_chunks(chunks),
+        }
+    }
+
+    /// The planned row ranges (contiguous, covering all rows in order).
+    pub fn ranges(&self) -> &[std::ops::Range<usize>] {
+        &self.ranges
+    }
+
+    /// Number of chunks.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Whether the plan has no chunks (zero-row matrix).
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+}
+
+/// A raw mutable pointer that may cross threads: the pooled kernel hands
+/// each chunk a disjoint slice of the output vector.
+#[derive(Clone, Copy)]
+struct SendPtr(*mut f64);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
 impl CsrMatrix {
-    /// `y = A·x` using scoped threads over nnz-balanced row chunks.
+    /// Serial kernel for one planned chunk: rows `range` of `y = A·x`.
+    #[inline]
+    fn mul_chunk(&self, x: &[f64], out: &mut [f64], range: std::ops::Range<usize>) {
+        let row_ptr = self.row_ptr();
+        let col_idx = self.col_idx();
+        let values = self.values();
+        for (local, i) in range.enumerate() {
+            let mut acc = 0.0;
+            for k in row_ptr[i]..row_ptr[i + 1] {
+                acc += values[k] * x[col_idx[k] as usize];
+            }
+            out[local] = acc;
+        }
+    }
+
+    /// `y = A·x` over a precomputed [`ChunkPlan`] on a persistent
+    /// [`WorkerPool`]. Bitwise identical to [`CsrMatrix::mul_vec_into`]
+    /// regardless of the pool size or how chunks get claimed; if the pool is
+    /// busy (nested use) the chunks simply run on the calling thread.
     ///
-    /// Falls back to [`CsrMatrix::mul_vec_into`] when the matrix is small or
-    /// only one thread is available. Results are bitwise identical to the
-    /// serial product.
+    /// # Panics
+    /// If `x`/`y` lengths mismatch the matrix, or the plan's rows do not
+    /// match `nrows` (a plan from a different matrix).
+    pub fn mul_vec_pooled_into(
+        &self,
+        x: &[f64],
+        y: &mut [f64],
+        plan: &ChunkPlan,
+        pool: &WorkerPool,
+    ) {
+        assert_eq!(x.len(), self.ncols(), "x length mismatch");
+        assert_eq!(y.len(), self.nrows(), "y length mismatch");
+        assert_eq!(
+            plan.ranges.last().map_or(0, |r| r.end),
+            self.nrows(),
+            "chunk plan does not cover this matrix's rows"
+        );
+        let out = SendPtr(y.as_mut_ptr());
+        pool.run(plan.len(), move |c| {
+            let out = out;
+            let range = plan.ranges[c].clone();
+            // SAFETY: plan ranges are disjoint and within nrows == y.len(),
+            // so each chunk writes a private slice of `y`.
+            let slice =
+                unsafe { std::slice::from_raw_parts_mut(out.0.add(range.start), range.len()) };
+            self.mul_chunk(x, slice, range);
+        });
+    }
+
+    /// `y = A·x` through the shared global [`WorkerPool`], planning chunks
+    /// per call. Falls back to [`CsrMatrix::mul_vec_into`] when the matrix
+    /// is small or only one thread is requested. Results are bitwise
+    /// identical to the serial product.
+    ///
+    /// Callers issuing *repeated* products over one matrix should prefer a
+    /// cached plan (`Uniformized::stepper` in `regenr-ctmc`) — this entry
+    /// point re-plans every call.
     pub fn mul_vec_parallel_into(&self, x: &[f64], y: &mut [f64], cfg: &ParallelConfig) {
+        assert_eq!(x.len(), self.ncols(), "x length mismatch");
+        assert_eq!(y.len(), self.nrows(), "y length mismatch");
+        let threads = effective_threads(cfg.threads);
+        if self.nnz() < cfg.min_nnz || threads <= 1 {
+            self.mul_vec_into(x, y);
+            return;
+        }
+        let plan = ChunkPlan::new(self, threads);
+        self.mul_vec_pooled_into(x, y, &plan, WorkerPool::global());
+    }
+
+    /// `y = A·x` spawning scoped threads **per call** over nnz-balanced row
+    /// chunks — the pre-pool strategy, kept as the measurable baseline (the
+    /// `repro engine` target reports pool vs per-call-spawn wall times).
+    /// Falls back to [`CsrMatrix::mul_vec_into`] under the same conditions
+    /// as the pooled path; bitwise identical results.
+    pub fn mul_vec_spawn_into(&self, x: &[f64], y: &mut [f64], cfg: &ParallelConfig) {
         assert_eq!(x.len(), self.ncols(), "x length mismatch");
         assert_eq!(y.len(), self.nrows(), "y length mismatch");
         let threads = effective_threads(cfg.threads);
@@ -67,18 +192,7 @@ impl CsrMatrix {
                 offset = chunk.end;
                 rest = tail;
                 let chunk = chunk.clone();
-                scope.spawn(move || {
-                    let row_ptr = self.row_ptr();
-                    let col_idx = self.col_idx();
-                    let values = self.values();
-                    for (local, i) in chunk.clone().enumerate() {
-                        let mut acc = 0.0;
-                        for k in row_ptr[i]..row_ptr[i + 1] {
-                            acc += values[k] * x[col_idx[k] as usize];
-                        }
-                        head[local] = acc;
-                    }
-                });
+                scope.spawn(move || self.mul_chunk(x, head, chunk));
             }
         });
     }
@@ -117,8 +231,42 @@ mod tests {
             };
             let mut got = vec![0.0; n];
             m.mul_vec_parallel_into(&x, &mut got, &cfg);
-            assert_eq!(got, want, "threads={threads}");
+            assert_eq!(got, want, "pooled threads={threads}");
+            let mut spawned = vec![0.0; n];
+            m.mul_vec_spawn_into(&x, &mut spawned, &cfg);
+            assert_eq!(spawned, want, "spawn threads={threads}");
         }
+    }
+
+    #[test]
+    fn pooled_with_explicit_plan_and_pool() {
+        let n = 503;
+        let m = band_matrix(n);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut want = vec![0.0; n];
+        m.mul_vec_into(&x, &mut want);
+        for pool_threads in [1, 2, 5] {
+            let pool = WorkerPool::new(pool_threads);
+            for chunks in [1, 2, 7, 32] {
+                let plan = ChunkPlan::new(&m, chunks);
+                let mut got = vec![0.0; n];
+                // Repeated products on the same warm pool and plan.
+                for _ in 0..3 {
+                    m.mul_vec_pooled_into(&x, &mut got, &plan, &pool);
+                }
+                assert_eq!(got, want, "pool={pool_threads} chunks={chunks}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk plan does not cover")]
+    fn plan_from_wrong_matrix_is_rejected() {
+        let a = band_matrix(10);
+        let b = band_matrix(20);
+        let plan = ChunkPlan::new(&a, 2);
+        let mut y = vec![0.0; 20];
+        b.mul_vec_pooled_into(&[1.0; 20], &mut y, &plan, WorkerPool::global());
     }
 
     #[test]

@@ -1,0 +1,502 @@
+//! A persistent worker pool for repeated data-parallel kernels.
+//!
+//! The randomization solvers are SpMV-bound: a single `UR(10⁵ h)` run
+//! performs millions of products over the same matrix. Spawning scoped
+//! threads *per product* (the original `mul_vec_parallel_into` strategy,
+//! kept as [`CsrMatrix::mul_vec_spawn_into`](crate::CsrMatrix::mul_vec_spawn_into)
+//! for comparison) pays thread-creation cost on every step. The
+//! [`WorkerPool`] here parks its workers between products instead, so a warm
+//! pool serves a step for the cost of a condvar wake.
+//!
+//! ## Protocol (barrier-free chunk claiming)
+//!
+//! A run publishes a job — an erased closure plus a chunk count — under the
+//! pool's control mutex and bumps an epoch; parked workers wake, copy an
+//! `Arc` to the per-run `JobState`, and then *claim* chunk indices from a
+//! shared atomic counter until the counter passes the chunk count. The
+//! submitting thread participates in the claiming too, so progress never
+//! depends on a worker being free. There is no barrier between chunks and no
+//! per-chunk locking: completion is a single atomic countdown whose last
+//! decrement wakes the submitter.
+//!
+//! Each run gets a **fresh** `JobState`: a worker that was descheduled
+//! holding a stale job handle can only observe an exhausted claim counter —
+//! it can never execute a new job's chunk through an old job's closure.
+//! (The per-run `Arc` is a constant-size allocation, amortized to nothing
+//! against the ≥ `min_nnz` products it gates.)
+//!
+//! ## Nesting and sharing (the thread budget)
+//!
+//! One pool is shared process-wide ([`WorkerPool::global`]) by sweep-level
+//! jobs *and* inner SpMVs. Submission is exclusive: while one run is in
+//! flight, any other submitter — including a pool worker whose job performs
+//! its own pooled products — falls back to executing its chunks **inline**
+//! on the calling thread. That is the nested-parallelism budget: when an
+//! engine sweep occupies the pool with solver jobs, each job's inner SpMVs
+//! degrade to the serial kernel instead of oversubscribing the machine, and
+//! when a single solve runs alone it gets the whole pool. Results are
+//! bitwise identical either way (each output row is reduced serially).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+
+/// Poison-tolerant lock: a panic on another thread must not wedge the
+/// protected state for the rest of the process. Shared by the pool, the
+/// chunk-plan memo in `regenr-ctmc`, and the engine's artifact cache —
+/// one copy, one poison policy.
+pub fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// One run's shared state. Workers hold it through an `Arc`, so a stale
+/// handle outliving the run is harmless: its claim counter is exhausted.
+struct JobState {
+    /// Erased pointer to the caller's closure (`&F`), valid for the run's
+    /// lifetime — `run` does not return until `remaining` hits zero.
+    data: *const (),
+    /// Monomorphized trampoline casting `data` back to `&F`.
+    call: unsafe fn(*const (), usize),
+    n_chunks: usize,
+    /// Next chunk index to claim.
+    next: AtomicUsize,
+    /// Chunks not yet completed; the last decrement wakes the submitter.
+    remaining: AtomicUsize,
+    /// First panic payload raised by a worker-executed chunk; the submitter
+    /// re-raises it after the run drains (a worker must survive a panicking
+    /// chunk — dying mid-job would deadlock the submitter and starve every
+    /// later run — but the original payload must not be lost on the way).
+    panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+// The raw closure pointer crosses threads by design; `run` keeps the
+// referent alive until every chunk completed (see `remaining`).
+unsafe impl Send for JobState {}
+unsafe impl Sync for JobState {}
+
+struct Control {
+    /// Bumped once per published job; workers wait for a change.
+    epoch: u64,
+    job: Option<Arc<JobState>>,
+    shutdown: bool,
+}
+
+struct Inner {
+    control: Mutex<Control>,
+    /// Workers park here waiting for a new epoch.
+    work: Condvar,
+    /// The submitter parks here waiting for `remaining == 0`.
+    done: Condvar,
+}
+
+/// Cumulative pool counters (process lifetime for the global pool). Snapshot
+/// with [`WorkerPool::stats`]; report deltas across a region of interest.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerPoolStats {
+    /// Runs executed on the pool's workers.
+    pub pooled_runs: u64,
+    /// Runs that found the pool busy (or trivially small) and executed
+    /// inline on the calling thread instead.
+    pub inline_runs: u64,
+    /// Chunks executed across all pooled runs (including the submitter's).
+    pub chunks: u64,
+}
+
+impl WorkerPoolStats {
+    /// Counter-wise difference (`self - earlier`), for reporting the cost of
+    /// one region against a shared pool.
+    pub fn since(&self, earlier: &WorkerPoolStats) -> WorkerPoolStats {
+        WorkerPoolStats {
+            pooled_runs: self.pooled_runs - earlier.pooled_runs,
+            inline_runs: self.inline_runs - earlier.inline_runs,
+            chunks: self.chunks - earlier.chunks,
+        }
+    }
+}
+
+/// A persistent pool of parked worker threads executing indexed chunks.
+pub struct WorkerPool {
+    inner: Arc<Inner>,
+    /// Exclusive submission: `try_lock` failure means "pool busy — run
+    /// inline" (see the module docs on nesting).
+    submission: Mutex<()>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    threads: usize,
+    pooled_runs: AtomicU64,
+    inline_runs: AtomicU64,
+    chunks: AtomicU64,
+}
+
+impl WorkerPool {
+    /// A pool executing on `threads` threads total: `threads - 1` parked
+    /// workers plus the submitting thread, which always participates.
+    pub fn new(threads: usize) -> Arc<WorkerPool> {
+        let threads = threads.max(1);
+        let inner = Arc::new(Inner {
+            control: Mutex::new(Control {
+                epoch: 0,
+                job: None,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let workers = (1..threads)
+            .map(|i| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("regenr-pool-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawning a pool worker")
+            })
+            .collect();
+        Arc::new(WorkerPool {
+            inner,
+            submission: Mutex::new(()),
+            workers,
+            threads,
+            pooled_runs: AtomicU64::new(0),
+            inline_runs: AtomicU64::new(0),
+            chunks: AtomicU64::new(0),
+        })
+    }
+
+    /// The process-wide shared pool, sized to the machine's available
+    /// parallelism on first use. This is the pool the pooled SpMV kernels
+    /// and the engine's sweep executor share (see the module docs).
+    pub fn global() -> &'static Arc<WorkerPool> {
+        static GLOBAL: OnceLock<Arc<WorkerPool>> = OnceLock::new();
+        GLOBAL.get_or_init(|| WorkerPool::new(crate::parallel::effective_threads(0)))
+    }
+
+    /// Total threads the pool executes on (workers + submitter).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> WorkerPoolStats {
+        WorkerPoolStats {
+            pooled_runs: self.pooled_runs.load(Ordering::Relaxed),
+            inline_runs: self.inline_runs.load(Ordering::Relaxed),
+            chunks: self.chunks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Executes `f(0), …, f(n_chunks - 1)` across the pool and the calling
+    /// thread; returns when every chunk has completed. The return value is
+    /// `true` when the chunks were published to the pool's workers and
+    /// `false` when they all ran inline on the caller — callers reporting
+    /// achieved concurrency (the engine's `ExecStats`) need the
+    /// distinction; kernels can ignore it.
+    ///
+    /// Chunk *assignment* is first-come-first-served (non-deterministic),
+    /// so `f` must produce results independent of which thread runs which
+    /// chunk — the pooled SpMV writes disjoint output slices, for example.
+    /// If the pool is busy with another run (nested use), or has no parked
+    /// workers, or the job is a single chunk, every chunk runs inline on
+    /// the caller — same results, no parallelism.
+    pub fn run<F: Fn(usize) + Sync>(&self, n_chunks: usize, f: F) -> bool {
+        if n_chunks == 0 {
+            return false;
+        }
+        let guard = if n_chunks > 1 && self.threads > 1 {
+            self.submission.try_lock().ok()
+        } else {
+            None
+        };
+        let Some(_guard) = guard else {
+            self.inline_runs.fetch_add(1, Ordering::Relaxed);
+            for i in 0..n_chunks {
+                f(i);
+            }
+            return false;
+        };
+
+        unsafe fn trampoline<F: Fn(usize)>(data: *const (), chunk: usize) {
+            // SAFETY: `data` is the `&F` published by `run`, which blocks
+            // until all chunks completed; see `JobState::data`.
+            unsafe { (*data.cast::<F>())(chunk) }
+        }
+        let job = Arc::new(JobState {
+            data: (&raw const f).cast(),
+            call: trampoline::<F>,
+            n_chunks,
+            next: AtomicUsize::new(0),
+            remaining: AtomicUsize::new(n_chunks),
+            panic_payload: Mutex::new(None),
+        });
+
+        {
+            let mut control = lock(&self.inner.control);
+            control.epoch += 1;
+            control.job = Some(job.clone());
+            self.inner.work.notify_all();
+        }
+
+        // Even if a submitter-side chunk panics, the closure must stay
+        // alive until no worker can still be executing a chunk: the guard
+        // skips every unclaimed chunk and waits out the in-flight ones
+        // before `f` is dropped by the unwind.
+        let drain = DrainGuard {
+            inner: &self.inner,
+            job: &job,
+            mid_chunk: false,
+        };
+        let mut drain = drain;
+        loop {
+            let i = job.next.fetch_add(1, Ordering::AcqRel);
+            if i >= n_chunks {
+                break;
+            }
+            drain.mid_chunk = true;
+            f(i);
+            drain.mid_chunk = false;
+            job.remaining.fetch_sub(1, Ordering::AcqRel);
+        }
+        drop(drain);
+        self.pooled_runs.fetch_add(1, Ordering::Relaxed);
+        self.chunks.fetch_add(n_chunks as u64, Ordering::Relaxed);
+        if let Some(payload) = lock(&job.panic_payload).take() {
+            // Re-raise the original payload so callers (and their
+            // catch_unwind error reporting) see the real panic message.
+            std::panic::resume_unwind(payload);
+        }
+        true
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut control = lock(&self.inner.control);
+            control.shutdown = true;
+            self.inner.work.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Completion barrier for one run, robust to unwinding: on drop (normal
+/// exit *or* a panic in a submitter-side chunk) it claims-and-skips every
+/// not-yet-claimed chunk, accounts a chunk the submitter panicked inside,
+/// and then waits until no worker is still executing — only after that may
+/// the closure be dropped.
+struct DrainGuard<'a> {
+    inner: &'a Inner,
+    job: &'a Arc<JobState>,
+    /// True while the submitter is inside `f(i)`: a panic there leaves that
+    /// chunk's `remaining` decrement to the guard.
+    mid_chunk: bool,
+}
+
+impl Drop for DrainGuard<'_> {
+    fn drop(&mut self) {
+        if self.mid_chunk {
+            self.job.remaining.fetch_sub(1, Ordering::AcqRel);
+        }
+        // Skip chunks nobody claimed yet (relevant only when unwinding).
+        loop {
+            let i = self.job.next.fetch_add(1, Ordering::AcqRel);
+            if i >= self.job.n_chunks {
+                break;
+            }
+            self.job.remaining.fetch_sub(1, Ordering::AcqRel);
+        }
+        // Wait for straggler chunks claimed by workers. `remaining` is
+        // re-checked under the control mutex, so the last worker's notify
+        // (taken under the same mutex) cannot be lost.
+        let mut control = lock(&self.inner.control);
+        while self.job.remaining.load(Ordering::Acquire) > 0 {
+            control = self
+                .inner
+                .done
+                .wait(control)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        // Drop the job so the closure reference cannot linger in the
+        // control slot past this run.
+        control.job = None;
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut control = lock(&inner.control);
+            loop {
+                if control.shutdown {
+                    return;
+                }
+                if control.epoch != seen {
+                    seen = control.epoch;
+                    if let Some(job) = control.job.clone() {
+                        break job;
+                    }
+                }
+                control = inner
+                    .work
+                    .wait(control)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        loop {
+            let i = job.next.fetch_add(1, Ordering::AcqRel);
+            if i >= job.n_chunks {
+                break;
+            }
+            // SAFETY: a successful claim means the run has not completed,
+            // so the closure behind `data` is still alive. A panicking
+            // chunk must not kill the worker (later runs would deadlock
+            // waiting for it): keep the payload for the submitter to
+            // re-raise.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
+                (job.call)(job.data, i)
+            }));
+            if let Err(payload) = outcome {
+                let mut slot = lock(&job.panic_payload);
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            if job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last chunk: wake the submitter. Taking the control mutex
+                // orders this notify against the submitter's wait.
+                let _control = lock(&inner.control);
+                inner.done.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn runs_every_chunk_exactly_once() {
+        let pool = WorkerPool::new(4);
+        for n in [1usize, 2, 3, 7, 64, 1000] {
+            let counts: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+            pool.run(n, |i| {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                counts.iter().all(|c| c.load(Ordering::Relaxed) == 1),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_runs_reuse_the_same_pool() {
+        let pool = WorkerPool::new(3);
+        let sum = AtomicU64::new(0);
+        for _ in 0..500 {
+            pool.run(8, |i| {
+                sum.fetch_add(i as u64, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(sum.load(Ordering::Relaxed), 500 * (0..8).sum::<u64>());
+        let stats = pool.stats();
+        assert_eq!(stats.pooled_runs + stats.inline_runs, 500);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = WorkerPool::new(1);
+        let sum = AtomicU64::new(0);
+        pool.run(16, |i| {
+            sum.fetch_add(i as u64 + 1, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), (1..=16).sum::<u64>());
+        assert_eq!(pool.stats().inline_runs, 1);
+        assert_eq!(pool.stats().pooled_runs, 0);
+    }
+
+    #[test]
+    fn nested_runs_fall_back_inline() {
+        let pool = WorkerPool::new(4);
+        let outer = AtomicU32::new(0);
+        let inner_total = AtomicU64::new(0);
+        pool.run(4, |_| {
+            outer.fetch_add(1, Ordering::Relaxed);
+            // A nested submission must not deadlock; it runs inline.
+            pool.run(8, |j| {
+                inner_total.fetch_add(j as u64, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(outer.load(Ordering::Relaxed), 4);
+        assert_eq!(inner_total.load(Ordering::Relaxed), 4 * (0..8).sum::<u64>());
+        assert!(pool.stats().inline_runs >= 1, "nested runs must inline");
+    }
+
+    #[test]
+    fn concurrent_submitters_all_complete() {
+        let pool = WorkerPool::new(4);
+        let total = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..6 {
+                let pool = &pool;
+                let total = &total;
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        pool.run(5, |i| {
+                            total.fetch_add(i as u64 + 1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 6 * 50 * (1..=5).sum::<u64>());
+    }
+
+    #[test]
+    fn panicking_chunk_neither_deadlocks_nor_kills_the_pool() {
+        let pool = WorkerPool::new(4);
+        for round in 0..3 {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.run(8, |i| {
+                    if i == 3 {
+                        panic!("chunk bomb");
+                    }
+                });
+            }));
+            let payload = result.expect_err("round {round}: panic must propagate");
+            // The original payload survives whether the chunk ran on the
+            // submitter or on a worker.
+            assert_eq!(
+                payload.downcast_ref::<&str>(),
+                Some(&"chunk bomb"),
+                "round {round}: payload must be preserved"
+            );
+            // The pool stays fully functional afterwards.
+            let sum = AtomicU64::new(0);
+            pool.run(8, |i| {
+                sum.fetch_add(i as u64, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), (0..8).sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_sized() {
+        let a = WorkerPool::global();
+        let b = WorkerPool::global();
+        assert!(Arc::ptr_eq(a, b));
+        assert!(a.threads() >= 1);
+    }
+
+    #[test]
+    fn stats_delta() {
+        let pool = WorkerPool::new(2);
+        let before = pool.stats();
+        pool.run(4, |_| {});
+        pool.run(4, |_| {});
+        let delta = pool.stats().since(&before);
+        assert_eq!(delta.pooled_runs + delta.inline_runs, 2);
+    }
+}

@@ -2,7 +2,7 @@
 //! against a dense reference on random matrices.
 
 use proptest::prelude::*;
-use regenr_sparse::{CooBuilder, CsrMatrix, ParallelConfig};
+use regenr_sparse::{ChunkPlan, CooBuilder, CsrMatrix, ParallelConfig, WorkerPool};
 
 /// Random dense matrix plus its CSR image.
 fn arb_matrix() -> impl Strategy<Value = (Vec<Vec<f64>>, usize, usize)> {
@@ -89,9 +89,35 @@ proptest! {
         let x: Vec<f64> = (0..m).map(|j| 1.0 / (j + 1) as f64).collect();
         let mut serial = vec![0.0; n];
         let mut par = vec![0.0; n];
+        let mut spawned = vec![0.0; n];
         c.mul_vec_into(&x, &mut serial);
-        c.mul_vec_parallel_into(&x, &mut par, &ParallelConfig { min_nnz: 0, threads });
-        prop_assert_eq!(serial, par);
+        let cfg = ParallelConfig { min_nnz: 0, threads };
+        c.mul_vec_parallel_into(&x, &mut par, &cfg);
+        prop_assert_eq!(&serial, &par);
+        c.mul_vec_spawn_into(&x, &mut spawned, &cfg);
+        prop_assert_eq!(&serial, &spawned);
+    }
+
+    /// The pooled kernel is bitwise identical to the serial one on random
+    /// matrices, for every combination of pool size and chunk count —
+    /// including repeated products on a warm pool (the solver loop shape).
+    #[test]
+    fn pooled_product_is_bitwise_serial(
+        (rows, n, m) in arb_matrix(),
+        pool_threads in 1usize..5,
+        chunks in 1usize..9,
+    ) {
+        let c = to_csr(&rows, n, m);
+        let x: Vec<f64> = (0..m).map(|j| ((j * 13 + 5) % 11) as f64 - 5.0).collect();
+        let mut serial = vec![0.0; n];
+        c.mul_vec_into(&x, &mut serial);
+        let pool = WorkerPool::new(pool_threads);
+        let plan = ChunkPlan::new(&c, chunks);
+        let mut pooled = vec![1.0; n];
+        for _ in 0..3 {
+            c.mul_vec_pooled_into(&x, &mut pooled, &plan, &pool);
+            prop_assert_eq!(&serial, &pooled);
+        }
     }
 
     #[test]

@@ -16,6 +16,7 @@
 use crate::{MeasureKind, Solution};
 use regenr_ctmc::{Ctmc, Uniformized};
 use regenr_numeric::{KahanSum, PoissonWeights};
+use regenr_sparse::Workspace;
 use std::sync::Arc;
 
 /// Options for [`AdaptiveSolver`].
@@ -76,6 +77,17 @@ impl<'a> AdaptiveSolver<'a> {
 
     /// Like [`AdaptiveSolver::solve`] with work accounting.
     pub fn solve_report(&self, measure: MeasureKind, t: f64) -> AdaptiveReport {
+        self.solve_report_with(measure, t, &mut Workspace::new())
+    }
+
+    /// Like [`AdaptiveSolver::solve_report`] with caller-owned scratch for
+    /// the distribution vectors (the frontier bookkeeping is per-solve).
+    pub fn solve_report_with(
+        &self,
+        measure: MeasureKind,
+        t: f64,
+        ws: &mut Workspace,
+    ) -> AdaptiveReport {
         assert!(t >= 0.0);
         let r_max = self.ctmc.max_reward();
         let n = self.ctmc.n_states();
@@ -109,8 +121,8 @@ impl<'a> AdaptiveSolver<'a> {
             }
         }
 
-        let mut pi = self.ctmc.initial().to_vec();
-        let mut next = vec![0.0; n];
+        let mut pi = ws.take_copied(self.ctmc.initial());
+        let mut next = ws.take_zeroed(n);
         let mut acc = KahanSum::new();
         let mut touched = 0usize;
         for step in 0..=w.right {
@@ -156,6 +168,8 @@ impl<'a> AdaptiveSolver<'a> {
                 pi[i as usize] = next[i as usize];
             }
         }
+        ws.give(pi);
+        ws.give(next);
         let value = match measure {
             MeasureKind::Trr => acc.value(),
             MeasureKind::Mrr => acc.value() / lambda_t,

@@ -47,7 +47,11 @@ pub use adaptive::{AdaptiveOptions, AdaptiveSolver};
 pub use ode::{OdeOptions, OdeSolver};
 pub use rsd::{RsdOptions, RsdSolver};
 pub use sr::{SrOptions, SrSolver};
-pub use stationary::stationary_distribution;
+pub use stationary::{stationary_distribution, stationary_distribution_with};
+
+// The execution-layer scratch arena every `_with` solver entry point takes;
+// re-exported so downstream callers need not depend on `regenr-sparse`.
+pub use regenr_sparse::{Workspace, WorkspaceStats};
 
 /// Which of the paper's two measures to compute.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -12,6 +12,7 @@
 
 use crate::{MeasureKind, Solution};
 use regenr_ctmc::Ctmc;
+use regenr_sparse::Workspace;
 
 /// Options for [`OdeSolver`].
 #[derive(Clone, Copy, Debug)]
@@ -50,8 +51,14 @@ impl<'a> OdeSolver<'a> {
 
     /// Computes `TRR(t)` or `MRR(t)`.
     pub fn solve(&self, measure: MeasureKind, t: f64) -> Solution {
+        self.solve_with(measure, t, &mut Workspace::new())
+    }
+
+    /// Like [`OdeSolver::solve`] with caller-owned scratch: the stage
+    /// vectors are reused across repeated solves.
+    pub fn solve_with(&self, measure: MeasureKind, t: f64, ws: &mut Workspace) -> Solution {
         assert!(t >= 0.0);
-        let pi = self.integrate(t);
+        let pi = self.integrate(t, ws);
         let n = self.ctmc.n_states();
         let value = match measure {
             MeasureKind::Trr => self.ctmc.reward_dot(&pi[..n]),
@@ -63,6 +70,7 @@ impl<'a> OdeSolver<'a> {
                 }
             }
         };
+        ws.give(pi);
         Solution {
             value,
             steps: 0,
@@ -72,15 +80,17 @@ impl<'a> OdeSolver<'a> {
 
     /// The transient distribution `π(t)`.
     pub fn transient_distribution(&self, t: f64) -> Vec<f64> {
-        let mut y = self.integrate(t);
+        let mut y = self.integrate(t, &mut Workspace::new());
         y.truncate(self.ctmc.n_states());
         y
     }
 
-    /// Integrates the augmented system `[π, ∫ r·π]` from 0 to `t`.
-    fn integrate(&self, t: f64) -> Vec<f64> {
+    /// Integrates the augmented system `[π, ∫ r·π]` from 0 to `t`. The
+    /// returned vector comes from `ws`; callers should give it back when
+    /// done with it.
+    fn integrate(&self, t: f64, ws: &mut Workspace) -> Vec<f64> {
         let n = self.ctmc.n_states();
-        let mut y: Vec<f64> = self.ctmc.initial().to_vec();
+        let mut y = ws.take_copied(self.ctmc.initial());
         y.push(0.0); // reward integral
         if t == 0.0 {
             return y;
@@ -139,8 +149,8 @@ impl<'a> OdeSolver<'a> {
         let mut h = if max_rate > 0.0 { 0.1 / max_rate } else { t };
         h = h.min(t);
         let mut tau = 0.0f64;
-        let mut k: Vec<Vec<f64>> = vec![Vec::new(); 6];
-        let mut ytmp = vec![0.0; n + 1];
+        let mut k: Vec<Vec<f64>> = (0..6).map(|_| ws.take_zeroed(n + 1)).collect();
+        let mut ytmp = ws.take_zeroed(n + 1);
         let mut steps = 0usize;
 
         while tau < t {
@@ -193,6 +203,10 @@ impl<'a> OdeSolver<'a> {
             };
             h *= scale.clamp(0.2, 5.0);
         }
+        for stage in k {
+            ws.give(stage);
+        }
+        ws.give(ytmp);
         y
     }
 }

@@ -28,7 +28,7 @@
 use crate::{MeasureKind, Solution};
 use regenr_ctmc::{Ctmc, Uniformized};
 use regenr_numeric::{KahanSum, PoissonWeights};
-use regenr_sparse::ParallelConfig;
+use regenr_sparse::{ParallelConfig, Workspace};
 use std::sync::Arc;
 
 /// Options for [`RsdSolver`].
@@ -109,13 +109,19 @@ impl<'a> RsdSolver<'a> {
 
     /// Like [`RsdSolver::solve`] but with detection diagnostics.
     pub fn solve_report(&self, measure: MeasureKind, t: f64) -> RsdReport {
+        self.solve_report_with(measure, t, &mut Workspace::new())
+    }
+
+    /// Like [`RsdSolver::solve_report`] with caller-owned scratch: repeated
+    /// solves through one [`Workspace`] perform no steady-state vector
+    /// allocations.
+    pub fn solve_report_with(&self, measure: MeasureKind, t: f64, ws: &mut Workspace) -> RsdReport {
         assert!(t >= 0.0, "time must be non-negative");
         let r_max = self.ctmc.max_reward();
-        let alpha = self.ctmc.initial().to_vec();
         if t == 0.0 || r_max == 0.0 {
             return RsdReport {
                 solution: Solution {
-                    value: self.ctmc.reward_dot(&alpha),
+                    value: self.ctmc.reward_dot(self.ctmc.initial()),
                     steps: 0,
                     error_bound: 0.0,
                 },
@@ -128,8 +134,9 @@ impl<'a> RsdSolver<'a> {
         let w = PoissonWeights::new(lambda_t, delta_mass);
         let detect_budget = self.opts.epsilon / 2.0;
 
-        let mut pi = alpha;
-        let mut next = vec![0.0; pi.len()];
+        let stepper = self.unif.stepper(&self.opts.parallel);
+        let mut pi = ws.take_copied(self.ctmc.initial());
+        let mut next = ws.take_zeroed(pi.len());
         let mut acc = KahanSum::new();
         let mut ratios: Vec<f64> = Vec::with_capacity(self.opts.ratio_window);
         let mut prev_delta = f64::INFINITY;
@@ -152,7 +159,7 @@ impl<'a> RsdSolver<'a> {
                 break;
             }
 
-            self.unif.step_into(&pi, &mut next, &self.opts.parallel);
+            stepper.step(&pi, &mut next);
             // d_{n+1} = ||π_{n+1} − π_n||₁.
             let d: f64 = next.iter().zip(&pi).map(|(a, b)| (a - b).abs()).sum();
             std::mem::swap(&mut pi, &mut next);
@@ -206,6 +213,8 @@ impl<'a> RsdSolver<'a> {
             }
             (MeasureKind::Mrr, None) => acc.value() / lambda_t,
         };
+        ws.give(pi);
+        ws.give(next);
 
         RsdReport {
             solution: Solution {

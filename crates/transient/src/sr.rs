@@ -17,7 +17,7 @@
 use crate::{MeasureKind, Solution};
 use regenr_ctmc::{Ctmc, Uniformized};
 use regenr_numeric::{KahanSum, PoissonWeights};
-use regenr_sparse::ParallelConfig;
+use regenr_sparse::{ParallelConfig, Workspace};
 use std::sync::Arc;
 
 /// Options for [`SrSolver`].
@@ -72,12 +72,17 @@ impl<'a> SrSolver<'a> {
 
     /// Computes `TRR(t)` or `MRR(t)` with absolute error `≤ ε`.
     pub fn solve(&self, measure: MeasureKind, t: f64) -> Solution {
+        self.solve_with(measure, t, &mut Workspace::new())
+    }
+
+    /// Like [`SrSolver::solve`] with caller-owned scratch: repeated solves
+    /// through one [`Workspace`] perform no steady-state vector allocations.
+    pub fn solve_with(&self, measure: MeasureKind, t: f64, ws: &mut Workspace) -> Solution {
         assert!(t >= 0.0, "time must be non-negative");
         let r_max = self.ctmc.max_reward();
-        let alpha = self.ctmc.initial().to_vec();
         if t == 0.0 || r_max == 0.0 {
             return Solution {
-                value: self.ctmc.reward_dot(&alpha),
+                value: self.ctmc.reward_dot(self.ctmc.initial()),
                 steps: 0,
                 error_bound: 0.0,
             };
@@ -87,8 +92,9 @@ impl<'a> SrSolver<'a> {
         let delta = (self.opts.epsilon / r_max).min(0.5);
         let w = PoissonWeights::new(lambda_t, delta);
 
-        let mut pi = alpha;
-        let mut next = vec![0.0; pi.len()];
+        let stepper = self.unif.stepper(&self.opts.parallel);
+        let mut pi = ws.take_copied(self.ctmc.initial());
+        let mut next = ws.take_zeroed(pi.len());
         let mut acc = KahanSum::new();
         for n in 0..=w.right {
             let rr = self.ctmc.reward_dot(&pi);
@@ -104,10 +110,12 @@ impl<'a> SrSolver<'a> {
                 }
             }
             if n < w.right {
-                self.unif.step_into(&pi, &mut next, &self.opts.parallel);
+                stepper.step(&pi, &mut next);
                 std::mem::swap(&mut pi, &mut next);
             }
         }
+        ws.give(pi);
+        ws.give(next);
         let value = match measure {
             MeasureKind::Trr => acc.value(),
             MeasureKind::Mrr => acc.value() / lambda_t,
@@ -127,12 +135,26 @@ impl<'a> SrSolver<'a> {
     /// weighted sum on the way — `max(Λtᵢ)` products instead of `Σ Λtᵢ`.
     /// Values are identical to per-`t` [`SrSolver::solve`] up to roundoff.
     pub fn solve_many(&self, measure: MeasureKind, ts: &[f64]) -> Vec<Solution> {
+        self.solve_many_with(measure, ts, &mut Workspace::new())
+    }
+
+    /// Like [`SrSolver::solve_many`] with caller-owned scratch: the
+    /// propagation loop performs zero steady-state heap allocations.
+    pub fn solve_many_with(
+        &self,
+        measure: MeasureKind,
+        ts: &[f64],
+        ws: &mut Workspace,
+    ) -> Vec<Solution> {
         let r_max = self.ctmc.max_reward();
         if ts.is_empty() {
             return Vec::new();
         }
         if r_max == 0.0 || ts.iter().all(|&t| t == 0.0) {
-            return ts.iter().map(|&t| self.solve(measure, t)).collect();
+            return ts
+                .iter()
+                .map(|&t| self.solve_with(measure, t, ws))
+                .collect();
         }
         let delta = (self.opts.epsilon / r_max).min(0.5);
         let weights: Vec<Option<PoissonWeights>> = ts
@@ -149,8 +171,9 @@ impl<'a> SrSolver<'a> {
             .max()
             .expect("at least one positive horizon");
 
-        let mut pi = self.ctmc.initial().to_vec();
-        let mut next = vec![0.0; pi.len()];
+        let stepper = self.unif.stepper(&self.opts.parallel);
+        let mut pi = ws.take_copied(self.ctmc.initial());
+        let mut next = ws.take_zeroed(pi.len());
         let mut accs = vec![KahanSum::new(); ts.len()];
         for n in 0..=max_right {
             let rr = self.ctmc.reward_dot(&pi);
@@ -170,10 +193,12 @@ impl<'a> SrSolver<'a> {
                 }
             }
             if n < max_right {
-                self.unif.step_into(&pi, &mut next, &self.opts.parallel);
+                stepper.step(&pi, &mut next);
                 std::mem::swap(&mut pi, &mut next);
             }
         }
+        ws.give(pi);
+        ws.give(next);
         accs.iter()
             .zip(&weights)
             .zip(ts)
@@ -197,6 +222,11 @@ impl<'a> SrSolver<'a> {
 
     /// The transient state distribution `π(t)` (used by tests and examples).
     pub fn transient_distribution(&self, t: f64) -> Vec<f64> {
+        self.transient_distribution_with(t, &mut Workspace::new())
+    }
+
+    /// Like [`SrSolver::transient_distribution`] with caller-owned scratch.
+    pub fn transient_distribution_with(&self, t: f64, ws: &mut Workspace) -> Vec<f64> {
         assert!(t >= 0.0);
         let n_states = self.ctmc.n_states();
         if t == 0.0 {
@@ -204,8 +234,9 @@ impl<'a> SrSolver<'a> {
         }
         let lambda_t = self.unif.lambda * t;
         let w = PoissonWeights::new(lambda_t, self.opts.epsilon.min(1e-10));
-        let mut pi = self.ctmc.initial().to_vec();
-        let mut next = vec![0.0; n_states];
+        let stepper = self.unif.stepper(&self.opts.parallel);
+        let mut pi = ws.take_copied(self.ctmc.initial());
+        let mut next = ws.take_zeroed(n_states);
         let mut out = vec![KahanSum::new(); n_states];
         for n in 0..=w.right {
             let wn = w.pmf(n);
@@ -215,10 +246,12 @@ impl<'a> SrSolver<'a> {
                 }
             }
             if n < w.right {
-                self.unif.step_into(&pi, &mut next, &self.opts.parallel);
+                stepper.step(&pi, &mut next);
                 std::mem::swap(&mut pi, &mut next);
             }
         }
+        ws.give(pi);
+        ws.give(next);
         out.into_iter().map(|k| k.value()).collect()
     }
 }
@@ -337,6 +370,27 @@ mod tests {
         let zeros = s.solve_many(MeasureKind::Trr, &[0.0, 0.0]);
         assert_eq!(zeros[0].value, 0.0);
         assert_eq!(zeros[1].steps, 0);
+    }
+
+    #[test]
+    fn workspace_reuse_is_allocation_free() {
+        let c = two_state(0.3, 1.1);
+        let s = SrSolver::new(&c, SrOptions::default());
+        let mut ws = Workspace::new();
+        let ts = [5.0, 0.5, 50.0];
+        let warm = s.solve_many_with(MeasureKind::Trr, &ts, &mut ws);
+        let after_warmup = ws.stats().fresh_allocs;
+        for _ in 0..5 {
+            let again = s.solve_many_with(MeasureKind::Trr, &ts, &mut ws);
+            for (a, b) in warm.iter().zip(&again) {
+                assert_eq!(a.value, b.value, "reuse must not change values");
+            }
+        }
+        assert_eq!(
+            ws.stats().fresh_allocs,
+            after_warmup,
+            "warmed-up solve_many must not allocate scratch vectors"
+        );
     }
 
     #[test]

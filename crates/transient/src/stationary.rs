@@ -6,7 +6,7 @@
 //! long-run measures.
 
 use regenr_ctmc::{Ctmc, Uniformized};
-use regenr_sparse::ParallelConfig;
+use regenr_sparse::{ParallelConfig, Workspace};
 
 /// Computes the stationary distribution by power iteration.
 ///
@@ -14,12 +14,23 @@ use regenr_sparse::ParallelConfig;
 /// steps (periodicity is ruled out by the θ=0.05 self-loops, so this means
 /// the tolerance is too tight or the chain is reducible).
 pub fn stationary_distribution(ctmc: &Ctmc, tol: f64, max_iter: usize) -> Option<Vec<f64>> {
+    stationary_distribution_with(ctmc, tol, max_iter, &mut Workspace::new())
+}
+
+/// Like [`stationary_distribution`] with caller-owned scratch (the scratch
+/// iterate returns to `ws`; the result vector is handed to the caller).
+pub fn stationary_distribution_with(
+    ctmc: &Ctmc,
+    tol: f64,
+    max_iter: usize,
+    ws: &mut Workspace,
+) -> Option<Vec<f64>> {
     let unif = Uniformized::new(ctmc, 0.05);
-    let cfg = ParallelConfig::default();
-    let mut pi = ctmc.initial().to_vec();
-    let mut next = vec![0.0; pi.len()];
+    let stepper = unif.stepper(&ParallelConfig::default());
+    let mut pi = ws.take_copied(ctmc.initial());
+    let mut next = ws.take_zeroed(pi.len());
     for _ in 0..max_iter {
-        unif.step_into(&pi, &mut next, &cfg);
+        stepper.step(&pi, &mut next);
         let d: f64 = next.iter().zip(&pi).map(|(a, b)| (a - b).abs()).sum();
         std::mem::swap(&mut pi, &mut next);
         if d <= tol {
@@ -28,9 +39,12 @@ pub fn stationary_distribution(ctmc: &Ctmc, tol: f64, max_iter: usize) -> Option
             for p in &mut pi {
                 *p /= mass;
             }
+            ws.give(next);
             return Some(pi);
         }
     }
+    ws.give(pi);
+    ws.give(next);
     None
 }
 

@@ -91,11 +91,11 @@ pub mod prelude {
     };
     pub use regenr_ctmc::{Ctmc, CtmcBuilder, ModelSpec, RewardedCtmc};
     pub use regenr_engine::{
-        CacheConfig, CacheStats, Engine, EngineOptions, Method, MethodChoice, SolveReport,
-        SolveRequest, Solver, SweepReport,
+        CacheConfig, CacheStats, Engine, EngineOptions, ExecStats, Method, MethodChoice,
+        SolveReport, SolveRequest, Solver, SweepReport,
     };
     pub use regenr_laplace::{DurbinInverter, InverterOptions};
     pub use regenr_numeric::{Complex64, PoissonWeights};
-    pub use regenr_sparse::CsrMatrix;
+    pub use regenr_sparse::{CsrMatrix, WorkerPool, Workspace};
     pub use regenr_transient::{MeasureKind, RsdOptions, RsdSolver, Solution, SrOptions, SrSolver};
 }

@@ -32,19 +32,30 @@ fn raid_grid_dispatches_and_caches() {
     assert!(sweep.failures.is_empty(), "{:?}", sweep.failures);
     assert_eq!(sweep.reports.len(), 12);
 
-    let lambda = ua.generator().max_abs_diag();
+    let opts = *engine.options();
     for r in &sweep.reports {
-        let expect = if lambda * r.t <= engine.options().small_lambda_t {
-            (Method::Sr, DispatchReason::SmallHorizon)
-        } else if r.model == "raid_g20_ua" {
-            (Method::Rsd, DispatchReason::IrreducibleSteadyState)
-        } else {
-            (Method::Rrl, DispatchReason::StiffLargeHorizon)
-        };
+        // Mirror the documented dispatch ladder — tiny Λt on a large sparse
+        // model → active-set, small Λt → SR, then RSD/RRL by structure —
+        // using the *cell's own* model (the UA/UR variants may diverge in
+        // Λ or state count if the grid is ever reparameterized).
+        let model = if r.model == "raid_g20_ua" { &ua } else { &ur };
+        let lambda = model.generator().max_abs_diag();
+        let expect =
+            if lambda * r.t <= opts.tiny_lambda_t && model.n_states() >= opts.adaptive_min_states {
+                (Method::Adaptive, DispatchReason::TinyHorizonActiveSet)
+            } else if lambda * r.t <= opts.small_lambda_t {
+                (Method::Sr, DispatchReason::SmallHorizon)
+            } else if r.model == "raid_g20_ua" {
+                (Method::Rsd, DispatchReason::IrreducibleSteadyState)
+            } else {
+                (Method::Rrl, DispatchReason::StiffLargeHorizon)
+            };
         assert_eq!((r.method, r.reason), expect, "cell {} t={}", r.model, r.t);
         assert!(r.converged, "cell {} t={} did not converge", r.model, r.t);
     }
-    // The paper's regimes must actually occur on this grid.
+    // The paper's regimes must actually occur on this grid (plus the
+    // active-set regime this engine adds at tiny Λt).
+    assert!(sweep.reports.iter().any(|r| r.method == Method::Adaptive));
     assert!(sweep.reports.iter().any(|r| r.method == Method::Sr));
     assert!(sweep.reports.iter().any(|r| r.method == Method::Rsd));
     assert!(sweep.reports.iter().any(|r| r.method == Method::Rrl));
