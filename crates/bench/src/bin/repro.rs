@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run -p regenr-bench --release --bin repro -- [--quick] <what>
 //!   what ∈ { sizes | table1 | table2 | fig3 | fig4 | scalars | ablation |
-//!            sweep | engine | all }
+//!            sweep | engine | kernels | all }
 //! ```
 //!
 //! Output goes to stdout (pretty tables) and `results/*.csv` (series data).
@@ -38,6 +38,7 @@ fn main() {
         }
         "sweep" => sweep(),
         "engine" => engine_grid(&w),
+        "kernels" => kernel_ablation(&w),
         "all" => {
             sizes(&w);
             table1(&w);
@@ -49,6 +50,7 @@ fn main() {
             ablation_theta(&w);
             sweep();
             engine_grid(&w);
+            kernel_ablation(&w);
         }
         other => {
             eprintln!("unknown target {other:?}; see --help in the module docs");
@@ -532,6 +534,9 @@ fn pool_vs_spawn(w: &Workload) {
     let cfg = ParallelConfig {
         min_nnz: 0,
         threads: chunks,
+        // The pool-vs-spawn comparison isolates the execution strategy, so
+        // both run the same generic kernel.
+        kernel: regenr_sparse::KernelChoice::Generic,
     };
     let exec_threads = |kernel: &str| match kernel {
         "serial" => 1,
@@ -598,6 +603,101 @@ fn pool_vs_spawn(w: &Workload) {
              thread-creation cost."
         );
     }
+}
+
+/// Kernel ablation over the paper's RAID grid: warm repeated stepping on
+/// the uniformized `Pᵀ` of the G=20/40 UR models, one timing per kernel in
+/// the suite, all single-threaded so the numbers isolate the *kernel* (the
+/// pool-vs-spawn comparison in `engine` isolates the execution strategy).
+/// Every iterate is asserted bitwise identical to the generic baseline;
+/// `results/kernels.csv` records the grid.
+fn kernel_ablation(w: &Workload) {
+    use regenr_ctmc::Uniformized;
+    use regenr_sparse::{KernelChoice, MatrixProfile, ParallelConfig};
+
+    println!("\n== kernels: structure-adaptive SpMV ablation (UR stepping, serial) ==");
+    let mut csv = CsvWriter::create(
+        "kernels",
+        "g,kernel,selected,steps,seconds,speedup_vs_generic",
+    )
+    .unwrap();
+    // Names derive from KernelKind::name() — the same strings the CLI and
+    // reports use — so the "selected" flag can never drift out of sync.
+    let kernels = [
+        KernelChoice::Generic,
+        KernelChoice::ShortRow,
+        KernelChoice::DiagSplit,
+        KernelChoice::Sliced,
+    ];
+    for g in G_VALUES {
+        let chain = w.chain(g, Variant::Ur);
+        let unif = Uniformized::new(&chain, 0.0);
+        let n = chain.n_states();
+        let steps = 400usize;
+        let profile = MatrixProfile::analyze(&unif.p_t);
+        let selected = profile.select();
+        println!(
+            "  G={g}: {} states, {} nnz, mean row {:.1}, diag density {:.3} -> selected kernel: {}",
+            n,
+            unif.p_t.nnz(),
+            profile.mean_row_len,
+            profile.diag_density,
+            selected
+        );
+        let run = |choice: KernelChoice| -> (f64, Vec<u64>) {
+            let cfg = ParallelConfig {
+                min_nnz: 0,
+                threads: 1,
+                kernel: choice,
+            };
+            let stepper = unif.stepper(&cfg);
+            let mut pi = chain.initial().to_vec();
+            let mut next = vec![0.0; n];
+            stepper.step(&pi, &mut next); // warm: layout + caches settle
+            let t0 = std::time::Instant::now();
+            for _ in 0..steps {
+                stepper.step(&pi, &mut next);
+                std::mem::swap(&mut pi, &mut next);
+            }
+            let secs = t0.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
+            (secs, pi.iter().map(|v| v.to_bits()).collect())
+        };
+        let (generic_secs, generic_bits) = run(KernelChoice::Generic);
+        for choice in kernels {
+            let name = choice
+                .forced()
+                .expect("ablation list is forced-only")
+                .name();
+            let (secs, bits) = if choice == KernelChoice::Generic {
+                (generic_secs, generic_bits.clone())
+            } else {
+                run(choice)
+            };
+            assert_eq!(
+                bits, generic_bits,
+                "G={g} kernel {name}: iterates must be bitwise identical to generic"
+            );
+            let speedup = generic_secs / secs;
+            let is_selected = name == selected.name();
+            println!(
+                "  {:>10}{} {:>9.4}s  {:>5.2}x vs generic",
+                name,
+                if is_selected { "*" } else { " " },
+                secs,
+                speedup
+            );
+            csv.row(&[
+                g.to_string(),
+                name.to_string(),
+                is_selected.to_string(),
+                steps.to_string(),
+                format!("{secs:.6}"),
+                format!("{speedup:.3}"),
+            ])
+            .unwrap();
+        }
+    }
+    println!("  (* = what Auto selects for this matrix; results/kernels.csv records the grid)");
 }
 
 fn quick_note(quick: bool) -> &'static str {

@@ -91,8 +91,12 @@ impl KilledChainParams {
 
     fn approx_bytes(&self) -> usize {
         let f = std::mem::size_of::<f64>();
-        (self.a.len() + self.c.len() + self.u.len()) * f
-            + self.y.iter().map(|v| v.len() * f).sum::<usize>()
+        // Capacities, not lengths: the sequences grow by pushes during the
+        // stepping loop, so the allocator hands out up to 2× the final
+        // length — counting lengths under-reported cached bytes by that
+        // factor (caught by the engine's counting-allocator audit).
+        (self.a.capacity() + self.c.capacity() + self.u.capacity()) * f
+            + self.y.iter().map(|v| v.capacity() * f).sum::<usize>()
     }
 }
 
@@ -151,14 +155,16 @@ impl RegenParams {
         self.main.depth() + self.primed.as_ref().map_or(0, |p| p.depth())
     }
 
-    /// Approximate heap footprint in bytes (the stored scalar sequences).
-    /// Used by bounded artifact caches for byte accounting; not an exact
-    /// allocator measurement.
+    /// Approximate heap footprint in bytes (the stored scalar sequences, by
+    /// vector capacity — what the allocator actually handed out). Used by
+    /// bounded artifact caches for byte accounting; audited against a
+    /// counting allocator by the engine's byte-accounting test.
     pub fn approx_bytes(&self) -> usize {
         let f = std::mem::size_of::<f64>();
         self.main.approx_bytes()
             + self.primed.as_ref().map_or(0, |p| p.approx_bytes())
-            + (self.absorbing.len() + self.absorbing_rewards.len()) * f
+            + self.absorbing.capacity() * std::mem::size_of::<usize>()
+            + self.absorbing_rewards.capacity() * f
     }
 
     /// Computes the parameters for horizon `t` under `opts`.

@@ -6,27 +6,37 @@
 //! in the workspace starts from a [`Uniformized`] view.
 
 use crate::chain::Ctmc;
-use regenr_sparse::{effective_threads, ChunkPlan, CsrMatrix, ParallelConfig, WorkerPool};
+use regenr_sparse::{
+    effective_threads, ChunkPlan, CsrMatrix, KernelChoice, KernelKind, ParallelConfig, WorkerPool,
+};
 use std::sync::{Arc, Mutex};
 
-/// Shared memo of nnz-balanced [`ChunkPlan`]s for `Pᵀ`, keyed by chunk
-/// count. Wrapped in an `Arc` so clones of a [`Uniformized`] share the same
-/// plans (they describe the same matrix); the inner list is tiny — one entry
-/// per distinct thread count ever requested.
+/// Shared memo of nnz-balanced [`ChunkPlan`]s for `Pᵀ`, keyed by
+/// `(chunk count, kernel choice)` — a plan carries the resolved
+/// structure-adaptive kernel layout, so forcing different kernels yields
+/// distinct plans. Wrapped in an `Arc` so clones of a [`Uniformized`] share
+/// the same plans (they describe the same matrix); the inner list is tiny —
+/// one entry per distinct configuration ever requested.
 #[derive(Clone, Debug, Default)]
 struct PlanCache(Arc<Mutex<PlanList>>);
 
-/// `(chunk count, plan)` pairs; linear scan — a handful of entries at most.
-type PlanList = Vec<(usize, Arc<ChunkPlan>)>;
+/// `((chunk count, kernel choice), plan)` pairs; linear scan — a handful of
+/// entries at most.
+type PlanList = Vec<((usize, KernelChoice), Arc<ChunkPlan>)>;
 
 impl PlanCache {
-    fn get_or_plan(&self, matrix: &CsrMatrix, chunks: usize) -> Arc<ChunkPlan> {
+    fn get_or_plan(
+        &self,
+        matrix: &CsrMatrix,
+        chunks: usize,
+        choice: KernelChoice,
+    ) -> Arc<ChunkPlan> {
         let mut plans = regenr_sparse::pool::lock(&self.0);
-        if let Some((_, plan)) = plans.iter().find(|(c, _)| *c == chunks) {
+        if let Some((_, plan)) = plans.iter().find(|(key, _)| *key == (chunks, choice)) {
             return plan.clone();
         }
-        let plan = Arc::new(ChunkPlan::new(matrix, chunks));
-        plans.push((chunks, plan.clone()));
+        let plan = Arc::new(ChunkPlan::with_kernel(matrix, chunks, choice));
+        plans.push(((chunks, choice), plan.clone()));
         plan
     }
 }
@@ -46,32 +56,38 @@ pub struct Uniformized {
     plans: PlanCache,
 }
 
-/// A DTMC stepping kernel bound to one uniformization: the chunk plan is
-/// resolved **once** (and cached on the [`Uniformized`]) instead of per
+/// A DTMC stepping kernel bound to one uniformization: the chunk plan — and
+/// with it the structure-adaptive SpMV kernel the plan resolved — is
+/// computed **once** (and cached on the [`Uniformized`]) instead of per
 /// product, and repeated steps run on the persistent shared [`WorkerPool`] —
 /// the execution shape every SpMV-bound solver loop wants. Obtain one from
 /// [`Uniformized::stepper`]; results are bitwise identical to the serial
-/// product regardless of pool size or chunk count.
+/// product regardless of kernel, pool size, or chunk count.
 pub struct Stepper<'a> {
     p_t: &'a CsrMatrix,
-    /// `None` ⇒ the matrix is below the parallel threshold (or one thread
-    /// was requested): steps run serially with zero dispatch overhead.
-    plan: Option<Arc<ChunkPlan>>,
+    /// Single-chunk plans run the kernel directly on the calling thread
+    /// with zero dispatch overhead (matrix below the parallel threshold, or
+    /// one thread requested).
+    plan: Arc<ChunkPlan>,
     pool: &'static Arc<WorkerPool>,
 }
 
 impl Stepper<'_> {
     /// One DTMC step: `out = Pᵀ·π`.
     pub fn step(&self, pi: &[f64], out: &mut [f64]) {
-        match &self.plan {
-            Some(plan) => self.p_t.mul_vec_pooled_into(pi, out, plan, self.pool),
-            None => self.p_t.mul_vec_into(pi, out),
-        }
+        self.p_t.mul_vec_pooled_into(pi, out, &self.plan, self.pool);
     }
 
-    /// Whether steps are dispatched to the worker pool (`false` ⇒ serial).
+    /// Whether steps are dispatched to the worker pool (`false` ⇒ the
+    /// kernel runs serially on the calling thread).
     pub fn is_pooled(&self) -> bool {
-        self.plan.is_some()
+        self.plan.len() > 1
+    }
+
+    /// The structure-adaptive kernel steps execute (reported in the
+    /// engine's per-cell output).
+    pub fn kernel_kind(&self) -> KernelKind {
+        self.plan.kernel_kind()
     }
 }
 
@@ -115,19 +131,31 @@ impl Uniformized {
         }
     }
 
-    /// A stepping kernel with its chunk plan resolved once under `cfg` (see
-    /// [`Stepper`]). Solver loops should build this once per solve and call
-    /// [`Stepper::step`] per product; [`Uniformized::step_into`] re-plans on
-    /// every call.
+    /// A stepping kernel with its chunk plan (and structure-adaptive SpMV
+    /// kernel) resolved once under `cfg` (see [`Stepper`]). Solver loops
+    /// should build this once per solve and call [`Stepper::step`] per
+    /// product; [`Uniformized::step_into`] re-plans on every call.
     pub fn stepper(&self, cfg: &ParallelConfig) -> Stepper<'_> {
         let threads = effective_threads(cfg.threads);
-        let plan = (self.p_t.nnz() >= cfg.min_nnz && threads > 1)
-            .then(|| self.plans.get_or_plan(&self.p_t, threads));
+        let chunks = if self.p_t.nnz() >= cfg.min_nnz && threads > 1 {
+            threads
+        } else {
+            // Below the parallel threshold the kernel still runs (its serial
+            // wins are exactly what the threshold regime keeps), just
+            // without pool dispatch.
+            1
+        };
         Stepper {
             p_t: &self.p_t,
-            plan,
+            plan: self.plans.get_or_plan(&self.p_t, chunks, cfg.kernel),
             pool: WorkerPool::global(),
         }
+    }
+
+    /// The kernel a stepper under `cfg` executes — for reports; resolves
+    /// (and caches) the plan exactly as [`Uniformized::stepper`] would.
+    pub fn kernel_for(&self, cfg: &ParallelConfig) -> KernelKind {
+        self.stepper(cfg).kernel_kind()
     }
 
     /// One DTMC step: `out = πᵀP` computed as `Pᵀ·π` (gather), optionally in
@@ -142,15 +170,24 @@ impl Uniformized {
         self.p.nrows()
     }
 
-    /// Approximate heap footprint in bytes (both CSR matrices: values,
-    /// column indices, row pointers). Used by bounded artifact caches for
-    /// byte accounting; not an exact allocator measurement.
+    /// Approximate heap footprint in bytes: both CSR matrices by allocator
+    /// capacity (see [`CsrMatrix::heap_bytes`]) plus whatever kernel
+    /// layouts the plan cache holds **at call time**. Used by bounded
+    /// artifact caches for byte accounting; audited against a counting
+    /// allocator by the engine's byte-accounting test. Caveat: caches
+    /// charge at insertion, when the plan cache is typically still empty —
+    /// layouts built by later steppers (bounded at ≤ 2× the `Pᵀ` entries
+    /// per cached configuration by the kernels' fill guard) are visible to
+    /// a re-query but not to an already-recorded charge (see the ROADMAP
+    /// re-accounting note).
     pub fn approx_bytes(&self) -> usize {
-        let csr = |m: &regenr_sparse::CsrMatrix| {
-            m.nnz() * (std::mem::size_of::<f64>() + std::mem::size_of::<u32>())
-                + (m.nrows() + 1) * std::mem::size_of::<usize>()
-        };
-        csr(&self.p) + csr(&self.p_t)
+        self.p.heap_bytes() + self.p_t.heap_bytes() + self.plan_bytes()
+    }
+
+    /// Heap bytes currently held by cached chunk plans' kernel layouts.
+    pub fn plan_bytes(&self) -> usize {
+        let plans = regenr_sparse::pool::lock(&self.plans.0);
+        plans.iter().map(|(_, plan)| plan.kernel_bytes()).sum()
     }
 
     /// Asserts this uniformization is plausibly built from `ctmc`: same
@@ -246,6 +283,7 @@ mod tests {
         let cfg = ParallelConfig {
             min_nnz: 0,
             threads: 4,
+            kernel: KernelChoice::Auto,
         };
         let stepper = u.stepper(&cfg);
         assert!(stepper.is_pooled());
@@ -255,11 +293,25 @@ mod tests {
         stepper.step(&pi, &mut a);
         u.p_t.mul_vec_into(&pi, &mut b);
         assert_eq!(a, b, "pooled step must be bitwise identical to serial");
-        // Same chunk count → the cached plan is shared (same allocation).
+        // Same configuration → the cached plan is shared (same allocation).
         let again = u.stepper(&cfg);
-        let (p1, p2) = (stepper.plan.as_ref().unwrap(), again.plan.as_ref().unwrap());
-        assert!(Arc::ptr_eq(p1, p2), "plan must be computed once per matrix");
-        // Below the nnz threshold the stepper is serial.
+        assert!(
+            Arc::ptr_eq(&stepper.plan, &again.plan),
+            "plan must be computed once per matrix"
+        );
+        // A forced kernel resolves its own plan, and tiny matrices
+        // auto-select the generic kernel.
+        let forced = u.stepper(&ParallelConfig {
+            kernel: KernelChoice::Sliced,
+            ..cfg
+        });
+        assert!(!Arc::ptr_eq(&stepper.plan, &forced.plan));
+        assert_eq!(forced.kernel_kind(), KernelKind::Sliced);
+        assert_eq!(stepper.kernel_kind(), KernelKind::Generic);
+        let mut c = vec![0.0; 3];
+        forced.step(&pi, &mut c);
+        assert_eq!(a, c, "forced kernel must be bitwise identical");
+        // Below the nnz threshold the stepper runs serially.
         assert!(!u.stepper(&ParallelConfig::default()).is_pooled());
     }
 }

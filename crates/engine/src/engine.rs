@@ -18,12 +18,13 @@
 //! ## Sweep execution
 //!
 //! [`Engine::sweep`] plans every request into `(model, measure,
-//! method-group-of-horizons)` jobs and executes the jobs on a scoped-thread
-//! worker pool (the repo convention — see `regenr_sparse::parallel` — is
-//! std scoped threads, no external runtime). Horizons that share a method
-//! stay together so the per-method batch paths (`SrSolver::solve_many`'s
-//! single propagation sweep, RRL's shared construction) keep their savings;
-//! independent jobs run concurrently.
+//! method-group-of-horizons)` jobs and executes the jobs on the shared
+//! persistent worker pool. Horizons that share a method stay together so
+//! the per-method batch paths (`SrSolver::solve_many`'s single propagation
+//! sweep, RRL's shared construction) keep their savings; independent jobs
+//! run concurrently, and the pool's work stealing lets idle workers claim
+//! the jobs' inner SpMV chunks — a narrow sweep on a wide machine keeps
+//! every core busy (see `regenr_sparse::pool`).
 
 use crate::cache::{ArtifactCache, CacheConfig, CacheStats, ChainFacts};
 use crate::fingerprint::fingerprint;
@@ -165,6 +166,9 @@ pub struct SolveReport {
     pub converged: bool,
     /// `Λt` at dispatch time.
     pub lambda_t: f64,
+    /// The structure-adaptive SpMV kernel the solver's stepper executes
+    /// (`"none"` for the dense ODE oracle, which never randomizes).
+    pub kernel: &'static str,
     /// Whether the uniformization came from the artifact cache.
     pub unif_cache_hit: bool,
     /// Whether RRL's killed-chain parameters came from the cache.
@@ -197,7 +201,9 @@ pub struct ExecStats {
     /// Threads the shared SpMV pool executes on.
     pub pool_threads: usize,
     /// Pool activity during this sweep (delta of the shared pool's
-    /// counters; inner SpMVs that found the pool busy count as inline).
+    /// counters). `stolen_chunks` counts inner SpMV chunks idle pool
+    /// workers claimed from running jobs — the concurrency work stealing
+    /// recovered; runs that found no free job slot count as inline.
     pub pool: WorkerPoolStats,
     /// Workspace activity summed over the sweep's workers. `fresh_allocs`
     /// far below `takes` is the zero-steady-state-allocation property.
@@ -271,14 +277,14 @@ pub struct Engine {
     opts: EngineOptions,
     cache: ArtifactCache,
     /// The shared persistent worker pool: sweep jobs run on it, and the
-    /// solvers' pooled SpMV kernels dispatch to the same pool (falling back
-    /// to inline execution while the sweep occupies it — the
-    /// nested-parallelism budget; see `regenr_sparse::pool`).
+    /// solvers' pooled SpMV kernels publish into the same pool's job slots,
+    /// where idle workers steal their chunks (see `regenr_sparse::pool`).
     ///
     /// Invariant: this is always [`WorkerPool::global`] — the steppers
     /// inside the solvers submit to the global pool directly, so an engine
-    /// on any *other* pool would break the shared-pool budget. A future
-    /// custom-pool constructor must plumb its pool into `Stepper` first.
+    /// on any *other* pool would split the machine between two pools. A
+    /// future custom-pool constructor must plumb its pool into `Stepper`
+    /// first.
     pool: Arc<WorkerPool>,
 }
 
@@ -478,6 +484,15 @@ impl Engine {
             let (unif, hit) = self.cache.uniformized(fp, ctmc, cfg.theta);
             (Some(unif), hit)
         };
+        // The kernel the solver's stepper resolves under this parallel
+        // config (cached on the uniformization — same plan the solver
+        // uses). Adaptive propagates over its active set row-by-row and
+        // never builds a stepper, so like the ODE oracle it reports no
+        // kernel (and must not force a layout build it would never use).
+        let kernel = match &unif {
+            Some(u) if job.method != Method::Adaptive => u.kernel_for(&cfg.parallel).name(),
+            _ => "none",
+        };
         let solver = build_solver(job.method, ctmc, facts, unif, &cfg)?;
         let lambda = self.lambda(facts);
 
@@ -535,6 +550,7 @@ impl Engine {
                 abscissae: sol.abscissae,
                 converged: sol.converged,
                 lambda_t: lambda * t,
+                kernel,
                 unif_cache_hit: unif_hit,
                 params_cache_hit: params_hit,
                 wall: per_cell,
@@ -617,13 +633,12 @@ impl Engine {
     /// complete.
     ///
     /// Thread budget: at most [`EngineOptions::threads`] jobs run
-    /// concurrently. When the sweep needs the whole machine (worker count
-    /// ≥ pool threads) the jobs run *as* pool work and their inner pooled
-    /// SpMVs execute inline — `sweep workers × SpMV threads` never
-    /// oversubscribes. When the sweep is narrower than the machine (fewer
-    /// jobs than pool threads, including the single-job case and
-    /// [`Engine::solve`]), the sweep workers run on scoped threads (or
-    /// inline) and the pool stays free for the jobs' inner SpMVs.
+    /// concurrently, as work on the shared pool; the jobs' inner pooled
+    /// SpMVs publish into the same pool, where any idle worker steals
+    /// their chunks. Every thread therefore stays busy whether the sweep
+    /// is wider or narrower than the machine, and total concurrency never
+    /// exceeds the pool size (`sweep workers × SpMV threads` cannot
+    /// oversubscribe).
     pub fn sweep(&self, reqs: &[SolveRequest]) -> SweepReport {
         let t0 = Instant::now();
         let pool_before = self.pool.stats();
@@ -665,31 +680,25 @@ impl Engine {
             }
             crate::cache::lock(&ws_totals).merge(&ws.stats());
         };
-        // Sweep-level execution mode:
-        // * one worker — run inline, leaving the whole pool to the job's
-        //   inner SpMVs;
-        // * fewer workers than pool threads — run the sweep workers on
-        //   scoped threads so the pool stays free for inner SpMVs (a
-        //   2-job sweep on a 16-core box must not serialize its products);
-        // * otherwise — the jobs *are* the pool's work and inner SpMVs
-        //   inline on their workers (the no-oversubscription budget).
+        // Sweep-level execution: a single worker runs inline (the whole
+        // pool stays available for the job's inner SpMVs); otherwise the
+        // sweep jobs run *as* pool work. The pool's work stealing makes one
+        // mode enough — there is no wide-sweep/narrow-sweep cliff anymore:
+        // a sweep narrower than the machine leaves workers idle, and those
+        // workers steal the jobs' inner SpMV chunks (each inner product
+        // publishes into its own job slot instead of degrading to inline
+        // execution), while a sweep as wide as the machine keeps every
+        // worker on solver jobs and the inner products drain on their
+        // submitters — `sweep workers × SpMV threads` still never
+        // oversubscribes.
         let achieved_workers = if workers <= 1 {
             run_worker();
             1
-        } else if workers < self.pool.threads() {
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    // The closure only captures shared references, so it is
-                    // `Copy` — each worker thread gets its own copy.
-                    scope.spawn(run_worker);
-                }
-            });
-            workers
         } else if self.pool.run(workers, |_| run_worker()) {
             workers.min(self.pool.threads())
         } else {
-            // The shared pool was busy (another sweep or a long pooled
-            // product): every job ran inline on this thread.
+            // No free job slot (exceptionally deep nesting) or a
+            // single-thread pool: every job ran inline on this thread.
             1
         };
 
@@ -1078,6 +1087,42 @@ mod tests {
             exec.workspace.takes,
             exec.workspace.fresh_allocs + exec.workspace.reused
         );
+    }
+
+    /// The per-cell kernel reflects what the solver's stepper actually
+    /// runs: stepping methods report the (possibly forced) resolved
+    /// kernel; Adaptive and the ODE oracle never build a stepper and
+    /// report `"none"`.
+    #[test]
+    fn reported_kernel_tracks_solver_stepping() {
+        let forced = Engine::with_options(EngineOptions {
+            parallel: regenr_sparse::ParallelConfig {
+                kernel: regenr_sparse::KernelChoice::Sliced,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        // SR and RSD cells step through the uniformization: forced kernel.
+        let reports = forced
+            .solve(&SolveRequest::new("u", repairable(), vec![1.0, 1e6]))
+            .unwrap();
+        assert_eq!(reports[0].method, Method::Sr);
+        assert_eq!(reports[0].kernel, "sliced");
+        assert_eq!(reports[1].method, Method::Rsd);
+        assert_eq!(reports[1].kernel, "sliced");
+        // Adaptive (active-set, no stepper) and ODE report no kernel.
+        let adaptive = forced
+            .solve(&SolveRequest::new("big", large_birth_chain(2_500), vec![10.0]).epsilon(1e-10))
+            .unwrap();
+        assert_eq!(adaptive[0].method, Method::Adaptive);
+        assert_eq!(adaptive[0].kernel, "none");
+        let ode = forced
+            .solve(
+                &SolveRequest::new("u", repairable(), vec![1.0])
+                    .method(MethodChoice::Fixed(Method::Ode)),
+            )
+            .unwrap();
+        assert_eq!(ode[0].kernel, "none");
     }
 
     #[test]

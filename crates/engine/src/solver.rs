@@ -473,6 +473,7 @@ pub fn build_solver<'a>(
             RsdOptions {
                 epsilon: cfg.epsilon,
                 theta: cfg.theta,
+                parallel: cfg.parallel,
                 ..Default::default()
             },
         )),

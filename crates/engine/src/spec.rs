@@ -8,6 +8,7 @@
 //!   "epsilon": 1e-12,
 //!   "method": "auto",
 //!   "threads": 4,
+//!   "kernel": "auto",
 //!   "cache": { "max_entries": 64, "max_bytes": 268435456 },
 //!   "horizons": [1, 10, 100, 1000, 10000, 100000],
 //!   "measures": ["trr"],
@@ -31,6 +32,12 @@
 //! the optional `"initial"` distribution defaults to all mass on state 0
 //! (`"n"` overrides the inferred state count). This covers chains no named
 //! generator produces, without touching the CLI.
+//!
+//! `"kernel"` forces the SpMV kernel every solver's stepper runs (`auto`,
+//! `generic`, `shortrow`, `diagsplit`, `sliced`; default `auto` analyzes
+//! each matrix once and picks). All kernels are bitwise identical to the
+//! serial product, so forced-kernel `--stable` reports diff byte-for-byte —
+//! the CI determinism job relies on that.
 
 use crate::cache::CacheConfig;
 use crate::engine::{EngineOptions, MethodChoice, SolveRequest, SweepReport};
@@ -398,6 +405,12 @@ impl SweepSpec {
         if let Some(x) = get_u32(doc, "threads")? {
             options.threads = x as usize;
         }
+        if let Some(s) = doc.get("kernel") {
+            let s = s
+                .as_str()
+                .ok_or_else(|| "field \"kernel\" must be a string".to_string())?;
+            options.parallel.kernel = regenr_sparse::KernelChoice::parse(s)?;
+        }
         if let Some(x) = get_f64(doc, "theta")? {
             if !x.is_finite() || x < 0.0 {
                 return Err(format!(
@@ -502,6 +515,9 @@ fn report_to_json_opts(report: &SweepReport, stable: bool) -> Json {
                 ("lambda_t".into(), Json::Num(r.lambda_t)),
             ];
             if !stable {
+                // The kernel is execution-tuning, not a result: forced-kernel
+                // --stable reports must stay byte-for-byte identical.
+                fields.push(("kernel".into(), Json::Str(r.kernel.into())));
                 fields.push(("unif_cache_hit".into(), Json::Bool(r.unif_cache_hit)));
                 fields.push(("params_cache_hit".into(), Json::Bool(r.params_cache_hit)));
                 fields.push(("wall_seconds".into(), Json::Num(r.wall.as_secs_f64())));
@@ -560,6 +576,14 @@ fn report_to_json_opts(report: &SweepReport, stable: bool) -> Json {
                             Json::Num(exec.pool.inline_runs as f64),
                         ),
                         ("chunks".into(), Json::Num(exec.pool.chunks as f64)),
+                        (
+                            "stolen_chunks".into(),
+                            Json::Num(exec.pool.stolen_chunks as f64),
+                        ),
+                        (
+                            "overlapped_runs".into(),
+                            Json::Num(exec.pool.overlapped_runs as f64),
+                        ),
                     ]),
                 ),
                 (
@@ -780,11 +804,62 @@ mod tests {
         let report = engine.sweep(&spec.requests);
         let full = report_to_json(&report).to_string();
         let stable = stable_report_to_json(&report).to_string();
-        for field in ["wall_seconds", "cache", "execution", "unif_cache_hit"] {
+        for field in [
+            "wall_seconds",
+            "cache",
+            "execution",
+            "unif_cache_hit",
+            "kernel",
+            "stolen_chunks",
+        ] {
             assert!(full.contains(field), "full report must contain {field}");
             assert!(!stable.contains(field), "stable report leaks {field}");
         }
         assert!(stable.contains("\"value\""));
+    }
+
+    /// The `"kernel"` knob forces the SpMV kernel engine-wide; every forced
+    /// kernel produces a `--stable` report byte-for-byte identical to
+    /// `Auto` (the CI determinism job diffs exactly this).
+    #[test]
+    fn forced_kernel_sweeps_match_auto_byte_for_byte() {
+        let spec_for = |kernel: &str| {
+            format!(
+                r#"{{"epsilon": 1e-10, "kernel": "{kernel}", "horizons": [1, 100, 10000],
+                    "models": [{{"kind": "raid", "g": 2}},
+                               {{"kind": "two_state", "lambda": 1e-3, "absorbing": true}}]}}"#
+            )
+        };
+        let run = |kernel: &str| {
+            let spec = SweepSpec::parse(&spec_for(kernel)).unwrap();
+            assert_eq!(
+                spec.options.parallel.kernel,
+                regenr_sparse::KernelChoice::parse(kernel).unwrap()
+            );
+            let engine = crate::Engine::with_cache_config(spec.options, spec.cache);
+            let report = engine.sweep(&spec.requests);
+            assert!(
+                report.failures.is_empty(),
+                "{kernel}: {:?}",
+                report.failures
+            );
+            stable_report_to_json(&report).to_string()
+        };
+        let auto = run("auto");
+        for kernel in ["generic", "shortrow", "diagsplit", "sliced"] {
+            assert_eq!(auto, run(kernel), "kernel {kernel} must match auto");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_kernel_knob() {
+        for bad in ["\"warp\"", "3", "true"] {
+            let doc = format!(
+                r#"{{"kernel": {bad}, "horizons": [1],
+                    "models": [{{"kind": "cyclic", "n": 3}}]}}"#
+            );
+            assert!(SweepSpec::parse(&doc).is_err(), "kernel {bad} accepted");
+        }
     }
 
     #[test]

@@ -1,0 +1,918 @@
+//! Structure-adaptive SpMV kernels.
+//!
+//! The randomization solvers spend nearly all their time in `y = A·x` over
+//! one fixed matrix, and the models the paper evaluates produce highly
+//! structured generators: short rows (a handful of transitions per state), a
+//! fully materialized diagonal (`P = I + Q/Λ` stores every diagonal entry),
+//! near-banded couplings. A single generic CSR loop leaves measurable factors
+//! on the table there, so the execution layer analyzes each matrix **once**
+//! (at [`ChunkPlan`](crate::ChunkPlan) construction) and picks a kernel:
+//!
+//! * **generic** — the textbook bounds-checked CSR gather; the ground truth
+//!   every other kernel must match bitwise, and the fallback for matrices
+//!   with no exploitable structure (or too small to amortize a layout).
+//! * **shortrow** — the same loop with one-time-validated unchecked indexing;
+//!   wins on short-row matrices where per-element bounds checks and loop
+//!   overhead rival the arithmetic.
+//! * **diagsplit** — stores the diagonal densely and the off-diagonal
+//!   entries in a split CSR; each row accumulates *lower entries, diagonal,
+//!   upper entries* — exactly the column-sorted CSR order, so results stay
+//!   bitwise identical while the diagonal's gather becomes a sequential
+//!   `x[i]` access.
+//! * **sliced** — a SELL-like sliced layout: groups of [`LANES`] consecutive
+//!   rows store their entries lane-interleaved and padded to the slice
+//!   width, so the inner loop advances all lanes in lock-step with
+//!   independent accumulators (breaking the single-accumulator latency
+//!   chain; the compiler is free to autovectorize — no intrinsics). Rows far
+//!   longer than average are excluded from slices (they would explode the
+//!   padding) and handled row-wise.
+//!
+//! ## Bitwise identity
+//!
+//! Every kernel accumulates each output row's products **in the row's CSR
+//! order with a single accumulator** — only *which rows* a loop iteration
+//! advances differs. Padded slice positions are never accumulated: a padded
+//! cell's `0.0 × x[pad_col]` is only a no-op for finite `x`, and becomes
+//! `NaN` the moment the input vector carries `±inf`/`NaN` (which transient
+//! iterates can, transiently, on degenerate models) — so per-lane lengths
+//! gate the tail iterations instead of relying on zero padding. The
+//! proptests pin every kernel to the serial [`CsrMatrix::mul_vec_into`]
+//! result bit for bit.
+//!
+//! ## Safety
+//!
+//! The non-generic kernels use unchecked indexing. Soundness rests on the
+//! CSR construction invariant `col < ncols` (enforced by
+//! [`CooBuilder`](crate::CooBuilder) and preserved by every transform);
+//! [`Kernel::build`] re-validates it with one `O(nnz)` scan before an
+//! unchecked kernel is ever selected, and `mul_rows` asserts the matrix it
+//! is handed matches the one the kernel was built from (`nrows`/`nnz`).
+
+use crate::csr::CsrMatrix;
+
+/// Lanes per slice of the sliced layout (rows advanced in lock-step).
+pub const LANES: usize = 8;
+
+/// Row length above which a row counts as "short" for selection purposes.
+const SHORT_ROW_LEN: usize = 16;
+
+/// Below this nnz no layout is built: setup would dwarf the products a
+/// matrix this small ever receives, and the generic loop is already fast.
+const MIN_KERNEL_NNZ: usize = 4_096;
+
+/// A user-facing kernel selection: automatic, or one forced kernel.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum KernelChoice {
+    /// Analyze the matrix and pick (the default).
+    #[default]
+    Auto,
+    /// Force the generic bounds-checked CSR loop.
+    Generic,
+    /// Force the unrolled short-row kernel.
+    ShortRow,
+    /// Force the diagonal-split kernel.
+    DiagSplit,
+    /// Force the sliced (SELL-like) layout.
+    Sliced,
+}
+
+impl KernelChoice {
+    /// The forced kind, or `None` for `Auto`.
+    pub fn forced(self) -> Option<KernelKind> {
+        match self {
+            KernelChoice::Auto => None,
+            KernelChoice::Generic => Some(KernelKind::Generic),
+            KernelChoice::ShortRow => Some(KernelKind::ShortRow),
+            KernelChoice::DiagSplit => Some(KernelKind::DiagSplit),
+            KernelChoice::Sliced => Some(KernelKind::Sliced),
+        }
+    }
+
+    /// Parses the CLI/spec spelling (`auto`, `generic`, `shortrow`,
+    /// `diagsplit`, `sliced`).
+    pub fn parse(s: &str) -> Result<KernelChoice, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "auto" => Ok(KernelChoice::Auto),
+            "generic" => Ok(KernelChoice::Generic),
+            "shortrow" => Ok(KernelChoice::ShortRow),
+            "diagsplit" => Ok(KernelChoice::DiagSplit),
+            "sliced" => Ok(KernelChoice::Sliced),
+            other => Err(format!(
+                "unknown kernel {other:?} (expected auto/generic/shortrow/diagsplit/sliced)"
+            )),
+        }
+    }
+}
+
+/// A resolved kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// Bounds-checked CSR loop.
+    Generic,
+    /// Unchecked-indexing CSR loop.
+    ShortRow,
+    /// Dense diagonal + split off-diagonal CSR.
+    DiagSplit,
+    /// Lane-interleaved sliced layout.
+    Sliced,
+}
+
+impl KernelKind {
+    /// Stable name used in reports, CSVs and the CLI.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::Generic => "generic",
+            KernelKind::ShortRow => "shortrow",
+            KernelKind::DiagSplit => "diagsplit",
+            KernelKind::Sliced => "sliced",
+        }
+    }
+}
+
+impl std::fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One-pass structural summary of a matrix, the input to kernel selection.
+/// Deterministic: a function of the matrix entries alone (never of thread
+/// counts, chunk counts, or timing), so selection is reproducible.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MatrixProfile {
+    /// Rows.
+    pub nrows: usize,
+    /// Columns.
+    pub ncols: usize,
+    /// Stored entries.
+    pub nnz: usize,
+    /// Longest row (diagnostic; selection keys on the short-row fraction
+    /// and the sliced fill, not this).
+    pub max_row_len: usize,
+    /// Mean row length.
+    pub mean_row_len: f64,
+    /// Fraction of rows with at most 16 entries.
+    pub short_row_frac: f64,
+    /// Fraction of diagonal positions holding a stored entry (square part).
+    pub diag_density: f64,
+    /// Maximum `|i − j|` over stored entries (diagnostic — reported by the
+    /// ablation tooling; [`MatrixProfile::select`] does not consume it).
+    pub bandwidth: usize,
+    /// Stored entries of sliceable (non-tail) rows divided by the padded
+    /// slice cells they would occupy — 1.0 means a perfectly uniform layout.
+    pub sliced_fill: f64,
+}
+
+impl MatrixProfile {
+    /// Analyzes `m` in one `O(nrows + nnz)` pass.
+    pub fn analyze(m: &CsrMatrix) -> MatrixProfile {
+        let n = m.nrows();
+        let row_ptr = m.row_ptr();
+        let col_idx = m.col_idx();
+        let nnz = m.nnz();
+        let mut max_row_len = 0usize;
+        let mut short_rows = 0usize;
+        let mut diag_entries = 0usize;
+        let mut bandwidth = 0usize;
+        for i in 0..n {
+            let span = row_ptr[i]..row_ptr[i + 1];
+            let len = span.len();
+            max_row_len = max_row_len.max(len);
+            if len <= SHORT_ROW_LEN {
+                short_rows += 1;
+            }
+            for &c in &col_idx[span] {
+                let j = c as usize;
+                bandwidth = bandwidth.max(i.abs_diff(j));
+                if j == i {
+                    diag_entries += 1;
+                }
+            }
+        }
+        // Simulated sliced layout: padded cells if consecutive LANES-rows
+        // shared a slice, tail rows excluded.
+        let tail = tail_threshold(nnz, n);
+        let mut padded_cells = 0usize;
+        let mut sliceable_nnz = 0usize;
+        for s in 0..n / LANES {
+            let mut width = 0usize;
+            for l in 0..LANES {
+                let i = s * LANES + l;
+                let len = row_ptr[i + 1] - row_ptr[i];
+                if len <= tail {
+                    width = width.max(len);
+                    sliceable_nnz += len;
+                }
+            }
+            padded_cells += width * LANES;
+        }
+        let diag_positions = n.min(m.ncols());
+        MatrixProfile {
+            nrows: n,
+            ncols: m.ncols(),
+            nnz,
+            max_row_len,
+            mean_row_len: nnz as f64 / n.max(1) as f64,
+            short_row_frac: short_rows as f64 / n.max(1) as f64,
+            diag_density: diag_entries as f64 / diag_positions.max(1) as f64,
+            bandwidth,
+            sliced_fill: sliceable_nnz as f64 / padded_cells.max(1) as f64,
+        }
+    }
+
+    /// The kernel [`KernelChoice::Auto`] resolves to for this profile.
+    ///
+    /// The order encodes the measured wins on this workspace's models
+    /// (`repro kernels`): mostly-short rows — the shape every RAID-style
+    /// generator produces — profit most from the validated unchecked loop
+    /// (1.6–1.7× over generic on the paper's G=20/40 grid); near-uniform
+    /// row lengths make the sliced layout's lock-step lanes the next best;
+    /// a materialized diagonal on long ragged rows still pays for the split
+    /// kernel. Anything else — and anything too small to amortize a layout
+    /// — stays generic.
+    pub fn select(&self) -> KernelKind {
+        if self.nnz < MIN_KERNEL_NNZ || self.nrows < LANES {
+            KernelKind::Generic
+        } else if self.short_row_frac >= 0.85 {
+            KernelKind::ShortRow
+        } else if self.sliced_fill >= 0.9 && self.mean_row_len >= 3.0 {
+            KernelKind::Sliced
+        } else if self.nrows == self.ncols && self.diag_density >= 0.95 {
+            KernelKind::DiagSplit
+        } else {
+            KernelKind::Generic
+        }
+    }
+}
+
+/// Rows longer than this are excluded from slices (padding would explode)
+/// and from the short-row census' notion of "uniform".
+fn tail_threshold(nnz: usize, nrows: usize) -> usize {
+    32usize.max(4 * (nnz / nrows.max(1)))
+}
+
+/// Diagonal-split layout: off-diagonal CSR plus a dense diagonal, with the
+/// per-row lower-entry count so accumulation replays the CSR column order.
+#[derive(Clone, Debug)]
+struct DiagSplitData {
+    /// Off-diagonal row spans.
+    row_ptr: Vec<usize>,
+    /// Per row: lower-entry count, with bit 31 flagging a present diagonal.
+    lower: Vec<u32>,
+    cols: Vec<u32>,
+    vals: Vec<f64>,
+    diag: Vec<f64>,
+}
+
+const DIAG_FLAG: u32 = 1 << 31;
+
+impl DiagSplitData {
+    fn build(m: &CsrMatrix) -> Option<DiagSplitData> {
+        let n = m.nrows();
+        let row_ptr_src = m.row_ptr();
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut lower = Vec::with_capacity(n);
+        let mut cols = Vec::with_capacity(m.nnz());
+        let mut vals = Vec::with_capacity(m.nnz());
+        let mut diag = vec![0.0; n];
+        row_ptr.push(0);
+        for i in 0..n {
+            // Rows this long cannot happen through CooBuilder, but the flag
+            // bit must stay unambiguous.
+            if row_ptr_src[i + 1] - row_ptr_src[i] >= DIAG_FLAG as usize {
+                return None;
+            }
+            let mut lo = 0u32;
+            let mut flag = 0u32;
+            for (j, v) in m.row(i) {
+                if j == i {
+                    diag[i] = v;
+                    flag = DIAG_FLAG;
+                } else {
+                    if j < i {
+                        lo += 1;
+                    }
+                    cols.push(j as u32);
+                    vals.push(v);
+                }
+            }
+            lower.push(lo | flag);
+            row_ptr.push(cols.len());
+        }
+        Some(DiagSplitData {
+            row_ptr,
+            lower,
+            cols,
+            vals,
+            diag,
+        })
+    }
+
+    /// # Safety
+    /// Requires `cols[k] < x.len()` for all stored entries and
+    /// `range.end <= diag.len() == x-compatible nrows` (validated by
+    /// [`Kernel::build`] and `mul_rows`' asserts).
+    unsafe fn mul_rows(&self, x: &[f64], out: &mut [f64], range: std::ops::Range<usize>) {
+        unsafe {
+            for (local, i) in range.enumerate() {
+                let s = *self.row_ptr.get_unchecked(i);
+                let e = *self.row_ptr.get_unchecked(i + 1);
+                let tag = *self.lower.get_unchecked(i);
+                let lo = s + (tag & !DIAG_FLAG) as usize;
+                let mut acc = 0.0;
+                for k in s..lo {
+                    acc += self.vals.get_unchecked(k)
+                        * x.get_unchecked(*self.cols.get_unchecked(k) as usize);
+                }
+                if tag & DIAG_FLAG != 0 {
+                    acc += self.diag.get_unchecked(i) * x.get_unchecked(i);
+                }
+                for k in lo..e {
+                    acc += self.vals.get_unchecked(k)
+                        * x.get_unchecked(*self.cols.get_unchecked(k) as usize);
+                }
+                *out.get_unchecked_mut(local) = acc;
+            }
+        }
+    }
+}
+
+/// Sentinel length marking a tail row (excluded from its slice).
+const TAIL_SENTINEL: u32 = u32::MAX;
+
+/// SELL-like sliced layout over the full `LANES`-row slices of the matrix;
+/// the ragged tail (last partial slice) and overlong rows fall back to the
+/// row-wise kernel.
+#[derive(Clone, Debug)]
+struct SlicedData {
+    /// Start of each full slice in `vals`/`cols` (`full_slices + 1` ends).
+    slice_ptr: Vec<usize>,
+    /// Per-slice minimum sliceable row length (the unpredicated span).
+    min_len: Vec<u32>,
+    /// Per-row entry counts; `TAIL_SENTINEL` marks rows handled row-wise.
+    lens: Vec<u32>,
+    /// Lane-interleaved values, padded with zeros (never accumulated).
+    vals: Vec<f64>,
+    /// Lane-interleaved columns (padding repeats column 0 — never read).
+    cols: Vec<u32>,
+    /// Tail-row indices (ascending), handled by the row-wise fallback.
+    tail_rows: Vec<u32>,
+}
+
+impl SlicedData {
+    fn build(m: &CsrMatrix) -> SlicedData {
+        let n = m.nrows();
+        let rp = m.row_ptr();
+        let mvals = m.values();
+        let mcols = m.col_idx();
+        let tail = tail_threshold(m.nnz(), n);
+        let full = n / LANES;
+        let mut slice_ptr = Vec::with_capacity(full + 1);
+        let mut min_len = Vec::with_capacity(full);
+        let mut lens = vec![0u32; full * LANES];
+        let mut tail_rows = Vec::new();
+        slice_ptr.push(0);
+        let mut off = 0usize;
+        for s in 0..full {
+            let mut width = 0usize;
+            let mut lo = u32::MAX;
+            let mut slice_nnz = 0usize;
+            for l in 0..LANES {
+                let i = s * LANES + l;
+                let len = rp[i + 1] - rp[i];
+                if len > tail {
+                    lens[i] = TAIL_SENTINEL;
+                    lo = 0;
+                } else {
+                    lens[i] = len as u32;
+                    width = width.max(len);
+                    lo = lo.min(len as u32);
+                    slice_nnz += len;
+                }
+            }
+            // Fill guard: a slice whose padding would more than double its
+            // stored entries (one long row among short ones) is demoted to
+            // row-wise execution wholesale — this bounds the whole layout
+            // at ≤ 2× the matrix's entries, keeps ragged slices off the
+            // predicated slow path, and keeps cached-layout bytes
+            // accountable.
+            if width * LANES > 2 * slice_nnz.max(1) {
+                for l in 0..LANES {
+                    lens[s * LANES + l] = TAIL_SENTINEL;
+                }
+                width = 0;
+                lo = 0;
+            }
+            for l in 0..LANES {
+                let i = s * LANES + l;
+                if lens[i] == TAIL_SENTINEL {
+                    tail_rows.push(i as u32);
+                }
+            }
+            off += width * LANES;
+            min_len.push(lo);
+            slice_ptr.push(off);
+        }
+        let mut vals = vec![0.0f64; off];
+        let mut cols = vec![0u32; off];
+        // Index-based on purpose: `s` addresses slice_ptr, lens, and the
+        // row space in lock-step.
+        #[allow(clippy::needless_range_loop)]
+        for s in 0..full {
+            let base = slice_ptr[s];
+            for l in 0..LANES {
+                let i = s * LANES + l;
+                if lens[i] == TAIL_SENTINEL {
+                    continue;
+                }
+                for (j, k) in (rp[i]..rp[i + 1]).enumerate() {
+                    vals[base + j * LANES + l] = mvals[k];
+                    cols[base + j * LANES + l] = mcols[k];
+                }
+            }
+        }
+        SlicedData {
+            slice_ptr,
+            min_len,
+            lens,
+            vals,
+            cols,
+            tail_rows,
+        }
+    }
+
+    /// # Safety
+    /// Same contract as [`DiagSplitData::mul_rows`]; additionally `m` must
+    /// be the matrix this layout was built from.
+    // The lane loops are index-based on purpose: `l` addresses the
+    // accumulator array and the interleaved layout arrays in lock-step —
+    // the shape the compiler autovectorizes.
+    #[allow(clippy::needless_range_loop)]
+    unsafe fn mul_rows(
+        &self,
+        m: &CsrMatrix,
+        x: &[f64],
+        out: &mut [f64],
+        range: std::ops::Range<usize>,
+    ) {
+        let full = self.slice_ptr.len() - 1;
+        let first_full = range.start.div_ceil(LANES);
+        let last_full = (range.end / LANES).min(full);
+        if first_full >= last_full {
+            // No whole slice inside the chunk: row-wise covers everything.
+            unsafe { mul_rows_unchecked(m, x, out, range) };
+            return;
+        }
+        unsafe {
+            // Head rows before the first whole slice.
+            let head = range.start..first_full * LANES;
+            if !head.is_empty() {
+                mul_rows_unchecked(m, x, &mut out[..head.len()], head.clone());
+            }
+            for s in first_full..last_full {
+                let base = *self.slice_ptr.get_unchecked(s);
+                let width = (*self.slice_ptr.get_unchecked(s + 1) - base) / LANES;
+                let row0 = s * LANES;
+                let out0 = row0 - range.start;
+                let mut acc = [0.0f64; LANES];
+                // Lock-step span: all lanes active, no predication.
+                let lo = *self.min_len.get_unchecked(s) as usize;
+                for j in 0..lo {
+                    let o = base + j * LANES;
+                    for l in 0..LANES {
+                        acc[l] += self.vals.get_unchecked(o + l)
+                            * x.get_unchecked(*self.cols.get_unchecked(o + l) as usize);
+                    }
+                }
+                // Ragged span: per-lane length gates each accumulation, so
+                // padded cells are never added (bitwise identity).
+                for j in lo..width {
+                    let o = base + j * LANES;
+                    for l in 0..LANES {
+                        let len = *self.lens.get_unchecked(row0 + l);
+                        if len != TAIL_SENTINEL && j < len as usize {
+                            acc[l] += self.vals.get_unchecked(o + l)
+                                * x.get_unchecked(*self.cols.get_unchecked(o + l) as usize);
+                        }
+                    }
+                }
+                for l in 0..LANES {
+                    if *self.lens.get_unchecked(row0 + l) != TAIL_SENTINEL {
+                        *out.get_unchecked_mut(out0 + l) = acc[l];
+                    }
+                }
+            }
+            // Tail rows inside the sliced span, row-wise.
+            let lo_row = (first_full * LANES) as u32;
+            let hi_row = (last_full * LANES) as u32;
+            let a = self.tail_rows.partition_point(|&r| r < lo_row);
+            let b = self.tail_rows.partition_point(|&r| r < hi_row);
+            for &i in &self.tail_rows[a..b] {
+                let i = i as usize;
+                let local = i - range.start;
+                mul_rows_unchecked(m, x, &mut out[local..local + 1], i..i + 1);
+            }
+            // Rows after the last whole slice (including the matrix's own
+            // ragged final slice).
+            let rest = last_full * LANES..range.end;
+            if !rest.is_empty() {
+                let local = rest.start - range.start;
+                mul_rows_unchecked(m, x, &mut out[local..], rest);
+            }
+        }
+    }
+}
+
+/// Safe generic CSR loop — the reference semantics every other kernel (and
+/// the spawn baseline in `parallel.rs`) must match bitwise. The single
+/// generic implementation in the crate.
+pub(crate) fn mul_rows_generic(
+    m: &CsrMatrix,
+    x: &[f64],
+    out: &mut [f64],
+    range: std::ops::Range<usize>,
+) {
+    let row_ptr = m.row_ptr();
+    let col_idx = m.col_idx();
+    let values = m.values();
+    for (local, i) in range.enumerate() {
+        let mut acc = 0.0;
+        for k in row_ptr[i]..row_ptr[i + 1] {
+            acc += values[k] * x[col_idx[k] as usize];
+        }
+        out[local] = acc;
+    }
+}
+
+/// Row-wise CSR loop with unchecked indexing — the shortrow kernel, and the
+/// fallback the sliced kernel uses for boundary and tail rows.
+///
+/// # Safety
+/// Requires `col_idx[k] < x.len()` for every stored entry (validated once by
+/// [`Kernel::build`]) and `range.end <= nrows`, `out.len() == range.len()`.
+unsafe fn mul_rows_unchecked(
+    m: &CsrMatrix,
+    x: &[f64],
+    out: &mut [f64],
+    range: std::ops::Range<usize>,
+) {
+    let row_ptr = m.row_ptr();
+    let col_idx = m.col_idx();
+    let values = m.values();
+    unsafe {
+        for (local, i) in range.enumerate() {
+            let s = *row_ptr.get_unchecked(i);
+            let e = *row_ptr.get_unchecked(i + 1);
+            let mut acc = 0.0;
+            for k in s..e {
+                acc +=
+                    values.get_unchecked(k) * x.get_unchecked(*col_idx.get_unchecked(k) as usize);
+            }
+            *out.get_unchecked_mut(local) = acc;
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum KernelData {
+    Plain,
+    Diag(DiagSplitData),
+    Sliced(SlicedData),
+}
+
+/// A resolved kernel bound to one matrix's structure: the selected kind plus
+/// whatever auxiliary layout it needs. Built once per
+/// [`ChunkPlan`](crate::ChunkPlan) and reused across millions of products.
+#[derive(Clone, Debug)]
+pub struct Kernel {
+    kind: KernelKind,
+    data: KernelData,
+    nrows: usize,
+    ncols: usize,
+    nnz: usize,
+}
+
+impl Kernel {
+    /// Resolves `choice` for `m` (analyzing the matrix for `Auto`) and
+    /// builds the kernel's layout. Unchecked kernels validate the CSR
+    /// column invariant once here. Crate-internal: the only safe way to
+    /// use a kernel is through a [`ChunkPlan`](crate::ChunkPlan), whose
+    /// content-signature check rejects a same-sparsity different-values
+    /// matrix (this type's own guard checks shape/nnz only).
+    pub(crate) fn build(m: &CsrMatrix, choice: KernelChoice) -> Kernel {
+        let kind = match choice.forced() {
+            Some(kind) => kind,
+            None => MatrixProfile::analyze(m).select(),
+        };
+        let kind = if kind != KernelKind::Generic && !columns_in_range(m) {
+            // A matrix violating its own construction invariant never gets
+            // an unchecked kernel (defense in depth; unreachable through
+            // CooBuilder).
+            KernelKind::Generic
+        } else {
+            kind
+        };
+        let (kind, data) = match kind {
+            KernelKind::Generic | KernelKind::ShortRow => (kind, KernelData::Plain),
+            KernelKind::DiagSplit => match DiagSplitData::build(m) {
+                Some(d) => (kind, KernelData::Diag(d)),
+                None => (KernelKind::Generic, KernelData::Plain),
+            },
+            KernelKind::Sliced => (kind, KernelData::Sliced(SlicedData::build(m))),
+        };
+        Kernel {
+            kind,
+            data,
+            nrows: m.nrows(),
+            ncols: m.ncols(),
+            nnz: m.nnz(),
+        }
+    }
+
+    /// The resolved kind.
+    pub(crate) fn kind(&self) -> KernelKind {
+        self.kind
+    }
+
+    /// Whether this kernel embeds a copy of the build matrix's values
+    /// (the layout-backed kinds). Layout-free kernels read every value
+    /// from the matrix they are handed, so they are correct for *any*
+    /// matrix of compatible shape — no content check needed.
+    pub(crate) fn embeds_values(&self) -> bool {
+        !matches!(self.data, KernelData::Plain)
+    }
+
+    /// Heap bytes of the auxiliary layout (zero for the layout-free
+    /// kernels), by allocation capacity — what byte-bounded caches holding
+    /// a plan should charge on top of the matrix itself.
+    pub(crate) fn layout_bytes(&self) -> usize {
+        const F: usize = std::mem::size_of::<f64>();
+        const U: usize = std::mem::size_of::<u32>();
+        const W: usize = std::mem::size_of::<usize>();
+        match &self.data {
+            KernelData::Plain => 0,
+            KernelData::Diag(d) => {
+                d.row_ptr.capacity() * W
+                    + d.lower.capacity() * U
+                    + d.cols.capacity() * U
+                    + d.vals.capacity() * F
+                    + d.diag.capacity() * F
+            }
+            KernelData::Sliced(s) => {
+                s.slice_ptr.capacity() * W
+                    + s.min_len.capacity() * U
+                    + s.lens.capacity() * U
+                    + s.vals.capacity() * F
+                    + s.cols.capacity() * U
+                    + s.tail_rows.capacity() * U
+            }
+        }
+    }
+
+    /// Computes rows `range` of `y = m·x` into `out` (chunk-local slice).
+    ///
+    /// # Panics
+    /// If `m` does not match the matrix this kernel was built from
+    /// (shape/nnz), or the slice lengths disagree with `range`.
+    pub(crate) fn mul_rows(
+        &self,
+        m: &CsrMatrix,
+        x: &[f64],
+        out: &mut [f64],
+        range: std::ops::Range<usize>,
+    ) {
+        assert!(
+            m.nrows() == self.nrows && m.ncols() == self.ncols && m.nnz() == self.nnz,
+            "kernel was built for a different matrix"
+        );
+        assert_eq!(x.len(), self.ncols, "x length mismatch");
+        assert!(range.end <= self.nrows, "row range out of bounds");
+        assert_eq!(out.len(), range.len(), "output slice mismatch");
+        match &self.data {
+            KernelData::Plain => match self.kind {
+                KernelKind::Generic => mul_rows_generic(m, x, out, range),
+                // SAFETY: columns validated in `build`, bounds asserted above.
+                _ => unsafe { mul_rows_unchecked(m, x, out, range) },
+            },
+            // SAFETY: columns validated in `build`, bounds asserted above.
+            KernelData::Diag(d) => unsafe { d.mul_rows(x, out, range) },
+            // SAFETY: columns validated in `build`, bounds asserted above.
+            KernelData::Sliced(s) => unsafe { s.mul_rows(m, x, out, range) },
+        }
+    }
+}
+
+/// Verifies the CSR construction invariant the unchecked kernels rely on.
+fn columns_in_range(m: &CsrMatrix) -> bool {
+    let n = m.ncols();
+    m.col_idx().iter().all(|&c| (c as usize) < n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CooBuilder;
+
+    fn dense_to_csr(rows: &[Vec<f64>]) -> CsrMatrix {
+        let mut b = CooBuilder::new(rows.len(), rows[0].len());
+        for (i, row) in rows.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                if v != 0.0 {
+                    b.push(i, j, v);
+                }
+            }
+        }
+        b.build()
+    }
+
+    fn pseudo_random(n: usize, m: usize, seed: u64, fill: f64) -> Vec<Vec<f64>> {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        (0..n)
+            .map(|_| {
+                (0..m)
+                    .map(|_| {
+                        let v = next();
+                        if v.abs() < 0.5 * (1.0 - fill) {
+                            0.0
+                        } else {
+                            v
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    const ALL_FORCED: [KernelChoice; 4] = [
+        KernelChoice::Generic,
+        KernelChoice::ShortRow,
+        KernelChoice::DiagSplit,
+        KernelChoice::Sliced,
+    ];
+
+    #[test]
+    fn every_kernel_is_bitwise_identical_to_serial() {
+        for (n, m, seed) in [
+            (67usize, 67usize, 1u64),
+            (123, 51, 2),
+            (51, 123, 3),
+            (9, 9, 4),
+        ] {
+            let a = dense_to_csr(&pseudo_random(n, m, seed, 0.4));
+            let x: Vec<f64> = (0..m).map(|j| ((j * 37 + 11) % 23) as f64 - 11.0).collect();
+            let mut want = vec![0.0; n];
+            a.mul_vec_into(&x, &mut want);
+            let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+            for choice in ALL_FORCED {
+                let kernel = Kernel::build(&a, choice);
+                // Whole matrix in one chunk, and split into odd chunks.
+                let mut got = vec![1.0; n];
+                kernel.mul_rows(&a, &x, &mut got, 0..n);
+                assert_eq!(bits(&want), bits(&got), "{choice:?} full");
+                let mut got = vec![1.0; n];
+                let mut start = 0;
+                while start < n {
+                    let end = (start + 7).min(n);
+                    kernel.mul_rows(&a, &x, &mut got[start..end], start..end);
+                    start = end;
+                }
+                assert_eq!(bits(&want), bits(&got), "{choice:?} chunked");
+            }
+        }
+    }
+
+    /// Padded slice cells must never be accumulated: their `0.0 × x[pad]`
+    /// is only harmless for finite `x` — with `x[0] = ∞` (padding repeats
+    /// column 0) an ungated pad would turn finite rows into `NaN`. Rows
+    /// that legitimately read the infinite entry must still match serial
+    /// bit for bit.
+    #[test]
+    fn non_finite_inputs_stay_bitwise_identical() {
+        // Ragged rows around a slice boundary so the sliced layout pads.
+        let n = 4 * LANES;
+        let mut b = CooBuilder::new(n, n);
+        for i in 0..n {
+            b.push(i, i, 2.0);
+            for d in 1..=(i % 5) {
+                b.push(i, (i + d) % n, -0.5 / d as f64);
+            }
+        }
+        let a = b.build();
+        let mut x: Vec<f64> = (0..n).map(|j| (j as f64 * 0.3).sin()).collect();
+        x[0] = f64::INFINITY;
+        x[5] = f64::NAN;
+        let mut want = vec![0.0; n];
+        a.mul_vec_into(&x, &mut want);
+        assert!(
+            want.iter().any(|v| v.is_finite()),
+            "test needs rows untouched by the non-finite entries"
+        );
+        let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+        for choice in ALL_FORCED {
+            let kernel = Kernel::build(&a, choice);
+            let mut got = vec![0.0; n];
+            kernel.mul_rows(&a, &x, &mut got, 0..n);
+            assert_eq!(bits(&want), bits(&got), "{choice:?}");
+        }
+    }
+
+    #[test]
+    fn profile_reports_structure() {
+        // Tridiagonal: full diagonal, bandwidth 1, uniform short rows.
+        let n = 64;
+        let mut b = CooBuilder::new(n, n);
+        for i in 0..n {
+            b.push(i, i, 2.0);
+            if i > 0 {
+                b.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                b.push(i, i + 1, -1.0);
+            }
+        }
+        let p = MatrixProfile::analyze(&b.build());
+        assert_eq!(p.bandwidth, 1);
+        assert_eq!(p.max_row_len, 3);
+        assert!((p.diag_density - 1.0).abs() < 1e-12);
+        assert_eq!(p.short_row_frac, 1.0);
+        assert!(p.sliced_fill > 0.8, "{}", p.sliced_fill);
+    }
+
+    #[test]
+    fn selection_is_deterministic_and_structure_driven() {
+        // Too small => generic regardless of shape.
+        let small = dense_to_csr(&pseudo_random(20, 20, 5, 0.5));
+        assert_eq!(MatrixProfile::analyze(&small).select(), KernelKind::Generic);
+        assert_eq!(
+            Kernel::build(&small, KernelChoice::Auto).kind(),
+            KernelKind::Generic
+        );
+        // Large with uniformly short rows => shortrow, stable across
+        // rebuilds (the RAID-generator shape).
+        let n = 1200;
+        let mut b = CooBuilder::new(n, n);
+        for i in 0..n {
+            b.push(i, i, 1.0);
+            for d in 1..4 {
+                b.push(i, (i + d * 7) % n, 0.1);
+            }
+        }
+        let m = b.build();
+        let first = Kernel::build(&m, KernelChoice::Auto).kind();
+        assert_eq!(first, KernelKind::ShortRow);
+        for _ in 0..3 {
+            assert_eq!(Kernel::build(&m, KernelChoice::Auto).kind(), first);
+        }
+        // Long ragged rows with a dense diagonal => diagsplit: row lengths
+        // alternate far beyond the short-row bound and pad too much for the
+        // sliced layout.
+        let n = 512;
+        let mut b = CooBuilder::new(n, n);
+        for i in 0..n {
+            b.push(i, i, 1.0);
+            let len = if i % 2 == 0 { 20 } else { 90 };
+            for d in 1..len {
+                b.push(i, (i + d) % n, 0.1);
+            }
+        }
+        let m = b.build();
+        let p = MatrixProfile::analyze(&m);
+        assert_eq!(p.select(), KernelKind::DiagSplit, "{p:?}");
+        // Long uniform rows (no padding waste) => sliced.
+        let mut b = CooBuilder::new(n, n);
+        for i in 0..n {
+            for d in 0..40 {
+                b.push(i, (i + d * 3 + 1) % n, 0.1);
+            }
+        }
+        let m = b.build();
+        let p = MatrixProfile::analyze(&m);
+        assert_eq!(p.select(), KernelKind::Sliced, "{p:?}");
+    }
+
+    #[test]
+    fn forced_kernels_resolve_as_requested() {
+        let m = dense_to_csr(&pseudo_random(40, 40, 9, 0.4));
+        for choice in ALL_FORCED {
+            assert_eq!(Kernel::build(&m, choice).kind(), choice.forced().unwrap());
+        }
+        assert!(KernelChoice::parse("DiagSplit").is_ok());
+        assert!(KernelChoice::parse("warp").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "different matrix")]
+    fn kernel_rejects_a_different_matrix() {
+        let a = dense_to_csr(&pseudo_random(30, 30, 6, 0.4));
+        let b = dense_to_csr(&pseudo_random(31, 31, 7, 0.4));
+        let kernel = Kernel::build(&a, KernelChoice::ShortRow);
+        let mut out = vec![0.0; 31];
+        kernel.mul_rows(&b, &vec![1.0; 31], &mut out, 0..31);
+    }
+}

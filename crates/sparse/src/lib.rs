@@ -13,17 +13,22 @@
 //! Parallel products distribute disjoint row chunks over a persistent
 //! [`WorkerPool`] of parked threads — no locks or atomics inside a product,
 //! data-race freedom by construction, and bitwise-identical results to the
-//! serial kernel. The [`Workspace`] arena gives solvers reusable scratch
-//! vectors so sweep-heavy workloads stop allocating in their inner loops.
+//! serial kernel. Each [`ChunkPlan`] also resolves a structure-adaptive SpMV
+//! [`kernel`] (short-row, diagonal-split, sliced, or generic) from a one-time
+//! analysis of the matrix. The [`Workspace`] arena gives solvers reusable
+//! scratch vectors so sweep-heavy workloads stop allocating in their inner
+//! loops.
 
 pub mod builder;
 pub mod csr;
+pub mod kernel;
 pub mod parallel;
 pub mod pool;
 pub mod workspace;
 
 pub use builder::CooBuilder;
 pub use csr::CsrMatrix;
+pub use kernel::{KernelChoice, KernelKind, MatrixProfile};
 pub use parallel::{effective_threads, ChunkPlan, ParallelConfig};
 pub use pool::{WorkerPool, WorkerPoolStats};
 pub use workspace::{Workspace, WorkspaceStats};
@@ -108,6 +113,7 @@ mod tests {
         let cfg = ParallelConfig {
             min_nnz: 0,
             threads: 4,
+            kernel: KernelChoice::Auto,
         };
         m.mul_vec_parallel_into(&x, &mut par, &cfg);
         for (s, p) in serial.iter().zip(&par) {

@@ -7,6 +7,14 @@
 //! inside the product, deterministic results (each row is reduced serially,
 //! so every parallel product is **bitwise identical** to the serial one).
 //!
+//! A [`ChunkPlan`] is more than the row ranges: at construction it analyzes
+//! the matrix once and resolves a structure-adaptive [`Kernel`] (see
+//! [`crate::kernel`]) — generic CSR, unchecked short-row, diagonal-split, or
+//! a sliced SELL-like layout — that every chunk then executes. Steppers
+//! compute the plan **once per matrix** and reuse it across millions of
+//! products (`Uniformized::stepper` in `regenr-ctmc` caches plans per
+//! `(chunk count, kernel choice)`).
+//!
 //! Two execution strategies share that chunk decomposition:
 //!
 //! * [`CsrMatrix::mul_vec_pooled_into`] — chunks run on a persistent
@@ -15,7 +23,9 @@
 //!   wake instead of per-product thread creation.
 //! * [`CsrMatrix::mul_vec_spawn_into`] — the original per-call
 //!   `std::thread::scope` kernel, kept as the baseline the `repro engine`
-//!   target measures the pool against.
+//!   target measures the pool against. It derives its chunk bounds from the
+//!   same [`ChunkPlan`] (always with the generic kernel), so the baseline
+//!   and the pooled path can never disagree about the decomposition.
 //!
 //! [`CsrMatrix::mul_vec_parallel_into`] keeps its historical signature and
 //! routes through the shared global pool; small matrices fall back to the
@@ -23,6 +33,7 @@
 //! there).
 
 use crate::csr::CsrMatrix;
+use crate::kernel::{Kernel, KernelChoice, KernelKind};
 use crate::pool::WorkerPool;
 
 /// Tuning for the parallel SpMV kernels.
@@ -34,6 +45,16 @@ pub struct ParallelConfig {
     /// Chunk count / maximum SpMV concurrency; `0` means "use available
     /// parallelism".
     pub threads: usize,
+    /// Which SpMV kernel plan-driven products run (steppers and explicit
+    /// [`ChunkPlan`]s) — [`KernelChoice::Auto`] analyzes the matrix once
+    /// per plan and picks; a forced value skips the analysis. The per-call
+    /// conveniences ([`CsrMatrix::mul_vec_parallel_into`],
+    /// [`CsrMatrix::mul_vec_spawn_into`]) ignore this field and always run
+    /// the generic kernel: they re-plan every call, where even the
+    /// layout-free kernels' one-time column validation would rival the
+    /// product it serves. Every kernel is bitwise identical to the serial
+    /// product, so this knob affects speed only.
+    pub kernel: KernelChoice,
 }
 
 impl Default for ParallelConfig {
@@ -43,6 +64,7 @@ impl Default for ParallelConfig {
             // overhead stops mattering relative to memory-bound SpMV work.
             min_nnz: 50_000,
             threads: 0,
+            kernel: KernelChoice::Auto,
         }
     }
 }
@@ -59,20 +81,45 @@ pub fn effective_threads(requested: usize) -> usize {
 }
 
 /// An nnz-balanced decomposition of a matrix's rows into contiguous chunks —
-/// the unit of work the parallel kernels distribute. Computing the plan is
-/// `O(nrows)`; steppers compute it **once per matrix** and reuse it across
-/// millions of products (`Uniformized::stepper` caches plans per chunk
-/// count).
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// the unit of work the parallel kernels distribute — plus the resolved
+/// structure-adaptive [`Kernel`] every chunk executes. Computing the plan is
+/// `O(nrows + nnz)` (one analysis pass, plus layout construction for the
+/// layout-backed kernels); steppers compute it **once per matrix** and reuse
+/// it across millions of products.
+#[derive(Clone, Debug)]
 pub struct ChunkPlan {
     ranges: Vec<std::ops::Range<usize>>,
+    kernel: Kernel,
+    nrows: usize,
+    nnz: usize,
+    /// Content signature of the build matrix (see
+    /// [`CsrMatrix::content_sig`]), recorded only for layout-backed
+    /// kernels: those embed a copy of the matrix's values, so such a plan
+    /// must never be used with a different matrix — not even one of
+    /// identical sparsity. Layout-free plans skip the signature entirely
+    /// (they read every value from the matrix they are handed, and the
+    /// `O(nnz)` hash would dominate a one-shot product).
+    sig: Option<u64>,
 }
 
 impl ChunkPlan {
-    /// Plans `matrix`'s rows into at most `chunks` nnz-balanced pieces.
+    /// Plans `matrix`'s rows into at most `chunks` nnz-balanced pieces,
+    /// auto-selecting the kernel from the matrix's structure.
     pub fn new(matrix: &CsrMatrix, chunks: usize) -> ChunkPlan {
+        Self::with_kernel(matrix, chunks, KernelChoice::Auto)
+    }
+
+    /// Like [`ChunkPlan::new`] with an explicit kernel choice (forced
+    /// choices skip the structure analysis).
+    pub fn with_kernel(matrix: &CsrMatrix, chunks: usize, choice: KernelChoice) -> ChunkPlan {
+        let kernel = Kernel::build(matrix, choice);
+        let sig = kernel.embeds_values().then(|| matrix.content_sig());
         ChunkPlan {
             ranges: matrix.balanced_row_chunks(chunks),
+            kernel,
+            nrows: matrix.nrows(),
+            nnz: matrix.nnz(),
+            sig,
         }
     }
 
@@ -90,6 +137,44 @@ impl ChunkPlan {
     pub fn is_empty(&self) -> bool {
         self.ranges.is_empty()
     }
+
+    /// The kernel this plan resolved (selection is deterministic: a function
+    /// of the matrix alone, never of the chunk count).
+    pub fn kernel_kind(&self) -> KernelKind {
+        self.kernel.kind()
+    }
+
+    /// The resolved kernel.
+    pub(crate) fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Heap bytes held by the kernel's auxiliary layout (zero for the
+    /// layout-free kernels). Callers accounting a cached matrix's footprint
+    /// add this on top of the matrix's own bytes.
+    pub fn kernel_bytes(&self) -> usize {
+        self.kernel.layout_bytes()
+    }
+
+    /// Panics unless this plan may be used with `matrix`. Shape and nnz
+    /// are always checked; for layout-backed kernels content equality is
+    /// additionally checked via the memoized [`CsrMatrix::content_sig`]
+    /// (`O(1)` after the matrix's first product), because those kernels
+    /// would answer with the *build* matrix's values — a silently wrong
+    /// product — if a same-sparsity different-values matrix were accepted.
+    /// Layout-free kernels are value-correct for any compatible matrix.
+    fn check_matrix(&self, matrix: &CsrMatrix) {
+        assert!(
+            self.nrows == matrix.nrows() && self.nnz == matrix.nnz(),
+            "chunk plan does not cover this matrix's rows"
+        );
+        if let Some(sig) = self.sig {
+            assert!(
+                sig == matrix.content_sig(),
+                "chunk plan was built from a different matrix (equal shape, different content)"
+            );
+        }
+    }
 }
 
 /// A raw mutable pointer that may cross threads: the pooled kernel hands
@@ -100,29 +185,25 @@ unsafe impl Send for SendPtr {}
 unsafe impl Sync for SendPtr {}
 
 impl CsrMatrix {
-    /// Serial kernel for one planned chunk: rows `range` of `y = A·x`.
+    /// Serial generic kernel for one planned chunk: rows `range` of
+    /// `y = A·x`. The spawn baseline runs this directly; pooled products go
+    /// through the plan's resolved [`Kernel`] instead. One implementation
+    /// for both paths — the bitwise-identity contract hinges on a single
+    /// generic ground truth.
     #[inline]
     fn mul_chunk(&self, x: &[f64], out: &mut [f64], range: std::ops::Range<usize>) {
-        let row_ptr = self.row_ptr();
-        let col_idx = self.col_idx();
-        let values = self.values();
-        for (local, i) in range.enumerate() {
-            let mut acc = 0.0;
-            for k in row_ptr[i]..row_ptr[i + 1] {
-                acc += values[k] * x[col_idx[k] as usize];
-            }
-            out[local] = acc;
-        }
+        crate::kernel::mul_rows_generic(self, x, out, range);
     }
 
     /// `y = A·x` over a precomputed [`ChunkPlan`] on a persistent
-    /// [`WorkerPool`]. Bitwise identical to [`CsrMatrix::mul_vec_into`]
-    /// regardless of the pool size or how chunks get claimed; if the pool is
-    /// busy (nested use) the chunks simply run on the calling thread.
+    /// [`WorkerPool`], through the plan's resolved kernel. Bitwise identical
+    /// to [`CsrMatrix::mul_vec_into`] regardless of the kernel, the pool
+    /// size, or how chunks get claimed; single-chunk plans skip the pool
+    /// entirely and run the kernel on the calling thread.
     ///
     /// # Panics
-    /// If `x`/`y` lengths mismatch the matrix, or the plan's rows do not
-    /// match `nrows` (a plan from a different matrix).
+    /// If `x`/`y` lengths mismatch the matrix, or the plan was built from a
+    /// different matrix (shape/nnz mismatch).
     pub fn mul_vec_pooled_into(
         &self,
         x: &[f64],
@@ -132,11 +213,13 @@ impl CsrMatrix {
     ) {
         assert_eq!(x.len(), self.ncols(), "x length mismatch");
         assert_eq!(y.len(), self.nrows(), "y length mismatch");
-        assert_eq!(
-            plan.ranges.last().map_or(0, |r| r.end),
-            self.nrows(),
-            "chunk plan does not cover this matrix's rows"
-        );
+        plan.check_matrix(self);
+        if plan.len() <= 1 {
+            if let Some(range) = plan.ranges.first() {
+                plan.kernel().mul_rows(self, x, y, range.clone());
+            }
+            return;
+        }
         let out = SendPtr(y.as_mut_ptr());
         pool.run(plan.len(), move |c| {
             let out = out;
@@ -145,7 +228,7 @@ impl CsrMatrix {
             // so each chunk writes a private slice of `y`.
             let slice =
                 unsafe { std::slice::from_raw_parts_mut(out.0.add(range.start), range.len()) };
-            self.mul_chunk(x, slice, range);
+            plan.kernel().mul_rows(self, x, slice, range);
         });
     }
 
@@ -156,7 +239,8 @@ impl CsrMatrix {
     ///
     /// Callers issuing *repeated* products over one matrix should prefer a
     /// cached plan (`Uniformized::stepper` in `regenr-ctmc`) — this entry
-    /// point re-plans every call.
+    /// point re-plans every call, so it always uses the generic kernel (a
+    /// per-call layout build would dwarf the product it serves).
     pub fn mul_vec_parallel_into(&self, x: &[f64], y: &mut [f64], cfg: &ParallelConfig) {
         assert_eq!(x.len(), self.ncols(), "x length mismatch");
         assert_eq!(y.len(), self.nrows(), "y length mismatch");
@@ -165,15 +249,17 @@ impl CsrMatrix {
             self.mul_vec_into(x, y);
             return;
         }
-        let plan = ChunkPlan::new(self, threads);
+        let plan = ChunkPlan::with_kernel(self, threads, KernelChoice::Generic);
         self.mul_vec_pooled_into(x, y, &plan, WorkerPool::global());
     }
 
     /// `y = A·x` spawning scoped threads **per call** over nnz-balanced row
     /// chunks — the pre-pool strategy, kept as the measurable baseline (the
     /// `repro engine` target reports pool vs per-call-spawn wall times).
-    /// Falls back to [`CsrMatrix::mul_vec_into`] under the same conditions
-    /// as the pooled path; bitwise identical results.
+    /// The chunk bounds come from the same [`ChunkPlan`] the pooled path
+    /// uses; only the execution strategy differs. Falls back to
+    /// [`CsrMatrix::mul_vec_into`] under the same conditions as the pooled
+    /// path; bitwise identical results.
     pub fn mul_vec_spawn_into(&self, x: &[f64], y: &mut [f64], cfg: &ParallelConfig) {
         assert_eq!(x.len(), self.ncols(), "x length mismatch");
         assert_eq!(y.len(), self.nrows(), "y length mismatch");
@@ -182,12 +268,12 @@ impl CsrMatrix {
             self.mul_vec_into(x, y);
             return;
         }
-        let chunks = self.balanced_row_chunks(threads);
+        let plan = ChunkPlan::with_kernel(self, threads, KernelChoice::Generic);
         // Split `y` into disjoint mutable slices matching the row chunks.
         std::thread::scope(|scope| {
             let mut rest = y;
             let mut offset = 0usize;
-            for chunk in &chunks {
+            for chunk in plan.ranges() {
                 let (head, tail) = rest.split_at_mut(chunk.end - offset);
                 offset = chunk.end;
                 rest = tail;
@@ -228,6 +314,7 @@ mod tests {
             let cfg = ParallelConfig {
                 min_nnz: 0,
                 threads,
+                kernel: KernelChoice::Auto,
             };
             let mut got = vec![0.0; n];
             m.mul_vec_parallel_into(&x, &mut got, &cfg);
@@ -248,13 +335,21 @@ mod tests {
         for pool_threads in [1, 2, 5] {
             let pool = WorkerPool::new(pool_threads);
             for chunks in [1, 2, 7, 32] {
-                let plan = ChunkPlan::new(&m, chunks);
-                let mut got = vec![0.0; n];
-                // Repeated products on the same warm pool and plan.
-                for _ in 0..3 {
-                    m.mul_vec_pooled_into(&x, &mut got, &plan, &pool);
+                for choice in [
+                    KernelChoice::Auto,
+                    KernelChoice::Generic,
+                    KernelChoice::ShortRow,
+                    KernelChoice::DiagSplit,
+                    KernelChoice::Sliced,
+                ] {
+                    let plan = ChunkPlan::with_kernel(&m, chunks, choice);
+                    let mut got = vec![0.0; n];
+                    // Repeated products on the same warm pool and plan.
+                    for _ in 0..3 {
+                        m.mul_vec_pooled_into(&x, &mut got, &plan, &pool);
+                    }
+                    assert_eq!(got, want, "pool={pool_threads} chunks={chunks} {choice:?}");
                 }
-                assert_eq!(got, want, "pool={pool_threads} chunks={chunks}");
             }
         }
     }
@@ -267,6 +362,40 @@ mod tests {
         let plan = ChunkPlan::new(&a, 2);
         let mut y = vec![0.0; 20];
         b.mul_vec_pooled_into(&[1.0; 20], &mut y, &plan, WorkerPool::global());
+    }
+
+    /// Layout-backed kernels embed the build matrix's values, so even a
+    /// matrix with *identical sparsity* but different values must be
+    /// rejected — accepting it would silently return the wrong product.
+    #[test]
+    #[should_panic(expected = "different matrix")]
+    fn plan_from_same_shape_different_values_is_rejected() {
+        let n = 64;
+        let a = band_matrix(n);
+        let mut bld = CooBuilder::new(n, n);
+        for (i, j, v) in a.iter() {
+            bld.push(i, j, v + 0.25); // same pattern, different (nonzero) values
+        }
+        let b = bld.build();
+        let plan = ChunkPlan::with_kernel(&a, 2, KernelChoice::DiagSplit);
+        let mut y = vec![0.0; n];
+        b.mul_vec_pooled_into(&vec![1.0; n], &mut y, &plan, WorkerPool::global());
+    }
+
+    /// A clone (bitwise-identical content, different allocation) is a valid
+    /// plan target — the content signature, not the allocation, decides.
+    #[test]
+    fn plan_accepts_an_identical_clone() {
+        let n = 64;
+        let a = band_matrix(n);
+        let b = a.clone();
+        let plan = ChunkPlan::with_kernel(&a, 2, KernelChoice::Sliced);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).cos()).collect();
+        let mut want = vec![0.0; n];
+        a.mul_vec_into(&x, &mut want);
+        let mut got = vec![0.0; n];
+        b.mul_vec_pooled_into(&x, &mut got, &plan, WorkerPool::global());
+        assert_eq!(want, got);
     }
 
     #[test]
@@ -292,11 +421,22 @@ mod tests {
         let cfg = ParallelConfig {
             min_nnz: 0,
             threads: 16,
+            kernel: KernelChoice::Auto,
         };
         let mut y = vec![0.0; 3];
         m.mul_vec_parallel_into(&[1.0, 2.0, 3.0], &mut y, &cfg);
         let mut want = vec![0.0; 3];
         m.mul_vec_into(&[1.0, 2.0, 3.0], &mut want);
         assert_eq!(y, want);
+    }
+
+    #[test]
+    fn spawn_and_pool_share_the_chunk_bounds() {
+        let m = band_matrix(200);
+        for chunks in [1, 3, 8] {
+            let plan = ChunkPlan::new(&m, chunks);
+            let direct = m.balanced_row_chunks(chunks);
+            assert_eq!(plan.ranges(), &direct[..], "chunks={chunks}");
+        }
     }
 }

@@ -1,4 +1,5 @@
-//! A persistent worker pool for repeated data-parallel kernels.
+//! A persistent worker pool with work-stealing for repeated data-parallel
+//! kernels.
 //!
 //! The randomization solvers are SpMV-bound: a single `UR(10⁵ h)` run
 //! performs millions of products over the same matrix. Spawning scoped
@@ -8,36 +9,51 @@
 //! [`WorkerPool`] here parks its workers between products instead, so a warm
 //! pool serves a step for the cost of a condvar wake.
 //!
-//! ## Protocol (barrier-free chunk claiming)
+//! ## Job slots and the epoch-validated claim protocol
 //!
-//! A run publishes a job — an erased closure plus a chunk count — under the
-//! pool's control mutex and bumps an epoch; parked workers wake, copy an
-//! `Arc` to the per-run `JobState`, and then *claim* chunk indices from a
-//! shared atomic counter until the counter passes the chunk count. The
-//! submitting thread participates in the claiming too, so progress never
-//! depends on a worker being free. There is no barrier between chunks and no
-//! per-chunk locking: completion is a single atomic countdown whose last
-//! decrement wakes the submitter.
+//! The pool owns a small fixed array of **job slots**, recycled across runs
+//! — publishing a job allocates nothing (the original design allocated an
+//! `Arc<JobState>` per run). A run pops a free slot, writes the job's erased
+//! closure pointer, trampoline, and chunk count into it under a seqlock
+//! (`seq` odd while writing, even = `2·epoch` when stable), and finally
+//! publishes the slot's **claim word** — `epoch ≪ 24 | next-chunk-index` —
+//! which workers `fetch_add` to claim chunk indices.
 //!
-//! Each run gets a **fresh** `JobState`: a worker that was descheduled
-//! holding a stale job handle can only observe an exhausted claim counter —
-//! it can never execute a new job's chunk through an old job's closure.
-//! (The per-run `Arc` is a constant-size allocation, amortized to nothing
-//! against the ≥ `min_nnz` products it gates.)
+//! A claim's epoch bits tell the claimer which job it claimed from. After
+//! claiming, the worker re-reads the slot fields and validates them against
+//! the claimed epoch through the seqlock; the two cases are:
 //!
-//! ## Nesting and sharing (the thread budget)
+//! * **valid claim** (`index < n_chunks` of the claimed epoch): the slot
+//!   cannot be republished while this claim is unexecuted — completion
+//!   requires every real chunk's `remaining` decrement, and a claimed index
+//!   is decremented only by its unique claimer — so the validation is
+//!   guaranteed to succeed and the worker executes the chunk;
+//! * **overshoot claim** (`index ≥ n_chunks`, including claims that raced a
+//!   republish): validation fails or the index check fails, and the worker
+//!   walks away — overshoot indices are never part of the completion count.
 //!
-//! One pool is shared process-wide ([`WorkerPool::global`]) by sweep-level
-//! jobs *and* inner SpMVs. Submission is exclusive: while one run is in
-//! flight, any other submitter — including a pool worker whose job performs
-//! its own pooled products — falls back to executing its chunks **inline**
-//! on the calling thread. That is the nested-parallelism budget: when an
-//! engine sweep occupies the pool with solver jobs, each job's inner SpMVs
-//! degrade to the serial kernel instead of oversubscribing the machine, and
-//! when a single solve runs alone it gets the whole pool. Results are
-//! bitwise identical either way (each output row is reduced serially).
+//! Completion is a single atomic countdown whose last decrement wakes the
+//! submitter; the submitter always participates in claiming its own job, so
+//! progress never depends on a worker being free.
+//!
+//! ## Work stealing (no all-or-nothing nesting budget)
+//!
+//! Multiple jobs can be in flight at once: each occupies its own slot, and
+//! idle workers scan **all** slots for claimable chunks. When an engine
+//! sweep runs its jobs on the pool and a sweep job performs its own pooled
+//! SpMVs, those inner products publish into free slots and any idle worker
+//! steals their chunks — the submitting job always drains its own slot, so
+//! the worst case (every worker busy) degrades to the old inline execution,
+//! and the former cliff between "sweep owns the pool, every inner SpMV is
+//! serial" and "pool free, one SpMV at a time parallelizes" is gone.
+//! [`WorkerPoolStats::stolen_chunks`] counts worker-executed chunks of runs
+//! that overlapped another run — the new concurrency this buys.
+//!
+//! Results are bitwise identical no matter which thread claims which chunk
+//! (each output row is reduced serially by exactly one claimer).
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::any::Any;
+use std::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 
 /// Poison-tolerant lock: a panic on another thread must not wedge the
@@ -48,57 +64,109 @@ pub fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
-/// One run's shared state. Workers hold it through an `Arc`, so a stale
-/// handle outliving the run is harmless: its claim counter is exhausted.
-struct JobState {
-    /// Erased pointer to the caller's closure (`&F`), valid for the run's
-    /// lifetime — `run` does not return until `remaining` hits zero.
-    data: *const (),
-    /// Monomorphized trampoline casting `data` back to `&F`.
-    call: unsafe fn(*const (), usize),
-    n_chunks: usize,
-    /// Next chunk index to claim.
-    next: AtomicUsize,
-    /// Chunks not yet completed; the last decrement wakes the submitter.
-    remaining: AtomicUsize,
-    /// First panic payload raised by a worker-executed chunk; the submitter
-    /// re-raises it after the run drains (a worker must survive a panicking
-    /// chunk — dying mid-job would deadlock the submitter and starve every
-    /// later run — but the original payload must not be lost on the way).
-    panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+/// Claim-word layout: low bits index chunks, high bits tag the epoch.
+const IDX_BITS: u32 = 24;
+const IDX_MASK: u64 = (1 << IDX_BITS) - 1;
+/// Half the index range is headroom for overshoot claims (bounded by the
+/// number of threads that can race one exhausted job).
+const MAX_CHUNKS: usize = (IDX_MASK as usize) / 2;
+const EPOCH_MASK: u64 = u64::MAX >> IDX_BITS;
+
+#[inline]
+fn unpack(claim: u64) -> (u64, usize) {
+    (claim >> IDX_BITS, (claim & IDX_MASK) as usize)
 }
 
-// The raw closure pointer crosses threads by design; `run` keeps the
-// referent alive until every chunk completed (see `remaining`).
-unsafe impl Send for JobState {}
-unsafe impl Sync for JobState {}
+/// One recyclable job slot. Field validity is governed by the seqlock
+/// protocol described in the module docs; all fields are atomics so stale
+/// readers racing a republish read *stale values*, never tear.
+struct JobSlot {
+    /// Seqlock word: odd while a publish is writing fields, `2·epoch` when
+    /// the fields describe that epoch's job.
+    seq: AtomicU64,
+    /// `epoch ≪ IDX_BITS | next chunk index` — `fetch_add(1)` claims.
+    claim: AtomicU64,
+    /// Chunk count of the current epoch (`0` once retired — the cheap
+    /// "nothing to claim" hint).
+    n_chunks: AtomicUsize,
+    /// Erased pointer to the submitter's closure (`&F`), valid while the
+    /// epoch's run is in flight (`run` does not return before `remaining`
+    /// hits zero).
+    data: AtomicPtr<()>,
+    /// Monomorphized trampoline casting `data` back to `&F`.
+    call: AtomicPtr<()>,
+    /// Real (index `< n_chunks`) chunks not yet completed; the last
+    /// decrement wakes the submitter.
+    remaining: AtomicUsize,
+    /// Whether another run was already in flight when this one published —
+    /// worker-executed chunks of such runs are the "stolen" ones.
+    overlapped: AtomicBool,
+    /// First panic payload raised by a worker-executed chunk; the submitter
+    /// re-raises it after the run drains (a worker must survive a panicking
+    /// chunk — dying mid-job would starve every later run — but the
+    /// original payload must not be lost on the way).
+    panic_payload: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl JobSlot {
+    fn new() -> JobSlot {
+        JobSlot {
+            seq: AtomicU64::new(0),
+            claim: AtomicU64::new(0),
+            n_chunks: AtomicUsize::new(0),
+            data: AtomicPtr::new(std::ptr::null_mut()),
+            call: AtomicPtr::new(std::ptr::null_mut()),
+            remaining: AtomicUsize::new(0),
+            overlapped: AtomicBool::new(false),
+            panic_payload: Mutex::new(None),
+        }
+    }
+}
 
 struct Control {
-    /// Bumped once per published job; workers wait for a change.
-    epoch: u64,
-    job: Option<Arc<JobState>>,
+    /// Bumped once per published job; sleeping workers wait for a change.
+    generation: u64,
+    /// Indices of slots with no job in flight (capacity never grows, so
+    /// push/pop never allocate).
+    free_slots: Vec<usize>,
+    /// Jobs currently in flight (for the `overlapped` tag).
+    active_jobs: usize,
     shutdown: bool,
 }
 
 struct Inner {
     control: Mutex<Control>,
-    /// Workers park here waiting for a new epoch.
+    /// Workers park here waiting for a new generation.
     work: Condvar,
-    /// The submitter parks here waiting for `remaining == 0`.
+    /// Submitters park here waiting for `remaining == 0`.
     done: Condvar,
+    slots: Box<[JobSlot]>,
+    // Cumulative counters (see `WorkerPoolStats`).
+    pooled_runs: AtomicU64,
+    inline_runs: AtomicU64,
+    chunks: AtomicU64,
+    stolen_chunks: AtomicU64,
+    overlapped_runs: AtomicU64,
 }
 
 /// Cumulative pool counters (process lifetime for the global pool). Snapshot
 /// with [`WorkerPool::stats`]; report deltas across a region of interest.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct WorkerPoolStats {
-    /// Runs executed on the pool's workers.
+    /// Runs published to a job slot (the submitter still participates).
     pub pooled_runs: u64,
-    /// Runs that found the pool busy (or trivially small) and executed
-    /// inline on the calling thread instead.
+    /// Runs that executed entirely inline on the calling thread (single
+    /// chunk, single-thread pool, or no free slot).
     pub inline_runs: u64,
     /// Chunks executed across all pooled runs (including the submitter's).
     pub chunks: u64,
+    /// Chunks of overlapped runs executed by pool workers — SpMV chunks
+    /// idle workers stole while a sweep (or another product) was in flight.
+    pub stolen_chunks: u64,
+    /// Runs published while at least one other run was already in flight
+    /// (nested submissions from inside pool jobs, or concurrent
+    /// submitters) — the runs whose chunks count as stealable.
+    pub overlapped_runs: u64,
 }
 
 impl WorkerPoolStats {
@@ -109,21 +177,18 @@ impl WorkerPoolStats {
             pooled_runs: self.pooled_runs - earlier.pooled_runs,
             inline_runs: self.inline_runs - earlier.inline_runs,
             chunks: self.chunks - earlier.chunks,
+            stolen_chunks: self.stolen_chunks - earlier.stolen_chunks,
+            overlapped_runs: self.overlapped_runs - earlier.overlapped_runs,
         }
     }
 }
 
-/// A persistent pool of parked worker threads executing indexed chunks.
+/// A persistent pool of parked worker threads executing indexed chunks,
+/// with multi-job work stealing (see the module docs).
 pub struct WorkerPool {
     inner: Arc<Inner>,
-    /// Exclusive submission: `try_lock` failure means "pool busy — run
-    /// inline" (see the module docs on nesting).
-    submission: Mutex<()>,
     workers: Vec<std::thread::JoinHandle<()>>,
     threads: usize,
-    pooled_runs: AtomicU64,
-    inline_runs: AtomicU64,
-    chunks: AtomicU64,
 }
 
 impl WorkerPool {
@@ -131,14 +196,24 @@ impl WorkerPool {
     /// workers plus the submitting thread, which always participates.
     pub fn new(threads: usize) -> Arc<WorkerPool> {
         let threads = threads.max(1);
+        // Enough slots for a sweep plus one nested SpMV per executing
+        // thread, with headroom; a full table falls back to inline runs.
+        let n_slots = 2 * threads + 2;
         let inner = Arc::new(Inner {
             control: Mutex::new(Control {
-                epoch: 0,
-                job: None,
+                generation: 0,
+                free_slots: (0..n_slots).rev().collect(),
+                active_jobs: 0,
                 shutdown: false,
             }),
             work: Condvar::new(),
             done: Condvar::new(),
+            slots: (0..n_slots).map(|_| JobSlot::new()).collect(),
+            pooled_runs: AtomicU64::new(0),
+            inline_runs: AtomicU64::new(0),
+            chunks: AtomicU64::new(0),
+            stolen_chunks: AtomicU64::new(0),
+            overlapped_runs: AtomicU64::new(0),
         });
         let workers = (1..threads)
             .map(|i| {
@@ -151,12 +226,8 @@ impl WorkerPool {
             .collect();
         Arc::new(WorkerPool {
             inner,
-            submission: Mutex::new(()),
             workers,
             threads,
-            pooled_runs: AtomicU64::new(0),
-            inline_runs: AtomicU64::new(0),
-            chunks: AtomicU64::new(0),
         })
     }
 
@@ -176,15 +247,17 @@ impl WorkerPool {
     /// Counter snapshot.
     pub fn stats(&self) -> WorkerPoolStats {
         WorkerPoolStats {
-            pooled_runs: self.pooled_runs.load(Ordering::Relaxed),
-            inline_runs: self.inline_runs.load(Ordering::Relaxed),
-            chunks: self.chunks.load(Ordering::Relaxed),
+            pooled_runs: self.inner.pooled_runs.load(Ordering::Relaxed),
+            inline_runs: self.inner.inline_runs.load(Ordering::Relaxed),
+            chunks: self.inner.chunks.load(Ordering::Relaxed),
+            stolen_chunks: self.inner.stolen_chunks.load(Ordering::Relaxed),
+            overlapped_runs: self.inner.overlapped_runs.load(Ordering::Relaxed),
         }
     }
 
     /// Executes `f(0), …, f(n_chunks - 1)` across the pool and the calling
     /// thread; returns when every chunk has completed. The return value is
-    /// `true` when the chunks were published to the pool's workers and
+    /// `true` when the chunks were published for the pool's workers and
     /// `false` when they all ran inline on the caller — callers reporting
     /// achieved concurrency (the engine's `ExecStats`) need the
     /// distinction; kernels can ignore it.
@@ -192,71 +265,109 @@ impl WorkerPool {
     /// Chunk *assignment* is first-come-first-served (non-deterministic),
     /// so `f` must produce results independent of which thread runs which
     /// chunk — the pooled SpMV writes disjoint output slices, for example.
-    /// If the pool is busy with another run (nested use), or has no parked
-    /// workers, or the job is a single chunk, every chunk runs inline on
-    /// the caller — same results, no parallelism.
+    /// Nested submission (a pool job performing its own `run`) is fine and
+    /// never deadlocks: the nested job occupies its own slot, idle workers
+    /// steal its chunks, and the nested submitter drains whatever nobody
+    /// steals. Single-chunk jobs, single-thread pools, and a full slot
+    /// table run inline on the caller — same results, no parallelism.
     pub fn run<F: Fn(usize) + Sync>(&self, n_chunks: usize, f: F) -> bool {
         if n_chunks == 0 {
             return false;
         }
-        let guard = if n_chunks > 1 && self.threads > 1 {
-            self.submission.try_lock().ok()
-        } else {
-            None
-        };
-        let Some(_guard) = guard else {
-            self.inline_runs.fetch_add(1, Ordering::Relaxed);
+        if n_chunks == 1 || self.threads == 1 || n_chunks > MAX_CHUNKS {
+            self.inner.inline_runs.fetch_add(1, Ordering::Relaxed);
             for i in 0..n_chunks {
                 f(i);
             }
             return false;
-        };
+        }
 
         unsafe fn trampoline<F: Fn(usize)>(data: *const (), chunk: usize) {
             // SAFETY: `data` is the `&F` published by `run`, which blocks
-            // until all chunks completed; see `JobState::data`.
+            // until every real chunk completed; see the module docs.
             unsafe { (*data.cast::<F>())(chunk) }
         }
-        let job = Arc::new(JobState {
-            data: (&raw const f).cast(),
-            call: trampoline::<F>,
-            n_chunks,
-            next: AtomicUsize::new(0),
-            remaining: AtomicUsize::new(n_chunks),
-            panic_payload: Mutex::new(None),
-        });
 
-        {
+        // Acquire a slot and publish the job under the control lock (the
+        // lock also orders the generation bump against sleeping workers).
+        let (slot_idx, epoch, overlapped) = {
             let mut control = lock(&self.inner.control);
-            control.epoch += 1;
-            control.job = Some(job.clone());
+            let Some(slot_idx) = control.free_slots.pop() else {
+                drop(control);
+                self.inner.inline_runs.fetch_add(1, Ordering::Relaxed);
+                for i in 0..n_chunks {
+                    f(i);
+                }
+                return false;
+            };
+            let overlapped = control.active_jobs > 0;
+            control.active_jobs += 1;
+            let slot = &self.inner.slots[slot_idx];
+            // Seqlock write: odd marks the fields unstable, the final even
+            // store (2·epoch, Release) republishes them.
+            let seq = slot.seq.load(Ordering::Relaxed);
+            debug_assert_eq!(seq & 1, 0, "slot republished while in flight");
+            slot.seq.store(seq + 1, Ordering::Relaxed);
+            fence(Ordering::Release);
+            slot.n_chunks.store(n_chunks, Ordering::Relaxed);
+            slot.data
+                .store((&raw const f).cast::<()>().cast_mut(), Ordering::Relaxed);
+            slot.call.store(
+                trampoline::<F> as unsafe fn(*const (), usize) as *mut (),
+                Ordering::Relaxed,
+            );
+            slot.remaining.store(n_chunks, Ordering::Relaxed);
+            slot.overlapped.store(overlapped, Ordering::Relaxed);
+            let epoch = (seq + 2) >> 1;
+            slot.seq.store(seq + 2, Ordering::Release);
+            // The claim word goes live last: a worker that wins a claim is
+            // guaranteed (via this Release / its Acquire fetch_add) to see
+            // the epoch's fields.
+            slot.claim
+                .store((epoch & EPOCH_MASK) << IDX_BITS, Ordering::Release);
+            control.generation += 1;
             self.inner.work.notify_all();
-        }
+            (slot_idx, epoch & EPOCH_MASK, overlapped)
+        };
+        let slot = &self.inner.slots[slot_idx];
 
         // Even if a submitter-side chunk panics, the closure must stay
         // alive until no worker can still be executing a chunk: the guard
         // skips every unclaimed chunk and waits out the in-flight ones
-        // before `f` is dropped by the unwind.
-        let drain = DrainGuard {
+        // before `f` is dropped by the unwind. The guard also extracts any
+        // worker panic payload *before* the slot returns to the free list —
+        // after that instant the slot (and its payload mutex) belongs to
+        // the next run.
+        let mut payload = None;
+        let mut drain = DrainGuard {
             inner: &self.inner,
-            job: &job,
+            slot_idx,
+            n_chunks,
             mid_chunk: false,
+            payload: &mut payload,
         };
-        let mut drain = drain;
         loop {
-            let i = job.next.fetch_add(1, Ordering::AcqRel);
-            if i >= n_chunks {
+            let (e, idx) = unpack(slot.claim.fetch_add(1, Ordering::AcqRel));
+            // Only this thread can republish this slot, so its epoch is
+            // stable for the whole run.
+            debug_assert_eq!(e, epoch);
+            if idx >= n_chunks {
                 break;
             }
             drain.mid_chunk = true;
-            f(i);
+            f(idx);
             drain.mid_chunk = false;
-            job.remaining.fetch_sub(1, Ordering::AcqRel);
+            slot.remaining.fetch_sub(1, Ordering::AcqRel);
         }
         drop(drain);
-        self.pooled_runs.fetch_add(1, Ordering::Relaxed);
-        self.chunks.fetch_add(n_chunks as u64, Ordering::Relaxed);
-        if let Some(payload) = lock(&job.panic_payload).take() {
+        self.inner.pooled_runs.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .chunks
+            .fetch_add(n_chunks as u64, Ordering::Relaxed);
+        if overlapped {
+            self.inner.overlapped_runs.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(payload) = payload {
             // Re-raise the original payload so callers (and their
             // catch_unwind error reporting) see the real panic message.
             std::panic::resume_unwind(payload);
@@ -281,91 +392,146 @@ impl Drop for WorkerPool {
 /// Completion barrier for one run, robust to unwinding: on drop (normal
 /// exit *or* a panic in a submitter-side chunk) it claims-and-skips every
 /// not-yet-claimed chunk, accounts a chunk the submitter panicked inside,
-/// and then waits until no worker is still executing — only after that may
-/// the closure be dropped.
+/// waits until no worker is still executing, and only then retires the slot
+/// — only after that may the closure be dropped.
 struct DrainGuard<'a> {
     inner: &'a Inner,
-    job: &'a Arc<JobState>,
+    slot_idx: usize,
+    n_chunks: usize,
     /// True while the submitter is inside `f(i)`: a panic there leaves that
     /// chunk's `remaining` decrement to the guard.
     mid_chunk: bool,
+    /// Receives any worker panic payload, extracted before the slot is
+    /// handed back (after that it belongs to the next run).
+    payload: &'a mut Option<Box<dyn Any + Send>>,
 }
 
 impl Drop for DrainGuard<'_> {
     fn drop(&mut self) {
+        let slot = &self.inner.slots[self.slot_idx];
         if self.mid_chunk {
-            self.job.remaining.fetch_sub(1, Ordering::AcqRel);
+            slot.remaining.fetch_sub(1, Ordering::AcqRel);
         }
         // Skip chunks nobody claimed yet (relevant only when unwinding).
         loop {
-            let i = self.job.next.fetch_add(1, Ordering::AcqRel);
-            if i >= self.job.n_chunks {
+            let (_, idx) = unpack(slot.claim.fetch_add(1, Ordering::AcqRel));
+            if idx >= self.n_chunks {
                 break;
             }
-            self.job.remaining.fetch_sub(1, Ordering::AcqRel);
+            slot.remaining.fetch_sub(1, Ordering::AcqRel);
         }
         // Wait for straggler chunks claimed by workers. `remaining` is
         // re-checked under the control mutex, so the last worker's notify
         // (taken under the same mutex) cannot be lost.
         let mut control = lock(&self.inner.control);
-        while self.job.remaining.load(Ordering::Acquire) > 0 {
+        while slot.remaining.load(Ordering::Acquire) > 0 {
             control = self
                 .inner
                 .done
                 .wait(control)
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
-        // Drop the job so the closure reference cannot linger in the
-        // control slot past this run.
-        control.job = None;
+        // Retire the slot: zero the claimable hint, extract this run's
+        // panic payload (all payload writes happened before the last
+        // `remaining` decrement), and hand the slot back. The seqlock stays
+        // at this epoch's even value until the next publish, so a
+        // straggling overshoot claimer still validates (and skips).
+        slot.n_chunks.store(0, Ordering::Relaxed);
+        *self.payload = lock(&slot.panic_payload).take();
+        control.active_jobs -= 1;
+        control.free_slots.push(self.slot_idx);
     }
 }
 
+/// Attempts to claim and execute one chunk from `slot`. Returns `true` when
+/// a chunk was executed (more may remain), `false` when the slot has
+/// nothing claimable for this worker.
+fn try_execute_one(inner: &Inner, slot: &JobSlot) -> bool {
+    // Cheap peek before committing a fetch_add: a retired or exhausted
+    // slot is skipped without an RMW. Racy by design — a stale positive
+    // costs one overshoot claim, which the validation below absorbs.
+    let (_, idx_hint) = unpack(slot.claim.load(Ordering::Relaxed));
+    if idx_hint >= slot.n_chunks.load(Ordering::Relaxed) {
+        return false;
+    }
+    let (epoch, idx) = unpack(slot.claim.fetch_add(1, Ordering::AcqRel));
+    // Seqlock read: fields belong to the claimed epoch iff the lock is
+    // stable at `2·epoch` around the reads. For a valid claim this cannot
+    // fail (the slot cannot be republished while a real chunk is claimed
+    // but unexecuted — see the module docs); for overshoot claims any
+    // failure path is a safe skip.
+    let s1 = slot.seq.load(Ordering::Acquire);
+    if s1 & 1 != 0 || (s1 >> 1) & EPOCH_MASK != epoch {
+        return false;
+    }
+    let n_chunks = slot.n_chunks.load(Ordering::Relaxed);
+    let data = slot.data.load(Ordering::Relaxed);
+    let call = slot.call.load(Ordering::Relaxed);
+    let overlapped = slot.overlapped.load(Ordering::Relaxed);
+    fence(Ordering::Acquire);
+    if slot.seq.load(Ordering::Relaxed) != s1 {
+        return false;
+    }
+    if idx >= n_chunks {
+        return false;
+    }
+    // SAFETY: the seqlock validated (data, call) as the claimed epoch's
+    // fields, and a valid claim keeps the closure alive until this chunk's
+    // `remaining` decrement (the submitter cannot return before it).
+    let call: unsafe fn(*const (), usize) = unsafe { std::mem::transmute(call) };
+    let outcome =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe { call(data, idx) }));
+    if let Err(payload) = outcome {
+        // A panicking chunk must not kill the worker (later runs would be
+        // starved): keep the payload for the submitter to re-raise.
+        let mut first = lock(&slot.panic_payload);
+        if first.is_none() {
+            *first = Some(payload);
+        }
+    }
+    if overlapped {
+        inner.stolen_chunks.fetch_add(1, Ordering::Relaxed);
+    }
+    if slot.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        // Last chunk: wake the submitter. Taking the control mutex orders
+        // this notify against the submitter's wait.
+        let _control = lock(&inner.control);
+        inner.done.notify_all();
+    }
+    true
+}
+
 fn worker_loop(inner: &Inner) {
-    let mut seen = 0u64;
+    let mut generation_seen = 0u64;
     loop {
-        let job = {
+        {
             let mut control = lock(&inner.control);
             loop {
                 if control.shutdown {
                     return;
                 }
-                if control.epoch != seen {
-                    seen = control.epoch;
-                    if let Some(job) = control.job.clone() {
-                        break job;
-                    }
+                if control.generation != generation_seen {
+                    generation_seen = control.generation;
+                    break;
                 }
                 control = inner
                     .work
                     .wait(control)
                     .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
-        };
+        }
+        // Scan every slot until a full pass finds nothing claimable, then
+        // go back to sleep (re-checking the generation first, so a publish
+        // during the scan is never missed).
         loop {
-            let i = job.next.fetch_add(1, Ordering::AcqRel);
-            if i >= job.n_chunks {
-                break;
-            }
-            // SAFETY: a successful claim means the run has not completed,
-            // so the closure behind `data` is still alive. A panicking
-            // chunk must not kill the worker (later runs would deadlock
-            // waiting for it): keep the payload for the submitter to
-            // re-raise.
-            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
-                (job.call)(job.data, i)
-            }));
-            if let Err(payload) = outcome {
-                let mut slot = lock(&job.panic_payload);
-                if slot.is_none() {
-                    *slot = Some(payload);
+            let mut executed = false;
+            for slot in inner.slots.iter() {
+                while try_execute_one(inner, slot) {
+                    executed = true;
                 }
             }
-            if job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                // Last chunk: wake the submitter. Taking the control mutex
-                // orders this notify against the submitter's wait.
-                let _control = lock(&inner.control);
-                inner.done.notify_all();
+            if !executed {
+                break;
             }
         }
     }
@@ -417,21 +583,64 @@ mod tests {
         assert_eq!(pool.stats().pooled_runs, 0);
     }
 
+    /// Nested submission used to force inline execution (the all-or-nothing
+    /// budget); now the nested jobs get their own slots and complete — with
+    /// idle workers free to steal their chunks — and never deadlock.
     #[test]
-    fn nested_runs_fall_back_inline() {
+    fn nested_runs_complete_without_deadlock() {
         let pool = WorkerPool::new(4);
         let outer = AtomicU32::new(0);
         let inner_total = AtomicU64::new(0);
         pool.run(4, |_| {
             outer.fetch_add(1, Ordering::Relaxed);
-            // A nested submission must not deadlock; it runs inline.
             pool.run(8, |j| {
                 inner_total.fetch_add(j as u64, Ordering::Relaxed);
             });
         });
         assert_eq!(outer.load(Ordering::Relaxed), 4);
         assert_eq!(inner_total.load(Ordering::Relaxed), 4 * (0..8).sum::<u64>());
-        assert!(pool.stats().inline_runs >= 1, "nested runs must inline");
+        let stats = pool.stats();
+        assert_eq!(stats.pooled_runs + stats.inline_runs, 5);
+        assert!(
+            stats.overlapped_runs >= 1,
+            "nested submissions must be tagged overlapped: {stats:?}"
+        );
+    }
+
+    /// Forces a steal deterministically: an inner job's chunk 0 spins until
+    /// its chunk 1 completes, and the inner submitter can only execute one
+    /// of them — so completion *requires* another thread to claim the other
+    /// chunk from the published slot.
+    #[test]
+    fn idle_workers_steal_nested_chunks() {
+        let pool = WorkerPool::new(3);
+        let before = pool.stats();
+        let released = AtomicBool::new(false);
+        pool.run(2, |outer_chunk| {
+            if outer_chunk == 0 {
+                pool.run(2, |inner_chunk| {
+                    if inner_chunk == 0 {
+                        let t0 = std::time::Instant::now();
+                        while !released.load(Ordering::Acquire) {
+                            assert!(
+                                t0.elapsed() < std::time::Duration::from_secs(30),
+                                "no worker stole the releasing chunk"
+                            );
+                            std::thread::yield_now();
+                        }
+                    } else {
+                        released.store(true, Ordering::Release);
+                    }
+                });
+            }
+        });
+        let delta = pool.stats().since(&before);
+        assert!(released.load(Ordering::Acquire));
+        assert!(
+            delta.stolen_chunks >= 1,
+            "the inner job's second chunk must have been stolen: {delta:?}"
+        );
+        assert!(delta.overlapped_runs >= 1);
     }
 
     #[test]
@@ -479,6 +688,20 @@ mod tests {
                 sum.fetch_add(i as u64, Ordering::Relaxed);
             });
             assert_eq!(sum.load(Ordering::Relaxed), (0..8).sum::<u64>());
+        }
+    }
+
+    /// Slots are recycled across epochs: far more runs than slots, with
+    /// stale workers around, must neither mix jobs up nor lose chunks.
+    #[test]
+    fn slot_recycling_survives_many_epochs() {
+        let pool = WorkerPool::new(4);
+        for round in 0..2_000u64 {
+            let sum = AtomicU64::new(0);
+            pool.run(3, |i| {
+                sum.fetch_add(round * 100 + i as u64, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 3 * round * 100 + 3);
         }
     }
 

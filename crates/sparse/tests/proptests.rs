@@ -2,7 +2,7 @@
 //! against a dense reference on random matrices.
 
 use proptest::prelude::*;
-use regenr_sparse::{ChunkPlan, CooBuilder, CsrMatrix, ParallelConfig, WorkerPool};
+use regenr_sparse::{ChunkPlan, CooBuilder, CsrMatrix, KernelChoice, ParallelConfig, WorkerPool};
 
 /// Random dense matrix plus its CSR image.
 fn arb_matrix() -> impl Strategy<Value = (Vec<Vec<f64>>, usize, usize)> {
@@ -91,7 +91,7 @@ proptest! {
         let mut par = vec![0.0; n];
         let mut spawned = vec![0.0; n];
         c.mul_vec_into(&x, &mut serial);
-        let cfg = ParallelConfig { min_nnz: 0, threads };
+        let cfg = ParallelConfig { min_nnz: 0, threads, kernel: KernelChoice::Auto };
         c.mul_vec_parallel_into(&x, &mut par, &cfg);
         prop_assert_eq!(&serial, &par);
         c.mul_vec_spawn_into(&x, &mut spawned, &cfg);
@@ -118,6 +118,57 @@ proptest! {
             c.mul_vec_pooled_into(&x, &mut pooled, &plan, &pool);
             prop_assert_eq!(&serial, &pooled);
         }
+    }
+
+    /// Every kernel in the suite — forced via the plan — is bitwise
+    /// identical to the serial product on random matrices, for every
+    /// combination of pool size and chunk count, including repeated
+    /// products on a warm pool (the solver loop shape).
+    #[test]
+    fn every_forced_kernel_is_bitwise_serial(
+        (rows, n, m) in arb_matrix(),
+        pool_threads in 1usize..5,
+        chunks in 1usize..9,
+    ) {
+        let c = to_csr(&rows, n, m);
+        let x: Vec<f64> = (0..m).map(|j| ((j * 13 + 5) % 11) as f64 - 5.0).collect();
+        let mut serial = vec![0.0; n];
+        c.mul_vec_into(&x, &mut serial);
+        let serial_bits: Vec<u64> = serial.iter().map(|v| v.to_bits()).collect();
+        let pool = WorkerPool::new(pool_threads);
+        for choice in [
+            KernelChoice::Auto,
+            KernelChoice::Generic,
+            KernelChoice::ShortRow,
+            KernelChoice::DiagSplit,
+            KernelChoice::Sliced,
+        ] {
+            let plan = ChunkPlan::with_kernel(&c, chunks, choice);
+            let mut pooled = vec![1.0; n];
+            for _ in 0..2 {
+                c.mul_vec_pooled_into(&x, &mut pooled, &plan, &pool);
+                let got: Vec<u64> = pooled.iter().map(|v| v.to_bits()).collect();
+                prop_assert_eq!(&serial_bits, &got, "kernel {:?}", choice);
+            }
+        }
+    }
+
+    /// Kernel auto-selection is deterministic: a function of the matrix
+    /// alone — repeated analyses and different chunk counts always resolve
+    /// the same kernel.
+    #[test]
+    fn kernel_selection_is_deterministic(
+        (rows, n, m) in arb_matrix(),
+        chunks_a in 1usize..9,
+        chunks_b in 1usize..9,
+    ) {
+        let c = to_csr(&rows, n, m);
+        let first = ChunkPlan::new(&c, chunks_a).kernel_kind();
+        prop_assert_eq!(first, ChunkPlan::new(&c, chunks_b).kernel_kind());
+        prop_assert_eq!(first, ChunkPlan::new(&c, chunks_a).kernel_kind());
+        // An independently rebuilt identical matrix selects identically.
+        let again = to_csr(&rows, n, m);
+        prop_assert_eq!(first, ChunkPlan::new(&again, chunks_b).kernel_kind());
     }
 
     #[test]
