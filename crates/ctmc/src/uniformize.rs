@@ -7,22 +7,47 @@
 
 use crate::chain::Ctmc;
 use regenr_sparse::{
-    effective_threads, ChunkPlan, CsrMatrix, KernelChoice, KernelKind, ParallelConfig, WorkerPool,
+    effective_threads, Backend, BackendChoice, ChunkPlan, CsrMatrix, KernelChoice, KernelKind,
+    ParallelConfig, WorkerPool,
 };
 use std::sync::{Arc, Mutex};
 
-/// Shared memo of nnz-balanced [`ChunkPlan`]s for `Pᵀ`, keyed by
-/// `(chunk count, kernel choice)` — a plan carries the resolved
-/// structure-adaptive kernel layout, so forcing different kernels yields
-/// distinct plans. Wrapped in an `Arc` so clones of a [`Uniformized`] share
-/// the same plans (they describe the same matrix); the inner list is tiny —
-/// one entry per distinct configuration ever requested.
-#[derive(Clone, Debug, Default)]
-struct PlanCache(Arc<Mutex<PlanList>>);
+/// Callback invoked with the layout byte count of every chunk plan built
+/// *after* registration — how a byte-bounded artifact cache holding this
+/// uniformization learns about lazily built kernel layouts (they
+/// materialize on first stepper construction, typically long after the
+/// artifact was inserted and charged). See
+/// [`Uniformized::set_plan_bytes_hook`].
+type PlanBytesHook = Arc<dyn Fn(usize) + Send + Sync>;
 
-/// `((chunk count, kernel choice), plan)` pairs; linear scan — a handful of
-/// entries at most.
-type PlanList = Vec<((usize, KernelChoice), Arc<ChunkPlan>)>;
+/// Shared memo of nnz-balanced [`ChunkPlan`]s for `Pᵀ`, keyed by
+/// `(chunk count, kernel choice, backend choice)` — a plan carries the
+/// resolved structure-adaptive kernel layout and execution backend, so
+/// forcing different kernels or backends yields distinct plans. Wrapped in
+/// an `Arc` so clones of a [`Uniformized`] share the same plans (they
+/// describe the same matrix); the inner list is tiny — one entry per
+/// distinct configuration ever requested.
+#[derive(Clone, Debug, Default)]
+struct PlanCache(Arc<Mutex<PlanCacheInner>>);
+
+/// `((chunk count, kernel choice, backend choice), plan)` pairs; linear
+/// scan — a handful of entries at most.
+type PlanList = Vec<((usize, KernelChoice, BackendChoice), Arc<ChunkPlan>)>;
+
+#[derive(Default)]
+struct PlanCacheInner {
+    plans: PlanList,
+    hook: Option<PlanBytesHook>,
+}
+
+impl std::fmt::Debug for PlanCacheInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanCacheInner")
+            .field("plans", &self.plans)
+            .field("hook", &self.hook.as_ref().map(|_| "…"))
+            .finish()
+    }
+}
 
 impl PlanCache {
     fn get_or_plan(
@@ -30,13 +55,27 @@ impl PlanCache {
         matrix: &CsrMatrix,
         chunks: usize,
         choice: KernelChoice,
+        backend: BackendChoice,
     ) -> Arc<ChunkPlan> {
-        let mut plans = regenr_sparse::pool::lock(&self.0);
-        if let Some((_, plan)) = plans.iter().find(|(key, _)| *key == (chunks, choice)) {
-            return plan.clone();
+        let key = (chunks, choice, backend);
+        let (plan, charge) = {
+            let mut inner = regenr_sparse::pool::lock(&self.0);
+            if let Some((_, plan)) = inner.plans.iter().find(|(k, _)| *k == key) {
+                return plan.clone();
+            }
+            let plan = Arc::new(ChunkPlan::with_kernel_backend(
+                matrix, chunks, choice, backend,
+            ));
+            inner.plans.push((key, plan.clone()));
+            let bytes = plan.kernel_bytes();
+            (plan, (bytes > 0).then(|| inner.hook.clone()).flatten())
+        };
+        // Invoke the re-accounting hook *after* releasing the plan lock:
+        // the hook takes its owner's pool lock, and nothing holding a pool
+        // lock may wait on the plan lock in return.
+        if let Some(hook) = charge {
+            hook(plan.kernel_bytes());
         }
-        let plan = Arc::new(ChunkPlan::with_kernel(matrix, chunks, choice));
-        plans.push(((chunks, choice), plan.clone()));
         plan
     }
 }
@@ -88,6 +127,13 @@ impl Stepper<'_> {
     /// engine's per-cell output).
     pub fn kernel_kind(&self) -> KernelKind {
         self.plan.kernel_kind()
+    }
+
+    /// The execution backend the kernel runs on (`scalar` unless the
+    /// `simd` feature is active and the resolved kernel has a vector
+    /// variant the CPU supports) — reported alongside the kernel.
+    pub fn backend(&self) -> Backend {
+        self.plan.backend()
     }
 }
 
@@ -147,15 +193,11 @@ impl Uniformized {
         };
         Stepper {
             p_t: &self.p_t,
-            plan: self.plans.get_or_plan(&self.p_t, chunks, cfg.kernel),
+            plan: self
+                .plans
+                .get_or_plan(&self.p_t, chunks, cfg.kernel, cfg.backend),
             pool: WorkerPool::global(),
         }
-    }
-
-    /// The kernel a stepper under `cfg` executes — for reports; resolves
-    /// (and caches) the plan exactly as [`Uniformized::stepper`] would.
-    pub fn kernel_for(&self, cfg: &ParallelConfig) -> KernelKind {
-        self.stepper(cfg).kernel_kind()
     }
 
     /// One DTMC step: `out = πᵀP` computed as `Pᵀ·π` (gather), optionally in
@@ -172,22 +214,47 @@ impl Uniformized {
 
     /// Approximate heap footprint in bytes: both CSR matrices by allocator
     /// capacity (see [`CsrMatrix::heap_bytes`]) plus whatever kernel
-    /// layouts the plan cache holds **at call time**. Used by bounded
-    /// artifact caches for byte accounting; audited against a counting
-    /// allocator by the engine's byte-accounting test. Caveat: caches
-    /// charge at insertion, when the plan cache is typically still empty —
-    /// layouts built by later steppers (bounded at ≤ 2× the `Pᵀ` entries
-    /// per cached configuration by the kernels' fill guard) are visible to
-    /// a re-query but not to an already-recorded charge (see the ROADMAP
-    /// re-accounting note).
+    /// layouts the plan cache holds **at call time**. Audited against a
+    /// counting allocator by the engine's byte-accounting test.
+    ///
+    /// Byte-bounded caches should charge [`Uniformized::matrix_bytes`] at
+    /// insertion and register a [`Uniformized::set_plan_bytes_hook`] for
+    /// the lazily built layouts instead of re-querying this total: the sum
+    /// of the two always equals this method's answer, with every layout
+    /// charged exactly once at the moment it materializes.
     pub fn approx_bytes(&self) -> usize {
-        self.p.heap_bytes() + self.p_t.heap_bytes() + self.plan_bytes()
+        self.matrix_bytes() + self.plan_bytes()
     }
 
-    /// Heap bytes currently held by cached chunk plans' kernel layouts.
+    /// Heap bytes of the two CSR matrices alone (capacity-accounted) —
+    /// the part of the footprint that exists at construction time.
+    pub fn matrix_bytes(&self) -> usize {
+        self.p.heap_bytes() + self.p_t.heap_bytes()
+    }
+
+    /// Heap bytes currently held by cached chunk plans' kernel layouts
+    /// (bounded at ≤ 2× the `Pᵀ` entries per cached configuration by the
+    /// kernels' fill guard).
     pub fn plan_bytes(&self) -> usize {
-        let plans = regenr_sparse::pool::lock(&self.plans.0);
-        plans.iter().map(|(_, plan)| plan.kernel_bytes()).sum()
+        let inner = regenr_sparse::pool::lock(&self.plans.0);
+        inner
+            .plans
+            .iter()
+            .map(|(_, plan)| plan.kernel_bytes())
+            .sum()
+    }
+
+    /// Registers the callback that is handed the layout byte count of every
+    /// chunk plan built **after** this call (plans already cached — there
+    /// are none when an artifact cache registers at insertion — are *not*
+    /// replayed; query [`Uniformized::plan_bytes`] for those). This is the
+    /// re-accounting hook a byte-bounded artifact cache uses to keep its
+    /// `max_bytes` honest: kernel layouts are built lazily on first stepper
+    /// construction, after the artifact was inserted and charged, and would
+    /// otherwise be invisible to eviction pressure. Clones share the plan
+    /// cache and therefore the hook; re-registering replaces it.
+    pub fn set_plan_bytes_hook(&self, hook: impl Fn(usize) + Send + Sync + 'static) {
+        regenr_sparse::pool::lock(&self.plans.0).hook = Some(Arc::new(hook));
     }
 
     /// Asserts this uniformization is plausibly built from `ctmc`: same
@@ -276,6 +343,52 @@ mod tests {
         Uniformized::with_rate(&chain(), 1.0);
     }
 
+    /// The plan-bytes hook reports every lazily built kernel layout exactly
+    /// once: cached plans don't re-fire, layout-free kernels charge
+    /// nothing, and the cumulative charge equals `plan_bytes()`.
+    #[test]
+    fn plan_bytes_hook_charges_lazy_layouts_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let n = 64;
+        let mut rates = Vec::new();
+        for i in 0..n - 1 {
+            rates.push((i, i + 1, 1.0));
+            rates.push((i + 1, i, 0.5));
+        }
+        let mut init = vec![0.0; n];
+        init[0] = 1.0;
+        let c = Ctmc::from_rates(n, &rates, init, vec![1.0; n]).unwrap();
+        let u = Uniformized::new(&c, 0.0);
+        let charged = Arc::new(AtomicUsize::new(0));
+        let sink = charged.clone();
+        u.set_plan_bytes_hook(move |b| {
+            sink.fetch_add(b, Ordering::Relaxed);
+        });
+        assert_eq!(u.plan_bytes(), 0, "no plans before the first stepper");
+        let cfg = ParallelConfig {
+            min_nnz: 0,
+            threads: 1,
+            kernel: KernelChoice::Sliced,
+            ..Default::default()
+        };
+        let _ = u.stepper(&cfg);
+        let first = charged.load(Ordering::Relaxed);
+        assert!(first > 0, "a layout-backed plan must charge its bytes");
+        assert_eq!(first, u.plan_bytes());
+        // Same configuration: the cached plan must not charge again.
+        let _ = u.stepper(&cfg);
+        assert_eq!(charged.load(Ordering::Relaxed), first);
+        // Layout-free kernels (zero layout bytes) never invoke the hook.
+        let _ = u.stepper(&ParallelConfig {
+            kernel: KernelChoice::ShortRow,
+            ..cfg
+        });
+        assert_eq!(charged.load(Ordering::Relaxed), first);
+        assert_eq!(u.plan_bytes(), first);
+        // matrix_bytes + plan_bytes is exactly approx_bytes.
+        assert_eq!(u.approx_bytes(), u.matrix_bytes() + u.plan_bytes());
+    }
+
     #[test]
     fn stepper_matches_step_into_and_caches_plans() {
         let u = Uniformized::new(&chain(), 0.0);
@@ -284,6 +397,7 @@ mod tests {
             min_nnz: 0,
             threads: 4,
             kernel: KernelChoice::Auto,
+            ..Default::default()
         };
         let stepper = u.stepper(&cfg);
         assert!(stepper.is_pooled());

@@ -38,6 +38,12 @@
 //! finish. Per-pool counters ([`PoolStats`]: hits, misses, evictions, plus
 //! the live entry/byte gauges) are embedded in sweep reports.
 //!
+//! Byte accounting follows artifacts that *grow after insertion*: kernel
+//! layouts are built lazily on a cached uniformization's chunk plans (first
+//! stepper construction), and each build charges its bytes back to the
+//! owning pool through a re-accounting hook — so `max_bytes` pressure sees
+//! layout memory, not just the matrices that existed at insertion time.
+//!
 //! ## Concurrency
 //!
 //! Each pool is a mutex-guarded LRU map whose values are per-key slots:
@@ -254,6 +260,12 @@ impl<K: Eq + Hash + Clone, V: Clone> LruPool<K, V> {
     /// slot identity alone does not pin down the contents — callers there
     /// must compute `bytes` from the slot's current contents while holding
     /// the slot lock, so store and accounting are one atomic step.
+    ///
+    /// Pools whose entries only ever receive one absolute charge
+    /// (structure, params) use this; pools with post-insertion growth (the
+    /// uniformization pool and its lazy kernel layouts) must use
+    /// [`LruPool::add_bytes`] for *both* the materialization charge and the
+    /// growth deltas, or an in-flight delta would be overwritten here.
     fn set_bytes(
         &mut self,
         key: &K,
@@ -266,6 +278,36 @@ impl<K: Eq + Hash + Clone, V: Clone> LruPool<K, V> {
                 self.bytes = self.bytes - e.bytes + bytes;
                 e.bytes = bytes;
                 e.filled = true;
+                self.enforce(cfg);
+            }
+        }
+    }
+
+    /// Adds `delta` bytes to `key`'s accounting (entry and pool gauges)
+    /// and re-enforces capacity; `fill` marks the entry as materialized
+    /// (eviction-eligible). This is the delta-based counterpart of
+    /// [`LruPool::set_bytes`] for entries whose footprint arrives in
+    /// pieces: the artifact itself at materialization (`fill = true`) and
+    /// every lazily built kernel layout afterwards (`fill = false`, via
+    /// the plan-bytes re-accounting hook) — charges commute, so hook
+    /// firings racing the materialization are never lost or double-counted.
+    /// Identity-checked like `set_bytes`: growth of an artifact that was
+    /// evicted (or replaced) is simply not the pool's to account.
+    /// Deliberately does **not** refresh the LRU stamp — background growth
+    /// is not a use.
+    fn add_bytes(
+        &mut self,
+        key: &K,
+        same: impl FnOnce(&V) -> bool,
+        delta: usize,
+        fill: bool,
+        cfg: &CacheConfig,
+    ) {
+        if let Some(e) = self.map.get_mut(key) {
+            if same(&e.value) {
+                self.bytes += delta;
+                e.bytes += delta;
+                e.filled |= fill;
                 self.enforce(cfg);
             }
         }
@@ -388,7 +430,12 @@ impl<K: Eq + Hash + Clone, V> Drop for SlotCleanup<'_, K, V> {
 pub struct ArtifactCache {
     cfg: CacheConfig,
     structure: Mutex<LruPool<u64, Slot<Arc<ChainFacts>>>>,
-    uniformized: Mutex<LruPool<UnifKey, Slot<Arc<Uniformized>>>>,
+    /// `Arc` so the plan-bytes re-accounting hook each cached
+    /// [`Uniformized`] carries (see [`ArtifactCache::uniformized`]) can own
+    /// its pool: the hook outlives any borrow of the cache — it fires from
+    /// whatever thread builds a stepper on the artifact, for as long as the
+    /// artifact lives.
+    uniformized: Arc<Mutex<LruPool<UnifKey, Slot<Arc<Uniformized>>>>>,
     params: Mutex<LruPool<ParamsKey, Slot<ParamsEntry>>>,
     structure_counters: Counters,
     uniformized_counters: Counters,
@@ -412,7 +459,7 @@ impl ArtifactCache {
         ArtifactCache {
             cfg,
             structure: Mutex::new(LruPool::new()),
-            uniformized: Mutex::new(LruPool::new()),
+            uniformized: Arc::new(Mutex::new(LruPool::new())),
             params: Mutex::new(LruPool::new()),
             structure_counters: Counters::default(),
             uniformized_counters: Counters::default(),
@@ -465,6 +512,18 @@ impl ArtifactCache {
     /// The uniformized view of `ctmc` at safety factor `theta`, built
     /// exactly once per live `(fingerprint, θ)` entry. Returns the artifact
     /// and whether it was a cache hit.
+    ///
+    /// Byte accounting covers the artifact's *whole* lifetime, not just its
+    /// insertion size: the CSR matrices are charged when the artifact
+    /// materializes, and every kernel layout a stepper lazily builds on it
+    /// afterwards is charged through the artifact's plan-bytes hook the
+    /// moment it exists — so a byte-capped pool feels eviction pressure
+    /// from layout memory too (layouts used to be invisible to `max_bytes`,
+    /// a real accounting hole: a layout-backed kernel roughly doubles the
+    /// stepped matrix's footprint). The hook is registered before the
+    /// artifact is published, so no consumer can build a plan the pool
+    /// never hears about; charges on an entry that was since evicted are
+    /// identity-checked no-ops.
     pub fn uniformized(&self, fp: u64, ctmc: &Ctmc, theta: f64) -> (Arc<Uniformized>, bool) {
         let key = (fp, norm_key_bits(theta));
         let slot = lock(&self.uniformized).get_or_insert_with(key, Slot::default);
@@ -475,14 +534,32 @@ impl ArtifactCache {
         }
         let cleanup = SlotCleanup::new(&self.uniformized, key, slot.clone());
         let unif = Arc::new(Uniformized::new(ctmc, theta));
+        {
+            // Weak captures, NOT Arcs: the hook lives on the artifact, and
+            // the pool (via the slot) owns the artifact — strong captures
+            // of either would close a reference cycle and leak every
+            // cache-built uniformization (the largest objects in the
+            // system). A hook that cannot upgrade has nothing left to
+            // account anyway.
+            let pool = Arc::downgrade(&self.uniformized);
+            let hook_slot = Arc::downgrade(&slot);
+            let cfg = self.cfg;
+            unif.set_plan_bytes_hook(move |delta| {
+                let (Some(pool), Some(slot)) = (pool.upgrade(), hook_slot.upgrade()) else {
+                    return;
+                };
+                lock(&pool).add_bytes(&key, |v| Arc::ptr_eq(v, &slot), delta, false, &cfg);
+            });
+        }
         self.uniformized_counters.record(false);
         *guard = Some(unif.clone());
         cleanup.disarm();
         drop(guard);
-        lock(&self.uniformized).set_bytes(
+        lock(&self.uniformized).add_bytes(
             &key,
             |v| Arc::ptr_eq(v, &slot),
-            unif.approx_bytes(),
+            unif.matrix_bytes(),
+            true,
             &self.cfg,
         );
         (unif, false)
@@ -817,6 +894,114 @@ mod tests {
         let (_, hit) = cache.uniformized(fp, &c, 0.0);
         assert!(!hit);
         assert_eq!(cache.stats().uniformized.entries, 1);
+    }
+
+    /// The plan-bytes hook must capture its pool and slot **weakly**: the
+    /// hook lives on the artifact and the pool owns the artifact, so
+    /// strong captures would close a reference cycle — every cache-built
+    /// uniformization (and the pool itself) would leak forever, with
+    /// eviction freeing only the byte accounting.
+    #[test]
+    fn dropping_cache_and_holders_frees_the_artifact() {
+        use regenr_sparse::{KernelChoice, ParallelConfig};
+        let c = chain();
+        let fp = fingerprint(&c);
+        let weak;
+        {
+            let cache = ArtifactCache::new();
+            let (unif, _) = cache.uniformized(fp, &c, 0.0);
+            // Exercise the hook so the leak (if any) is the realistic one.
+            let _ = unif.stepper(&ParallelConfig {
+                min_nnz: 0,
+                threads: 1,
+                kernel: KernelChoice::Sliced,
+                ..Default::default()
+            });
+            weak = Arc::downgrade(&unif);
+            drop(unif);
+            assert!(weak.upgrade().is_some(), "cache keeps the artifact alive");
+        }
+        assert!(
+            weak.upgrade().is_none(),
+            "dropping the cache and all holders must free the artifact (Arc cycle?)"
+        );
+    }
+
+    /// Regression (left behind by the PR-4 kernel suite): kernel layouts
+    /// built lazily on a *cached* uniformization were invisible to
+    /// `max_bytes` — the pool charged the artifact at insertion, and the
+    /// layout memory a stepper added later never counted. The plan-bytes
+    /// re-accounting hook closes that: a byte-capped cache must evict when
+    /// lazy plans push an entry over cap.
+    #[test]
+    fn lazy_plan_bytes_trigger_byte_cap_eviction() {
+        use regenr_sparse::{KernelChoice, ParallelConfig};
+        // A chain large enough that a sliced layout carries real bytes.
+        let n = 96;
+        let mut rates = Vec::new();
+        for i in 0..n - 1 {
+            rates.push((i, i + 1, 1.0));
+            rates.push((i + 1, i, 0.5));
+        }
+        let mut init = vec![0.0; n];
+        init[0] = 1.0;
+        let c = Ctmc::from_rates(n, &rates, init, vec![1.0; n]).unwrap();
+        let fp = fingerprint(&c);
+        let matrix_bytes = Uniformized::new(&c, 0.0).matrix_bytes();
+
+        // Cap exactly at the matrices: insertion fits, any layout overflows.
+        let cache = ArtifactCache::with_config(CacheConfig {
+            max_entries: None,
+            max_bytes: Some(matrix_bytes),
+        });
+        let (unif, hit) = cache.uniformized(fp, &c, 0.0);
+        assert!(!hit);
+        let at_insert = cache.stats().uniformized;
+        assert_eq!(at_insert.entries, 1, "the artifact itself fits the cap");
+        assert_eq!(at_insert.bytes, matrix_bytes);
+        assert_eq!(at_insert.evictions, 0);
+
+        // Build a layout-backed plan on the *cached* artifact — exactly
+        // what a solver's stepper does long after insertion.
+        let cfg = ParallelConfig {
+            min_nnz: 0,
+            threads: 1,
+            kernel: KernelChoice::Sliced,
+            ..Default::default()
+        };
+        let stepper = unif.stepper(&cfg);
+        assert!(unif.plan_bytes() > 0, "forced sliced must build a layout");
+
+        let after_plan = cache.stats().uniformized;
+        assert_eq!(
+            after_plan.evictions, 1,
+            "lazy plan bytes must push the entry over cap and evict it"
+        );
+        assert_eq!(after_plan.entries, 0);
+        assert_eq!(after_plan.bytes, 0, "eviction releases the full charge");
+        // The holder's artifact (and stepper) stay usable — eviction only
+        // drops the cache's reference.
+        let mut out = vec![0.0; n];
+        stepper.step(&vec![1.0 / n as f64; n], &mut out);
+        // Re-requesting rebuilds (a miss), and the fresh entry is again
+        // charged with the matrices only until its plans materialize.
+        let (_, hit) = cache.uniformized(fp, &c, 0.0);
+        assert!(!hit, "the evicted entry must rebuild");
+        assert_eq!(cache.stats().uniformized.bytes, matrix_bytes);
+
+        // Under a roomier cap the charge accumulates instead of evicting:
+        // entry bytes = matrices + layouts, matching the artifact's own
+        // approx_bytes.
+        let roomy = ArtifactCache::with_config(CacheConfig {
+            max_entries: None,
+            max_bytes: Some(matrix_bytes * 4),
+        });
+        let (unif, _) = roomy.uniformized(fp, &c, 0.0);
+        let _ = unif.stepper(&cfg);
+        let stats = roomy.stats().uniformized;
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.bytes, unif.approx_bytes());
+        assert_eq!(stats.bytes, matrix_bytes + unif.plan_bytes());
     }
 
     #[test]

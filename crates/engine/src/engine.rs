@@ -169,6 +169,10 @@ pub struct SolveReport {
     /// The structure-adaptive SpMV kernel the solver's stepper executes
     /// (`"none"` for the dense ODE oracle, which never randomizes).
     pub kernel: &'static str,
+    /// The execution backend that kernel runs on (`scalar`/`sse2`/`avx2`;
+    /// `"none"` whenever `kernel` is `"none"`). Machine-dependent under
+    /// `Auto`, so — like `kernel` — it is omitted from `--stable` reports.
+    pub backend: &'static str,
     /// Whether the uniformization came from the artifact cache.
     pub unif_cache_hit: bool,
     /// Whether RRL's killed-chain parameters came from the cache.
@@ -192,6 +196,12 @@ pub struct SweepFailure {
 /// the per-worker workspaces were used.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ExecStats {
+    /// The active SIMD backend for this engine's parallel config — what
+    /// [`regenr_sparse::simd::resolve`] returns for the configured
+    /// [`regenr_sparse::BackendChoice`] on this machine (`"scalar"` in
+    /// non-SIMD builds). Per-cell reports may still differ (kernels
+    /// without a vector variant run scalar regardless).
+    pub simd_backend: &'static str,
     /// Sweep-level concurrency actually achieved: the worker count after
     /// resolving `threads = 0`, capping by the job count, and accounting
     /// for the execution mode — `1` when the sweep ran inline (single job,
@@ -484,14 +494,18 @@ impl Engine {
             let (unif, hit) = self.cache.uniformized(fp, ctmc, cfg.theta);
             (Some(unif), hit)
         };
-        // The kernel the solver's stepper resolves under this parallel
-        // config (cached on the uniformization — same plan the solver
-        // uses). Adaptive propagates over its active set row-by-row and
-        // never builds a stepper, so like the ODE oracle it reports no
-        // kernel (and must not force a layout build it would never use).
-        let kernel = match &unif {
-            Some(u) if job.method != Method::Adaptive => u.kernel_for(&cfg.parallel).name(),
-            _ => "none",
+        // The kernel (and execution backend) the solver's stepper resolves
+        // under this parallel config (cached on the uniformization — same
+        // plan the solver uses). Adaptive propagates over its active set
+        // row-by-row and never builds a stepper, so like the ODE oracle it
+        // reports no kernel (and must not force a layout build it would
+        // never use).
+        let (kernel, backend) = match &unif {
+            Some(u) if job.method != Method::Adaptive => {
+                let stepper = u.stepper(&cfg.parallel);
+                (stepper.kernel_kind().name(), stepper.backend().name())
+            }
+            _ => ("none", "none"),
         };
         let solver = build_solver(job.method, ctmc, facts, unif, &cfg)?;
         let lambda = self.lambda(facts);
@@ -551,6 +565,7 @@ impl Engine {
                 converged: sol.converged,
                 lambda_t: lambda * t,
                 kernel,
+                backend,
                 unif_cache_hit: unif_hit,
                 params_cache_hit: params_hit,
                 wall: per_cell,
@@ -738,6 +753,7 @@ impl Engine {
             failures,
             cache: self.cache.stats(),
             exec: ExecStats {
+                simd_backend: regenr_sparse::simd::resolve(self.opts.parallel.backend).name(),
                 sweep_workers: achieved_workers,
                 pool_threads: self.pool.threads(),
                 pool: self.pool.stats().since(&pool_before),
@@ -1110,12 +1126,20 @@ mod tests {
         assert_eq!(reports[0].kernel, "sliced");
         assert_eq!(reports[1].method, Method::Rsd);
         assert_eq!(reports[1].kernel, "sliced");
+        // A stepping cell always reports the resolved execution backend
+        // (whatever the build/machine resolves Auto to).
+        assert_eq!(
+            reports[0].backend,
+            regenr_sparse::simd::detected().name(),
+            "stepping cells report the resolved backend"
+        );
         // Adaptive (active-set, no stepper) and ODE report no kernel.
         let adaptive = forced
             .solve(&SolveRequest::new("big", large_birth_chain(2_500), vec![10.0]).epsilon(1e-10))
             .unwrap();
         assert_eq!(adaptive[0].method, Method::Adaptive);
         assert_eq!(adaptive[0].kernel, "none");
+        assert_eq!(adaptive[0].backend, "none");
         let ode = forced
             .solve(
                 &SolveRequest::new("u", repairable(), vec![1.0])
@@ -1123,6 +1147,19 @@ mod tests {
             )
             .unwrap();
         assert_eq!(ode[0].kernel, "none");
+        assert_eq!(ode[0].backend, "none");
+        // A forced-scalar engine reports scalar on stepping cells.
+        let scalar = Engine::with_options(EngineOptions {
+            parallel: regenr_sparse::ParallelConfig {
+                backend: regenr_sparse::BackendChoice::Scalar,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let reports = scalar
+            .solve(&SolveRequest::new("u", repairable(), vec![1.0]))
+            .unwrap();
+        assert_eq!(reports[0].backend, "scalar");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //!   "method": "auto",
 //!   "threads": 4,
 //!   "kernel": "auto",
+//!   "backend": "auto",
 //!   "cache": { "max_entries": 64, "max_bytes": 268435456 },
 //!   "horizons": [1, 10, 100, 1000, 10000, 100000],
 //!   "measures": ["trr"],
@@ -35,9 +36,14 @@
 //!
 //! `"kernel"` forces the SpMV kernel every solver's stepper runs (`auto`,
 //! `generic`, `shortrow`, `diagsplit`, `sliced`; default `auto` analyzes
-//! each matrix once and picks). All kernels are bitwise identical to the
-//! serial product, so forced-kernel `--stable` reports diff byte-for-byte —
-//! the CI determinism job relies on that.
+//! each matrix once and picks). `"backend"` forces the execution backend
+//! those kernels run on (`auto`, `scalar`, `sse2`, `avx2`; default `auto`
+//! probes the CPU once — forced backends are clamped to what the hardware
+//! and the build's `simd` feature support, so a spec never fails on a
+//! machine without AVX2, it just runs narrower). All kernels and backends
+//! are bitwise identical to the serial product, so forced-kernel and
+//! forced-backend `--stable` reports diff byte-for-byte — the CI
+//! determinism jobs rely on that.
 
 use crate::cache::CacheConfig;
 use crate::engine::{EngineOptions, MethodChoice, SolveRequest, SweepReport};
@@ -411,6 +417,12 @@ impl SweepSpec {
                 .ok_or_else(|| "field \"kernel\" must be a string".to_string())?;
             options.parallel.kernel = regenr_sparse::KernelChoice::parse(s)?;
         }
+        if let Some(s) = doc.get("backend") {
+            let s = s
+                .as_str()
+                .ok_or_else(|| "field \"backend\" must be a string".to_string())?;
+            options.parallel.backend = regenr_sparse::BackendChoice::parse(s)?;
+        }
         if let Some(x) = get_f64(doc, "theta")? {
             if !x.is_finite() || x < 0.0 {
                 return Err(format!(
@@ -515,9 +527,12 @@ fn report_to_json_opts(report: &SweepReport, stable: bool) -> Json {
                 ("lambda_t".into(), Json::Num(r.lambda_t)),
             ];
             if !stable {
-                // The kernel is execution-tuning, not a result: forced-kernel
-                // --stable reports must stay byte-for-byte identical.
+                // The kernel and its backend are execution-tuning, not a
+                // result: forced-kernel/forced-backend --stable reports
+                // must stay byte-for-byte identical (the backend is even
+                // machine-dependent under Auto).
                 fields.push(("kernel".into(), Json::Str(r.kernel.into())));
+                fields.push(("backend".into(), Json::Str(r.backend.into())));
                 fields.push(("unif_cache_hit".into(), Json::Bool(r.unif_cache_hit)));
                 fields.push(("params_cache_hit".into(), Json::Bool(r.params_cache_hit)));
                 fields.push(("wall_seconds".into(), Json::Num(r.wall.as_secs_f64())));
@@ -562,6 +577,7 @@ fn report_to_json_opts(report: &SweepReport, stable: bool) -> Json {
         doc.push((
             "execution".into(),
             Json::Obj(vec![
+                ("simd_backend".into(), Json::Str(exec.simd_backend.into())),
                 ("sweep_workers".into(), Json::Num(exec.sweep_workers as f64)),
                 ("pool_threads".into(), Json::Num(exec.pool_threads as f64)),
                 (
@@ -810,6 +826,8 @@ mod tests {
             "execution",
             "unif_cache_hit",
             "kernel",
+            "backend",
+            "simd_backend",
             "stolen_chunks",
         ] {
             assert!(full.contains(field), "full report must contain {field}");
@@ -859,6 +877,54 @@ mod tests {
                     "models": [{{"kind": "cyclic", "n": 3}}]}}"#
             );
             assert!(SweepSpec::parse(&doc).is_err(), "kernel {bad} accepted");
+        }
+    }
+
+    /// The `"backend"` knob forces the SIMD execution backend engine-wide;
+    /// every forced backend produces a `--stable` report byte-for-byte
+    /// identical to forced-scalar (the CI determinism job diffs exactly
+    /// this — in a non-SIMD build every choice resolves to scalar and the
+    /// test still holds trivially).
+    #[test]
+    fn forced_backend_sweeps_match_scalar_byte_for_byte() {
+        let spec_for = |backend: &str| {
+            format!(
+                r#"{{"epsilon": 1e-10, "backend": "{backend}", "horizons": [1, 100, 10000],
+                    "models": [{{"kind": "raid", "g": 2}},
+                               {{"kind": "two_state", "lambda": 1e-3, "absorbing": true}}]}}"#
+            )
+        };
+        let run = |backend: &str| {
+            let spec = SweepSpec::parse(&spec_for(backend)).unwrap();
+            assert_eq!(
+                spec.options.parallel.backend,
+                regenr_sparse::BackendChoice::parse(backend).unwrap()
+            );
+            let engine = crate::Engine::with_cache_config(spec.options, spec.cache);
+            let report = engine.sweep(&spec.requests);
+            assert!(
+                report.failures.is_empty(),
+                "{backend}: {:?}",
+                report.failures
+            );
+            // The resolved backend is surfaced in the *full* report.
+            assert!(!report.exec.simd_backend.is_empty());
+            stable_report_to_json(&report).to_string()
+        };
+        let scalar = run("scalar");
+        for backend in ["auto", "sse2", "avx2"] {
+            assert_eq!(scalar, run(backend), "backend {backend} must match scalar");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_backend_knob() {
+        for bad in ["\"avx512\"", "3", "true"] {
+            let doc = format!(
+                r#"{{"backend": {bad}, "horizons": [1],
+                    "models": [{{"kind": "cyclic", "n": 3}}]}}"#
+            );
+            assert!(SweepSpec::parse(&doc).is_err(), "backend {bad} accepted");
         }
     }
 

@@ -23,9 +23,24 @@
 //!   rows store their entries lane-interleaved and padded to the slice
 //!   width, so the inner loop advances all lanes in lock-step with
 //!   independent accumulators (breaking the single-accumulator latency
-//!   chain; the compiler is free to autovectorize — no intrinsics). Rows far
-//!   longer than average are excluded from slices (they would explode the
-//!   padding) and handled row-wise.
+//!   chain). Rows far longer than average are excluded from slices (they
+//!   would explode the padding) and handled row-wise.
+//!
+//! ## Backends
+//!
+//! The shortrow and sliced kernels additionally come in explicit-SIMD
+//! *backends* (x86_64 SSE2/AVX2 intrinsics behind the `simd` cargo feature
+//! and runtime CPUID dispatch — see [`crate::simd`]): the sliced layout's
+//! lanes are whole independent rows, so its vector variant is the SELL
+//! strategy executed for real (vector gathers for `x`, lane-parallel
+//! multiply/add, blend-predicated ragged spans); the shortrow variant
+//! vectorizes each row's gathers and multiplies and folds the products
+//! back **in index order** (a horizontal reduction, not a tree sum), so
+//! every backend preserves the bitwise contract below. The scalar loops
+//! remain the mandatory fallback, and under an `Auto` backend request the
+//! shortrow kernel deliberately stays scalar — its in-order reduction is
+//! add-latency bound, and the measured grids (`repro kernels`) show the
+//! vector variant losing there.
 //!
 //! ## Bitwise identity
 //!
@@ -44,11 +59,12 @@
 //! The non-generic kernels use unchecked indexing. Soundness rests on the
 //! CSR construction invariant `col < ncols` (enforced by
 //! [`CooBuilder`](crate::CooBuilder) and preserved by every transform);
-//! [`Kernel::build`] re-validates it with one `O(nnz)` scan before an
+//! `Kernel::build` re-validates it with one `O(nnz)` scan before an
 //! unchecked kernel is ever selected, and `mul_rows` asserts the matrix it
 //! is handed matches the one the kernel was built from (`nrows`/`nnz`).
 
 use crate::csr::CsrMatrix;
+use crate::simd::{self, Backend, BackendChoice};
 
 /// Lanes per slice of the sliced layout (rows advanced in lock-step).
 pub const LANES: usize = 8;
@@ -257,37 +273,44 @@ fn tail_threshold(nnz: usize, nrows: usize) -> usize {
 struct DiagSplitData {
     /// Off-diagonal row spans.
     row_ptr: Vec<usize>,
-    /// Per row: lower-entry count, with bit 31 flagging a present diagonal.
+    /// Per-row lower-entry count (entries with `j < i`).
     lower: Vec<u32>,
+    /// Per-row select mask: all-ones when the row stores a diagonal entry,
+    /// zero otherwise — consumed branchlessly (see `mul_rows`).
+    dmask: Vec<u64>,
     cols: Vec<u32>,
     vals: Vec<f64>,
     diag: Vec<f64>,
 }
 
-const DIAG_FLAG: u32 = 1 << 31;
-
 impl DiagSplitData {
     fn build(m: &CsrMatrix) -> Option<DiagSplitData> {
         let n = m.nrows();
+        if m.ncols() == 0 {
+            // Degenerate: `mul_rows`' branchless select gathers `x[0]` for
+            // rows without a diagonal entry, which needs `x` non-empty.
+            return None;
+        }
         let row_ptr_src = m.row_ptr();
         let mut row_ptr = Vec::with_capacity(n + 1);
         let mut lower = Vec::with_capacity(n);
+        let mut dmask = Vec::with_capacity(n);
         let mut cols = Vec::with_capacity(m.nnz());
         let mut vals = Vec::with_capacity(m.nnz());
         let mut diag = vec![0.0; n];
         row_ptr.push(0);
         for i in 0..n {
-            // Rows this long cannot happen through CooBuilder, but the flag
-            // bit must stay unambiguous.
-            if row_ptr_src[i + 1] - row_ptr_src[i] >= DIAG_FLAG as usize {
+            // Rows this long cannot happen through CooBuilder, but `lower`
+            // must never truncate.
+            if row_ptr_src[i + 1] - row_ptr_src[i] > u32::MAX as usize {
                 return None;
             }
             let mut lo = 0u32;
-            let mut flag = 0u32;
+            let mut mask = 0u64;
             for (j, v) in m.row(i) {
                 if j == i {
                     diag[i] = v;
-                    flag = DIAG_FLAG;
+                    mask = u64::MAX;
                 } else {
                     if j < i {
                         lo += 1;
@@ -296,12 +319,14 @@ impl DiagSplitData {
                     vals.push(v);
                 }
             }
-            lower.push(lo | flag);
+            lower.push(lo);
+            dmask.push(mask);
             row_ptr.push(cols.len());
         }
         Some(DiagSplitData {
             row_ptr,
             lower,
+            dmask,
             cols,
             vals,
             diag,
@@ -312,21 +337,35 @@ impl DiagSplitData {
     /// Requires `cols[k] < x.len()` for all stored entries and
     /// `range.end <= diag.len() == x-compatible nrows` (validated by
     /// [`Kernel::build`] and `mul_rows`' asserts).
+    ///
+    /// The per-row body is branchless on purpose: the original per-row
+    /// `if has_diag` flag branch measurably dragged this kernel below its
+    /// unchecked-CSR prototype, so the diagonal contribution is now a
+    /// bitwise select — `acc + diag[i]·x[i]` is always computed, and the
+    /// row's mask picks the updated or the untouched accumulator. Rows
+    /// without a stored diagonal keep their exact accumulator bits (the
+    /// discarded product may be `NaN`/`±0.0`-polluting for non-finite `x`;
+    /// the select never lets it reach the result), so the lower → diagonal
+    /// → upper accumulation order stays bitwise identical to serial CSR.
     unsafe fn mul_rows(&self, x: &[f64], out: &mut [f64], range: std::ops::Range<usize>) {
         unsafe {
             for (local, i) in range.enumerate() {
                 let s = *self.row_ptr.get_unchecked(i);
                 let e = *self.row_ptr.get_unchecked(i + 1);
-                let tag = *self.lower.get_unchecked(i);
-                let lo = s + (tag & !DIAG_FLAG) as usize;
+                let lo = s + *self.lower.get_unchecked(i) as usize;
                 let mut acc = 0.0;
                 for k in s..lo {
                     acc += self.vals.get_unchecked(k)
                         * x.get_unchecked(*self.cols.get_unchecked(k) as usize);
                 }
-                if tag & DIAG_FLAG != 0 {
-                    acc += self.diag.get_unchecked(i) * x.get_unchecked(i);
-                }
+                let mask = *self.dmask.get_unchecked(i);
+                // Masked gather index: `i` when the row stores a diagonal
+                // entry (then `i < ncols` necessarily), else 0 — always in
+                // bounds even for non-square matrices, and the product is
+                // discarded by the select below anyway.
+                let di = i & mask as usize;
+                let with_diag = acc + self.diag.get_unchecked(i) * x.get_unchecked(di);
+                acc = f64::from_bits((with_diag.to_bits() & mask) | (acc.to_bits() & !mask));
                 for k in lo..e {
                     acc += self.vals.get_unchecked(k)
                         * x.get_unchecked(*self.cols.get_unchecked(k) as usize);
@@ -443,17 +482,16 @@ impl SlicedData {
 
     /// # Safety
     /// Same contract as [`DiagSplitData::mul_rows`]; additionally `m` must
-    /// be the matrix this layout was built from.
-    // The lane loops are index-based on purpose: `l` addresses the
-    // accumulator array and the interleaved layout arrays in lock-step —
-    // the shape the compiler autovectorizes.
-    #[allow(clippy::needless_range_loop)]
+    /// be the matrix this layout was built from, and `backend` must be
+    /// resolved ([`crate::simd::resolve`]) so a SIMD variant only runs on
+    /// hardware that supports it.
     unsafe fn mul_rows(
         &self,
         m: &CsrMatrix,
         x: &[f64],
         out: &mut [f64],
         range: std::ops::Range<usize>,
+        backend: Backend,
     ) {
         let full = self.slice_ptr.len() - 1;
         let first_full = range.start.div_ceil(LANES);
@@ -469,11 +507,60 @@ impl SlicedData {
             if !head.is_empty() {
                 mul_rows_unchecked(m, x, &mut out[..head.len()], head.clone());
             }
-            for s in first_full..last_full {
+            match backend {
+                Backend::Scalar => self.slices_scalar(x, out, range.start, first_full, last_full),
+                #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+                Backend::Sse2 => self.slices_sse2(x, out, range.start, first_full, last_full),
+                #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+                Backend::Avx2 => self.slices_avx2(x, out, range.start, first_full, last_full),
+                // Unreachable: resolve() never yields a SIMD backend in a
+                // non-SIMD build. Scalar is still a correct answer.
+                #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+                _ => self.slices_scalar(x, out, range.start, first_full, last_full),
+            }
+            // Tail rows inside the sliced span, row-wise.
+            let lo_row = (first_full * LANES) as u32;
+            let hi_row = (last_full * LANES) as u32;
+            let a = self.tail_rows.partition_point(|&r| r < lo_row);
+            let b = self.tail_rows.partition_point(|&r| r < hi_row);
+            for &i in &self.tail_rows[a..b] {
+                let i = i as usize;
+                let local = i - range.start;
+                mul_rows_unchecked(m, x, &mut out[local..local + 1], i..i + 1);
+            }
+            // Rows after the last whole slice (including the matrix's own
+            // ragged final slice).
+            let rest = last_full * LANES..range.end;
+            if !rest.is_empty() {
+                let local = rest.start - range.start;
+                mul_rows_unchecked(m, x, &mut out[local..], rest);
+            }
+        }
+    }
+
+    /// Scalar slice loop over whole slices `first..last`. `out_base` is the
+    /// chunk's first row (out is chunk-local).
+    ///
+    /// # Safety
+    /// Same contract as `mul_rows` (which delegates here).
+    // The lane loops are index-based on purpose: `l` addresses the
+    // accumulator array and the interleaved layout arrays in lock-step —
+    // the shape the compiler autovectorizes.
+    #[allow(clippy::needless_range_loop)]
+    unsafe fn slices_scalar(
+        &self,
+        x: &[f64],
+        out: &mut [f64],
+        out_base: usize,
+        first: usize,
+        last: usize,
+    ) {
+        unsafe {
+            for s in first..last {
                 let base = *self.slice_ptr.get_unchecked(s);
                 let width = (*self.slice_ptr.get_unchecked(s + 1) - base) / LANES;
                 let row0 = s * LANES;
-                let out0 = row0 - range.start;
+                let out0 = row0 - out_base;
                 let mut acc = [0.0f64; LANES];
                 // Lock-step span: all lanes active, no predication.
                 let lo = *self.min_len.get_unchecked(s) as usize;
@@ -502,22 +589,202 @@ impl SlicedData {
                     }
                 }
             }
-            // Tail rows inside the sliced span, row-wise.
-            let lo_row = (first_full * LANES) as u32;
-            let hi_row = (last_full * LANES) as u32;
-            let a = self.tail_rows.partition_point(|&r| r < lo_row);
-            let b = self.tail_rows.partition_point(|&r| r < hi_row);
-            for &i in &self.tail_rows[a..b] {
-                let i = i as usize;
-                let local = i - range.start;
-                mul_rows_unchecked(m, x, &mut out[local..local + 1], i..i + 1);
+        }
+    }
+}
+
+/// Composes a 2-lane `x` vector from two gathered columns. Plain loads +
+/// one shuffle — measurably faster than `vgatherqpd` on the Xeon
+/// generations this workspace targets (hardware gathers there cost more
+/// than their lane count in uops).
+///
+/// # Safety
+/// `cp[0..2]` must be readable and index into `xp`'s allocation.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[inline(always)]
+unsafe fn gather2(xp: *const f64, cp: *const u32) -> core::arch::x86_64::__m128d {
+    use core::arch::x86_64::*;
+    unsafe { _mm_set_pd(*xp.add(*cp.add(1) as usize), *xp.add(*cp.add(0) as usize)) }
+}
+
+/// AVX2/SSE2 slice loops. Each lane is a whole row, so the vector variants
+/// keep every row's accumulation in CSR index order by construction — only
+/// the gathers and multiplies go wide. Separate `impl` block so the
+/// intrinsics (and their `#[target_feature]` functions) vanish entirely
+/// from non-SIMD builds.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+impl SlicedData {
+    /// AVX2 slice loop: 8 rows as two 4-lane vectors (`x` composed from
+    /// scalar loads — see [`gather2`]) and a blend-predicated ragged span:
+    /// inactive lanes keep their accumulator bits exactly — `0.0·x[pad]`
+    /// products are computed but discarded before they can touch a result,
+    /// which is what keeps non-finite inputs bitwise identical to serial.
+    ///
+    /// # Safety
+    /// Caller contract of [`SlicedData::mul_rows`], plus AVX2 must be
+    /// available (guaranteed by `resolve()`).
+    #[target_feature(enable = "avx2")]
+    unsafe fn slices_avx2(
+        &self,
+        x: &[f64],
+        out: &mut [f64],
+        out_base: usize,
+        first: usize,
+        last: usize,
+    ) {
+        use core::arch::x86_64::*;
+        unsafe {
+            let xp = x.as_ptr();
+            let vp = self.vals.as_ptr();
+            let cp = self.cols.as_ptr();
+            // Hardware gathers: the 8 lane indices arrive in two 128-bit
+            // loads and the gather instructions carry the 8 `x` loads —
+            // fewer load-port uops per column offset than composing lanes
+            // from scalar loads (this kernel is load-port bound).
+            let compose = |o: usize| -> (__m256d, __m256d) {
+                let c0 = _mm_loadu_si128(cp.add(o) as *const __m128i);
+                let c1 = _mm_loadu_si128(cp.add(o + 4) as *const __m128i);
+                (
+                    _mm256_i32gather_pd::<8>(xp, c0),
+                    _mm256_i32gather_pd::<8>(xp, c1),
+                )
+            };
+            for s in first..last {
+                let base = *self.slice_ptr.get_unchecked(s);
+                let width = (*self.slice_ptr.get_unchecked(s + 1) - base) / LANES;
+                let row0 = s * LANES;
+                let out0 = row0 - out_base;
+                let lo = *self.min_len.get_unchecked(s) as usize;
+                let mut acc0 = _mm256_setzero_pd();
+                let mut acc1 = _mm256_setzero_pd();
+                // Lock-step span: every lane has a real entry at column
+                // offset j, so compose + multiply + add unpredicated. The
+                // mul/add stay separate instructions (no FMA contraction),
+                // matching the scalar loop's two roundings per product.
+                for j in 0..lo {
+                    let o = base + j * LANES;
+                    let (x0, x1) = compose(o);
+                    let v0 = _mm256_loadu_pd(vp.add(o));
+                    let v1 = _mm256_loadu_pd(vp.add(o + 4));
+                    acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(v0, x0));
+                    acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(v1, x1));
+                }
+                if lo < width {
+                    // Ragged span: per-lane lengths (tail rows count as 0)
+                    // gate each add via a blend — a padded cell's product
+                    // never reaches an accumulator. Padding repeats column
+                    // 0, so even inactive lanes read `x` in bounds.
+                    let eff = |l: usize| -> i64 {
+                        let len = *self.lens.get_unchecked(row0 + l);
+                        if len == TAIL_SENTINEL {
+                            0
+                        } else {
+                            len as i64
+                        }
+                    };
+                    let len0 = _mm256_set_epi64x(eff(3), eff(2), eff(1), eff(0));
+                    let len1 = _mm256_set_epi64x(eff(7), eff(6), eff(5), eff(4));
+                    for j in lo..width {
+                        let jv = _mm256_set1_epi64x(j as i64);
+                        let m0 = _mm256_castsi256_pd(_mm256_cmpgt_epi64(len0, jv));
+                        let m1 = _mm256_castsi256_pd(_mm256_cmpgt_epi64(len1, jv));
+                        let o = base + j * LANES;
+                        let (x0, x1) = compose(o);
+                        let v0 = _mm256_loadu_pd(vp.add(o));
+                        let v1 = _mm256_loadu_pd(vp.add(o + 4));
+                        let s0 = _mm256_add_pd(acc0, _mm256_mul_pd(v0, x0));
+                        let s1 = _mm256_add_pd(acc1, _mm256_mul_pd(v1, x1));
+                        acc0 = _mm256_blendv_pd(acc0, s0, m0);
+                        acc1 = _mm256_blendv_pd(acc1, s1, m1);
+                    }
+                }
+                let mut accs = [0.0f64; LANES];
+                _mm256_storeu_pd(accs.as_mut_ptr(), acc0);
+                _mm256_storeu_pd(accs.as_mut_ptr().add(4), acc1);
+                for (l, &a) in accs.iter().enumerate() {
+                    if *self.lens.get_unchecked(row0 + l) != TAIL_SENTINEL {
+                        *out.get_unchecked_mut(out0 + l) = a;
+                    }
+                }
             }
-            // Rows after the last whole slice (including the matrix's own
-            // ragged final slice).
-            let rest = last_full * LANES..range.end;
-            if !rest.is_empty() {
-                let local = rest.start - range.start;
-                mul_rows_unchecked(m, x, &mut out[local..], rest);
+        }
+    }
+
+    /// SSE2 slice loop: 8 rows as four 2-lane vectors, `x` composed from
+    /// scalar loads, and the ragged span predicated with an `f64`-compare
+    /// select (SSE2 lacks 64-bit integer compares, but row lengths are
+    /// exactly representable as doubles, and `cmplt_pd` + and/andnot is a
+    /// bit-exact select). Per-row accumulation order is unchanged.
+    ///
+    /// # Safety
+    /// Caller contract of [`SlicedData::mul_rows`]. SSE2 is x86_64
+    /// baseline, so no runtime requirement beyond the cfg.
+    unsafe fn slices_sse2(
+        &self,
+        x: &[f64],
+        out: &mut [f64],
+        out_base: usize,
+        first: usize,
+        last: usize,
+    ) {
+        use core::arch::x86_64::*;
+        unsafe {
+            let xp = x.as_ptr();
+            let vp = self.vals.as_ptr();
+            let cp = self.cols.as_ptr();
+            for s in first..last {
+                let base = *self.slice_ptr.get_unchecked(s);
+                let width = (*self.slice_ptr.get_unchecked(s + 1) - base) / LANES;
+                let row0 = s * LANES;
+                let out0 = row0 - out_base;
+                let lo = *self.min_len.get_unchecked(s) as usize;
+                let mut acc = [_mm_setzero_pd(); LANES / 2];
+                for j in 0..lo {
+                    let o = base + j * LANES;
+                    for (h, a) in acc.iter_mut().enumerate() {
+                        let xv = gather2(xp, cp.add(o + 2 * h));
+                        let v = _mm_loadu_pd(vp.add(o + 2 * h));
+                        *a = _mm_add_pd(*a, _mm_mul_pd(v, xv));
+                    }
+                }
+                if lo < width {
+                    // Ragged span, predicated: lane active iff j < len
+                    // (tail rows count as 0 and stay inactive throughout).
+                    let eff = |l: usize| -> f64 {
+                        let len = *self.lens.get_unchecked(row0 + l);
+                        if len == TAIL_SENTINEL {
+                            0.0
+                        } else {
+                            len as f64
+                        }
+                    };
+                    let lens = [
+                        _mm_set_pd(eff(1), eff(0)),
+                        _mm_set_pd(eff(3), eff(2)),
+                        _mm_set_pd(eff(5), eff(4)),
+                        _mm_set_pd(eff(7), eff(6)),
+                    ];
+                    for j in lo..width {
+                        let jv = _mm_set1_pd(j as f64);
+                        let o = base + j * LANES;
+                        for (h, a) in acc.iter_mut().enumerate() {
+                            let m = _mm_cmplt_pd(jv, *lens.get_unchecked(h));
+                            let xv = gather2(xp, cp.add(o + 2 * h));
+                            let v = _mm_loadu_pd(vp.add(o + 2 * h));
+                            let sum = _mm_add_pd(*a, _mm_mul_pd(v, xv));
+                            *a = _mm_or_pd(_mm_and_pd(m, sum), _mm_andnot_pd(m, *a));
+                        }
+                    }
+                }
+                let mut accs = [0.0f64; LANES];
+                for (h, a) in acc.iter().enumerate() {
+                    _mm_storeu_pd(accs.as_mut_ptr().add(2 * h), *a);
+                }
+                for (l, &a) in accs.iter().enumerate() {
+                    if *self.lens.get_unchecked(row0 + l) != TAIL_SENTINEL {
+                        *out.get_unchecked_mut(out0 + l) = a;
+                    }
+                }
             }
         }
     }
@@ -573,6 +840,106 @@ unsafe fn mul_rows_unchecked(
     }
 }
 
+/// AVX2 short-row kernel: each row's products are computed four at a time
+/// (vector gather + multiply), then folded into the row accumulator **one
+/// by one in index order** — the horizontal reduction replays the serial
+/// add sequence exactly, so only the gathers and multiplies go wide and
+/// the result stays bitwise identical to serial CSR.
+///
+/// # Safety
+/// Contract of [`mul_rows_unchecked`], plus AVX2 must be available
+/// (guaranteed by `resolve()`).
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2")]
+unsafe fn mul_rows_shortrow_avx2(
+    m: &CsrMatrix,
+    x: &[f64],
+    out: &mut [f64],
+    range: std::ops::Range<usize>,
+) {
+    use core::arch::x86_64::*;
+    let row_ptr = m.row_ptr();
+    let col_idx = m.col_idx();
+    let values = m.values();
+    unsafe {
+        let xp = x.as_ptr();
+        for (local, i) in range.enumerate() {
+            let s = *row_ptr.get_unchecked(i);
+            let e = *row_ptr.get_unchecked(i + 1);
+            // The row accumulator lives in lane 0 of an xmm register; the
+            // in-order horizontal reduction is add_sd + lane shuffles, so
+            // no product ever round-trips through memory (stack spills
+            // would re-congest the load ports this kernel is bound on).
+            let mut acc = _mm_setzero_pd();
+            let mut k = s;
+            while k + 4 <= e {
+                let c = _mm_loadu_si128(col_idx.as_ptr().add(k) as *const __m128i);
+                let xv = _mm256_i32gather_pd::<8>(xp, c);
+                let v = _mm256_loadu_pd(values.as_ptr().add(k));
+                let p = _mm256_mul_pd(v, xv);
+                // In-order horizontal reduction (NOT a tree sum): the
+                // bitwise-identity contract fixes the add sequence.
+                let plo = _mm256_castpd256_pd128(p);
+                let phi = _mm256_extractf128_pd::<1>(p);
+                acc = _mm_add_sd(acc, plo);
+                acc = _mm_add_sd(acc, _mm_unpackhi_pd(plo, plo));
+                acc = _mm_add_sd(acc, phi);
+                acc = _mm_add_sd(acc, _mm_unpackhi_pd(phi, phi));
+                k += 4;
+            }
+            let mut acc = _mm_cvtsd_f64(acc);
+            while k < e {
+                acc +=
+                    values.get_unchecked(k) * x.get_unchecked(*col_idx.get_unchecked(k) as usize);
+                k += 1;
+            }
+            *out.get_unchecked_mut(local) = acc;
+        }
+    }
+}
+
+/// SSE2 short-row kernel: products two at a time (gathers composed scalar),
+/// folded in index order like the AVX2 variant.
+///
+/// # Safety
+/// Contract of [`mul_rows_unchecked`].
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+unsafe fn mul_rows_shortrow_sse2(
+    m: &CsrMatrix,
+    x: &[f64],
+    out: &mut [f64],
+    range: std::ops::Range<usize>,
+) {
+    use core::arch::x86_64::*;
+    let row_ptr = m.row_ptr();
+    let col_idx = m.col_idx();
+    let values = m.values();
+    unsafe {
+        for (local, i) in range.enumerate() {
+            let s = *row_ptr.get_unchecked(i);
+            let e = *row_ptr.get_unchecked(i + 1);
+            let mut acc = _mm_setzero_pd();
+            let mut k = s;
+            while k + 2 <= e {
+                let xv = gather2(x.as_ptr(), col_idx.as_ptr().add(k));
+                let v = _mm_loadu_pd(values.as_ptr().add(k));
+                let p = _mm_mul_pd(v, xv);
+                // In-order register-only reduction, as in the AVX2 variant.
+                acc = _mm_add_sd(acc, p);
+                acc = _mm_add_sd(acc, _mm_unpackhi_pd(p, p));
+                k += 2;
+            }
+            let mut acc = _mm_cvtsd_f64(acc);
+            while k < e {
+                acc +=
+                    values.get_unchecked(k) * x.get_unchecked(*col_idx.get_unchecked(k) as usize);
+                k += 1;
+            }
+            *out.get_unchecked_mut(local) = acc;
+        }
+    }
+}
+
 #[derive(Clone, Debug)]
 enum KernelData {
     Plain,
@@ -581,12 +948,19 @@ enum KernelData {
 }
 
 /// A resolved kernel bound to one matrix's structure: the selected kind plus
-/// whatever auxiliary layout it needs. Built once per
-/// [`ChunkPlan`](crate::ChunkPlan) and reused across millions of products.
+/// whatever auxiliary layout it needs, and the execution backend its
+/// products run on. Built once per [`ChunkPlan`](crate::ChunkPlan) and
+/// reused across millions of products.
 #[derive(Clone, Debug)]
 pub struct Kernel {
     kind: KernelKind,
     data: KernelData,
+    /// Resolved execution backend. Always [`Backend::Scalar`] for the
+    /// generic kernel (the bitwise ground truth stays intrinsics-free) and
+    /// for diagsplit (its win is the branchless dense-diagonal access, not
+    /// lane parallelism); shortrow and sliced honor the request up to what
+    /// the CPU supports.
+    backend: Backend,
     nrows: usize,
     ncols: usize,
     nnz: usize,
@@ -594,12 +968,13 @@ pub struct Kernel {
 
 impl Kernel {
     /// Resolves `choice` for `m` (analyzing the matrix for `Auto`) and
-    /// builds the kernel's layout. Unchecked kernels validate the CSR
+    /// builds the kernel's layout; `backend` is clamped to the hardware
+    /// (see [`crate::simd::resolve`]). Unchecked kernels validate the CSR
     /// column invariant once here. Crate-internal: the only safe way to
     /// use a kernel is through a [`ChunkPlan`](crate::ChunkPlan), whose
     /// content-signature check rejects a same-sparsity different-values
     /// matrix (this type's own guard checks shape/nnz only).
-    pub(crate) fn build(m: &CsrMatrix, choice: KernelChoice) -> Kernel {
+    pub(crate) fn build(m: &CsrMatrix, choice: KernelChoice, backend: BackendChoice) -> Kernel {
         let kind = match choice.forced() {
             Some(kind) => kind,
             None => MatrixProfile::analyze(m).select(),
@@ -620,9 +995,35 @@ impl Kernel {
             },
             KernelKind::Sliced => (kind, KernelData::Sliced(SlicedData::build(m))),
         };
+        let backend = match kind {
+            KernelKind::Sliced => simd::resolve(backend),
+            // Measured policy (repro kernels): the short-row kernel's
+            // bitwise contract forces an in-order horizontal reduction, so
+            // its vector variant is add-latency bound and *loses* to the
+            // scalar loop on the grids this workspace targets — Auto keeps
+            // it scalar (exactly how kernel selection encodes measured
+            // wins). An explicit request still forces the vector variant.
+            KernelKind::ShortRow => match backend {
+                BackendChoice::Auto => Backend::Scalar,
+                forced => simd::resolve(forced),
+            },
+            KernelKind::Generic | KernelKind::DiagSplit => Backend::Scalar,
+        };
+        // The AVX2 gathers consume column indices as *signed* 32-bit lanes
+        // (`_mm256_i32gather_pd` sign-extends), so a column index ≥ 2³¹
+        // would turn into a negative offset. Unreachable for any matrix
+        // this workspace can hold, but the unsafe contract must not depend
+        // on that — cap such matrices at SSE2 (whose composed gathers
+        // zero-extend through `as usize`).
+        let backend = if backend == Backend::Avx2 && m.ncols() > i32::MAX as usize {
+            Backend::Sse2
+        } else {
+            backend
+        };
         Kernel {
             kind,
             data,
+            backend,
             nrows: m.nrows(),
             ncols: m.ncols(),
             nnz: m.nnz(),
@@ -632,6 +1033,11 @@ impl Kernel {
     /// The resolved kind.
     pub(crate) fn kind(&self) -> KernelKind {
         self.kind
+    }
+
+    /// The resolved execution backend.
+    pub(crate) fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// Whether this kernel embeds a copy of the build matrix's values
@@ -654,6 +1060,7 @@ impl Kernel {
             KernelData::Diag(d) => {
                 d.row_ptr.capacity() * W
                     + d.lower.capacity() * U
+                    + d.dmask.capacity() * std::mem::size_of::<u64>()
                     + d.cols.capacity() * U
                     + d.vals.capacity() * F
                     + d.diag.capacity() * F
@@ -691,13 +1098,21 @@ impl Kernel {
         match &self.data {
             KernelData::Plain => match self.kind {
                 KernelKind::Generic => mul_rows_generic(m, x, out, range),
-                // SAFETY: columns validated in `build`, bounds asserted above.
-                _ => unsafe { mul_rows_unchecked(m, x, out, range) },
+                // SAFETY: columns validated in `build`, bounds asserted
+                // above; `self.backend` was resolved against the CPU.
+                _ => match self.backend {
+                    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+                    Backend::Avx2 => unsafe { mul_rows_shortrow_avx2(m, x, out, range) },
+                    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+                    Backend::Sse2 => unsafe { mul_rows_shortrow_sse2(m, x, out, range) },
+                    _ => unsafe { mul_rows_unchecked(m, x, out, range) },
+                },
             },
             // SAFETY: columns validated in `build`, bounds asserted above.
             KernelData::Diag(d) => unsafe { d.mul_rows(x, out, range) },
-            // SAFETY: columns validated in `build`, bounds asserted above.
-            KernelData::Sliced(s) => unsafe { s.mul_rows(m, x, out, range) },
+            // SAFETY: columns validated in `build`, bounds asserted above;
+            // `self.backend` was resolved against the CPU.
+            KernelData::Sliced(s) => unsafe { s.mul_rows(m, x, out, range, self.backend) },
         }
     }
 }
@@ -756,6 +1171,15 @@ mod tests {
         KernelChoice::Sliced,
     ];
 
+    /// Forced backend choices; forcing an unavailable one resolves to the
+    /// widest supported backend below it, so this list is always safe.
+    const ALL_BACKENDS: [BackendChoice; 4] = [
+        BackendChoice::Auto,
+        BackendChoice::Scalar,
+        BackendChoice::Sse2,
+        BackendChoice::Avx2,
+    ];
+
     #[test]
     fn every_kernel_is_bitwise_identical_to_serial() {
         for (n, m, seed) in [
@@ -770,19 +1194,21 @@ mod tests {
             a.mul_vec_into(&x, &mut want);
             let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
             for choice in ALL_FORCED {
-                let kernel = Kernel::build(&a, choice);
-                // Whole matrix in one chunk, and split into odd chunks.
-                let mut got = vec![1.0; n];
-                kernel.mul_rows(&a, &x, &mut got, 0..n);
-                assert_eq!(bits(&want), bits(&got), "{choice:?} full");
-                let mut got = vec![1.0; n];
-                let mut start = 0;
-                while start < n {
-                    let end = (start + 7).min(n);
-                    kernel.mul_rows(&a, &x, &mut got[start..end], start..end);
-                    start = end;
+                for backend in ALL_BACKENDS {
+                    let kernel = Kernel::build(&a, choice, backend);
+                    // Whole matrix in one chunk, and split into odd chunks.
+                    let mut got = vec![1.0; n];
+                    kernel.mul_rows(&a, &x, &mut got, 0..n);
+                    assert_eq!(bits(&want), bits(&got), "{choice:?}/{backend:?} full");
+                    let mut got = vec![1.0; n];
+                    let mut start = 0;
+                    while start < n {
+                        let end = (start + 7).min(n);
+                        kernel.mul_rows(&a, &x, &mut got[start..end], start..end);
+                        start = end;
+                    }
+                    assert_eq!(bits(&want), bits(&got), "{choice:?}/{backend:?} chunked");
                 }
-                assert_eq!(bits(&want), bits(&got), "{choice:?} chunked");
             }
         }
     }
@@ -815,11 +1241,104 @@ mod tests {
         );
         let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
         for choice in ALL_FORCED {
-            let kernel = Kernel::build(&a, choice);
-            let mut got = vec![0.0; n];
-            kernel.mul_rows(&a, &x, &mut got, 0..n);
-            assert_eq!(bits(&want), bits(&got), "{choice:?}");
+            for backend in ALL_BACKENDS {
+                let kernel = Kernel::build(&a, choice, backend);
+                let mut got = vec![0.0; n];
+                kernel.mul_rows(&a, &x, &mut got, 0..n);
+                assert_eq!(bits(&want), bits(&got), "{choice:?}/{backend:?}");
+            }
         }
+    }
+
+    /// Adversarial shapes for the SIMD variants: empty rows, overlong tail
+    /// rows (excluded from slices), a row count that is not a multiple of
+    /// the lane width, and non-finite input entries — all at once. Every
+    /// (kernel, backend) pair must still match serial bit for bit.
+    #[test]
+    fn adversarial_shapes_stay_bitwise_identical_across_backends() {
+        let n = 5 * LANES + 3; // not a multiple of the lane width
+        let mut b = CooBuilder::new(n, n);
+        for i in 0..n {
+            match i % 7 {
+                // Empty rows (no entries at all).
+                0 => {}
+                // Overlong rows: far above the tail threshold, demoted to
+                // row-wise execution inside their slice.
+                3 => {
+                    for d in 0..n / 2 {
+                        b.push(i, (i + d) % n, 0.25 + d as f64 * 1e-3);
+                    }
+                }
+                // Short ragged rows.
+                r => {
+                    b.push(i, i, 2.0);
+                    for d in 1..r {
+                        b.push(i, (i + d * 5) % n, -0.125 / d as f64);
+                    }
+                }
+            }
+        }
+        let a = b.build();
+        let mut x: Vec<f64> = (0..n).map(|j| ((j * 29 + 7) % 13) as f64 - 6.0).collect();
+        x[0] = f64::NEG_INFINITY;
+        x[1] = f64::NAN;
+        x[n - 1] = -0.0;
+        let mut want = vec![0.0; n];
+        a.mul_vec_into(&x, &mut want);
+        let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+        for choice in ALL_FORCED {
+            for backend in ALL_BACKENDS {
+                let kernel = Kernel::build(&a, choice, backend);
+                let mut got = vec![0.0; n];
+                kernel.mul_rows(&a, &x, &mut got, 0..n);
+                assert_eq!(bits(&want), bits(&got), "{choice:?}/{backend:?} full");
+                // Chunk boundaries that slice through slices.
+                let mut got = vec![0.0; n];
+                for (lo, hi) in [(0usize, 5usize), (5, LANES + 1), (LANES + 1, n)] {
+                    kernel.mul_rows(&a, &x, &mut got[lo..hi], lo..hi);
+                }
+                assert_eq!(bits(&want), bits(&got), "{choice:?}/{backend:?} chunked");
+            }
+        }
+    }
+
+    /// Backend resolution policy: generic and diagsplit always run scalar;
+    /// shortrow/sliced honor the request up to the hardware ceiling.
+    #[test]
+    fn backend_resolution_respects_kind_and_hardware() {
+        let m = dense_to_csr(&pseudo_random(48, 48, 11, 0.4));
+        for backend in ALL_BACKENDS {
+            assert_eq!(
+                Kernel::build(&m, KernelChoice::Generic, backend).backend(),
+                Backend::Scalar,
+                "generic is the scalar ground truth"
+            );
+            assert_eq!(
+                Kernel::build(&m, KernelChoice::DiagSplit, backend).backend(),
+                Backend::Scalar,
+                "diagsplit is branchless scalar"
+            );
+        }
+        for choice in [KernelChoice::ShortRow, KernelChoice::Sliced] {
+            assert_eq!(
+                Kernel::build(&m, choice, BackendChoice::Scalar).backend(),
+                Backend::Scalar
+            );
+            assert!(
+                Kernel::build(&m, choice, BackendChoice::Avx2).backend() <= simd::detected(),
+                "forced backends must be clamped to the hardware"
+            );
+        }
+        // Auto: sliced takes the widest backend; shortrow stays scalar
+        // (its in-order reduction is latency-bound — a measured policy).
+        assert_eq!(
+            Kernel::build(&m, KernelChoice::Sliced, BackendChoice::Auto).backend(),
+            simd::detected()
+        );
+        assert_eq!(
+            Kernel::build(&m, KernelChoice::ShortRow, BackendChoice::Auto).backend(),
+            Backend::Scalar
+        );
     }
 
     #[test]
@@ -850,7 +1369,7 @@ mod tests {
         let small = dense_to_csr(&pseudo_random(20, 20, 5, 0.5));
         assert_eq!(MatrixProfile::analyze(&small).select(), KernelKind::Generic);
         assert_eq!(
-            Kernel::build(&small, KernelChoice::Auto).kind(),
+            Kernel::build(&small, KernelChoice::Auto, BackendChoice::Auto).kind(),
             KernelKind::Generic
         );
         // Large with uniformly short rows => shortrow, stable across
@@ -864,10 +1383,13 @@ mod tests {
             }
         }
         let m = b.build();
-        let first = Kernel::build(&m, KernelChoice::Auto).kind();
+        let first = Kernel::build(&m, KernelChoice::Auto, BackendChoice::Auto).kind();
         assert_eq!(first, KernelKind::ShortRow);
         for _ in 0..3 {
-            assert_eq!(Kernel::build(&m, KernelChoice::Auto).kind(), first);
+            assert_eq!(
+                Kernel::build(&m, KernelChoice::Auto, BackendChoice::Auto).kind(),
+                first
+            );
         }
         // Long ragged rows with a dense diagonal => diagsplit: row lengths
         // alternate far beyond the short-row bound and pad too much for the
@@ -900,7 +1422,10 @@ mod tests {
     fn forced_kernels_resolve_as_requested() {
         let m = dense_to_csr(&pseudo_random(40, 40, 9, 0.4));
         for choice in ALL_FORCED {
-            assert_eq!(Kernel::build(&m, choice).kind(), choice.forced().unwrap());
+            assert_eq!(
+                Kernel::build(&m, choice, BackendChoice::Auto).kind(),
+                choice.forced().unwrap()
+            );
         }
         assert!(KernelChoice::parse("DiagSplit").is_ok());
         assert!(KernelChoice::parse("warp").is_err());
@@ -911,7 +1436,7 @@ mod tests {
     fn kernel_rejects_a_different_matrix() {
         let a = dense_to_csr(&pseudo_random(30, 30, 6, 0.4));
         let b = dense_to_csr(&pseudo_random(31, 31, 7, 0.4));
-        let kernel = Kernel::build(&a, KernelChoice::ShortRow);
+        let kernel = Kernel::build(&a, KernelChoice::ShortRow, BackendChoice::Auto);
         let mut out = vec![0.0; 31];
         kernel.mul_rows(&b, &vec![1.0; 31], &mut out, 0..31);
     }

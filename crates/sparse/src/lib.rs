@@ -24,6 +24,7 @@ pub mod csr;
 pub mod kernel;
 pub mod parallel;
 pub mod pool;
+pub mod simd;
 pub mod workspace;
 
 pub use builder::CooBuilder;
@@ -31,6 +32,7 @@ pub use csr::CsrMatrix;
 pub use kernel::{KernelChoice, KernelKind, MatrixProfile};
 pub use parallel::{effective_threads, ChunkPlan, ParallelConfig};
 pub use pool::{WorkerPool, WorkerPoolStats};
+pub use simd::{Backend, BackendChoice};
 pub use workspace::{Workspace, WorkspaceStats};
 
 #[cfg(test)]
@@ -114,6 +116,7 @@ mod tests {
             min_nnz: 0,
             threads: 4,
             kernel: KernelChoice::Auto,
+            ..Default::default()
         };
         m.mul_vec_parallel_into(&x, &mut par, &cfg);
         for (s, p) in serial.iter().zip(&par) {

@@ -10,10 +10,12 @@
 //! A [`ChunkPlan`] is more than the row ranges: at construction it analyzes
 //! the matrix once and resolves a structure-adaptive [`Kernel`] (see
 //! [`crate::kernel`]) — generic CSR, unchecked short-row, diagonal-split, or
-//! a sliced SELL-like layout — that every chunk then executes. Steppers
-//! compute the plan **once per matrix** and reuse it across millions of
-//! products (`Uniformized::stepper` in `regenr-ctmc` caches plans per
-//! `(chunk count, kernel choice)`).
+//! a sliced SELL-like layout — plus the execution [`Backend`] it runs on
+//! (scalar, or an explicit-SIMD variant under the `simd` feature; see
+//! [`crate::simd`]) — that every chunk then executes. Steppers compute the
+//! plan **once per matrix** and reuse it across millions of products
+//! (`Uniformized::stepper` in `regenr-ctmc` caches plans per
+//! `(chunk count, kernel choice, backend choice)`).
 //!
 //! Two execution strategies share that chunk decomposition:
 //!
@@ -35,6 +37,7 @@
 use crate::csr::CsrMatrix;
 use crate::kernel::{Kernel, KernelChoice, KernelKind};
 use crate::pool::WorkerPool;
+use crate::simd::{Backend, BackendChoice};
 
 /// Tuning for the parallel SpMV kernels.
 #[derive(Clone, Copy, Debug)]
@@ -55,6 +58,14 @@ pub struct ParallelConfig {
     /// product it serves. Every kernel is bitwise identical to the serial
     /// product, so this knob affects speed only.
     pub kernel: KernelChoice,
+    /// Which execution backend the resolved kernel runs
+    /// ([`BackendChoice::Auto`] probes the CPU once per process and takes
+    /// the widest supported; forced values are clamped to the hardware —
+    /// see [`crate::simd`]). Only the shortrow and sliced kernels have
+    /// SIMD variants; generic and diagsplit always run scalar. Like the
+    /// kernel knob this affects speed only: every backend is bitwise
+    /// identical to the serial product.
+    pub backend: BackendChoice,
 }
 
 impl Default for ParallelConfig {
@@ -65,6 +76,7 @@ impl Default for ParallelConfig {
             min_nnz: 50_000,
             threads: 0,
             kernel: KernelChoice::Auto,
+            backend: BackendChoice::Auto,
         }
     }
 }
@@ -104,7 +116,8 @@ pub struct ChunkPlan {
 
 impl ChunkPlan {
     /// Plans `matrix`'s rows into at most `chunks` nnz-balanced pieces,
-    /// auto-selecting the kernel from the matrix's structure.
+    /// auto-selecting the kernel from the matrix's structure (and the
+    /// backend from the CPU).
     pub fn new(matrix: &CsrMatrix, chunks: usize) -> ChunkPlan {
         Self::with_kernel(matrix, chunks, KernelChoice::Auto)
     }
@@ -112,7 +125,18 @@ impl ChunkPlan {
     /// Like [`ChunkPlan::new`] with an explicit kernel choice (forced
     /// choices skip the structure analysis).
     pub fn with_kernel(matrix: &CsrMatrix, chunks: usize, choice: KernelChoice) -> ChunkPlan {
-        let kernel = Kernel::build(matrix, choice);
+        Self::with_kernel_backend(matrix, chunks, choice, BackendChoice::Auto)
+    }
+
+    /// Like [`ChunkPlan::with_kernel`] with an explicit execution backend
+    /// (clamped to what the CPU supports — see [`crate::simd::resolve`]).
+    pub fn with_kernel_backend(
+        matrix: &CsrMatrix,
+        chunks: usize,
+        choice: KernelChoice,
+        backend: BackendChoice,
+    ) -> ChunkPlan {
+        let kernel = Kernel::build(matrix, choice, backend);
         let sig = kernel.embeds_values().then(|| matrix.content_sig());
         ChunkPlan {
             ranges: matrix.balanced_row_chunks(chunks),
@@ -142,6 +166,13 @@ impl ChunkPlan {
     /// of the matrix alone, never of the chunk count).
     pub fn kernel_kind(&self) -> KernelKind {
         self.kernel.kind()
+    }
+
+    /// The execution backend the resolved kernel runs on (scalar unless the
+    /// `simd` feature is active, the target is `x86_64`, and the kernel has
+    /// a vector variant).
+    pub fn backend(&self) -> Backend {
+        self.kernel.backend()
     }
 
     /// The resolved kernel.
@@ -315,6 +346,7 @@ mod tests {
                 min_nnz: 0,
                 threads,
                 kernel: KernelChoice::Auto,
+                ..Default::default()
             };
             let mut got = vec![0.0; n];
             m.mul_vec_parallel_into(&x, &mut got, &cfg);
@@ -422,6 +454,7 @@ mod tests {
             min_nnz: 0,
             threads: 16,
             kernel: KernelChoice::Auto,
+            ..Default::default()
         };
         let mut y = vec![0.0; 3];
         m.mul_vec_parallel_into(&[1.0, 2.0, 3.0], &mut y, &cfg);

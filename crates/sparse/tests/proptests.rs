@@ -2,7 +2,9 @@
 //! against a dense reference on random matrices.
 
 use proptest::prelude::*;
-use regenr_sparse::{ChunkPlan, CooBuilder, CsrMatrix, KernelChoice, ParallelConfig, WorkerPool};
+use regenr_sparse::{
+    BackendChoice, ChunkPlan, CooBuilder, CsrMatrix, KernelChoice, ParallelConfig, WorkerPool,
+};
 
 /// Random dense matrix plus its CSR image.
 fn arb_matrix() -> impl Strategy<Value = (Vec<Vec<f64>>, usize, usize)> {
@@ -91,7 +93,7 @@ proptest! {
         let mut par = vec![0.0; n];
         let mut spawned = vec![0.0; n];
         c.mul_vec_into(&x, &mut serial);
-        let cfg = ParallelConfig { min_nnz: 0, threads, kernel: KernelChoice::Auto };
+        let cfg = ParallelConfig { min_nnz: 0, threads, kernel: KernelChoice::Auto, ..Default::default() };
         c.mul_vec_parallel_into(&x, &mut par, &cfg);
         prop_assert_eq!(&serial, &par);
         c.mul_vec_spawn_into(&x, &mut spawned, &cfg);
@@ -149,6 +151,68 @@ proptest! {
                 c.mul_vec_pooled_into(&x, &mut pooled, &plan, &pool);
                 let got: Vec<u64> = pooled.iter().map(|v| v.to_bits()).collect();
                 prop_assert_eq!(&serial_bits, &got, "kernel {:?}", choice);
+            }
+        }
+    }
+
+    /// Every (kernel, backend) pair is bitwise identical to the serial
+    /// product on adversarial inputs: random matrices whose row count need
+    /// not align with the SIMD lane width, empty and overlong rows (the
+    /// sliced layout's tail paths), and input vectors carrying non-finite
+    /// values — the cases where an unguarded padded cell or a reordered
+    /// reduction would change bits.
+    #[test]
+    fn every_backend_is_bitwise_serial_on_adversarial_inputs(
+        (rows, n, m) in arb_matrix(),
+        pool_threads in 1usize..4,
+        chunks in 1usize..9,
+        poison in 0usize..4,
+        long_row in 0usize..12,
+    ) {
+        let mut rows = rows;
+        // One overlong row (every column filled) and one emptied row.
+        if n > 1 {
+            let lr = long_row % n;
+            for (j, v) in rows[lr].iter_mut().enumerate() {
+                *v = 0.5 + j as f64 * 1e-3;
+            }
+            rows[(lr + 1) % n].iter_mut().for_each(|v| *v = 0.0);
+        }
+        let c = to_csr(&rows, n, m);
+        let mut x: Vec<f64> = (0..m).map(|j| ((j * 13 + 5) % 11) as f64 - 5.0).collect();
+        match poison {
+            0 => x[0] = f64::INFINITY,
+            1 => x[m - 1] = f64::NAN,
+            2 => x[m / 2] = f64::NEG_INFINITY,
+            _ => {}
+        }
+        let mut serial = vec![0.0; n];
+        c.mul_vec_into(&x, &mut serial);
+        let serial_bits: Vec<u64> = serial.iter().map(|v| v.to_bits()).collect();
+        let pool = WorkerPool::new(pool_threads);
+        for choice in [
+            KernelChoice::Auto,
+            KernelChoice::ShortRow,
+            KernelChoice::DiagSplit,
+            KernelChoice::Sliced,
+        ] {
+            for backend in [
+                BackendChoice::Auto,
+                BackendChoice::Scalar,
+                BackendChoice::Sse2,
+                BackendChoice::Avx2,
+            ] {
+                let plan = ChunkPlan::with_kernel_backend(&c, chunks, choice, backend);
+                let mut pooled = vec![1.0; n];
+                for _ in 0..2 {
+                    c.mul_vec_pooled_into(&x, &mut pooled, &plan, &pool);
+                    let got: Vec<u64> = pooled.iter().map(|v| v.to_bits()).collect();
+                    prop_assert_eq!(
+                        &serial_bits, &got,
+                        "kernel {:?} backend {:?} (resolved {:?})",
+                        choice, backend, plan.backend()
+                    );
+                }
             }
         }
     }
