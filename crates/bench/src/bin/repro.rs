@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run -p regenr-bench --release --bin repro -- [--quick] <what>
 //!   what ∈ { sizes | table1 | table2 | fig3 | fig4 | scalars | ablation |
-//!            sweep | engine | kernels | all }
+//!            sweep | engine | kernels | serve | all }
 //! ```
 //!
 //! Output goes to stdout (pretty tables) and `results/*.csv` (series data).
@@ -39,6 +39,7 @@ fn main() {
         "sweep" => sweep(),
         "engine" => engine_grid(&w),
         "kernels" => kernel_ablation(&w),
+        "serve" => serve_load(),
         "all" => {
             sizes(&w);
             table1(&w);
@@ -51,6 +52,7 @@ fn main() {
             sweep();
             engine_grid(&w);
             kernel_ablation(&w);
+            serve_load();
         }
         other => {
             eprintln!("unknown target {other:?}; see --help in the module docs");
@@ -850,6 +852,222 @@ fn kernel_ablation(w: &Workload) {
     println!(
         "  (* = what Auto selects for this matrix; results/kernels.csv records the grid; \
          build with --features simd for the sse2/avx2 rows)"
+    );
+}
+
+/// `repro serve` — load-generates the solver service: an in-process
+/// `regenr serve` instance takes a single-client baseline, a 32-client
+/// identical-spec storm (the coalescing case), a 32-client distinct-spec
+/// barrage through the admission gate (429 + retry), and a deadline phase.
+/// Per-phase latency percentiles, throughput, and serve-counter deltas go
+/// to `results/serve.csv`. Two acceptance bars are asserted: the identical
+/// storm must coalesce ≥ 90 % of its clients onto one computation, and its
+/// wall time must stay within 2× the single-distinct-spec baseline —
+/// i.e. 32 identical clients cost about one sweep, not 32.
+fn serve_load() {
+    use regenr_engine::serve::http::http_request;
+    use regenr_engine::{ServeConfig, ServeStats, Server};
+    use std::net::SocketAddr;
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    println!("\n== serve: request coalescing / admission / deadline load test ==");
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        max_inflight: 4,
+        ..ServeConfig::default()
+    })
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    let runner = Arc::clone(&server);
+    let run_handle = std::thread::spawn(move || runner.run().expect("accept loop"));
+
+    // One client: POST the spec to /sweep (streaming), retrying on 429
+    // until admitted; returns the time-to-last-byte in milliseconds and
+    // how many times admission pushed back.
+    fn client_for(addr: SocketAddr, spec: String) -> (f64, u32) {
+        let t0 = Instant::now();
+        let mut retries = 0u32;
+        loop {
+            let (status, body) = http_request(addr, "POST", "/sweep", &spec).expect("request");
+            match status {
+                200 => {
+                    assert!(
+                        std::str::from_utf8(&body)
+                            .expect("ndjson body")
+                            .lines()
+                            .last()
+                            .expect("summary record")
+                            .contains("\"record\":\"summary\""),
+                        "stream must end with a summary record"
+                    );
+                    return (t0.elapsed().as_secs_f64() * 1e3, retries);
+                }
+                429 => {
+                    retries += 1;
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                other => panic!("unexpected status {other}"),
+            }
+        }
+    }
+    let run_phase = |specs: Vec<String>| -> (Vec<f64>, u32, f64) {
+        let t0 = Instant::now();
+        let handles: Vec<_> = specs
+            .into_iter()
+            .map(|spec| std::thread::spawn(move || client_for(addr, spec)))
+            .collect();
+        let mut lat: Vec<f64> = Vec::new();
+        let mut retries = 0u32;
+        for h in handles {
+            let (ms, r) = h.join().expect("client thread");
+            lat.push(ms);
+            retries += r;
+        }
+        lat.sort_by(f64::total_cmp);
+        (lat, retries, t0.elapsed().as_secs_f64() * 1e3)
+    };
+    let pct = |sorted: &[f64], p: f64| -> f64 {
+        sorted[((p / 100.0 * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1)]
+    };
+    let raid_spec = |g: u32, extra: &str| {
+        format!(
+            r#"{{"horizons":[1,10,100,1000,10000,100000],"models":[{{"kind":"raid","g":{g}}},{{"kind":"raid","g":{g},"absorbing":true}}],"epsilon":1e-10{extra}}}"#
+        )
+    };
+
+    let mut csv = CsvWriter::create(
+        "serve",
+        "phase,clients,retried_429,coalesced,rejected,deadline_expired,wall_ms,throughput_rps,p50_ms,p95_ms,p99_ms",
+    )
+    .unwrap();
+
+    // Baseline: the storm's exact spec against a throwaway server, so the
+    // ×2 acceptance bar compares identical cold-cache workloads — one
+    // distinct client versus 32 coalesced ones.
+    let storm_spec = raid_spec(20, "");
+    let solo_wall = {
+        let baseline = Server::bind(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            ..ServeConfig::default()
+        })
+        .expect("bind baseline");
+        let baddr = baseline.local_addr();
+        let brunner = Arc::clone(&baseline);
+        let bhandle = std::thread::spawn(move || brunner.run().expect("baseline loop"));
+        let (solo_ms, _) = client_for(baddr, storm_spec.clone());
+        baseline.shutdown();
+        bhandle.join().expect("baseline drain");
+        println!(
+            "  {:>9}: 1 client in {solo_ms:>8.1} ms (distinct-spec cost)",
+            "solo"
+        );
+        csv.row(&[
+            "solo".into(),
+            "1".into(),
+            "0".into(),
+            "0".into(),
+            "0".into(),
+            "0".into(),
+            format!("{solo_ms:.1}"),
+            format!("{:.1}", 1e3 / solo_ms),
+            format!("{solo_ms:.1}"),
+            format!("{solo_ms:.1}"),
+            format!("{solo_ms:.1}"),
+        ])
+        .unwrap();
+        solo_ms
+    };
+
+    let mut before = server.stats();
+    let mut phase = |name: &str, specs: Vec<String>| -> (f64, ServeStats) {
+        let clients = specs.len();
+        let (lat, retries, wall_ms) = run_phase(specs);
+        let after = server.stats();
+        let d = ServeStats {
+            requests: after.requests - before.requests,
+            sweeps: after.sweeps - before.sweeps,
+            coalesced: after.coalesced - before.coalesced,
+            rejected: after.rejected - before.rejected,
+            deadline_expired: after.deadline_expired - before.deadline_expired,
+            bad_requests: after.bad_requests - before.bad_requests,
+            cells_streamed: after.cells_streamed - before.cells_streamed,
+            inflight_highwater: after.inflight_highwater,
+        };
+        before = after;
+        let rps = clients as f64 / (wall_ms / 1e3).max(1e-9);
+        println!(
+            "  {name:>9}: {clients:>2} clients in {wall_ms:>7.1} ms ({rps:>6.1} req/s) — \
+             sweeps {} coalesced {} retried-429 {retries} deadline {}; \
+             p50/p95/p99 = {:.1}/{:.1}/{:.1} ms",
+            d.sweeps,
+            d.coalesced,
+            d.deadline_expired,
+            pct(&lat, 50.0),
+            pct(&lat, 95.0),
+            pct(&lat, 99.0),
+        );
+        csv.row(&[
+            name.into(),
+            clients.to_string(),
+            retries.to_string(),
+            d.coalesced.to_string(),
+            d.rejected.to_string(),
+            d.deadline_expired.to_string(),
+            format!("{wall_ms:.1}"),
+            format!("{rps:.1}"),
+            format!("{:.1}", pct(&lat, 50.0)),
+            format!("{:.1}", pct(&lat, 95.0)),
+            format!("{:.1}", pct(&lat, 99.0)),
+        ])
+        .unwrap();
+        (wall_ms, d)
+    };
+
+    // Storm: 32 clients, all posting the identical (cold) spec.
+    let (storm_wall, storm) = phase("storm", vec![storm_spec.clone(); 32]);
+    // Distinct barrage: 32 clients, 32 distinct specs through the
+    // admission gate (max_inflight = 4; clients retry on 429).
+    let distinct: Vec<String> = (0..32)
+        .map(|i| {
+            format!(
+                r#"{{"horizons":[1,10,100,{}],"models":[{{"kind":"raid","g":{}}}],"epsilon":1e-10}}"#,
+                1000 + i,
+                6 + (i % 8)
+            )
+        })
+        .collect();
+    let _ = phase("distinct", distinct);
+    // Deadline: 8 identical clients whose sweep is cut mid-flight; the
+    // partial streams stay well-formed and the server stays healthy.
+    let _ = phase("deadline", vec![raid_spec(21, r#","deadline_ms":50"#); 8]);
+
+    server.shutdown();
+    run_handle.join().expect("drain");
+    let total = server.stats();
+    println!(
+        "  totals: requests={} sweeps={} coalesced={} rejected={} deadline_expired={} \
+         cells_streamed={} inflight_highwater={}",
+        total.requests,
+        total.sweeps,
+        total.coalesced,
+        total.rejected,
+        total.deadline_expired,
+        total.cells_streamed,
+        total.inflight_highwater
+    );
+
+    // Acceptance bars (the subsystem's reason to exist).
+    assert!(
+        storm.coalesced >= 29,
+        "identical-spec storm must coalesce >= 90% of 32 clients, got {}",
+        storm.coalesced
+    );
+    assert_eq!(storm.sweeps, 1, "the storm must run exactly one sweep");
+    assert!(
+        storm_wall <= 2.0 * solo_wall,
+        "32-client identical storm ({storm_wall:.1} ms) must cost <= 2x one distinct \
+         spec ({solo_wall:.1} ms)"
     );
 }
 

@@ -8,6 +8,11 @@
 //!                              diff byte-for-byte (CI determinism job)
 //! regenr demo [G]              built-in paper workload (RAID UA+UR grid)
 //! regenr methods               list methods and capability flags
+//! regenr serve [--addr HOST:PORT] [--threads N] [--max-inflight K]
+//!                              persistent solver service: POST sweep specs,
+//!                              stream per-cell NDJSON results; identical
+//!                              in-flight specs coalesce onto one
+//!                              computation; see regenr_engine::serve
 //! ```
 //!
 //! Output is a single JSON report on stdout: one entry per
@@ -15,7 +20,10 @@
 //! why, step counts, error bounds, and artifact-cache counters. See
 //! `regenr_engine::spec` for the spec schema.
 
-use regenr_engine::{report_to_json, stable_report_to_json, Engine, Json, SweepSpec, ALL_METHODS};
+use regenr_engine::{
+    report_to_json, stable_report_to_json, Engine, Json, ServeConfig, Server, SweepSpec,
+    ALL_METHODS,
+};
 use std::io::Read;
 
 fn main() {
@@ -25,24 +33,93 @@ fn main() {
     let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     let code = match positional.first().map(|s| s.as_str()) {
         Some("sweep") => sweep(positional.get(1).map(|s| s.as_str()), pretty, stable),
-        Some("demo") => demo(
-            positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(20),
-            pretty,
-            stable,
-        ),
+        Some("demo") => match positional.get(1) {
+            None => demo(20, pretty, stable),
+            Some(arg) => match arg.parse() {
+                Ok(g) => demo(g, pretty, stable),
+                Err(_) => {
+                    eprintln!("usage: regenr demo [G] — G must be a positive integer, got {arg:?}");
+                    2
+                }
+            },
+        },
         Some("methods") => {
             methods(pretty);
             0
         }
+        Some("serve") => serve(&args),
         _ => {
             eprintln!(
-                "usage: regenr <sweep <spec.json|->|demo [G]|methods> [--pretty] [--stable]\n\
+                "usage: regenr <sweep <spec.json|->|demo [G]|methods|serve> [--pretty] [--stable]\n\
+                 serve flags: --addr HOST:PORT  --threads N  --max-inflight K\n\
                  see the module docs of regenr_engine::spec for the spec schema"
             );
             2
         }
     };
     std::process::exit(code);
+}
+
+/// Parses a `--flag VALUE` pair from the raw argument list.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+fn serve(args: &[String]) -> i32 {
+    let mut cfg = ServeConfig::default();
+    if let Some(addr) = flag_value(args, "--addr") {
+        cfg.addr = addr.to_string();
+    }
+    for (flag, slot) in [
+        ("--threads", &mut cfg.threads),
+        ("--max-inflight", &mut cfg.max_inflight),
+    ] {
+        if let Some(value) = flag_value(args, flag) {
+            match value.parse() {
+                Ok(n) => *slot = n,
+                Err(_) => {
+                    eprintln!("regenr serve: {flag} needs a non-negative integer, got {value:?}");
+                    return 2;
+                }
+            }
+        }
+    }
+    let max_inflight = cfg.max_inflight;
+    let server = match Server::bind(cfg) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("regenr serve: failed to bind: {e}");
+            return 1;
+        }
+    };
+    eprintln!(
+        "regenr serve: listening on {} (max-inflight {max_inflight}); POST /sweep, \
+         POST /sweep/report, GET /healthz, GET /stats, POST /shutdown; SIGTERM drains",
+        server.local_addr()
+    );
+    match server.run() {
+        Ok(()) => {
+            let stats = server.stats();
+            eprintln!(
+                "regenr serve: drained; requests={} sweeps={} coalesced={} rejected={} \
+                 deadline_expired={} inflight_highwater={}",
+                stats.requests,
+                stats.sweeps,
+                stats.coalesced,
+                stats.rejected,
+                stats.deadline_expired,
+                stats.inflight_highwater
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("regenr serve: accept loop failed: {e}");
+            1
+        }
+    }
 }
 
 fn emit(doc: &Json, pretty: bool) {

@@ -227,6 +227,12 @@ pub struct SweepReport {
     pub reports: Vec<SolveReport>,
     /// Requests that failed (the rest of the sweep still ran).
     pub failures: Vec<SweepFailure>,
+    /// Jobs skipped because the observer cancelled the sweep mid-flight
+    /// (per-request deadlines in the serve layer). The cells those jobs
+    /// would have produced are simply absent from `reports`; every cell
+    /// that *is* present was computed normally and stays valid. Always `0`
+    /// for [`Engine::sweep`].
+    pub cancelled_jobs: usize,
     /// Cache counters accumulated on the engine at sweep end.
     pub cache: CacheStats,
     /// Worker-pool and workspace accounting for this sweep.
@@ -234,6 +240,30 @@ pub struct SweepReport {
     /// Total wall time of the sweep.
     pub wall: Duration,
 }
+
+/// Observer hooks for a running sweep, polled and called from sweep worker
+/// threads. The serve layer uses this to stream per-cell results as they
+/// finish and to cancel a sweep when a request's deadline expires; the
+/// default implementations make any `Sync` type a no-op observer.
+pub trait SweepProgress: Sync {
+    /// Polled by workers before claiming each job; returning `true` stops
+    /// further jobs from starting. Jobs already running complete normally
+    /// (their reports stay valid) — cancellation is a clean between-job
+    /// cut, not an abort.
+    fn cancelled(&self) -> bool {
+        false
+    }
+
+    /// Called with each job's reports as the job completes, in completion
+    /// order (not submission order). May be called concurrently from
+    /// several workers.
+    fn on_reports(&self, _reports: &[SolveReport]) {}
+}
+
+/// The no-op observer [`Engine::sweep`] runs under.
+struct NoProgress;
+
+impl SweepProgress for NoProgress {}
 
 /// Engine tuning knobs.
 #[derive(Clone, Copy, Debug)]
@@ -655,6 +685,20 @@ impl Engine {
     /// exceeds the pool size (`sweep workers × SpMV threads` cannot
     /// oversubscribe).
     pub fn sweep(&self, reqs: &[SolveRequest]) -> SweepReport {
+        self.sweep_observed(reqs, &NoProgress)
+    }
+
+    /// [`Engine::sweep`] with an observer: `progress.on_reports` fires with
+    /// each job's reports as the job completes (the serve layer streams
+    /// them to clients), and `progress.cancelled()` is polled before every
+    /// job claim so a deadline can stop the sweep cleanly mid-flight —
+    /// completed cells stay in the report, skipped jobs are counted in
+    /// [`SweepReport::cancelled_jobs`] instead of failing their requests.
+    pub fn sweep_observed(
+        &self,
+        reqs: &[SolveRequest],
+        progress: &dyn SweepProgress,
+    ) -> SweepReport {
         let t0 = Instant::now();
         let pool_before = self.pool.stats();
         let mut jobs: Vec<Job> = Vec::new();
@@ -685,12 +729,18 @@ impl Engine {
         let run_worker = || {
             let mut ws = Workspace::new();
             loop {
+                if progress.cancelled() {
+                    break;
+                }
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(job) = jobs.get(i) else { break };
                 let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     self.run_job(&reqs[job.req_idx], job, &mut ws)
                 }))
                 .unwrap_or_else(|payload| Err(EngineError::JobPanicked(panic_message(&payload))));
+                if let Ok(reports) = &outcome {
+                    progress.on_reports(reports);
+                }
                 *crate::cache::lock(&results[i]) = Some(outcome);
             }
             crate::cache::lock(&ws_totals).merge(&ws.stats());
@@ -721,6 +771,8 @@ impl Engine {
         let mut per_req: Vec<Vec<Option<SolveReport>>> =
             reqs.iter().map(|r| vec![None; r.horizons.len()]).collect();
         let mut failed_reqs: Vec<Option<String>> = vec![None; reqs.len()];
+        let cancelled = progress.cancelled();
+        let mut cancelled_jobs = 0usize;
         for (job, cell) in jobs.iter().zip(results) {
             match cell
                 .into_inner()
@@ -732,6 +784,11 @@ impl Engine {
                     }
                 }
                 Some(Err(e)) => failed_reqs[job.req_idx] = Some(e.to_string()),
+                // An unexecuted job under cancellation is the deadline
+                // doing its job — the request is partial, not failed. An
+                // unexecuted job *without* cancellation is a scheduler bug
+                // and must surface loudly.
+                None if cancelled => cancelled_jobs += 1,
                 None => failed_reqs[job.req_idx] = Some("job was not executed".into()),
             }
         }
@@ -751,6 +808,7 @@ impl Engine {
         SweepReport {
             reports,
             failures,
+            cancelled_jobs,
             cache: self.cache.stats(),
             exec: ExecStats {
                 simd_backend: regenr_sparse::simd::resolve(self.opts.parallel.backend).name(),
@@ -1160,6 +1218,71 @@ mod tests {
             .solve(&SolveRequest::new("u", repairable(), vec![1.0]))
             .unwrap();
         assert_eq!(reports[0].backend, "scalar");
+    }
+
+    /// `sweep_observed` must (a) hand every job's reports to the observer
+    /// as jobs finish, and (b) stop claiming jobs once `cancelled()` turns
+    /// true — skipped jobs count as `cancelled_jobs`, not failures, and the
+    /// completed cells stay in the report.
+    #[test]
+    fn observed_sweep_streams_jobs_and_cancels_cleanly() {
+        struct Tap {
+            cells: AtomicUsize,
+            cancel_after: usize,
+        }
+        impl SweepProgress for Tap {
+            fn cancelled(&self) -> bool {
+                self.cells.load(Ordering::SeqCst) >= self.cancel_after
+            }
+            fn on_reports(&self, reports: &[SolveReport]) {
+                self.cells.fetch_add(reports.len(), Ordering::SeqCst);
+            }
+        }
+        let engine = Engine::with_options(EngineOptions {
+            threads: 1,
+            ..Default::default()
+        });
+        let reqs: Vec<SolveRequest> = (1..=4)
+            .map(|i| {
+                SolveRequest::new(
+                    format!("m{i}"),
+                    Arc::new(two_state::repairable_unit(1e-3 * i as f64, 1.0)),
+                    vec![1.0],
+                )
+            })
+            .collect();
+        // Observer that never cancels: sees every cell, nothing skipped.
+        let tap = Tap {
+            cells: AtomicUsize::new(0),
+            cancel_after: usize::MAX,
+        };
+        let full = engine.sweep_observed(&reqs, &tap);
+        assert!(full.failures.is_empty());
+        assert_eq!(full.cancelled_jobs, 0);
+        assert_eq!(full.reports.len(), 4);
+        assert_eq!(tap.cells.load(Ordering::SeqCst), 4);
+        // Cancel after the first cell lands: with one worker the remaining
+        // jobs are skipped cleanly — partial reports, zero failures.
+        let tap = Tap {
+            cells: AtomicUsize::new(0),
+            cancel_after: 1,
+        };
+        let partial = engine.sweep_observed(&reqs, &tap);
+        assert!(
+            partial.failures.is_empty(),
+            "cancellation must not masquerade as failure: {:?}",
+            partial.failures
+        );
+        assert_eq!(partial.reports.len(), 1);
+        assert_eq!(partial.cancelled_jobs, 3);
+        // Cancelled before anything ran: all jobs skipped.
+        let tap = Tap {
+            cells: AtomicUsize::new(0),
+            cancel_after: 0,
+        };
+        let none = engine.sweep_observed(&reqs, &tap);
+        assert!(none.reports.is_empty() && none.failures.is_empty());
+        assert_eq!(none.cancelled_jobs, 4);
     }
 
     #[test]

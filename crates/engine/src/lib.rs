@@ -43,19 +43,24 @@ pub mod engine;
 pub mod fingerprint;
 pub mod json;
 pub mod method;
+pub mod serve;
 pub mod solver;
 pub mod spec;
 
 pub use cache::{ArtifactCache, CacheConfig, CacheStats, ChainFacts, PoolStats};
 pub use engine::{
     DispatchReason, Engine, EngineOptions, ExecStats, MethodChoice, SolveReport, SolveRequest,
-    SweepFailure, SweepReport,
+    SweepFailure, SweepProgress, SweepReport,
 };
 pub use fingerprint::fingerprint;
 pub use json::Json;
 pub use method::{Capabilities, Method, ALL_METHODS};
+pub use serve::{serve_stats_json, ServeConfig, ServeStats, Server};
 pub use solver::{build_solver, EngineSolution, SolveConfig, Solver, UnifiedSolver};
-pub use spec::{report_to_json, stable_report_to_json, SweepSpec};
+pub use spec::{
+    cache_stats_json, cell_to_json, failure_to_json, report_to_json, stable_report_to_json,
+    SweepSpec,
+};
 
 use regenr_ctmc::CtmcError;
 use std::fmt;

@@ -44,9 +44,19 @@
 //! are bitwise identical to the serial product, so forced-kernel and
 //! forced-backend `--stable` reports diff byte-for-byte — the CI
 //! determinism jobs rely on that.
+//!
+//! Unknown top-level keys are rejected by name (a typo like `"kernal"`
+//! must be an error, not a silently ignored knob). Two keys exist for the
+//! `regenr serve` subsystem and are ignored by the offline CLI:
+//! `"deadline_ms"` (per-request deadline; the server cancels the sweep
+//! cleanly when it expires) and `"debug_stall_ms"` (the server sleeps
+//! before computing — a load-testing knob the `repro serve` generator uses
+//! to widen the coalescing window deterministically).
 
 use crate::cache::CacheConfig;
-use crate::engine::{EngineOptions, MethodChoice, SolveRequest, SweepReport};
+use crate::engine::{
+    EngineOptions, MethodChoice, SolveReport, SolveRequest, SweepFailure, SweepReport,
+};
 use crate::json::Json;
 use crate::method::Method;
 use regenr_ctmc::Ctmc;
@@ -63,7 +73,40 @@ pub struct SweepSpec {
     pub cache: CacheConfig,
     /// One request per (model, measure) pair.
     pub requests: Vec<SolveRequest>,
+    /// Per-request deadline in milliseconds (`"deadline_ms"`). Honored by
+    /// `regenr serve`: the sweep is cancelled cleanly once it expires —
+    /// cells already streamed stay valid and the final record reports
+    /// `"status":"deadline"`. The offline CLI ignores it.
+    pub deadline_ms: Option<u64>,
+    /// Load-testing knob (`"debug_stall_ms"`): `regenr serve` sleeps this
+    /// long after admitting the sweep and before computing, widening the
+    /// in-flight window so coalescing/admission behavior can be exercised
+    /// deterministically (the `repro serve` load generator and the serve
+    /// tests rely on it). The offline CLI ignores it.
+    pub debug_stall_ms: Option<u64>,
 }
+
+/// Every key a spec may carry at the top level. `SweepSpec::from_json`
+/// rejects anything else by name, so a typo like `"kernal"` is a parse
+/// error (HTTP 400 through the server) instead of a silently-ignored knob
+/// running a wrong-config sweep.
+const KNOWN_SPEC_KEYS: &[&str] = &[
+    "epsilon",
+    "method",
+    "threads",
+    "kernel",
+    "backend",
+    "cache",
+    "horizons",
+    "measures",
+    "models",
+    "small_lambda_t",
+    "tiny_lambda_t",
+    "adaptive_min_states",
+    "theta",
+    "deadline_ms",
+    "debug_stall_ms",
+];
 
 fn measure_name(m: MeasureKind) -> &'static str {
     match m {
@@ -104,6 +147,18 @@ fn get_u32(obj: &Json, key: &str) -> Result<Option<u32>, String> {
         Some(x) if x >= 0.0 && x.fract() == 0.0 && x <= u32::MAX as f64 => Ok(Some(x as u32)),
         Some(x) => Err(format!(
             "field {key:?} must be a non-negative integer, got {x}"
+        )),
+    }
+}
+
+/// Reads an optional non-negative integer that may exceed `u32` (durations
+/// in milliseconds).
+fn get_ms(obj: &Json, key: &str) -> Result<Option<u64>, String> {
+    match get_f64(obj, key)? {
+        None => Ok(None),
+        Some(x) if x >= 0.0 && x.fract() == 0.0 && x <= u64::MAX as f64 => Ok(Some(x as u64)),
+        Some(x) => Err(format!(
+            "field {key:?} must be a non-negative integer (milliseconds), got {x}"
         )),
     }
 }
@@ -398,6 +453,27 @@ impl SweepSpec {
 
     /// Interprets an already-parsed document.
     pub fn from_json(doc: &Json) -> Result<SweepSpec, String> {
+        let Json::Obj(members) = doc else {
+            return Err("spec must be a JSON object".to_string());
+        };
+        // Reject unknown top-level keys by name, before anything else: a
+        // typo must produce a clear error, never a wrong-config sweep.
+        let unknown: Vec<&str> = members
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .filter(|k| !KNOWN_SPEC_KEYS.contains(k))
+            .collect();
+        if !unknown.is_empty() {
+            return Err(format!(
+                "unknown spec field(s): {} (known top-level fields: {})",
+                unknown
+                    .iter()
+                    .map(|k| format!("{k:?}"))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                KNOWN_SPEC_KEYS.join(", ")
+            ));
+        }
         let mut options = EngineOptions::default();
         if let Some(x) = get_f64(doc, "small_lambda_t")? {
             options.small_lambda_t = x;
@@ -486,6 +562,8 @@ impl SweepSpec {
             options,
             cache,
             requests,
+            deadline_ms: get_ms(doc, "deadline_ms")?,
+            debug_stall_ms: get_ms(doc, "debug_stall_ms")?,
         })
     }
 }
@@ -504,75 +582,82 @@ pub fn stable_report_to_json(report: &SweepReport) -> Json {
     report_to_json_opts(report, true)
 }
 
+/// Serializes one solved cell. The serve layer streams exactly these
+/// objects (plus a `"record"` tag) as NDJSON, so a streamed cell and the
+/// matching entry of an offline report can never drift apart.
+pub fn cell_to_json(r: &SolveReport, stable: bool) -> Json {
+    let mut fields = vec![
+        ("model".into(), Json::Str(r.model.clone())),
+        (
+            "fingerprint".into(),
+            Json::Str(format!("{:016x}", r.fingerprint)),
+        ),
+        ("measure".into(), Json::Str(measure_name(r.measure).into())),
+        ("t".into(), Json::Num(r.t)),
+        ("method".into(), Json::Str(r.method.name().into())),
+        ("reason".into(), Json::Str(r.reason.as_str().into())),
+        ("value".into(), Json::Num(r.value)),
+        ("steps".into(), Json::Num(r.steps as f64)),
+        ("error_bound".into(), Json::Num(r.error_bound)),
+        ("abscissae".into(), Json::Num(r.abscissae as f64)),
+        ("converged".into(), Json::Bool(r.converged)),
+        ("lambda_t".into(), Json::Num(r.lambda_t)),
+    ];
+    if !stable {
+        // The kernel and its backend are execution-tuning, not a
+        // result: forced-kernel/forced-backend --stable reports
+        // must stay byte-for-byte identical (the backend is even
+        // machine-dependent under Auto).
+        fields.push(("kernel".into(), Json::Str(r.kernel.into())));
+        fields.push(("backend".into(), Json::Str(r.backend.into())));
+        fields.push(("unif_cache_hit".into(), Json::Bool(r.unif_cache_hit)));
+        fields.push(("params_cache_hit".into(), Json::Bool(r.params_cache_hit)));
+        fields.push(("wall_seconds".into(), Json::Num(r.wall.as_secs_f64())));
+    }
+    Json::Obj(fields)
+}
+
+/// Serializes one sweep failure (shared by reports and the serve summary).
+pub fn failure_to_json(f: &SweepFailure) -> Json {
+    Json::Obj(vec![
+        ("model".into(), Json::Str(f.model.clone())),
+        ("measure".into(), Json::Str(measure_name(f.measure).into())),
+        ("error".into(), Json::Str(f.error.clone())),
+    ])
+}
+
+/// Serializes the artifact-cache counters (the report's `"cache"` object;
+/// also served by `GET /stats`).
+pub fn cache_stats_json(stats: &crate::cache::CacheStats) -> Json {
+    let pool = |p: crate::cache::PoolStats| {
+        Json::Obj(vec![
+            ("hits".into(), Json::Num(p.hits as f64)),
+            ("misses".into(), Json::Num(p.misses as f64)),
+            ("evictions".into(), Json::Num(p.evictions as f64)),
+            ("entries".into(), Json::Num(p.entries as f64)),
+            ("bytes".into(), Json::Num(p.bytes as f64)),
+        ])
+    };
+    Json::Obj(vec![
+        ("structure".into(), pool(stats.structure)),
+        ("uniformized".into(), pool(stats.uniformized)),
+        ("regen_params".into(), pool(stats.regen_params)),
+    ])
+}
+
 fn report_to_json_opts(report: &SweepReport, stable: bool) -> Json {
     let reports = report
         .reports
         .iter()
-        .map(|r| {
-            let mut fields = vec![
-                ("model".into(), Json::Str(r.model.clone())),
-                (
-                    "fingerprint".into(),
-                    Json::Str(format!("{:016x}", r.fingerprint)),
-                ),
-                ("measure".into(), Json::Str(measure_name(r.measure).into())),
-                ("t".into(), Json::Num(r.t)),
-                ("method".into(), Json::Str(r.method.name().into())),
-                ("reason".into(), Json::Str(r.reason.as_str().into())),
-                ("value".into(), Json::Num(r.value)),
-                ("steps".into(), Json::Num(r.steps as f64)),
-                ("error_bound".into(), Json::Num(r.error_bound)),
-                ("abscissae".into(), Json::Num(r.abscissae as f64)),
-                ("converged".into(), Json::Bool(r.converged)),
-                ("lambda_t".into(), Json::Num(r.lambda_t)),
-            ];
-            if !stable {
-                // The kernel and its backend are execution-tuning, not a
-                // result: forced-kernel/forced-backend --stable reports
-                // must stay byte-for-byte identical (the backend is even
-                // machine-dependent under Auto).
-                fields.push(("kernel".into(), Json::Str(r.kernel.into())));
-                fields.push(("backend".into(), Json::Str(r.backend.into())));
-                fields.push(("unif_cache_hit".into(), Json::Bool(r.unif_cache_hit)));
-                fields.push(("params_cache_hit".into(), Json::Bool(r.params_cache_hit)));
-                fields.push(("wall_seconds".into(), Json::Num(r.wall.as_secs_f64())));
-            }
-            Json::Obj(fields)
-        })
+        .map(|r| cell_to_json(r, stable))
         .collect();
-    let failures = report
-        .failures
-        .iter()
-        .map(|f| {
-            Json::Obj(vec![
-                ("model".into(), Json::Str(f.model.clone())),
-                ("measure".into(), Json::Str(measure_name(f.measure).into())),
-                ("error".into(), Json::Str(f.error.clone())),
-            ])
-        })
-        .collect();
+    let failures = report.failures.iter().map(failure_to_json).collect();
     let mut doc = vec![
         ("reports".into(), Json::Arr(reports)),
         ("failures".into(), Json::Arr(failures)),
     ];
     if !stable {
-        let pool = |p: crate::cache::PoolStats| {
-            Json::Obj(vec![
-                ("hits".into(), Json::Num(p.hits as f64)),
-                ("misses".into(), Json::Num(p.misses as f64)),
-                ("evictions".into(), Json::Num(p.evictions as f64)),
-                ("entries".into(), Json::Num(p.entries as f64)),
-                ("bytes".into(), Json::Num(p.bytes as f64)),
-            ])
-        };
-        doc.push((
-            "cache".into(),
-            Json::Obj(vec![
-                ("structure".into(), pool(report.cache.structure)),
-                ("uniformized".into(), pool(report.cache.uniformized)),
-                ("regen_params".into(), pool(report.cache.regen_params)),
-            ]),
-        ));
+        doc.push(("cache".into(), cache_stats_json(&report.cache)));
         let exec = &report.exec;
         doc.push((
             "execution".into(),
@@ -925,6 +1010,55 @@ mod tests {
                     "models": [{{"kind": "cyclic", "n": 3}}]}}"#
             );
             assert!(SweepSpec::parse(&doc).is_err(), "backend {bad} accepted");
+        }
+    }
+
+    /// Typos in top-level spec keys must be named errors, not silently
+    /// ignored knobs — server clients get a 400 instead of a wrong-config
+    /// sweep.
+    #[test]
+    fn rejects_unknown_top_level_keys_by_name() {
+        let fail = |text: &str| SweepSpec::parse(text).map(|_| ()).unwrap_err();
+        let err = fail(
+            r#"{"horizons": [1], "kernal": "auto",
+                "models": [{"kind": "cyclic", "n": 3}]}"#,
+        );
+        assert!(err.contains("\"kernal\""), "error must name the key: {err}");
+        assert!(err.contains("unknown spec field"), "{err}");
+        // Several unknowns are all named.
+        let err = fail(
+            r#"{"horizons": [1], "kernal": "auto", "epsilonn": 1e-9,
+                "models": [{"kind": "cyclic", "n": 3}]}"#,
+        );
+        assert!(
+            err.contains("\"kernal\"") && err.contains("\"epsilonn\""),
+            "{err}"
+        );
+        // A non-object document is a clear error too.
+        assert!(fail("[1, 2]").contains("object"));
+    }
+
+    /// `deadline_ms` / `debug_stall_ms` are recognized (serve consumes
+    /// them; the CLI ignores them) and validated.
+    #[test]
+    fn parses_serve_only_fields() {
+        let spec = SweepSpec::parse(
+            r#"{"horizons": [1], "deadline_ms": 250, "debug_stall_ms": 40,
+                "models": [{"kind": "cyclic", "n": 3}]}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.deadline_ms, Some(250));
+        assert_eq!(spec.debug_stall_ms, Some(40));
+        let spec = SweepSpec::parse(r#"{"horizons": [1], "models": [{"kind": "cyclic", "n": 3}]}"#)
+            .unwrap();
+        assert_eq!(spec.deadline_ms, None);
+        assert_eq!(spec.debug_stall_ms, None);
+        for bad in ["-1", "2.5", "\"soon\""] {
+            let doc = format!(
+                r#"{{"horizons": [1], "deadline_ms": {bad},
+                    "models": [{{"kind": "cyclic", "n": 3}}]}}"#
+            );
+            assert!(SweepSpec::parse(&doc).is_err(), "deadline {bad} accepted");
         }
     }
 
