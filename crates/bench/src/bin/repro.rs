@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run -p regenr-bench --release --bin repro -- [--quick] <what>
 //!   what ∈ { sizes | table1 | table2 | fig3 | fig4 | scalars | ablation |
-//!            sweep | engine | kernels | serve | all }
+//!            sweep | compose | engine | kernels | serve | all }
 //! ```
 //!
 //! Output goes to stdout (pretty tables) and `results/*.csv` (series data).
@@ -37,6 +37,7 @@ fn main() {
             ablation_theta(&w);
         }
         "sweep" => sweep(),
+        "compose" => compose_corpus(),
         "engine" => engine_grid(&w),
         "kernels" => kernel_ablation(&w),
         "serve" => serve_load(),
@@ -50,6 +51,7 @@ fn main() {
             ablation(&w);
             ablation_theta(&w);
             sweep();
+            compose_corpus();
             engine_grid(&w);
             kernel_ablation(&w);
             serve_load();
@@ -375,6 +377,215 @@ fn ablation_theta(w: &Workload) {
         ])
         .unwrap();
     }
+}
+
+/// Corpus sweep: every spec under `specs/` runs three times with the
+/// method forced to SR, RR and Auto, and the three value columns must
+/// agree — the cross-method consistency check the paper's evaluation
+/// rests on. On top of the per-cell agreement this asserts the compose
+/// pipeline end to end: the large scenario really exceeds 100k states
+/// (so it built through the streaming explorer), the canned `duplex`
+/// kind and its compose spelling produce bitwise-equal values, and a
+/// component-order permutation of a compose spec yields the same
+/// fingerprints, an artifact-cache hit, and a byte-identical `--stable`
+/// report.
+fn compose_corpus() {
+    use regenr_engine::{stable_report_to_json, Engine, Json, SweepSpec};
+    use std::collections::BTreeMap;
+
+    println!("\n== compose corpus: cross-method agreement over specs/ ==");
+    let mut files: Vec<std::path::PathBuf> = std::fs::read_dir("specs")
+        .expect("specs/ directory (run from the repo root)")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    files.sort();
+    assert!(files.len() >= 6, "corpus must hold at least 6 scenarios");
+
+    let measure_name = |m: MeasureKind| match m {
+        MeasureKind::Trr => "trr",
+        MeasureKind::Mrr => "mrr",
+    };
+    const METHODS: [&str; 3] = ["sr", "rr", "auto"];
+    let mut csv = CsvWriter::create(
+        "compose_corpus",
+        "spec,model,measure,t,states,sr,rr,auto,max_rel_delta",
+    )
+    .unwrap();
+
+    let mut largest = 0usize;
+    for path in &files {
+        let text = std::fs::read_to_string(path).unwrap();
+        let stem = path.file_stem().unwrap().to_string_lossy().into_owned();
+        // (model, measure, t-bits) → [sr, rr, auto] values; BTreeMap so the
+        // printed/CSV order is stable across runs.
+        let mut cells: BTreeMap<(String, &'static str, u64), [f64; 3]> = BTreeMap::new();
+        let mut states: BTreeMap<String, usize> = BTreeMap::new();
+        for (mi, method) in METHODS.iter().enumerate() {
+            let Json::Obj(mut members) = Json::parse(&text).unwrap() else {
+                panic!("{stem}: spec must be a JSON object");
+            };
+            members.retain(|(k, _)| k != "method");
+            members.push(("method".into(), Json::Str((*method).to_string())));
+            let spec =
+                SweepSpec::from_json(&Json::Obj(members)).unwrap_or_else(|e| panic!("{stem}: {e}"));
+            for r in &spec.requests {
+                states.insert(r.name.clone(), r.model.n_states());
+            }
+            let engine = Engine::with_cache_config(spec.options, spec.cache);
+            let report = engine.sweep(&spec.requests);
+            assert!(
+                report.failures.is_empty(),
+                "{stem} [{method}]: {:?}",
+                report.failures
+            );
+            for cell in &report.reports {
+                cells
+                    .entry((
+                        cell.model.clone(),
+                        measure_name(cell.measure),
+                        cell.t.to_bits(),
+                    ))
+                    .or_insert([f64::NAN; 3])[mi] = cell.value;
+            }
+        }
+        let mut worst = 0.0f64;
+        for ((model, measure, t_bits), vals) in &cells {
+            let t = f64::from_bits(*t_bits);
+            let [sr, rr, auto] = *vals;
+            assert!(
+                vals.iter().all(|v| v.is_finite()),
+                "{stem}/{model} {measure}({t}): a forced method produced no cell"
+            );
+            let scale = sr.abs().max(1.0);
+            let delta = (sr - rr).abs().max((sr - auto).abs()) / scale;
+            worst = worst.max(delta);
+            assert!(
+                delta < 1e-6,
+                "{stem}/{model} {measure}({t}): methods disagree (sr={sr} rr={rr} auto={auto})"
+            );
+            csv.row(&[
+                stem.clone(),
+                model.clone(),
+                measure.to_string(),
+                t.to_string(),
+                states[model].to_string(),
+                format!("{sr:.12e}"),
+                format!("{rr:.12e}"),
+                format!("{auto:.12e}"),
+                format!("{delta:.3e}"),
+            ])
+            .unwrap();
+        }
+        let max_states = states.values().copied().max().unwrap_or(0);
+        largest = largest.max(max_states);
+        println!(
+            "  {stem}: {} cells × 3 methods, ≤{} states, worst rel Δ {worst:.3e}",
+            cells.len(),
+            max_states
+        );
+
+        // The duplex pair is chain-identical by construction (single class —
+        // no crew-priority ambiguity), so its values must agree bitwise.
+        if stem == "duplex_mission" {
+            for ((model, measure, t_bits), vals) in &cells {
+                if model != "duplex" {
+                    continue;
+                }
+                let twin = cells
+                    .get(&("duplex_composed".to_string(), measure, *t_bits))
+                    .expect("composed twin cell");
+                for (a, b) in vals.iter().zip(twin) {
+                    assert!(
+                        a.to_bits() == b.to_bits(),
+                        "duplex vs compose spelling must agree bitwise ({a} vs {b})"
+                    );
+                }
+            }
+            println!("    duplex kind ≡ compose spelling (bitwise)");
+        }
+    }
+    assert!(
+        largest >= 100_000,
+        "corpus must include a ≥100k-state streaming-built scenario (got {largest})"
+    );
+
+    // Component-order independence: permute a compose spec's component
+    // list, run original and permuted through ONE engine — fingerprints
+    // match, the second sweep is served from the artifact cache, and the
+    // `--stable` reports diff byte-for-byte.
+    let text = std::fs::read_to_string("specs/cluster_repairable.json").unwrap();
+    let forward = Json::parse(&text).unwrap();
+    let permuted = {
+        let Json::Obj(members) = forward.clone() else {
+            unreachable!()
+        };
+        Json::Obj(
+            members
+                .into_iter()
+                .map(|(k, v)| {
+                    if k != "models" {
+                        return (k, v);
+                    }
+                    let Json::Arr(models) = v else {
+                        panic!("models array")
+                    };
+                    let models = models
+                        .into_iter()
+                        .map(|m| {
+                            let Json::Obj(mm) = m else {
+                                panic!("model object")
+                            };
+                            Json::Obj(
+                                mm.into_iter()
+                                    .map(|(mk, mv)| {
+                                        if mk == "components" {
+                                            let Json::Arr(mut c) = mv else {
+                                                panic!("components array")
+                                            };
+                                            c.reverse();
+                                            (mk, Json::Arr(c))
+                                        } else {
+                                            (mk, mv)
+                                        }
+                                    })
+                                    .collect(),
+                            )
+                        })
+                        .collect();
+                    (k, Json::Arr(models))
+                })
+                .collect(),
+        )
+    };
+    let spec_a = SweepSpec::from_json(&forward).unwrap();
+    let spec_b = SweepSpec::from_json(&permuted).unwrap();
+    let engine = Engine::new();
+    let report_a = engine.sweep(&spec_a.requests);
+    let report_b = engine.sweep(&spec_b.requests);
+    assert!(report_a.failures.is_empty() && report_b.failures.is_empty());
+    let fp = |r: &regenr_engine::SweepReport| {
+        r.reports.iter().map(|c| c.fingerprint).collect::<Vec<_>>()
+    };
+    assert_eq!(
+        fp(&report_a),
+        fp(&report_b),
+        "permuted component list must fingerprint identically"
+    );
+    assert!(
+        report_b.cache.uniformized.hits > report_a.cache.uniformized.hits
+            && report_b.cache.uniformized.misses == report_a.cache.uniformized.misses,
+        "permuted rerun must hit the artifact cache (a: {:?}, b: {:?})",
+        report_a.cache.uniformized,
+        report_b.cache.uniformized
+    );
+    let stable_a = stable_report_to_json(&report_a).to_string();
+    let stable_b = stable_report_to_json(&report_b).to_string();
+    assert_eq!(stable_a, stable_b, "stable reports must be byte-identical");
+    println!(
+        "  permutation: fingerprints equal, +{} cache hits, stable reports byte-identical",
+        report_b.cache.uniformized.hits - report_a.cache.uniformized.hits
+    );
 }
 
 /// Parametric sweep over hot-spare provisioning — the paper's Section 3

@@ -76,9 +76,9 @@ impl CtmcBuilder {
 
     /// Explores the reachable state space of `spec` and compiles it.
     ///
-    /// # Panics
-    /// If the exploration exceeds `max_states` (a model bug, not an input
-    /// condition a caller should handle).
+    /// Exceeding `max_states` returns [`CtmcError::StateSpaceExceeded`] — a
+    /// clean input-level error, so generated models (spec files) can be
+    /// rejected without panicking.
     pub fn explore<M: ModelSpec>(&self, spec: &M) -> Result<BuiltModel<M::State>, CtmcError> {
         let mut states: Vec<M::State> = Vec::new();
         let mut index: HashMap<M::State, usize> = HashMap::new();
@@ -90,6 +90,11 @@ impl CtmcBuilder {
                 Entry::Occupied(e) => *e.get(),
                 Entry::Vacant(e) => {
                     let id = states.len();
+                    if id >= self.max_states {
+                        return Err(CtmcError::StateSpaceExceeded {
+                            max_states: self.max_states,
+                        });
+                    }
                     e.insert(id);
                     states.push(s);
                     queue.push_back(id);
@@ -113,11 +118,11 @@ impl CtmcBuilder {
                     Entry::Occupied(e) => *e.get(),
                     Entry::Vacant(e) => {
                         let tid = states.len();
-                        assert!(
-                            tid < self.max_states,
-                            "state space exceeded the cap of {} states",
-                            self.max_states
-                        );
+                        if tid >= self.max_states {
+                            return Err(CtmcError::StateSpaceExceeded {
+                                max_states: self.max_states,
+                            });
+                        }
                         e.insert(tid);
                         states.push(target);
                         queue.push_back(tid);
@@ -154,6 +159,95 @@ impl CtmcBuilder {
             states,
             index,
         })
+    }
+
+    /// Streaming variant of [`CtmcBuilder::explore`]: frontier expansion
+    /// feeds the COO accumulator incrementally instead of materializing the
+    /// full state table and a separate triplet buffer.
+    ///
+    /// Eager exploration holds, at peak, the state vector, the hash index,
+    /// the BFS queue *and* an unbounded triplet vector that is only folded
+    /// into the matrix builder after exploration finishes. Here each
+    /// transition goes straight into a growable [`CooBuilder`] as it is
+    /// discovered, rewards and exit rates grow state-by-state, and no state
+    /// vector is kept at all (the queue carries the state structs) — so
+    /// million-state compositions build without the duplicated peak.
+    ///
+    /// State numbering is BFS discovery order, identical to `explore`: the
+    /// two methods produce bit-for-bit the same [`Ctmc`]. The trade-off is
+    /// that no [`BuiltModel`] index is returned.
+    pub fn explore_streaming<M: ModelSpec>(&self, spec: &M) -> Result<Ctmc, CtmcError> {
+        let mut index: HashMap<M::State, usize> = HashMap::new();
+        let mut queue: VecDeque<(M::State, usize)> = VecDeque::new();
+        let mut initial_pairs: Vec<(usize, f64)> = Vec::new();
+        let mut exit: Vec<f64> = Vec::new();
+        let mut rewards: Vec<f64> = Vec::new();
+        let mut b = CooBuilder::new(0, 0);
+
+        for (s, p) in spec.initial() {
+            let id = match index.entry(s.clone()) {
+                Entry::Occupied(e) => *e.get(),
+                Entry::Vacant(e) => {
+                    let id = exit.len();
+                    if id >= self.max_states {
+                        return Err(CtmcError::StateSpaceExceeded {
+                            max_states: self.max_states,
+                        });
+                    }
+                    e.insert(id);
+                    exit.push(0.0);
+                    rewards.push(spec.reward(&s));
+                    queue.push_back((s, id));
+                    id
+                }
+            };
+            initial_pairs.push((id, p));
+        }
+
+        while let Some((from, id)) = queue.pop_front() {
+            for (target, rate) in spec.transitions(&from) {
+                assert!(
+                    rate > 0.0 && rate.is_finite(),
+                    "model produced a non-positive or non-finite rate {rate}"
+                );
+                let tid = match index.entry(target.clone()) {
+                    Entry::Occupied(e) => *e.get(),
+                    Entry::Vacant(e) => {
+                        let tid = exit.len();
+                        if tid >= self.max_states {
+                            return Err(CtmcError::StateSpaceExceeded {
+                                max_states: self.max_states,
+                            });
+                        }
+                        e.insert(tid);
+                        exit.push(0.0);
+                        rewards.push(spec.reward(&target));
+                        queue.push_back((target, tid));
+                        tid
+                    }
+                };
+                if tid != id {
+                    // Both endpoints are < exit.len() (the states known so far).
+                    b.grow(exit.len(), exit.len());
+                    b.push(id, tid, rate);
+                    exit[id] += rate;
+                }
+            }
+        }
+
+        let n = exit.len();
+        drop(index);
+        b.grow(n, n);
+        for (i, &e) in exit.iter().enumerate() {
+            if e > 0.0 {
+                b.push(i, i, -e);
+            }
+        }
+        let mut initial = vec![0.0f64; n];
+        for (id, p) in initial_pairs {
+            initial[id] += p;
+        }
+        Ctmc::new(b.build(), initial, rewards)
     }
 }
 
@@ -241,24 +335,54 @@ mod tests {
         assert_eq!(built.ctmc.exit_rate(0), 5.0);
     }
 
+    /// Unbounded birth chain — trips any finite exploration cap.
+    struct Unbounded;
+    impl ModelSpec for Unbounded {
+        type State = u64;
+        fn initial(&self) -> Vec<(u64, f64)> {
+            vec![(0, 1.0)]
+        }
+        fn transitions(&self, &s: &u64) -> Vec<(u64, f64)> {
+            vec![(s + 1, 1.0)]
+        }
+        fn reward(&self, _: &u64) -> f64 {
+            0.0
+        }
+    }
+
     #[test]
-    #[should_panic]
-    fn cap_is_enforced() {
-        // Unbounded birth chain.
-        struct Unbounded;
-        impl ModelSpec for Unbounded {
-            type State = u64;
-            fn initial(&self) -> Vec<(u64, f64)> {
-                vec![(0, 1.0)]
-            }
-            fn transitions(&self, &s: &u64) -> Vec<(u64, f64)> {
-                vec![(s + 1, 1.0)]
-            }
-            fn reward(&self, _: &u64) -> f64 {
-                0.0
+    fn cap_is_a_clean_error() {
+        let builder = CtmcBuilder::with_max_states(100);
+        for result in [
+            builder.explore(&Unbounded).map(|_| ()),
+            builder.explore_streaming(&Unbounded).map(|_| ()),
+        ] {
+            match result {
+                Err(CtmcError::StateSpaceExceeded { max_states }) => assert_eq!(max_states, 100),
+                other => panic!("expected StateSpaceExceeded, got {other:?}"),
             }
         }
-        let _ = CtmcBuilder::with_max_states(100).explore(&Unbounded);
+    }
+
+    #[test]
+    fn streaming_matches_eager_bitwise() {
+        let spec = Mm1k {
+            lambda: 0.7,
+            mu: 1.3,
+            k: 25,
+        };
+        let eager = CtmcBuilder::default().explore(&spec).unwrap().ctmc;
+        let streamed = CtmcBuilder::default().explore_streaming(&spec).unwrap();
+        assert_eq!(eager.n_states(), streamed.n_states());
+        assert_eq!(eager.generator().row_ptr(), streamed.generator().row_ptr());
+        assert_eq!(eager.generator().col_idx(), streamed.generator().col_idx());
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(
+            bits(eager.generator().values()),
+            bits(streamed.generator().values())
+        );
+        assert_eq!(bits(eager.initial()), bits(streamed.initial()));
+        assert_eq!(bits(eager.rewards()), bits(streamed.rewards()));
     }
 
     #[test]

@@ -25,6 +25,10 @@ pub enum CtmcError {
     /// Initial probability mass was placed on an absorbing state (the paper
     /// assumes `P[X(0) = f_i] = 0`).
     InitialMassOnAbsorbing { state: usize },
+    /// State-space exploration exceeded the configured cap. For generated
+    /// models (e.g. `compose` specs) this is an input condition, not a bug:
+    /// callers surface it as a spec-level error.
+    StateSpaceExceeded { max_states: usize },
 }
 
 impl fmt::Display for CtmcError {
@@ -55,6 +59,9 @@ impl fmt::Display for CtmcError {
             ),
             CtmcError::InitialMassOnAbsorbing { state } => {
                 write!(f, "initial probability mass on absorbing state {state}")
+            }
+            CtmcError::StateSpaceExceeded { max_states } => {
+                write!(f, "state space exceeded the cap of {max_states} states")
             }
         }
     }

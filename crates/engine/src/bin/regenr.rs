@@ -17,8 +17,12 @@
 //!
 //! Output is a single JSON report on stdout: one entry per
 //! `(model, measure, horizon)` cell with the value, the method chosen and
-//! why, step counts, error bounds, and artifact-cache counters. See
-//! `regenr_engine::spec` for the spec schema.
+//! why, step counts, error bounds, and artifact-cache counters. Spec model
+//! kinds: `raid`, `two_state`, `cyclic`, `duplex`, `machines`, `multiproc`,
+//! `compose` (declarative component systems — classes × rates × coverage ×
+//! dependencies, built through streaming state exploration; the `specs/`
+//! corpus at the repo root holds ready-to-run examples), and `inline` rate
+//! matrices. See `regenr_engine::spec` for the full schema.
 
 use regenr_engine::{
     report_to_json, stable_report_to_json, Engine, Json, ServeConfig, Server, SweepSpec,

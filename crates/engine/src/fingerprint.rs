@@ -8,7 +8,66 @@
 //! — no float rounding, so "almost equal" models intentionally do *not*
 //! collide.
 
+use crate::json::Json;
 use regenr_ctmc::Ctmc;
+
+/// Canonicalizes a spec document for keying: inside every model object
+/// whose `"kind"` is `"compose"`, the `"components"` array is sorted by
+/// component `"name"`. This mirrors the sort `spec.rs` applies before
+/// compiling, so two specs that differ only in component order build the
+/// identical chain (same [`fingerprint`], so the artifact cache hits) *and*
+/// hash to the same serve coalescing key (so concurrent permuted posts
+/// share one computation). Everything else — order of other keys, other
+/// model kinds — is left untouched; the compact re-serialization of the
+/// result already normalizes whitespace and float spelling.
+pub fn canonicalize_spec(doc: &Json) -> Json {
+    let Json::Obj(members) = doc else {
+        return doc.clone();
+    };
+    Json::Obj(
+        members
+            .iter()
+            .map(|(k, v)| {
+                if k == "models" {
+                    if let Json::Arr(models) = v {
+                        let models = models.iter().map(canonicalize_model).collect();
+                        return (k.clone(), Json::Arr(models));
+                    }
+                }
+                (k.clone(), v.clone())
+            })
+            .collect(),
+    )
+}
+
+fn canonicalize_model(model: &Json) -> Json {
+    let Json::Obj(members) = model else {
+        return model.clone();
+    };
+    if model.get("kind").and_then(Json::as_str) != Some("compose") {
+        return model.clone();
+    }
+    Json::Obj(
+        members
+            .iter()
+            .map(|(k, v)| {
+                if k == "components" {
+                    if let Json::Arr(comps) = v {
+                        let mut sorted = comps.clone();
+                        // Stable: malformed entries without a name keep
+                        // their relative order (validation rejects them
+                        // later with a precise error).
+                        sorted.sort_by_key(|c| {
+                            c.get("name").and_then(Json::as_str).map(str::to_string)
+                        });
+                        return (k.clone(), Json::Arr(sorted));
+                    }
+                }
+                (k.clone(), v.clone())
+            })
+            .collect(),
+    )
+}
 
 /// 64-bit FNV-1a state.
 #[derive(Clone, Copy, Debug)]
@@ -90,5 +149,43 @@ mod tests {
         let a = chain(1e-3);
         let b = a.with_initial(vec![0.5, 0.5]).unwrap();
         assert_ne!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn canonicalize_sorts_compose_components_only() {
+        let permuted = Json::parse(
+            r#"{"horizons":[1],"models":[
+                {"kind":"compose","components":[
+                    {"name":"b","count":2,"lambda":0.1},
+                    {"name":"a","count":1,"lambda":0.2}]},
+                {"kind":"inline","rates":[[0,1,1.0]],"rewards":[1,0]}]}"#,
+        )
+        .unwrap();
+        let sorted = Json::parse(
+            r#"{"horizons":[1],"models":[
+                {"kind":"compose","components":[
+                    {"name":"a","count":1,"lambda":0.2},
+                    {"name":"b","count":2,"lambda":0.1}]},
+                {"kind":"inline","rates":[[0,1,1.0]],"rewards":[1,0]}]}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            canonicalize_spec(&permuted).to_string(),
+            canonicalize_spec(&sorted).to_string(),
+            "component order must not matter"
+        );
+        // Other semantic differences still separate.
+        let other = Json::parse(
+            r#"{"horizons":[1],"models":[
+                {"kind":"compose","components":[
+                    {"name":"a","count":3,"lambda":0.2},
+                    {"name":"b","count":2,"lambda":0.1}]},
+                {"kind":"inline","rates":[[0,1,1.0]],"rewards":[1,0]}]}"#,
+        )
+        .unwrap();
+        assert_ne!(
+            canonicalize_spec(&permuted).to_string(),
+            canonicalize_spec(&other).to_string()
+        );
     }
 }

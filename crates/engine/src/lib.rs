@@ -52,7 +52,7 @@ pub use engine::{
     DispatchReason, Engine, EngineOptions, ExecStats, MethodChoice, SolveReport, SolveRequest,
     SweepFailure, SweepProgress, SweepReport,
 };
-pub use fingerprint::fingerprint;
+pub use fingerprint::{canonicalize_spec, fingerprint};
 pub use json::Json;
 pub use method::{Capabilities, Method, ALL_METHODS};
 pub use serve::{serve_stats_json, ServeConfig, ServeStats, Server};

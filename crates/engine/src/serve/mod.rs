@@ -324,12 +324,16 @@ impl Server {
 }
 
 /// 64-bit FNV-1a over the canonicalized spec document — the coalescing
-/// key. Canonicalization (parse → compact re-serialize) makes whitespace
-/// and float spelling irrelevant while any semantic difference (including
+/// key. Canonicalization (parse → [`crate::fingerprint::canonicalize_spec`]
+/// → compact re-serialize) makes whitespace, float spelling and compose
+/// component order irrelevant while any semantic difference (including
 /// `deadline_ms`) separates runs.
 fn spec_key(doc: &Json) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in doc.to_string().bytes() {
+    for b in crate::fingerprint::canonicalize_spec(doc)
+        .to_string()
+        .bytes()
+    {
         h ^= b as u64;
         h = h.wrapping_mul(0x1000_0000_01b3);
     }
@@ -696,6 +700,33 @@ mod tests {
         assert_ne!(spec_key(&a), spec_key(&c), "semantic changes must not");
         let d = Json::parse(r#"{"horizons":[1,10],"epsilon":1e-10,"deadline_ms":5}"#).unwrap();
         assert_ne!(spec_key(&a), spec_key(&d), "deadlines separate runs");
+    }
+
+    /// Permuting a compose model's component list must coalesce to the
+    /// same in-flight run (the canonicalizer sorts components by name
+    /// before hashing).
+    #[test]
+    fn spec_key_is_component_order_independent() {
+        let forward = Json::parse(
+            r#"{"horizons":[1],"models":[{"kind":"compose","components":[
+                {"name":"a","count":1,"lambda":0.1},
+                {"name":"b","count":2,"lambda":0.2}]}]}"#,
+        )
+        .unwrap();
+        let reversed = Json::parse(
+            r#"{"horizons":[1],"models":[{"kind":"compose","components":[
+                {"name":"b","count":2,"lambda":0.2},
+                {"name":"a","count":1,"lambda":0.1}]}]}"#,
+        )
+        .unwrap();
+        assert_eq!(spec_key(&forward), spec_key(&reversed));
+        let changed = Json::parse(
+            r#"{"horizons":[1],"models":[{"kind":"compose","components":[
+                {"name":"b","count":3,"lambda":0.2},
+                {"name":"a","count":1,"lambda":0.1}]}]}"#,
+        )
+        .unwrap();
+        assert_ne!(spec_key(&forward), spec_key(&changed));
     }
 
     #[test]

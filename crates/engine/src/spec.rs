@@ -21,6 +21,15 @@
 //!     { "kind": "duplex", "lambda": 0.01, "mu": 1.0, "coverage": 0.95 },
 //!     { "kind": "machines", "machines": 16, "repairmen": 2,
 //!       "lambda": 0.02, "mu": 1.0, "measures": ["trr", "mrr"] },
+//!     { "kind": "multiproc", "n_proc": 4, "n_mem": 3, "lambda_p": 1e-4,
+//!       "lambda_m": 5e-5, "coverage": 0.98, "mu": 1.0, "delta": 6.0 },
+//!     { "kind": "compose", "crews": 2, "reward": "capacity",
+//!       "components": [
+//!         { "name": "web", "count": 4, "lambda": 0.01, "mu": 1.0,
+//!           "coverage": 0.99, "required": 1 },
+//!         { "name": "db", "count": 2, "lambda": 0.005, "mu": 0.5,
+//!           "required": 1, "deps": [
+//!             { "on": "web", "min_working": 1, "factor": 2.0 } ] } ] },
 //!     { "kind": "inline", "name": "custom",
 //!       "rates": [[0, 1, 0.001], [1, 0, 1.0]],
 //!       "rewards": [0, 1] }
@@ -33,6 +42,30 @@
 //! the optional `"initial"` distribution defaults to all mass on state 0
 //! (`"n"` overrides the inferred state count). This covers chains no named
 //! generator produces, without touching the CLI.
+//!
+//! Compose models are declarative component systems (see
+//! `regenr_models::compose`): each component class has a `"count"`, a
+//! per-unit failure rate `"lambda"`, a per-crew repair rate `"mu"`
+//! (default 0 = no repair), a `"coverage"` probability (default 1),
+//! a `"required"` minimum of working units for the system to be up
+//! (default 0), and optional `"deps"` rules multiplying the failure rate by
+//! `"factor"` while class `"on"` has fewer than `"min_working"` working
+//! units. Model-level knobs: `"crews"` (repair crews, assigned in
+//! name-sorted class order; default 1), `"uncovered"` (`"absorbing"` or
+//! `{"reboot": rate}`; default absorbing), `"down_absorbing"` (lump every
+//! system-down transition into the absorbing state; default false),
+//! `"reward"` (`"down"`, `"up"`, `"capacity"` or `{"working": "class"}`;
+//! default `"down"`), and `"max_states"` (exploration cap; exceeding it is
+//! a spec error, default 5,000,000). Components are sorted by name before
+//! compilation, so permuted listings produce the identical chain — same
+//! fingerprint, same artifact-cache key, same `--stable` report — and the
+//! chain itself is built by streaming exploration
+//! (`CtmcBuilder::explore_streaming`), never holding a separate state
+//! table and triplet buffer at peak.
+//!
+//! Within a model object, unknown keys are rejected by name just like
+//! top-level keys: `{"kind": "duplex", "coverge": 0.9}` names the typo and
+//! lists the keys the kind accepts.
 //!
 //! `"kernel"` forces the SpMV kernel every solver's stepper runs (`auto`,
 //! `generic`, `shortrow`, `diagsplit`, `sliced`; default `auto` analyzes
@@ -59,8 +92,13 @@ use crate::engine::{
 };
 use crate::json::Json;
 use crate::method::Method;
-use regenr_ctmc::Ctmc;
-use regenr_models::{machines::MachinesModel, RaidModel, RaidParams};
+use regenr_ctmc::{Ctmc, CtmcBuilder};
+use regenr_models::{
+    compose::{ComponentClass, ComposeModel, RewardKind, UncoveredPolicy},
+    machines::MachinesModel,
+    multiproc::{MultiprocModel, MultiprocParams},
+    RaidModel, RaidParams,
+};
 use regenr_transient::MeasureKind;
 use std::sync::Arc;
 
@@ -275,6 +313,227 @@ fn get_f64_array(obj: &Json, key: &str) -> Result<Option<Vec<f64>>, String> {
     }
 }
 
+/// Keys every model object may carry regardless of kind (the per-model
+/// overrides read by `SweepSpec::from_json`).
+const COMMON_MODEL_KEYS: &[&str] = &[
+    "kind",
+    "name",
+    "horizons",
+    "epsilon",
+    "method",
+    "measures",
+    "regen_state",
+];
+
+/// Rejects unknown keys in `obj` by name, listing the keys `what` accepts.
+/// Mirrors the top-level typo guard: `{"kind": "duplex", "coverge": 0.9}`
+/// must be an error naming `"coverge"`, never a silently ignored knob.
+fn reject_unknown_keys(obj: &Json, what: &str, known: &[&[&str]]) -> Result<(), String> {
+    let Json::Obj(members) = obj else {
+        return Err(format!("{what} must be a JSON object"));
+    };
+    let unknown: Vec<&str> = members
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .filter(|k| !known.iter().any(|set| set.contains(k)))
+        .collect();
+    if unknown.is_empty() {
+        return Ok(());
+    }
+    let mut names: Vec<&str> = known.iter().flat_map(|set| set.iter().copied()).collect();
+    names.sort_unstable();
+    Err(format!(
+        "unknown key(s) in {what}: {} (known keys: {})",
+        unknown
+            .iter()
+            .map(|k| format!("{k:?}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+        names.join(", ")
+    ))
+}
+
+/// Builds a `"kind": "multiproc"` model (the degradable multiprocessor of
+/// `regenr_models::multiproc`).
+fn build_multiproc_model(obj: &Json) -> Result<(String, Ctmc), String> {
+    let need_f64 =
+        |key: &str| get_f64(obj, key)?.ok_or_else(|| format!("multiproc model needs {key:?}"));
+    let need_u32 =
+        |key: &str| get_u32(obj, key)?.ok_or_else(|| format!("multiproc model needs {key:?}"));
+    let absorbing = get_bool(obj, "absorbing")?.unwrap_or(false);
+    let delta = match get_f64(obj, "delta")? {
+        Some(d) if d.is_finite() && d > 0.0 => d,
+        Some(d) => return Err(format!("multiproc \"delta\" must be positive, got {d}")),
+        // The reboot rate is never read in the absorbing-crash variant.
+        None if absorbing => 1.0,
+        None => {
+            return Err(
+                "multiproc model needs \"delta\" (reboot rate) unless \"absorbing\" is true"
+                    .to_string(),
+            )
+        }
+    };
+    let params = MultiprocParams {
+        n_proc: need_u32("n_proc")?,
+        n_mem: need_u32("n_mem")?,
+        lambda_p: need_f64("lambda_p")?,
+        lambda_m: need_f64("lambda_m")?,
+        coverage: need_f64("coverage")?,
+        mu: need_f64("mu")?,
+        delta,
+        absorbing_crash: absorbing,
+    };
+    if !(0.0..=1.0).contains(&params.coverage) {
+        return Err(format!(
+            "multiproc \"coverage\" must be in [0, 1], got {}",
+            params.coverage
+        ));
+    }
+    for (key, v) in [
+        ("lambda_p", params.lambda_p),
+        ("lambda_m", params.lambda_m),
+        ("mu", params.mu),
+    ] {
+        if !(v.is_finite() && v >= 0.0) {
+            return Err(format!(
+                "multiproc {key:?} must be a non-negative finite number, got {v}"
+            ));
+        }
+    }
+    let built = MultiprocModel::new(params)
+        .build()
+        .map_err(|e| format!("multiproc model failed to build: {e}"))?;
+    Ok((
+        format!(
+            "multiproc_{}x{}{}",
+            params.n_proc,
+            params.n_mem,
+            if absorbing { "_ur" } else { "" }
+        ),
+        built.ctmc,
+    ))
+}
+
+/// Keys a compose component object accepts.
+const COMPONENT_KEYS: &[&str] = &[
+    "name", "count", "lambda", "mu", "coverage", "required", "deps",
+];
+
+/// Parses the component classes of a compose model, **sorted by name** so
+/// permuted listings compile to the identical chain (same fingerprint,
+/// same cache key, byte-identical stable report).
+fn parse_components(obj: &Json) -> Result<Vec<ComponentClass>, String> {
+    let comps = obj
+        .get("components")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "compose model needs a \"components\" array".to_string())?;
+    let mut classes = Vec::with_capacity(comps.len());
+    for (i, comp) in comps.iter().enumerate() {
+        let what = format!("components[{i}]");
+        reject_unknown_keys(comp, &what, &[COMPONENT_KEYS])?;
+        let name = comp
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{what} needs a string \"name\""))?;
+        let count = get_u32(comp, "count")?.ok_or_else(|| format!("{what} needs \"count\""))?;
+        let lambda = get_f64(comp, "lambda")?.ok_or_else(|| format!("{what} needs \"lambda\""))?;
+        let mu = get_f64(comp, "mu")?.unwrap_or(0.0);
+        let mut class = ComponentClass::new(name, count, lambda, mu);
+        if let Some(c) = get_f64(comp, "coverage")? {
+            class = class.coverage(c);
+        }
+        if let Some(r) = get_u32(comp, "required")? {
+            class = class.required(r);
+        }
+        match comp.get("deps") {
+            None | Some(Json::Null) => {}
+            Some(v) => {
+                let deps = v
+                    .as_arr()
+                    .ok_or_else(|| format!("{what}.deps must be an array"))?;
+                for (j, dep) in deps.iter().enumerate() {
+                    let dwhat = format!("{what}.deps[{j}]");
+                    reject_unknown_keys(dep, &dwhat, &[&["on", "min_working", "factor"]])?;
+                    let on = dep
+                        .get("on")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| format!("{dwhat} needs a string \"on\""))?;
+                    let factor = get_f64(dep, "factor")?
+                        .ok_or_else(|| format!("{dwhat} needs \"factor\""))?;
+                    // Default threshold 1: the rule fires while the watched
+                    // class has nothing working.
+                    let min_working = get_u32(dep, "min_working")?.unwrap_or(1);
+                    class = class.dep(on, min_working, factor);
+                }
+            }
+        }
+        classes.push(class);
+    }
+    classes.sort_by(|a, b| a.name.cmp(&b.name));
+    Ok(classes)
+}
+
+/// Builds a `"kind": "compose"` model via streaming exploration (see
+/// `regenr_models::compose` and the module docs for the grammar).
+fn build_compose_model(obj: &Json) -> Result<(String, Ctmc), String> {
+    let classes = parse_components(obj)?;
+    let crews = get_u32(obj, "crews")?.unwrap_or(1);
+    let uncovered = match obj.get("uncovered") {
+        None | Some(Json::Null) => UncoveredPolicy::Absorbing,
+        Some(Json::Str(s)) if s == "absorbing" => UncoveredPolicy::Absorbing,
+        Some(v @ Json::Obj(_)) => {
+            reject_unknown_keys(v, "\"uncovered\"", &[&["reboot"]])?;
+            let delta = get_f64(v, "reboot")?
+                .ok_or_else(|| "\"uncovered\" object needs a \"reboot\" rate".to_string())?;
+            UncoveredPolicy::Reboot(delta)
+        }
+        Some(v) => {
+            return Err(format!(
+                "field \"uncovered\" must be \"absorbing\" or {{\"reboot\": rate}}, got {v}"
+            ))
+        }
+    };
+    let down_absorbing = get_bool(obj, "down_absorbing")?.unwrap_or(false);
+    let reward = match obj.get("reward") {
+        None | Some(Json::Null) => RewardKind::Down,
+        Some(Json::Str(s)) => match s.as_str() {
+            "down" => RewardKind::Down,
+            "up" => RewardKind::Up,
+            "capacity" => RewardKind::Capacity,
+            other => {
+                return Err(format!(
+                    "unknown reward {other:?} (expected down/up/capacity or \
+                     {{\"working\": \"class\"}})"
+                ))
+            }
+        },
+        Some(v @ Json::Obj(_)) => {
+            reject_unknown_keys(v, "\"reward\"", &[&["working"]])?;
+            let class = v
+                .get("working")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "\"reward\" object needs a \"working\" class name".to_string())?;
+            RewardKind::Working(class.to_string())
+        }
+        Some(v) => {
+            return Err(format!(
+                "field \"reward\" must be a string or {{\"working\": \"class\"}}, got {v}"
+            ))
+        }
+    };
+    let model = ComposeModel::new(classes, crews, uncovered, down_absorbing, reward)
+        .map_err(|e| format!("compose model: {e}"))?;
+    let max_states = match get_u32(obj, "max_states")? {
+        Some(0) => return Err("compose \"max_states\" must be at least 1".to_string()),
+        Some(n) => n as usize,
+        None => CtmcBuilder::default().max_states,
+    };
+    let ctmc = model
+        .build_streaming(max_states)
+        .map_err(|e| format!("compose model failed to build: {e}"))?;
+    Ok((model.default_name(), ctmc))
+}
+
 /// Builds an inline model from a `"rates": [[from, to, rate], …]` triple
 /// list (see the module docs for the schema).
 fn build_inline_model(obj: &Json) -> Result<Ctmc, String> {
@@ -350,6 +609,42 @@ fn build_model(obj: &Json) -> Result<(String, Ctmc), String> {
         .get("kind")
         .and_then(Json::as_str)
         .ok_or_else(|| "model needs a string \"kind\"".to_string())?;
+    // Every kind rejects keys it does not read, naming the typo and the
+    // keys it accepts (the per-model analog of the top-level guard).
+    let kind_keys: &[&str] = match kind {
+        "raid" => &["g", "c_h", "d_h", "p_r", "absorbing"],
+        "two_state" => &["lambda", "mu", "absorbing"],
+        "cyclic" => &["n"],
+        "duplex" => &["lambda", "mu", "coverage"],
+        "machines" => &["machines", "repairmen", "lambda", "mu"],
+        "multiproc" => &[
+            "n_proc",
+            "n_mem",
+            "lambda_p",
+            "lambda_m",
+            "coverage",
+            "mu",
+            "delta",
+            "absorbing",
+        ],
+        "compose" => &[
+            "components",
+            "crews",
+            "uncovered",
+            "down_absorbing",
+            "reward",
+            "max_states",
+        ],
+        "inline" => &["rates", "rewards", "initial", "n"],
+        _ => &[],
+    };
+    if !kind_keys.is_empty() {
+        reject_unknown_keys(
+            obj,
+            &format!("{kind} model"),
+            &[COMMON_MODEL_KEYS, kind_keys],
+        )?;
+    }
     let (default_name, ctmc) = match kind {
         "raid" => {
             let g = get_u32(obj, "g")?.ok_or_else(|| "raid model needs \"g\"".to_string())?;
@@ -405,6 +700,11 @@ fn build_model(obj: &Json) -> Result<(String, Ctmc), String> {
             let mu = get_f64(obj, "mu")?.ok_or_else(|| "duplex needs \"mu\"".to_string())?;
             let coverage =
                 get_f64(obj, "coverage")?.ok_or_else(|| "duplex needs \"coverage\"".to_string())?;
+            if !(0.0..=1.0).contains(&coverage) {
+                return Err(format!(
+                    "duplex \"coverage\" must be in [0, 1], got {coverage}"
+                ));
+            }
             (
                 "duplex".to_string(),
                 regenr_models::redundant::duplex_with_coverage(lambda, mu, coverage),
@@ -428,11 +728,13 @@ fn build_model(obj: &Json) -> Result<(String, Ctmc), String> {
                 built.ctmc,
             )
         }
+        "multiproc" => build_multiproc_model(obj)?,
+        "compose" => build_compose_model(obj)?,
         "inline" => ("inline".to_string(), build_inline_model(obj)?),
         other => {
             return Err(format!(
                 "unknown model kind {other:?} \
-                 (expected raid/two_state/cyclic/duplex/machines/inline)"
+                 (expected raid/two_state/cyclic/duplex/machines/multiproc/compose/inline)"
             ))
         }
     };
@@ -1060,6 +1362,143 @@ mod tests {
             );
             assert!(SweepSpec::parse(&doc).is_err(), "deadline {bad} accepted");
         }
+    }
+
+    /// Typos *inside model objects* are rejected by name too, with the
+    /// error listing the keys that kind accepts.
+    #[test]
+    fn rejects_unknown_model_keys_by_name() {
+        let fail = |models: &str| {
+            SweepSpec::parse(&format!(r#"{{"horizons": [1], "models": [{models}]}}"#))
+                .map(|_| ())
+                .unwrap_err()
+        };
+        let err = fail(r#"{"kind": "duplex", "lambda": 0.01, "mu": 1.0, "coverge": 0.9}"#);
+        assert!(
+            err.contains("\"coverge\""),
+            "error must name the key: {err}"
+        );
+        assert!(
+            err.contains("coverage"),
+            "error must list known keys: {err}"
+        );
+        assert!(err.contains("duplex"), "{err}");
+        // Per-model override keys stay accepted for every kind.
+        SweepSpec::parse(
+            r#"{"horizons": [1], "models": [
+                {"kind": "cyclic", "n": 3, "name": "ring", "epsilon": 1e-9,
+                 "method": "sr", "measures": ["trr"], "regen_state": 0,
+                 "horizons": [2]}]}"#,
+        )
+        .unwrap();
+        let err = fail(
+            r#"{"kind": "machines", "machines": 4, "repairmen": 1,
+                           "lambda": 0.1, "mu": 1.0, "coverage": 0.9}"#,
+        );
+        assert!(
+            err.contains("\"coverage\""),
+            "machines has no coverage: {err}"
+        );
+        let err = fail(
+            r#"{"kind": "compose", "crew": 2,
+                           "components": [{"name": "a", "count": 1, "lambda": 0.1}]}"#,
+        );
+        assert!(err.contains("\"crew\"") && err.contains("crews"), "{err}");
+        // Unknown-kind errors list every kind, including the new ones.
+        let err = fail(r#"{"kind": "warp"}"#);
+        assert!(
+            err.contains("multiproc") && err.contains("compose"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn parses_multiproc_kind() {
+        let spec = SweepSpec::parse(
+            r#"{"horizons": [1], "models": [
+                {"kind": "multiproc", "n_proc": 4, "n_mem": 3, "lambda_p": 1e-4,
+                 "lambda_m": 5e-5, "coverage": 0.98, "mu": 1.0, "delta": 6.0}]}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.requests[0].name, "multiproc_4x3");
+        assert_eq!(spec.requests[0].model.n_states(), 5 * 4 + 1);
+        // Absorbing variant: delta optional, name tagged.
+        let spec = SweepSpec::parse(
+            r#"{"horizons": [1], "models": [
+                {"kind": "multiproc", "n_proc": 2, "n_mem": 2, "lambda_p": 1e-4,
+                 "lambda_m": 5e-5, "coverage": 0.9, "mu": 1.0, "absorbing": true}]}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.requests[0].name, "multiproc_2x2_ur");
+        for bad in [
+            r#"{"kind": "multiproc", "n_proc": 2, "n_mem": 2, "lambda_p": 1e-4,
+                "lambda_m": 5e-5, "coverage": 0.9, "mu": 1.0}"#, // no delta
+            r#"{"kind": "multiproc", "n_proc": 2, "n_mem": 2, "lambda_p": 1e-4,
+                "lambda_m": 5e-5, "coverage": 1.9, "mu": 1.0, "delta": 1.0}"#,
+        ] {
+            assert!(
+                SweepSpec::parse(&format!(r#"{{"horizons": [1], "models": [{bad}]}}"#)).is_err(),
+                "accepted: {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn parses_compose_kind_with_order_independent_name() {
+        let forward = SweepSpec::parse(
+            r#"{"horizons": [1], "models": [
+                {"kind": "compose", "crews": 1, "reward": "capacity",
+                 "uncovered": {"reboot": 6.0},
+                 "components": [
+                   {"name": "proc", "count": 4, "lambda": 1e-4, "mu": 1.0,
+                    "coverage": 0.98, "required": 1},
+                   {"name": "mem", "count": 3, "lambda": 5e-5, "mu": 1.0,
+                    "coverage": 0.98, "required": 1}]}]}"#,
+        )
+        .unwrap();
+        let reversed = SweepSpec::parse(
+            r#"{"horizons": [1], "models": [
+                {"kind": "compose", "crews": 1, "reward": "capacity",
+                 "uncovered": {"reboot": 6.0},
+                 "components": [
+                   {"name": "mem", "count": 3, "lambda": 5e-5, "mu": 1.0,
+                    "coverage": 0.98, "required": 1},
+                   {"name": "proc", "count": 4, "lambda": 1e-4, "mu": 1.0,
+                    "coverage": 0.98, "required": 1}]}]}"#,
+        )
+        .unwrap();
+        assert_eq!(forward.requests[0].name, "compose_mem3_proc4");
+        assert_eq!(reversed.requests[0].name, "compose_mem3_proc4");
+        let fp = |spec: &SweepSpec| crate::fingerprint(&spec.requests[0].model);
+        assert_eq!(
+            fp(&forward),
+            fp(&reversed),
+            "permuted component lists must fingerprint identically"
+        );
+        assert_eq!(forward.requests[0].model.n_states(), 5 * 4 + 1);
+    }
+
+    #[test]
+    fn compose_state_cap_is_a_spec_error() {
+        let err = SweepSpec::parse(
+            r#"{"horizons": [1], "models": [
+                {"kind": "compose", "max_states": 5,
+                 "components": [
+                   {"name": "m", "count": 9, "lambda": 0.1, "mu": 1.0}]}]}"#,
+        )
+        .map(|_| ())
+        .unwrap_err();
+        assert!(err.contains("cap of 5 states"), "{err}");
+        // Validation errors surface with context, not as panics.
+        let err = SweepSpec::parse(
+            r#"{"horizons": [1], "models": [
+                {"kind": "compose", "components": [
+                   {"name": "m", "count": 2, "lambda": 0.1,
+                    "deps": [{"on": "ghost", "factor": 0.0}]}]}]}"#,
+        )
+        .map(|_| ())
+        .unwrap_err();
+        assert!(err.contains("ghost"), "{err}");
     }
 
     #[test]

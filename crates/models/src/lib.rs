@@ -14,8 +14,13 @@
 //! * [`multiproc`] — degradable multiprocessor (processors × memories,
 //!   coverage, priority repair) with capacity rewards `min(p, m)`;
 //! * [`cyclic`] — a ring of states; with equal rates its randomized DTMC is
-//!   periodic, stressing steady-state detection.
+//!   periodic, stressing steady-state detection;
+//! * [`compose`] — declarative component-system models (classes × counts ×
+//!   rates × coverage × dependencies × repair crews) compiled to CTMCs; the
+//!   `duplex`/`machines`/`multiproc` families are canned compositions,
+//!   cross-checked bitwise against the hand-coded builders.
 
+pub mod compose;
 pub mod cyclic;
 pub mod machines;
 pub mod multiproc;
@@ -23,4 +28,8 @@ pub mod raid;
 pub mod redundant;
 pub mod two_state;
 
+pub use compose::{
+    ComponentClass, ComposeError, ComposeModel, ComposeState, Dependency, RewardKind,
+    UncoveredPolicy,
+};
 pub use raid::{RaidModel, RaidParams, RaidState};

@@ -32,6 +32,15 @@ impl CooBuilder {
         b
     }
 
+    /// Enlarges the matrix to `nrows × ncols`. Existing entries are kept;
+    /// dimensions never shrink. Streaming state-space exploration uses this
+    /// to feed entries before the final state count is known.
+    pub fn grow(&mut self, nrows: usize, ncols: usize) {
+        assert!(nrows < u32::MAX as usize && ncols < u32::MAX as usize);
+        self.nrows = self.nrows.max(nrows);
+        self.ncols = self.ncols.max(ncols);
+    }
+
     /// Records `A[i][j] += v`. Zero values are dropped.
     ///
     /// # Panics
@@ -127,6 +136,20 @@ mod tests {
         let m = b.build();
         assert_eq!(m.row(0).count(), 0);
         assert_eq!(m.row(3).count(), 1);
+    }
+
+    #[test]
+    fn grow_extends_dimensions_monotonically() {
+        let mut b = CooBuilder::new(1, 1);
+        b.push(0, 0, 1.0);
+        b.grow(3, 3);
+        b.push(2, 1, 4.0);
+        b.grow(2, 2); // never shrinks
+        let m = b.build();
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.ncols(), 3);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(2, 1), 4.0);
     }
 
     #[test]
