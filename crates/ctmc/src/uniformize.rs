@@ -7,8 +7,8 @@
 
 use crate::chain::Ctmc;
 use regenr_sparse::{
-    effective_threads, Backend, BackendChoice, ChunkPlan, CsrMatrix, KernelChoice, KernelKind,
-    ParallelConfig, WorkerPool,
+    effective_threads, Backend, BackendChoice, ChunkPlan, CsrMatrix, IndexWidthChoice,
+    KernelChoice, KernelKind, ParallelConfig, SellSort, WorkerPool, MAX_RHS_BLOCK,
 };
 use std::sync::{Arc, Mutex};
 
@@ -21,18 +21,32 @@ use std::sync::{Arc, Mutex};
 type PlanBytesHook = Arc<dyn Fn(usize) + Send + Sync>;
 
 /// Shared memo of nnz-balanced [`ChunkPlan`]s for `Pᵀ`, keyed by
-/// `(chunk count, kernel choice, backend choice)` — a plan carries the
-/// resolved structure-adaptive kernel layout and execution backend, so
-/// forcing different kernels or backends yields distinct plans. Wrapped in
-/// an `Arc` so clones of a [`Uniformized`] share the same plans (they
-/// describe the same matrix); the inner list is tiny — one entry per
-/// distinct configuration ever requested.
+/// [`PlanKey`] `(chunks, kernel, backend, block, index width, σ-sort)` — a
+/// plan carries the resolved structure-adaptive kernel layout and execution
+/// backend, so forcing different kernels, backends, or layout options
+/// yields distinct plans. Wrapped in an `Arc` so clones of a
+/// [`Uniformized`] share the same plans (they describe the same matrix);
+/// the inner list is tiny — one entry per distinct configuration ever
+/// requested.
 #[derive(Clone, Debug, Default)]
 struct PlanCache(Arc<Mutex<PlanCacheInner>>);
 
-/// `((chunk count, kernel choice, backend choice), plan)` pairs; linear
-/// scan — a handful of entries at most.
-type PlanList = Vec<((usize, KernelChoice, BackendChoice), Arc<ChunkPlan>)>;
+/// Everything that distinguishes one cached plan from another: the chunk
+/// decomposition, the kernel/backend resolution, the blocked-RHS width the
+/// stepper will drive it at, and the layout options (column-index storage
+/// width, SELL-σ sorting).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct PlanKey {
+    chunks: usize,
+    kernel: KernelChoice,
+    backend: BackendChoice,
+    block: usize,
+    width: IndexWidthChoice,
+    sort: SellSort,
+}
+
+/// `(key, plan)` pairs; linear scan — a handful of entries at most.
+type PlanList = Vec<(PlanKey, Arc<ChunkPlan>)>;
 
 #[derive(Default)]
 struct PlanCacheInner {
@@ -50,21 +64,19 @@ impl std::fmt::Debug for PlanCacheInner {
 }
 
 impl PlanCache {
-    fn get_or_plan(
-        &self,
-        matrix: &CsrMatrix,
-        chunks: usize,
-        choice: KernelChoice,
-        backend: BackendChoice,
-    ) -> Arc<ChunkPlan> {
-        let key = (chunks, choice, backend);
+    fn get_or_plan(&self, matrix: &CsrMatrix, key: PlanKey) -> Arc<ChunkPlan> {
         let (plan, charge) = {
             let mut inner = regenr_sparse::pool::lock(&self.0);
             if let Some((_, plan)) = inner.plans.iter().find(|(k, _)| *k == key) {
                 return plan.clone();
             }
-            let plan = Arc::new(ChunkPlan::with_kernel_backend(
-                matrix, chunks, choice, backend,
+            let plan = Arc::new(ChunkPlan::with_options(
+                matrix,
+                key.chunks,
+                key.kernel,
+                key.backend,
+                key.width,
+                key.sort,
             ));
             inner.plans.push((key, plan.clone()));
             let bytes = plan.kernel_bytes();
@@ -109,12 +121,40 @@ pub struct Stepper<'a> {
     /// one thread requested).
     plan: Arc<ChunkPlan>,
     pool: &'static Arc<WorkerPool>,
+    /// Blocked-RHS width `k` this stepper was planned for: how many
+    /// interleaved distributions one [`Stepper::step_block`] pass moves.
+    block: usize,
 }
 
 impl Stepper<'_> {
     /// One DTMC step: `out = Pᵀ·π`.
     pub fn step(&self, pi: &[f64], out: &mut [f64]) {
         self.p_t.mul_vec_pooled_into(pi, out, &self.plan, self.pool);
+    }
+
+    /// One blocked DTMC step over `k = self.block()` interleaved
+    /// distributions (`pi[s*k + j]` is column `j`'s mass in state `s`):
+    /// every column is stepped exactly as [`Stepper::step`] would step it
+    /// alone — bitwise identical per column — but the matrix streams
+    /// through memory once for all `k`.
+    pub fn step_block(&self, pi: &[f64], out: &mut [f64]) {
+        self.p_t
+            .mul_mat_pooled_into(pi, out, &self.plan, self.pool, self.block);
+    }
+
+    /// The blocked-RHS width this stepper was planned for (1 = serial).
+    pub fn block(&self) -> usize {
+        self.block
+    }
+
+    /// The resolved column-index storage width in bits (16 or 32).
+    pub fn index_width(&self) -> u8 {
+        self.plan.index_width()
+    }
+
+    /// Whether the resolved layout is SELL-σ row-sorted.
+    pub fn sorted(&self) -> bool {
+        self.plan.sorted()
     }
 
     /// Whether steps are dispatched to the worker pool (`false` ⇒ the
@@ -182,6 +222,23 @@ impl Uniformized {
     /// should build this once per solve and call [`Stepper::step`] per
     /// product; [`Uniformized::step_into`] re-plans on every call.
     pub fn stepper(&self, cfg: &ParallelConfig) -> Stepper<'_> {
+        self.stepper_block(cfg, 1)
+    }
+
+    /// Like [`Uniformized::stepper`] planned for blocked-RHS stepping:
+    /// [`Stepper::step_block`] moves `block` interleaved distributions per
+    /// streaming pass of `Pᵀ`. Plans are cached per
+    /// `(chunks, kernel, backend, block, index width, σ-sort)`, so mixing
+    /// serial and blocked steppers over one uniformization never rebuilds
+    /// a layout it already has for the same key.
+    ///
+    /// # Panics
+    /// If `block` is 0 or exceeds [`MAX_RHS_BLOCK`].
+    pub fn stepper_block(&self, cfg: &ParallelConfig, block: usize) -> Stepper<'_> {
+        assert!(
+            (1..=MAX_RHS_BLOCK).contains(&block),
+            "rhs block {block} out of range"
+        );
         let threads = effective_threads(cfg.threads);
         let chunks = if self.p_t.nnz() >= cfg.min_nnz && threads > 1 {
             threads
@@ -191,12 +248,19 @@ impl Uniformized {
             // without pool dispatch.
             1
         };
+        let key = PlanKey {
+            chunks,
+            kernel: cfg.kernel,
+            backend: cfg.backend,
+            block,
+            width: cfg.index_width,
+            sort: cfg.sell_sort,
+        };
         Stepper {
             p_t: &self.p_t,
-            plan: self
-                .plans
-                .get_or_plan(&self.p_t, chunks, cfg.kernel, cfg.backend),
+            plan: self.plans.get_or_plan(&self.p_t, key),
             pool: WorkerPool::global(),
+            block,
         }
     }
 
@@ -378,13 +442,24 @@ mod tests {
         // Same configuration: the cached plan must not charge again.
         let _ = u.stepper(&cfg);
         assert_eq!(charged.load(Ordering::Relaxed), first);
-        // Layout-free kernels (zero layout bytes) never invoke the hook.
+        // Layout-free kernels (zero layout bytes) never invoke the hook:
+        // shortrow under the full-width index policy keeps no layout.
         let _ = u.stepper(&ParallelConfig {
             kernel: KernelChoice::ShortRow,
+            index_width: IndexWidthChoice::W64,
             ..cfg
         });
         assert_eq!(charged.load(Ordering::Relaxed), first);
         assert_eq!(u.plan_bytes(), first);
+        // Under the auto policy the same kernel takes a compact u16 index
+        // copy (64 columns fit), a lazy layout charged like any other.
+        let _ = u.stepper(&ParallelConfig {
+            kernel: KernelChoice::ShortRow,
+            ..cfg
+        });
+        let with_compact = charged.load(Ordering::Relaxed);
+        assert!(with_compact > first, "compact index copy must be charged");
+        assert_eq!(u.plan_bytes(), with_compact);
         // matrix_bytes + plan_bytes is exactly approx_bytes.
         assert_eq!(u.approx_bytes(), u.matrix_bytes() + u.plan_bytes());
     }
@@ -427,5 +502,42 @@ mod tests {
         assert_eq!(a, c, "forced kernel must be bitwise identical");
         // Below the nnz threshold the stepper runs serially.
         assert!(!u.stepper(&ParallelConfig::default()).is_pooled());
+    }
+
+    /// Blocked steppers: each interleaved column steps bitwise identically
+    /// to the serial stepper, and plans are cached per block width.
+    #[test]
+    fn blocked_stepper_is_bitwise_serial_per_column_and_caches_per_block() {
+        let u = Uniformized::new(&chain(), 0.0);
+        let cfg = ParallelConfig {
+            min_nnz: 0,
+            threads: 3,
+            ..Default::default()
+        };
+        let serial = u.stepper(&cfg);
+        let pi = [0.2, 0.3, 0.5];
+        let mut want = vec![0.0; 3];
+        serial.step(&pi, &mut want);
+        for k in [1usize, 2, 4, 8] {
+            let blocked = u.stepper_block(&cfg, k);
+            assert_eq!(blocked.block(), k);
+            let xk: Vec<f64> = (0..3 * k).map(|i| pi[i / k]).collect();
+            let mut got = vec![0.0; 3 * k];
+            blocked.step_block(&xk, &mut got);
+            for s in 0..3 {
+                for j in 0..k {
+                    assert_eq!(
+                        got[s * k + j].to_bits(),
+                        want[s].to_bits(),
+                        "k={k} state {s} col {j}"
+                    );
+                }
+            }
+        }
+        // block=1 shares the serial plan; other widths resolve their own.
+        assert!(Arc::ptr_eq(&serial.plan, &u.stepper_block(&cfg, 1).plan));
+        let b4 = u.stepper_block(&cfg, 4);
+        assert!(!Arc::ptr_eq(&serial.plan, &b4.plan));
+        assert!(Arc::ptr_eq(&b4.plan, &u.stepper_block(&cfg, 4).plan));
     }
 }

@@ -27,16 +27,17 @@
 //! every core busy (see `regenr_sparse::pool`).
 
 use crate::cache::{ArtifactCache, CacheConfig, CacheStats, ChainFacts};
-use crate::fingerprint::fingerprint;
+use crate::fingerprint::{fingerprint, unif_fingerprint};
 use crate::method::Method;
 use crate::solver::{build_solver, EngineSolution, SolveConfig, Solver};
 use crate::EngineError;
 use regenr_ctmc::{Ctmc, CtmcError};
 use regenr_laplace::InverterOptions;
 use regenr_sparse::{
-    effective_threads, ParallelConfig, WorkerPool, WorkerPoolStats, Workspace, WorkspaceStats,
+    effective_threads, ParallelConfig, RhsBlockChoice, WorkerPool, WorkerPoolStats, Workspace,
+    WorkspaceStats,
 };
-use regenr_transient::MeasureKind;
+use regenr_transient::{solve_block_with, MeasureKind, SrBlockCell, SrOptions};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -218,6 +219,16 @@ pub struct ExecStats {
     /// Workspace activity summed over the sweep's workers. `fresh_allocs`
     /// far below `takes` is the zero-steady-state-allocation property.
     pub workspace: WorkspaceStats,
+    /// Sweep cells (horizons) solved inside blocked propagations: SR jobs
+    /// whose models share a generator (same uniformization fingerprint) and
+    /// error budget are grouped — up to [`regenr_sparse::MAX_RHS_BLOCK`]
+    /// per group, width set by [`ParallelConfig::rhs_block`] — and stepped
+    /// through one multi-vector SpMM instead of one SpMV per job, reading
+    /// the matrix once per step for the whole group. Values stay bitwise
+    /// identical to the per-job path; this counter is the only observable
+    /// difference. `0` when nothing grouped (distinct generators, mixed
+    /// tolerances, or `rhs_block = 1`).
+    pub blocked_cells: usize,
 }
 
 /// Everything a sweep produced.
@@ -355,6 +366,11 @@ struct Job {
     /// Model fingerprint, computed once at plan time (hashing the full CSR
     /// is `O(nnz)` — workers must not redo it).
     fp: u64,
+    /// Generator-only fingerprint: the uniformization-artifact cache key
+    /// (uniformization never sees initials or rewards, so models differing
+    /// only in those share one cached `Uniformized`) and the grouping key
+    /// for blocked sweep execution.
+    unif_fp: u64,
     /// Structure facts, resolved once at plan time.
     facts: Arc<ChainFacts>,
     method: Method,
@@ -363,6 +379,59 @@ struct Job {
     ts: Vec<f64>,
     /// Positions of those horizons in the request's `horizons` vector.
     slots: Vec<usize>,
+}
+
+/// One claimable unit of sweep execution: a lone job, or a group of SR jobs
+/// sharing a generator and error budget that one worker solves as a single
+/// blocked propagation (see [`Engine::run_block`]).
+enum SweepUnit {
+    Single(usize),
+    Block(Vec<usize>),
+}
+
+/// Groups planned jobs into sweep units. SR jobs bucket by
+/// `(unif_fingerprint, epsilon)` — equal keys uniformize identically and
+/// share `SrOptions` — and each bucket is chunked to the width
+/// [`RhsBlockChoice::resolve`] picks (`Auto` → 4 when a bucket has company,
+/// `1` disables grouping entirely). Everything else — other methods,
+/// singleton buckets, odd tail chunks of one — stays a `Single` unit and
+/// runs exactly as before. Units come out in first-job order, so claim
+/// order matches the ungrouped sweep.
+fn plan_units(jobs: &[Job], reqs: &[SolveRequest], rhs_block: RhsBlockChoice) -> Vec<SweepUnit> {
+    use std::collections::HashMap;
+    let mut buckets: HashMap<(u64, u64), Vec<usize>> = HashMap::new();
+    for (i, job) in jobs.iter().enumerate() {
+        if job.method == Method::Sr {
+            buckets
+                .entry((job.unif_fp, reqs[job.req_idx].epsilon.to_bits()))
+                .or_default()
+                .push(i);
+        }
+    }
+    let mut blocks: HashMap<usize, Vec<usize>> = HashMap::new();
+    let mut follower = vec![false; jobs.len()];
+    for members in buckets.into_values() {
+        let width = rhs_block.resolve(members.len());
+        if width < 2 {
+            continue;
+        }
+        for chunk in members.chunks(width) {
+            if chunk.len() < 2 {
+                continue;
+            }
+            for &j in &chunk[1..] {
+                follower[j] = true;
+            }
+            blocks.insert(chunk[0], chunk.to_vec());
+        }
+    }
+    (0..jobs.len())
+        .filter(|i| !follower[*i])
+        .map(|i| match blocks.remove(&i) {
+            Some(members) => SweepUnit::Block(members),
+            None => SweepUnit::Single(i),
+        })
+        .collect()
 }
 
 impl Engine {
@@ -465,6 +534,7 @@ impl Engine {
             )));
         }
         let fp = fingerprint(&req.model);
+        let unif_fp = unif_fingerprint(&req.model);
         let facts = self.cache.facts(fp, &req.model)?;
         let mut jobs: Vec<Job> = Vec::new();
         for (slot, &t) in req.horizons.iter().enumerate() {
@@ -485,6 +555,7 @@ impl Engine {
                 _ => jobs.push(Job {
                     req_idx,
                     fp,
+                    unif_fp,
                     facts: facts.clone(),
                     method,
                     reason,
@@ -521,7 +592,7 @@ impl Engine {
         let (unif, unif_hit) = if job.method == Method::Ode {
             (None, false)
         } else {
-            let (unif, hit) = self.cache.uniformized(fp, ctmc, cfg.theta);
+            let (unif, hit) = self.cache.uniformized(job.unif_fp, ctmc, cfg.theta);
             (Some(unif), hit)
         };
         // The kernel (and execution backend) the solver's stepper resolves
@@ -601,6 +672,104 @@ impl Engine {
                 wall: per_cell,
             })
             .collect())
+    }
+
+    /// Executes a group of SR jobs whose models share a generator as one
+    /// blocked propagation over a single cached uniformization: the members'
+    /// initial distributions ride in separate block columns of a k-RHS SpMM,
+    /// so the matrix streams through memory once per step for the whole
+    /// group. Returns `(job index, reports)` per member, reports in the
+    /// member's slot order. Every value is **bitwise identical** to running
+    /// the members through [`Engine::run_job`] one at a time (the blocked
+    /// kernels are the serial kernel applied column-wise), so grouping is an
+    /// execution detail — invisible in `--stable` reports, surfaced only as
+    /// [`ExecStats::blocked_cells`].
+    fn run_block(
+        &self,
+        reqs: &[SolveRequest],
+        jobs: &[Job],
+        members: &[usize],
+        ws: &mut Workspace,
+    ) -> Vec<(usize, Vec<SolveReport>)> {
+        // Same test seam as `run_job`: the panic surfaces here and the
+        // worker's serial fallback re-runs the members individually, which
+        // is exactly the isolation property the seam exists to exercise.
+        #[cfg(test)]
+        for &j in members {
+            if reqs[jobs[j].req_idx].name == "__panic_injection__" {
+                panic!("injected solver panic (test seam)");
+            }
+        }
+        let first = &jobs[members[0]];
+        let first_req = &reqs[first.req_idx];
+        let cfg = self.solve_config(first_req);
+        // One shared uniformization for the whole group, under the same
+        // generator-only key `run_job` uses — blocked and per-job execution
+        // hit the identical cache entry.
+        let (unif, unif_hit) = self
+            .cache
+            .uniformized(first.unif_fp, &first_req.model, cfg.theta);
+        let (kernel, backend) = {
+            let stepper = unif.stepper(&cfg.parallel);
+            (stepper.kernel_kind().name(), stepper.backend().name())
+        };
+        // Grouping guarantees equal epsilon (it is part of the bucket key),
+        // and theta/parallel are engine-global, so one SrOptions serves
+        // every member.
+        let opts = SrOptions {
+            epsilon: cfg.epsilon,
+            theta: cfg.theta,
+            parallel: cfg.parallel,
+        };
+        let cells: Vec<SrBlockCell<'_>> = members
+            .iter()
+            .map(|&j| {
+                let req = &reqs[jobs[j].req_idx];
+                SrBlockCell {
+                    ctmc: &req.model,
+                    measure: req.measure,
+                    ts: &jobs[j].ts,
+                }
+            })
+            .collect();
+        let t0 = Instant::now();
+        let solutions = solve_block_with(&unif, &opts, &cells, ws);
+        let total_cells: usize = members.iter().map(|&j| jobs[j].ts.len()).sum();
+        let per_cell = t0.elapsed() / total_cells.max(1) as u32;
+        members
+            .iter()
+            .zip(solutions)
+            .map(|(&j, sols)| {
+                let job = &jobs[j];
+                let req = &reqs[job.req_idx];
+                let lambda = self.lambda(&job.facts);
+                let reports = job
+                    .ts
+                    .iter()
+                    .zip(&sols)
+                    .map(|(&t, sol)| SolveReport {
+                        model: req.name.clone(),
+                        fingerprint: job.fp,
+                        measure: req.measure,
+                        t,
+                        method: job.method,
+                        reason: job.reason,
+                        value: sol.value,
+                        steps: sol.steps,
+                        error_bound: sol.error_bound,
+                        abscissae: 0,
+                        converged: true,
+                        lambda_t: lambda * t,
+                        kernel,
+                        backend,
+                        unif_cache_hit: unif_hit,
+                        params_cache_hit: false,
+                        wall: per_cell,
+                    })
+                    .collect();
+                (j, reports)
+            })
+            .collect()
     }
 
     /// Shared regenerative fast path: killed-chain parameters come from
@@ -714,34 +883,68 @@ impl Engine {
             }
         }
 
+        // Blocked execution planning: SR jobs over the same generator and
+        // tolerance become one multi-RHS unit a single worker solves in one
+        // streaming pass (`run_block`).
+        let units = plan_units(&jobs, reqs, self.opts.parallel.rhs_block);
         let results: Vec<JobCell> = jobs.iter().map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
-        let workers = effective_threads(self.opts.threads).min(jobs.len().max(1));
+        let workers = effective_threads(self.opts.threads).min(units.len().max(1));
         let ws_totals: Mutex<WorkspaceStats> = Mutex::new(WorkspaceStats::default());
+        let blocked_cells = AtomicUsize::new(0);
 
         // A panicking solver job must not unwind through the worker pool and
         // abort the whole sweep (nor poison anything another worker needs):
         // catch it here and report it as that request's failure. The job
         // cells themselves are written only after the catch, so they can
         // never be poisoned by solver code. Each worker owns one workspace
-        // for all the jobs it claims, so scratch vectors are reused across
+        // for all the units it claims, so scratch vectors are reused across
         // jobs, not just across the horizons of one.
+        let run_single = |i: usize, ws: &mut Workspace| {
+            let job = &jobs[i];
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.run_job(&reqs[job.req_idx], job, ws)
+            }))
+            .unwrap_or_else(|payload| Err(EngineError::JobPanicked(panic_message(&payload))));
+            if let Ok(reports) = &outcome {
+                progress.on_reports(reports);
+            }
+            *crate::cache::lock(&results[i]) = Some(outcome);
+        };
         let run_worker = || {
             let mut ws = Workspace::new();
             loop {
                 if progress.cancelled() {
                     break;
                 }
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(job) = jobs.get(i) else { break };
-                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    self.run_job(&reqs[job.req_idx], job, &mut ws)
-                }))
-                .unwrap_or_else(|payload| Err(EngineError::JobPanicked(panic_message(&payload))));
-                if let Ok(reports) = &outcome {
-                    progress.on_reports(reports);
+                let u = next.fetch_add(1, Ordering::Relaxed);
+                let Some(unit) = units.get(u) else { break };
+                match unit {
+                    SweepUnit::Single(i) => run_single(*i, &mut ws),
+                    SweepUnit::Block(members) => {
+                        // The whole group shares one catch_unwind; a panic
+                        // falls back to per-job execution (each with its own
+                        // catch), so a poisoned member fails alone instead
+                        // of taking its groupmates down with it.
+                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            self.run_block(reqs, &jobs, members, &mut ws)
+                        })) {
+                            Ok(per_member) => {
+                                let cells: usize = members.iter().map(|&j| jobs[j].ts.len()).sum();
+                                blocked_cells.fetch_add(cells, Ordering::Relaxed);
+                                for (j, reports) in per_member {
+                                    progress.on_reports(&reports);
+                                    *crate::cache::lock(&results[j]) = Some(Ok(reports));
+                                }
+                            }
+                            Err(_) => {
+                                for &j in members {
+                                    run_single(j, &mut ws);
+                                }
+                            }
+                        }
+                    }
                 }
-                *crate::cache::lock(&results[i]) = Some(outcome);
             }
             crate::cache::lock(&ws_totals).merge(&ws.stats());
         };
@@ -818,6 +1021,7 @@ impl Engine {
                 workspace: ws_totals
                     .into_inner()
                     .unwrap_or_else(std::sync::PoisonError::into_inner),
+                blocked_cells: blocked_cells.into_inner(),
             },
             wall: t0.elapsed(),
         }
@@ -1065,6 +1269,57 @@ mod tests {
             assert_eq!(a.t, b.t);
             assert_eq!(a.method, b.method);
             assert_eq!(a.value, b.value, "parallel sweep must be deterministic");
+        }
+    }
+
+    /// The tentpole property at the engine layer: sweep requests whose
+    /// models share a generator (different initials / rewards / measures /
+    /// horizons) are solved in one blocked propagation — visible only as
+    /// `exec.blocked_cells` — and every value is bitwise identical to an
+    /// ungrouped (`rhs_block = 1`, single-thread) sweep.
+    #[test]
+    fn sweep_blocks_shared_generator_requests_bitwise() {
+        let base = repairable();
+        let rewarded = Arc::new(base.with_rewards(vec![0.5, 0.25]).unwrap());
+        let shifted = Arc::new(base.with_initial(vec![0.25, 0.75]).unwrap());
+        let reqs = vec![
+            SolveRequest::new("a", base.clone(), vec![1.0, 5.0]),
+            SolveRequest::new("b", rewarded, vec![2.0]).measure(MeasureKind::Mrr),
+            SolveRequest::new("c", shifted, vec![0.0, 3.0]),
+            // Different generator: must stay outside the block.
+            SolveRequest::new("d", non_repairable(), vec![1.0]),
+        ];
+        let blocked = Engine::new().sweep(&reqs);
+        assert!(blocked.failures.is_empty(), "{:?}", blocked.failures);
+        // a(2 cells) + b(1) + c(2) group under one generator; d does not.
+        assert_eq!(blocked.exec.blocked_cells, 5);
+
+        let mut serial_opts = EngineOptions {
+            threads: 1,
+            ..Default::default()
+        };
+        serial_opts.parallel.rhs_block = RhsBlockChoice::Fixed(1);
+        let serial = Engine::with_options(serial_opts).sweep(&reqs);
+        assert!(serial.failures.is_empty());
+        assert_eq!(
+            serial.exec.blocked_cells, 0,
+            "rhs_block=1 disables grouping"
+        );
+
+        assert_eq!(blocked.reports.len(), serial.reports.len());
+        for (b, s) in blocked.reports.iter().zip(&serial.reports) {
+            assert_eq!((b.model.as_str(), b.t), (s.model.as_str(), s.t));
+            assert_eq!(b.method, s.method);
+            assert_eq!(
+                b.value.to_bits(),
+                s.value.to_bits(),
+                "{} t={} must be bitwise identical",
+                b.model,
+                b.t
+            );
+            assert_eq!(b.steps, s.steps);
+            assert_eq!(b.error_bound.to_bits(), s.error_bound.to_bits());
+            assert_eq!((b.kernel, b.backend), (s.kernel, s.backend));
         }
     }
 

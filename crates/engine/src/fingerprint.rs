@@ -113,6 +113,30 @@ pub fn fingerprint(ctmc: &Ctmc) -> u64 {
     h.0
 }
 
+/// Fingerprint of the chain's *generator alone* — states and rate matrix,
+/// ignoring initial distribution and rewards. Two chains with equal
+/// generator fingerprints uniformize to the identical `P`/`Pᵀ`/`Λ`, so the
+/// engine may solve their sweep cells in one blocked propagation over a
+/// shared [`regenr_ctmc::Uniformized`] (different initials and rewards ride
+/// in separate block columns). A distinguishing constant keeps this hash
+/// domain-separated from [`fingerprint`].
+pub fn unif_fingerprint(ctmc: &Ctmc) -> u64 {
+    let mut h = Fnv::new();
+    h.write_u64(0x756e_6966_2d66_7000); // "unif-fp" domain separator
+    let g = ctmc.generator();
+    h.write_u64(ctmc.n_states() as u64);
+    for &p in g.row_ptr() {
+        h.write_u64(p as u64);
+    }
+    for &j in g.col_idx() {
+        h.write_u64(j as u64);
+    }
+    for &v in g.values() {
+        h.write_f64(v);
+    }
+    h.0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +173,20 @@ mod tests {
         let a = chain(1e-3);
         let b = a.with_initial(vec![0.5, 0.5]).unwrap();
         assert_ne!(fingerprint(&a), fingerprint(&b));
+    }
+
+    /// The generator-only fingerprint ignores initials/rewards (so blocked
+    /// grouping sees through them) but still separates different generators
+    /// and never collides with the full fingerprint.
+    #[test]
+    fn unif_fingerprint_ignores_initials_and_rewards() {
+        let a = chain(1e-3);
+        let b = a.with_rewards(vec![0.0, 0.5]).unwrap();
+        let c = a.with_initial(vec![0.5, 0.5]).unwrap();
+        assert_eq!(unif_fingerprint(&a), unif_fingerprint(&b));
+        assert_eq!(unif_fingerprint(&a), unif_fingerprint(&c));
+        assert_ne!(unif_fingerprint(&a), unif_fingerprint(&chain(2e-3)));
+        assert_ne!(unif_fingerprint(&a), fingerprint(&a));
     }
 
     #[test]

@@ -7,6 +7,9 @@
 
 use regenr_core::{RegenOptions, RegenParams};
 use regenr_ctmc::{Ctmc, Uniformized};
+use regenr_engine::fingerprint::unif_fingerprint;
+use regenr_engine::{ArtifactCache, CacheConfig};
+use regenr_sparse::{IndexWidthChoice, KernelChoice, ParallelConfig, SellSort};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicI64, Ordering};
 
@@ -102,4 +105,67 @@ fn approx_bytes_matches_allocator_truth() {
         live_bytes() <= before,
         "dropping the parameters must release their bytes"
     );
+
+    // Kernel layouts, allocator truth: the lazily built compact-index and
+    // σ-sorted layouts report honest bytes through `plan_bytes()` — the
+    // number the byte-bounded cache charges via the plan-bytes hook.
+    let chain = birth_chain(4_000);
+    let compact = ParallelConfig {
+        min_nnz: 0,
+        threads: 1,
+        kernel: KernelChoice::ShortRow,
+        index_width: IndexWidthChoice::W16,
+        ..Default::default()
+    };
+    let sorted = ParallelConfig {
+        kernel: KernelChoice::Sliced,
+        sell_sort: SellSort::Always,
+        ..compact
+    };
+    // Dry runs on a twin artifact so pool/one-time allocations don't
+    // pollute the measurement windows.
+    {
+        let twin = Uniformized::new(&chain, 0.0);
+        let _ = twin.stepper(&compact);
+        let _ = twin.stepper(&sorted);
+    }
+    let unif = Uniformized::new(&chain, 0.0);
+    let before = live_bytes();
+    let _hold_compact = unif.stepper(&compact);
+    let measured = live_bytes() - before;
+    assert_close("compact-index layout", measured, unif.plan_bytes(), 0.10);
+
+    let charged_so_far = unif.plan_bytes();
+    let before = live_bytes();
+    let _hold_sorted = unif.stepper(&sorted);
+    let measured = live_bytes() - before;
+    assert_close(
+        "σ-sorted sliced layout",
+        measured,
+        unif.plan_bytes() - charged_so_far,
+        0.15,
+    );
+    drop((_hold_compact, _hold_sorted));
+
+    // Byte-cap honesty end to end: a cache capped at the matrices alone
+    // must evict the entry the moment either layout materializes on the
+    // cached artifact.
+    for (what, cfg) in [("compact-index", &compact), ("σ-sorted", &sorted)] {
+        let fp = unif_fingerprint(&chain);
+        let cache = ArtifactCache::with_config(CacheConfig {
+            max_entries: None,
+            max_bytes: Some(unif.matrix_bytes()),
+        });
+        let (cached, hit) = cache.uniformized(fp, &chain, 0.0);
+        assert!(!hit);
+        assert_eq!(cache.stats().uniformized.entries, 1);
+        let _stepper = cached.stepper(cfg);
+        assert!(cached.plan_bytes() > 0, "{what}: layout must carry bytes");
+        let stats = cache.stats().uniformized;
+        assert_eq!(
+            stats.evictions, 1,
+            "{what}: lazy layout bytes must push the entry over cap"
+        );
+        assert_eq!(stats.bytes, 0, "{what}: eviction releases the charge");
+    }
 }

@@ -69,6 +69,19 @@ use crate::simd::{self, Backend, BackendChoice};
 /// Lanes per slice of the sliced layout (rows advanced in lock-step).
 pub const LANES: usize = 8;
 
+/// Sorting-window size for SELL-σ row sorting: rows are reordered by length
+/// only **within** σ-row windows, so a window's rows stay inside a
+/// σ-aligned row band and chunked execution can scatter results without
+/// ever writing outside its chunk. Must be a multiple of [`LANES`].
+pub const SIGMA: usize = 64;
+
+/// Slices per σ-window.
+const WINDOW_SLICES: usize = SIGMA / LANES;
+
+/// Largest supported right-hand-side block for the blocked (multi-vector)
+/// SpMM entry points. Bounds the per-row accumulator arrays.
+pub const MAX_RHS_BLOCK: usize = 8;
+
 /// Row length above which a row counts as "short" for selection purposes.
 const SHORT_ROW_LEN: usize = 16;
 
@@ -149,6 +162,79 @@ impl std::fmt::Display for KernelKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
     }
+}
+
+/// Column-index storage width for the layout-backed kernels (sliced and
+/// shortrow). Compact `u16` indices halve index traffic — the dominant
+/// non-value stream on the bandwidth-bound paper grids — and are widened
+/// transparently when the matrix has more columns than the type can
+/// address, so a forced narrow width is always safe.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum IndexWidthChoice {
+    /// Pick the narrowest width the matrix fits (the default).
+    #[default]
+    Auto,
+    /// Prefer `u16` indices; widened to `u32` above 65 535 columns.
+    W16,
+    /// Use `u32` indices (the CSR storage width).
+    W32,
+    /// Disable index compaction entirely. CSR stores `u32`, so this resolves
+    /// to 32-bit arrays; accepted for forward compatibility and as the CI
+    /// "no compaction" baseline.
+    W64,
+}
+
+impl IndexWidthChoice {
+    /// Parses the CLI/spec spelling (`auto`, `16`, `32`, `64`).
+    pub fn parse(s: &str) -> Result<IndexWidthChoice, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "auto" => Ok(IndexWidthChoice::Auto),
+            "16" => Ok(IndexWidthChoice::W16),
+            "32" => Ok(IndexWidthChoice::W32),
+            "64" => Ok(IndexWidthChoice::W64),
+            other => Err(format!(
+                "unknown index width {other:?} (expected auto/16/32/64)"
+            )),
+        }
+    }
+
+    /// Stable spelling for reports and CSVs.
+    pub fn name(self) -> &'static str {
+        match self {
+            IndexWidthChoice::Auto => "auto",
+            IndexWidthChoice::W16 => "16",
+            IndexWidthChoice::W32 => "32",
+            IndexWidthChoice::W64 => "64",
+        }
+    }
+
+    /// Whether a compact `u16` layout should be used for a matrix with
+    /// `ncols` columns under this choice.
+    fn wants_u16(self, ncols: usize) -> bool {
+        let fits = ncols <= u16::MAX as usize;
+        match self {
+            IndexWidthChoice::Auto | IndexWidthChoice::W16 => fits,
+            IndexWidthChoice::W32 | IndexWidthChoice::W64 => false,
+        }
+    }
+}
+
+/// SELL-σ row-sorting policy for the sliced layout. Sorting rows by length
+/// within σ-windows packs similar-length rows into the same slice, cutting
+/// ragged-span padding; results are scattered back through the stored
+/// permutation so they stay bitwise identical to serial. Not a spec knob —
+/// `Auto` is structure-driven and deterministic; the forced variants exist
+/// for tests and ablations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SellSort {
+    /// Sort iff the matrix has enough full windows and sorting strictly
+    /// reduces padded cells (the default).
+    #[default]
+    Auto,
+    /// Always sort (given at least one full window).
+    Always,
+    /// Never sort — the PR-5 layout, byte for byte.
+    Never,
 }
 
 /// One-pass structural summary of a matrix, the input to kernel selection.
@@ -267,6 +353,55 @@ fn tail_threshold(nnz: usize, nrows: usize) -> usize {
     32usize.max(4 * (nnz / nrows.max(1)))
 }
 
+/// Compact column-index storage for the layout-backed kernels: `u16` when
+/// the matrix's column count fits (halving index traffic), `u32` otherwise.
+/// Indices are exact integers either way, so the stored width never affects
+/// results — only bytes streamed.
+#[derive(Clone, Debug)]
+enum PackedIdx {
+    U16(Vec<u16>),
+    U32(Vec<u32>),
+}
+
+impl PackedIdx {
+    /// Heap bytes by allocation capacity (for plan-bytes accounting).
+    fn heap_bytes(&self) -> usize {
+        match self {
+            PackedIdx::U16(v) => v.capacity() * std::mem::size_of::<u16>(),
+            PackedIdx::U32(v) => v.capacity() * std::mem::size_of::<u32>(),
+        }
+    }
+
+    /// The resolved width in bits (16 or 32).
+    fn width(&self) -> u8 {
+        match self {
+            PackedIdx::U16(_) => 16,
+            PackedIdx::U32(_) => 32,
+        }
+    }
+}
+
+/// Scalar access to a column index of either width. The generic loops
+/// monomorphize over this; the AVX2 loops (which cannot be generic under
+/// `#[target_feature]`) are stamped out per width by macro instead.
+trait IdxVal: Copy {
+    fn idx(self) -> usize;
+}
+
+impl IdxVal for u32 {
+    #[inline(always)]
+    fn idx(self) -> usize {
+        self as usize
+    }
+}
+
+impl IdxVal for u16 {
+    #[inline(always)]
+    fn idx(self) -> usize {
+        self as usize
+    }
+}
+
 /// Diagonal-split layout: off-diagonal CSR plus a dense diagonal, with the
 /// per-row lower-entry count so accumulation replays the CSR column order.
 #[derive(Clone, Debug)]
@@ -374,6 +509,82 @@ impl DiagSplitData {
             }
         }
     }
+
+    /// Blocked variant of [`DiagSplitData::mul_rows`]: `k` interleaved
+    /// right-hand sides per matrix pass, each column replaying the exact
+    /// lower → masked-diagonal → upper accumulation (including the bitwise
+    /// select), so column `j` matches the single-vector kernel bit for bit.
+    ///
+    /// # Safety
+    /// Contract of [`DiagSplitData::mul_rows`], with `x`/`out` holding `k`
+    /// interleaved columns.
+    unsafe fn mul_rows_block(
+        &self,
+        x: &[f64],
+        out: &mut [f64],
+        range: std::ops::Range<usize>,
+        k: usize,
+    ) {
+        // Monomorphized per width (see `mul_rows_block_rowwise`): the
+        // const-size accumulator avoids a per-row memset/memcpy pair.
+        unsafe {
+            match k {
+                1 => self.mul_rows_block_k::<1>(x, out, range),
+                2 => self.mul_rows_block_k::<2>(x, out, range),
+                3 => self.mul_rows_block_k::<3>(x, out, range),
+                4 => self.mul_rows_block_k::<4>(x, out, range),
+                5 => self.mul_rows_block_k::<5>(x, out, range),
+                6 => self.mul_rows_block_k::<6>(x, out, range),
+                7 => self.mul_rows_block_k::<7>(x, out, range),
+                8 => self.mul_rows_block_k::<8>(x, out, range),
+                _ => unreachable!("rhs block validated against MAX_RHS_BLOCK"),
+            }
+        }
+    }
+
+    /// Const-width body of [`DiagSplitData::mul_rows_block`].
+    ///
+    /// # Safety
+    /// Contract of [`DiagSplitData::mul_rows_block`] with `k = K`.
+    unsafe fn mul_rows_block_k<const K: usize>(
+        &self,
+        x: &[f64],
+        out: &mut [f64],
+        range: std::ops::Range<usize>,
+    ) {
+        unsafe {
+            for (local, i) in range.enumerate() {
+                let s = *self.row_ptr.get_unchecked(i);
+                let e = *self.row_ptr.get_unchecked(i + 1);
+                let lo = s + *self.lower.get_unchecked(i) as usize;
+                let mut acc = [0.0f64; K];
+                for kk in s..lo {
+                    let v = *self.vals.get_unchecked(kk);
+                    let c = *self.cols.get_unchecked(kk) as usize * K;
+                    for (j, a) in acc.iter_mut().enumerate() {
+                        *a += v * x.get_unchecked(c + j);
+                    }
+                }
+                let mask = *self.dmask.get_unchecked(i);
+                let di = (i & mask as usize) * K;
+                let d = *self.diag.get_unchecked(i);
+                for (j, a) in acc.iter_mut().enumerate() {
+                    let with_diag = *a + d * x.get_unchecked(di + j);
+                    *a = f64::from_bits((with_diag.to_bits() & mask) | (a.to_bits() & !mask));
+                }
+                for kk in lo..e {
+                    let v = *self.vals.get_unchecked(kk);
+                    let c = *self.cols.get_unchecked(kk) as usize * K;
+                    for (j, a) in acc.iter_mut().enumerate() {
+                        *a += v * x.get_unchecked(c + j);
+                    }
+                }
+                for (j, a) in acc.iter().enumerate() {
+                    *out.get_unchecked_mut(local * K + j) = *a;
+                }
+            }
+        }
+    }
 }
 
 /// Sentinel length marking a tail row (excluded from its slice).
@@ -382,30 +593,88 @@ const TAIL_SENTINEL: u32 = u32::MAX;
 /// SELL-like sliced layout over the full `LANES`-row slices of the matrix;
 /// the ragged tail (last partial slice) and overlong rows fall back to the
 /// row-wise kernel.
+///
+/// With SELL-σ sorting enabled (`row_map` present), rows are reordered by
+/// length **within σ-row windows** before slicing; the stored stable
+/// permutation scatters each lane's result back to its original row, so
+/// sorted layouts stay bitwise identical to serial. Because sorting never
+/// crosses a window boundary, a σ-window's original rows are exactly the
+/// rows `w·σ .. (w+1)·σ` — whole windows inside a chunk can execute sliced
+/// and scatter safely, while partially covered windows fall back to
+/// row-wise execution on the original matrix.
 #[derive(Clone, Debug)]
 struct SlicedData {
     /// Start of each full slice in `vals`/`cols` (`full_slices + 1` ends).
     slice_ptr: Vec<usize>,
     /// Per-slice minimum sliceable row length (the unpredicated span).
     min_len: Vec<u32>,
-    /// Per-row entry counts; `TAIL_SENTINEL` marks rows handled row-wise.
+    /// Per-**position** entry counts (position = sorted position under
+    /// SELL-σ, original row otherwise); `TAIL_SENTINEL` marks rows handled
+    /// row-wise.
     lens: Vec<u32>,
     /// Lane-interleaved values, padded with zeros (never accumulated).
     vals: Vec<f64>,
-    /// Lane-interleaved columns (padding repeats column 0 — never read).
-    cols: Vec<u32>,
-    /// Tail-row indices (ascending), handled by the row-wise fallback.
+    /// Lane-interleaved columns, `u16`-compacted when the matrix fits
+    /// (padding repeats column 0 — never read).
+    cols: PackedIdx,
+    /// Tail-row **original** indices (ascending), handled row-wise.
     tail_rows: Vec<u32>,
+    /// SELL-σ permutation: sorted position → original row. `None` for
+    /// unsorted layouts.
+    row_map: Option<Vec<u32>>,
 }
 
 impl SlicedData {
-    fn build(m: &CsrMatrix) -> SlicedData {
+    fn build(m: &CsrMatrix, compact: bool, sort: SellSort) -> SlicedData {
         let n = m.nrows();
         let rp = m.row_ptr();
         let mvals = m.values();
         let mcols = m.col_idx();
         let tail = tail_threshold(m.nnz(), n);
-        let full = n / LANES;
+        let windows = n / SIGMA;
+        let row_len = |i: usize| rp[i + 1] - rp[i];
+        // SELL-σ decision. The padding estimate mirrors the layout (tail
+        // rows excluded from widths); `Auto` sorts only when the matrix has
+        // enough full windows for the forfeited window-boundary slices not
+        // to matter and sorting strictly shrinks the padded layout — a
+        // deterministic function of the structure alone.
+        let perm: Option<Vec<u32>> = if sort != SellSort::Never && windows > 0 {
+            let mut order: Vec<u32> = (0..(windows * SIGMA) as u32).collect();
+            for w in 0..windows {
+                order[w * SIGMA..(w + 1) * SIGMA].sort_by_key(|&r| (row_len(r as usize), r));
+            }
+            let padded = |pos_row: &dyn Fn(usize) -> usize| -> usize {
+                let mut cells = 0usize;
+                for s in 0..windows * WINDOW_SLICES {
+                    let mut w = 0usize;
+                    for l in 0..LANES {
+                        let len = row_len(pos_row(s * LANES + l));
+                        if len <= tail {
+                            w = w.max(len);
+                        }
+                    }
+                    cells += w * LANES;
+                }
+                cells
+            };
+            let keep = match sort {
+                SellSort::Always => true,
+                _ => windows >= 4 && padded(&|p| order[p] as usize) < padded(&|p| p),
+            };
+            keep.then_some(order)
+        } else {
+            None
+        };
+        let full = match &perm {
+            Some(_) => windows * WINDOW_SLICES,
+            None => n / LANES,
+        };
+        let pos_row = |p: usize| -> usize {
+            match &perm {
+                Some(o) => o[p] as usize,
+                None => p,
+            }
+        };
         let mut slice_ptr = Vec::with_capacity(full + 1);
         let mut min_len = Vec::with_capacity(full);
         let mut lens = vec![0u32; full * LANES];
@@ -417,13 +686,13 @@ impl SlicedData {
             let mut lo = u32::MAX;
             let mut slice_nnz = 0usize;
             for l in 0..LANES {
-                let i = s * LANES + l;
-                let len = rp[i + 1] - rp[i];
+                let p = s * LANES + l;
+                let len = row_len(pos_row(p));
                 if len > tail {
-                    lens[i] = TAIL_SENTINEL;
+                    lens[p] = TAIL_SENTINEL;
                     lo = 0;
                 } else {
-                    lens[i] = len as u32;
+                    lens[p] = len as u32;
                     width = width.max(len);
                     lo = lo.min(len as u32);
                     slice_nnz += len;
@@ -443,33 +712,41 @@ impl SlicedData {
                 lo = 0;
             }
             for l in 0..LANES {
-                let i = s * LANES + l;
-                if lens[i] == TAIL_SENTINEL {
-                    tail_rows.push(i as u32);
+                let p = s * LANES + l;
+                if lens[p] == TAIL_SENTINEL {
+                    tail_rows.push(pos_row(p) as u32);
                 }
             }
             off += width * LANES;
             min_len.push(lo);
             slice_ptr.push(off);
         }
+        // The row-wise fallback walks tail rows by original index.
+        tail_rows.sort_unstable();
         let mut vals = vec![0.0f64; off];
-        let mut cols = vec![0u32; off];
+        let mut cols32 = vec![0u32; off];
         // Index-based on purpose: `s` addresses slice_ptr, lens, and the
-        // row space in lock-step.
+        // position space in lock-step.
         #[allow(clippy::needless_range_loop)]
         for s in 0..full {
             let base = slice_ptr[s];
             for l in 0..LANES {
-                let i = s * LANES + l;
-                if lens[i] == TAIL_SENTINEL {
+                let p = s * LANES + l;
+                if lens[p] == TAIL_SENTINEL {
                     continue;
                 }
+                let i = pos_row(p);
                 for (j, k) in (rp[i]..rp[i + 1]).enumerate() {
                     vals[base + j * LANES + l] = mvals[k];
-                    cols[base + j * LANES + l] = mcols[k];
+                    cols32[base + j * LANES + l] = mcols[k];
                 }
             }
         }
+        let cols = if compact {
+            PackedIdx::U16(cols32.iter().map(|&c| c as u16).collect())
+        } else {
+            PackedIdx::U32(cols32)
+        };
         SlicedData {
             slice_ptr,
             min_len,
@@ -477,6 +754,33 @@ impl SlicedData {
             vals,
             cols,
             tail_rows,
+            row_map: perm,
+        }
+    }
+
+    /// The execution granule: `(rows per granule, number of full granules)`.
+    /// Unsorted layouts execute whole `LANES`-row slices; σ-sorted layouts
+    /// must execute whole σ-windows so the scatter stays inside the chunk.
+    #[inline]
+    fn granule(&self) -> (usize, usize) {
+        let full = self.slice_ptr.len() - 1;
+        match &self.row_map {
+            Some(_) => (SIGMA, full / WINDOW_SLICES),
+            None => (LANES, full),
+        }
+    }
+
+    /// Output index for a slice lane: the scatter target under SELL-σ, the
+    /// lane's own row otherwise.
+    ///
+    /// # Safety
+    /// `row0 + l` must be a valid layout position whose output row lies at
+    /// or after `out_base` (guaranteed by granule-aligned execution).
+    #[inline(always)]
+    unsafe fn lane_out(&self, row0: usize, l: usize, out_base: usize) -> usize {
+        match &self.row_map {
+            Some(rm) => unsafe { *rm.get_unchecked(row0 + l) as usize - out_base },
+            None => row0 + l - out_base,
         }
     }
 
@@ -493,34 +797,25 @@ impl SlicedData {
         range: std::ops::Range<usize>,
         backend: Backend,
     ) {
-        let full = self.slice_ptr.len() - 1;
-        let first_full = range.start.div_ceil(LANES);
-        let last_full = (range.end / LANES).min(full);
-        if first_full >= last_full {
-            // No whole slice inside the chunk: row-wise covers everything.
+        let (g, full_g) = self.granule();
+        let first_g = range.start.div_ceil(g);
+        let last_g = (range.end / g).min(full_g);
+        if first_g >= last_g {
+            // No whole granule inside the chunk: row-wise covers everything.
             unsafe { mul_rows_unchecked(m, x, out, range) };
             return;
         }
         unsafe {
-            // Head rows before the first whole slice.
-            let head = range.start..first_full * LANES;
+            // Head rows before the first whole granule.
+            let head = range.start..first_g * g;
             if !head.is_empty() {
                 mul_rows_unchecked(m, x, &mut out[..head.len()], head.clone());
             }
-            match backend {
-                Backend::Scalar => self.slices_scalar(x, out, range.start, first_full, last_full),
-                #[cfg(all(feature = "simd", target_arch = "x86_64"))]
-                Backend::Sse2 => self.slices_sse2(x, out, range.start, first_full, last_full),
-                #[cfg(all(feature = "simd", target_arch = "x86_64"))]
-                Backend::Avx2 => self.slices_avx2(x, out, range.start, first_full, last_full),
-                // Unreachable: resolve() never yields a SIMD backend in a
-                // non-SIMD build. Scalar is still a correct answer.
-                #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
-                _ => self.slices_scalar(x, out, range.start, first_full, last_full),
-            }
-            // Tail rows inside the sliced span, row-wise.
-            let lo_row = (first_full * LANES) as u32;
-            let hi_row = (last_full * LANES) as u32;
+            let sl = g / LANES;
+            self.slices_dispatch(x, out, range.start, first_g * sl, last_g * sl, backend);
+            // Tail rows inside the sliced span, row-wise (original indices).
+            let lo_row = (first_g * g) as u32;
+            let hi_row = (last_g * g) as u32;
             let a = self.tail_rows.partition_point(|&r| r < lo_row);
             let b = self.tail_rows.partition_point(|&r| r < hi_row);
             for &i in &self.tail_rows[a..b] {
@@ -528,12 +823,52 @@ impl SlicedData {
                 let local = i - range.start;
                 mul_rows_unchecked(m, x, &mut out[local..local + 1], i..i + 1);
             }
-            // Rows after the last whole slice (including the matrix's own
+            // Rows after the last whole granule (including the matrix's own
             // ragged final slice).
-            let rest = last_full * LANES..range.end;
+            let rest = last_g * g..range.end;
             if !rest.is_empty() {
                 let local = rest.start - range.start;
                 mul_rows_unchecked(m, x, &mut out[local..], rest);
+            }
+        }
+    }
+
+    /// Backend × index-width dispatch for whole slices `first..last`.
+    ///
+    /// # Safety
+    /// Contract of [`SlicedData::mul_rows`] (which delegates here).
+    unsafe fn slices_dispatch(
+        &self,
+        x: &[f64],
+        out: &mut [f64],
+        out_base: usize,
+        first: usize,
+        last: usize,
+        backend: Backend,
+    ) {
+        unsafe {
+            match (backend, &self.cols) {
+                #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+                (Backend::Sse2, PackedIdx::U32(c)) => {
+                    self.slices_sse2(c, x, out, out_base, first, last)
+                }
+                #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+                (Backend::Sse2, PackedIdx::U16(c)) => {
+                    self.slices_sse2(c, x, out, out_base, first, last)
+                }
+                #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+                (Backend::Avx2, PackedIdx::U32(c)) => {
+                    self.slices_avx2_u32(c, x, out, out_base, first, last)
+                }
+                #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+                (Backend::Avx2, PackedIdx::U16(c)) => {
+                    self.slices_avx2_u16(c, x, out, out_base, first, last)
+                }
+                // Scalar — and, in a non-SIMD build, whatever resolve()
+                // could not honor (unreachable in practice; scalar is still
+                // a correct answer).
+                (_, PackedIdx::U32(c)) => self.slices_scalar(c, x, out, out_base, first, last),
+                (_, PackedIdx::U16(c)) => self.slices_scalar(c, x, out, out_base, first, last),
             }
         }
     }
@@ -542,13 +877,15 @@ impl SlicedData {
     /// chunk's first row (out is chunk-local).
     ///
     /// # Safety
-    /// Same contract as `mul_rows` (which delegates here).
+    /// Same contract as `mul_rows` (which delegates here); `cols` must be
+    /// this layout's own index array.
     // The lane loops are index-based on purpose: `l` addresses the
     // accumulator array and the interleaved layout arrays in lock-step —
     // the shape the compiler autovectorizes.
     #[allow(clippy::needless_range_loop)]
-    unsafe fn slices_scalar(
+    unsafe fn slices_scalar<I: IdxVal>(
         &self,
+        cols: &[I],
         x: &[f64],
         out: &mut [f64],
         out_base: usize,
@@ -560,7 +897,6 @@ impl SlicedData {
                 let base = *self.slice_ptr.get_unchecked(s);
                 let width = (*self.slice_ptr.get_unchecked(s + 1) - base) / LANES;
                 let row0 = s * LANES;
-                let out0 = row0 - out_base;
                 let mut acc = [0.0f64; LANES];
                 // Lock-step span: all lanes active, no predication.
                 let lo = *self.min_len.get_unchecked(s) as usize;
@@ -568,7 +904,7 @@ impl SlicedData {
                     let o = base + j * LANES;
                     for l in 0..LANES {
                         acc[l] += self.vals.get_unchecked(o + l)
-                            * x.get_unchecked(*self.cols.get_unchecked(o + l) as usize);
+                            * x.get_unchecked(cols.get_unchecked(o + l).idx());
                     }
                 }
                 // Ragged span: per-lane length gates each accumulation, so
@@ -579,13 +915,257 @@ impl SlicedData {
                         let len = *self.lens.get_unchecked(row0 + l);
                         if len != TAIL_SENTINEL && j < len as usize {
                             acc[l] += self.vals.get_unchecked(o + l)
-                                * x.get_unchecked(*self.cols.get_unchecked(o + l) as usize);
+                                * x.get_unchecked(cols.get_unchecked(o + l).idx());
                         }
                     }
                 }
                 for l in 0..LANES {
                     if *self.lens.get_unchecked(row0 + l) != TAIL_SENTINEL {
-                        *out.get_unchecked_mut(out0 + l) = acc[l];
+                        *out.get_unchecked_mut(self.lane_out(row0, l, out_base)) = acc[l];
+                    }
+                }
+            }
+        }
+    }
+
+    /// Blocked counterpart of [`SlicedData::mul_rows`]: `k` interleaved
+    /// right-hand sides per pass of the layout.
+    ///
+    /// # Safety
+    /// Contract of [`SlicedData::mul_rows`], with `x`/`out` holding `k`
+    /// interleaved columns.
+    unsafe fn mul_rows_block(
+        &self,
+        m: &CsrMatrix,
+        x: &[f64],
+        out: &mut [f64],
+        range: std::ops::Range<usize>,
+        k: usize,
+        backend: Backend,
+    ) {
+        let (g, full_g) = self.granule();
+        let first_g = range.start.div_ceil(g);
+        let last_g = (range.end / g).min(full_g);
+        if first_g >= last_g {
+            unsafe { block_rowwise_mat(m, x, out, range, k) };
+            return;
+        }
+        unsafe {
+            let head = range.start..first_g * g;
+            if !head.is_empty() {
+                block_rowwise_mat(m, x, &mut out[..head.len() * k], head.clone(), k);
+            }
+            let sl = g / LANES;
+            self.slices_block_dispatch(x, out, range.start, first_g * sl, last_g * sl, k, backend);
+            let lo_row = (first_g * g) as u32;
+            let hi_row = (last_g * g) as u32;
+            let a = self.tail_rows.partition_point(|&r| r < lo_row);
+            let b = self.tail_rows.partition_point(|&r| r < hi_row);
+            for &i in &self.tail_rows[a..b] {
+                let i = i as usize;
+                let local = (i - range.start) * k;
+                block_rowwise_mat(m, x, &mut out[local..local + k], i..i + 1, k);
+            }
+            let rest = last_g * g..range.end;
+            if !rest.is_empty() {
+                let local = (rest.start - range.start) * k;
+                block_rowwise_mat(m, x, &mut out[local..], rest, k);
+            }
+        }
+    }
+
+    /// Backend × index-width dispatch for blocked whole slices. SIMD
+    /// variants need `k` divisible by their lane count; anything else runs
+    /// the scalar loop (bitwise identical either way).
+    ///
+    /// # Safety
+    /// Contract of [`SlicedData::mul_rows_block`].
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn slices_block_dispatch(
+        &self,
+        x: &[f64],
+        out: &mut [f64],
+        out_base: usize,
+        first: usize,
+        last: usize,
+        k: usize,
+        backend: Backend,
+    ) {
+        unsafe {
+            match (backend, &self.cols) {
+                #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+                (Backend::Avx2, PackedIdx::U32(c)) if k.is_multiple_of(4) => {
+                    self.slices_block_avx2_u32(c, x, out, out_base, first, last, k)
+                }
+                #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+                (Backend::Avx2, PackedIdx::U16(c)) if k.is_multiple_of(4) => {
+                    self.slices_block_avx2_u16(c, x, out, out_base, first, last, k)
+                }
+                #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+                (Backend::Avx2 | Backend::Sse2, PackedIdx::U32(c)) if k.is_multiple_of(2) => {
+                    self.slices_block_sse2(c, x, out, out_base, first, last, k)
+                }
+                #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+                (Backend::Avx2 | Backend::Sse2, PackedIdx::U16(c)) if k.is_multiple_of(2) => {
+                    self.slices_block_sse2(c, x, out, out_base, first, last, k)
+                }
+                (_, PackedIdx::U32(c)) => {
+                    self.slices_block_scalar(c, x, out, out_base, first, last, k)
+                }
+                (_, PackedIdx::U16(c)) => {
+                    self.slices_block_scalar(c, x, out, out_base, first, last, k)
+                }
+            }
+        }
+    }
+
+    /// Scalar blocked slice loop, lane-major: each lane (one row) streams
+    /// its entries once and advances all `k` columns with independent
+    /// accumulators in CSR entry order — per-column bitwise identity by
+    /// construction, no predication needed (each lane uses its own length).
+    ///
+    /// # Safety
+    /// Contract of [`SlicedData::mul_rows_block`].
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn slices_block_scalar<I: IdxVal>(
+        &self,
+        cols: &[I],
+        x: &[f64],
+        out: &mut [f64],
+        out_base: usize,
+        first: usize,
+        last: usize,
+        k: usize,
+    ) {
+        // Monomorphized per width: the const-size accumulator avoids a
+        // per-lane memset/memcpy pair that otherwise dominates short rows.
+        unsafe {
+            match k {
+                1 => self.slices_block_scalar_k::<I, 1>(cols, x, out, out_base, first, last),
+                2 => self.slices_block_scalar_k::<I, 2>(cols, x, out, out_base, first, last),
+                3 => self.slices_block_scalar_k::<I, 3>(cols, x, out, out_base, first, last),
+                4 => self.slices_block_scalar_k::<I, 4>(cols, x, out, out_base, first, last),
+                5 => self.slices_block_scalar_k::<I, 5>(cols, x, out, out_base, first, last),
+                6 => self.slices_block_scalar_k::<I, 6>(cols, x, out, out_base, first, last),
+                7 => self.slices_block_scalar_k::<I, 7>(cols, x, out, out_base, first, last),
+                8 => self.slices_block_scalar_k::<I, 8>(cols, x, out, out_base, first, last),
+                _ => unreachable!("rhs block validated against MAX_RHS_BLOCK"),
+            }
+        }
+    }
+
+    /// Const-width body of [`SlicedData::slices_block_scalar`].
+    ///
+    /// # Safety
+    /// Contract of [`SlicedData::mul_rows_block`] with `k = K`.
+    unsafe fn slices_block_scalar_k<I: IdxVal, const K: usize>(
+        &self,
+        cols: &[I],
+        x: &[f64],
+        out: &mut [f64],
+        out_base: usize,
+        first: usize,
+        last: usize,
+    ) {
+        unsafe {
+            for s in first..last {
+                let base = *self.slice_ptr.get_unchecked(s);
+                let row0 = s * LANES;
+                for l in 0..LANES {
+                    let len = *self.lens.get_unchecked(row0 + l);
+                    if len == TAIL_SENTINEL {
+                        continue;
+                    }
+                    let mut acc = [0.0f64; K];
+                    for j in 0..len as usize {
+                        let o = base + j * LANES + l;
+                        let v = *self.vals.get_unchecked(o);
+                        let c = cols.get_unchecked(o).idx() * K;
+                        for (jj, a) in acc.iter_mut().enumerate() {
+                            *a += v * x.get_unchecked(c + jj);
+                        }
+                    }
+                    let dst = self.lane_out(row0, l, out_base) * K;
+                    for (jj, a) in acc.iter().enumerate() {
+                        *out.get_unchecked_mut(dst + jj) = *a;
+                    }
+                }
+            }
+        }
+    }
+
+    /// SSE2 blocked slice loop (`k` even): per lane, each entry's value is
+    /// broadcast and multiplied against contiguous 2-wide blocks of the
+    /// interleaved `x` — no gathers at all, the payoff of the blocked
+    /// layout. Accumulation per column stays in CSR entry order.
+    ///
+    /// # Safety
+    /// Contract of [`SlicedData::mul_rows_block`]; SSE2 is x86_64 baseline.
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn slices_block_sse2<I: IdxVal>(
+        &self,
+        cols: &[I],
+        x: &[f64],
+        out: &mut [f64],
+        out_base: usize,
+        first: usize,
+        last: usize,
+        k: usize,
+    ) {
+        // Monomorphized per 2-wide block count (`[T; K / 2]` needs unstable
+        // const generics, so KB is passed as its own parameter).
+        unsafe {
+            match k / 2 {
+                1 => self.slices_block_sse2_k::<I, 1>(cols, x, out, out_base, first, last),
+                2 => self.slices_block_sse2_k::<I, 2>(cols, x, out, out_base, first, last),
+                3 => self.slices_block_sse2_k::<I, 3>(cols, x, out, out_base, first, last),
+                4 => self.slices_block_sse2_k::<I, 4>(cols, x, out, out_base, first, last),
+                _ => unreachable!("rhs block validated against MAX_RHS_BLOCK"),
+            }
+        }
+    }
+
+    /// Const-width body of [`SlicedData::slices_block_sse2`]; `KB = k / 2`.
+    ///
+    /// # Safety
+    /// Contract of [`SlicedData::mul_rows_block`] with `k = 2 * KB`; SSE2 is
+    /// x86_64 baseline.
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    unsafe fn slices_block_sse2_k<I: IdxVal, const KB: usize>(
+        &self,
+        cols: &[I],
+        x: &[f64],
+        out: &mut [f64],
+        out_base: usize,
+        first: usize,
+        last: usize,
+    ) {
+        use core::arch::x86_64::*;
+        unsafe {
+            let xp = x.as_ptr();
+            for s in first..last {
+                let base = *self.slice_ptr.get_unchecked(s);
+                let row0 = s * LANES;
+                for l in 0..LANES {
+                    let len = *self.lens.get_unchecked(row0 + l);
+                    if len == TAIL_SENTINEL {
+                        continue;
+                    }
+                    let mut acc = [_mm_setzero_pd(); MAX_RHS_BLOCK / 2];
+                    for j in 0..len as usize {
+                        let o = base + j * LANES + l;
+                        let v = _mm_set1_pd(*self.vals.get_unchecked(o));
+                        let c = cols.get_unchecked(o).idx() * (2 * KB);
+                        for b in 0..KB {
+                            let xv = _mm_loadu_pd(xp.add(c + 2 * b));
+                            let a = acc.get_unchecked_mut(b);
+                            *a = _mm_add_pd(*a, _mm_mul_pd(v, xv));
+                        }
+                    }
+                    let dst = self.lane_out(row0, l, out_base) * (2 * KB);
+                    for b in 0..KB {
+                        _mm_storeu_pd(out.as_mut_ptr().add(dst + 2 * b), *acc.get_unchecked(b));
                     }
                 }
             }
@@ -596,15 +1176,243 @@ impl SlicedData {
 /// Composes a 2-lane `x` vector from two gathered columns. Plain loads +
 /// one shuffle — measurably faster than `vgatherqpd` on the Xeon
 /// generations this workspace targets (hardware gathers there cost more
-/// than their lane count in uops).
+/// than their lane count in uops). Generic over the index width.
 ///
 /// # Safety
 /// `cp[0..2]` must be readable and index into `xp`'s allocation.
 #[cfg(all(feature = "simd", target_arch = "x86_64"))]
 #[inline(always)]
-unsafe fn gather2(xp: *const f64, cp: *const u32) -> core::arch::x86_64::__m128d {
+unsafe fn gather2<I: IdxVal>(xp: *const f64, cp: *const I) -> core::arch::x86_64::__m128d {
     use core::arch::x86_64::*;
-    unsafe { _mm_set_pd(*xp.add(*cp.add(1) as usize), *xp.add(*cp.add(0) as usize)) }
+    unsafe { _mm_set_pd(*xp.add((*cp.add(1)).idx()), *xp.add((*cp.add(0)).idx())) }
+}
+
+/// Loads 8 consecutive `u32` lane indices as two i32×4 gather-index
+/// vectors.
+///
+/// # Safety
+/// `cp[o..o+8]` must be readable; AVX2 must be available.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn load_idx8_u32(
+    cp: *const u32,
+    o: usize,
+) -> (core::arch::x86_64::__m128i, core::arch::x86_64::__m128i) {
+    use core::arch::x86_64::*;
+    unsafe {
+        (
+            _mm_loadu_si128(cp.add(o) as *const __m128i),
+            _mm_loadu_si128(cp.add(o + 4) as *const __m128i),
+        )
+    }
+}
+
+/// Loads 8 consecutive `u16` lane indices (one 128-bit load) and
+/// zero-extends them to two i32×4 gather-index vectors — the compact-index
+/// fast path: half the index bytes per slice column.
+///
+/// # Safety
+/// `cp[o..o+8]` must be readable; AVX2 must be available.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn load_idx8_u16(
+    cp: *const u16,
+    o: usize,
+) -> (core::arch::x86_64::__m128i, core::arch::x86_64::__m128i) {
+    use core::arch::x86_64::*;
+    unsafe {
+        let c8 = _mm_loadu_si128(cp.add(o) as *const __m128i);
+        (
+            _mm_cvtepu16_epi32(c8),
+            _mm_cvtepu16_epi32(_mm_srli_si128::<8>(c8)),
+        )
+    }
+}
+
+/// Stamps out the AVX2 slice loop per index width: `#[target_feature]`
+/// functions cannot be generic, so the `u16`/`u32` variants are macro
+/// duplicates differing only in the index-vector load.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+macro_rules! gen_slices_avx2 {
+    ($name:ident, $ity:ty, $load8:path) => {
+        /// AVX2 slice loop: 8 rows as two 4-lane vectors and a
+        /// blend-predicated ragged span: inactive lanes keep their
+        /// accumulator bits exactly — `0.0·x[pad]` products are computed
+        /// but discarded before they can touch a result, which is what
+        /// keeps non-finite inputs bitwise identical to serial.
+        ///
+        /// # Safety
+        /// Caller contract of [`SlicedData::mul_rows`], plus AVX2 must be
+        /// available (guaranteed by `resolve()`), and `cols` must be this
+        /// layout's own index array.
+        #[target_feature(enable = "avx2")]
+        unsafe fn $name(
+            &self,
+            cols: &[$ity],
+            x: &[f64],
+            out: &mut [f64],
+            out_base: usize,
+            first: usize,
+            last: usize,
+        ) {
+            use core::arch::x86_64::*;
+            unsafe {
+                let xp = x.as_ptr();
+                let vp = self.vals.as_ptr();
+                let cp = cols.as_ptr();
+                for s in first..last {
+                    let base = *self.slice_ptr.get_unchecked(s);
+                    let width = (*self.slice_ptr.get_unchecked(s + 1) - base) / LANES;
+                    let row0 = s * LANES;
+                    let lo = *self.min_len.get_unchecked(s) as usize;
+                    let mut acc0 = _mm256_setzero_pd();
+                    let mut acc1 = _mm256_setzero_pd();
+                    // Lock-step span: every lane has a real entry at column
+                    // offset j, so load + gather + multiply + add
+                    // unpredicated. The mul/add stay separate instructions
+                    // (no FMA contraction), matching the scalar loop's two
+                    // roundings per product.
+                    for j in 0..lo {
+                        let o = base + j * LANES;
+                        let (c0, c1) = $load8(cp, o);
+                        let x0 = _mm256_i32gather_pd::<8>(xp, c0);
+                        let x1 = _mm256_i32gather_pd::<8>(xp, c1);
+                        let v0 = _mm256_loadu_pd(vp.add(o));
+                        let v1 = _mm256_loadu_pd(vp.add(o + 4));
+                        acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(v0, x0));
+                        acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(v1, x1));
+                    }
+                    if lo < width {
+                        // Ragged span: per-lane lengths (tail rows count as
+                        // 0) gate each add via a blend — a padded cell's
+                        // product never reaches an accumulator. Padding
+                        // repeats column 0, so even inactive lanes read `x`
+                        // in bounds.
+                        let eff = |l: usize| -> i64 {
+                            let len = *self.lens.get_unchecked(row0 + l);
+                            if len == TAIL_SENTINEL {
+                                0
+                            } else {
+                                len as i64
+                            }
+                        };
+                        let len0 = _mm256_set_epi64x(eff(3), eff(2), eff(1), eff(0));
+                        let len1 = _mm256_set_epi64x(eff(7), eff(6), eff(5), eff(4));
+                        for j in lo..width {
+                            let jv = _mm256_set1_epi64x(j as i64);
+                            let m0 = _mm256_castsi256_pd(_mm256_cmpgt_epi64(len0, jv));
+                            let m1 = _mm256_castsi256_pd(_mm256_cmpgt_epi64(len1, jv));
+                            let o = base + j * LANES;
+                            let (c0, c1) = $load8(cp, o);
+                            let x0 = _mm256_i32gather_pd::<8>(xp, c0);
+                            let x1 = _mm256_i32gather_pd::<8>(xp, c1);
+                            let v0 = _mm256_loadu_pd(vp.add(o));
+                            let v1 = _mm256_loadu_pd(vp.add(o + 4));
+                            let s0 = _mm256_add_pd(acc0, _mm256_mul_pd(v0, x0));
+                            let s1 = _mm256_add_pd(acc1, _mm256_mul_pd(v1, x1));
+                            acc0 = _mm256_blendv_pd(acc0, s0, m0);
+                            acc1 = _mm256_blendv_pd(acc1, s1, m1);
+                        }
+                    }
+                    let mut accs = [0.0f64; LANES];
+                    _mm256_storeu_pd(accs.as_mut_ptr(), acc0);
+                    _mm256_storeu_pd(accs.as_mut_ptr().add(4), acc1);
+                    for (l, &a) in accs.iter().enumerate() {
+                        if *self.lens.get_unchecked(row0 + l) != TAIL_SENTINEL {
+                            *out.get_unchecked_mut(self.lane_out(row0, l, out_base)) = a;
+                        }
+                    }
+                }
+            }
+        }
+    };
+}
+
+/// Stamps out the AVX2 **blocked** slice loop per index width: lane-major —
+/// each lane streams its entries once, broadcasting the value against
+/// contiguous 4-wide blocks of the interleaved `x`. No gathers and no
+/// predication (each lane uses its own length); per-column accumulation
+/// stays in CSR entry order.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+macro_rules! gen_slices_block_avx2 {
+    ($name:ident, $body:ident, $ity:ty) => {
+        /// # Safety
+        /// Contract of [`SlicedData::mul_rows_block`]; `k % 4 == 0`, AVX2
+        /// available, `cols` this layout's own index array.
+        #[allow(clippy::too_many_arguments)]
+        #[target_feature(enable = "avx2")]
+        unsafe fn $name(
+            &self,
+            cols: &[$ity],
+            x: &[f64],
+            out: &mut [f64],
+            out_base: usize,
+            first: usize,
+            last: usize,
+            k: usize,
+        ) {
+            // Monomorphized per 4-wide block count (`[T; K / 4]` needs
+            // unstable const generics, so KB is its own parameter).
+            unsafe {
+                match k / 4 {
+                    1 => self.$body::<1>(cols, x, out, out_base, first, last),
+                    2 => self.$body::<2>(cols, x, out, out_base, first, last),
+                    _ => unreachable!("rhs block validated against MAX_RHS_BLOCK"),
+                }
+            }
+        }
+
+        /// Const-width body; `KB = k / 4`.
+        ///
+        /// # Safety
+        /// Contract of [`SlicedData::mul_rows_block`] with `k = 4 * KB`;
+        /// AVX2 available, `cols` this layout's own index array.
+        #[target_feature(enable = "avx2")]
+        unsafe fn $body<const KB: usize>(
+            &self,
+            cols: &[$ity],
+            x: &[f64],
+            out: &mut [f64],
+            out_base: usize,
+            first: usize,
+            last: usize,
+        ) {
+            use core::arch::x86_64::*;
+            unsafe {
+                let xp = x.as_ptr();
+                for s in first..last {
+                    let base = *self.slice_ptr.get_unchecked(s);
+                    let row0 = s * LANES;
+                    for l in 0..LANES {
+                        let len = *self.lens.get_unchecked(row0 + l);
+                        if len == TAIL_SENTINEL {
+                            continue;
+                        }
+                        let mut acc = [_mm256_setzero_pd(); MAX_RHS_BLOCK / 4];
+                        for j in 0..len as usize {
+                            let o = base + j * LANES + l;
+                            let v = _mm256_set1_pd(*self.vals.get_unchecked(o));
+                            let c = cols.get_unchecked(o).idx() * (4 * KB);
+                            for b in 0..KB {
+                                let xv = _mm256_loadu_pd(xp.add(c + 4 * b));
+                                let a = acc.get_unchecked_mut(b);
+                                *a = _mm256_add_pd(*a, _mm256_mul_pd(v, xv));
+                            }
+                        }
+                        let dst = self.lane_out(row0, l, out_base) * (4 * KB);
+                        for b in 0..KB {
+                            _mm256_storeu_pd(
+                                out.as_mut_ptr().add(dst + 4 * b),
+                                *acc.get_unchecked(b),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    };
 }
 
 /// AVX2/SSE2 slice loops. Each lane is a whole row, so the vector variants
@@ -614,101 +1422,10 @@ unsafe fn gather2(xp: *const f64, cp: *const u32) -> core::arch::x86_64::__m128d
 /// from non-SIMD builds.
 #[cfg(all(feature = "simd", target_arch = "x86_64"))]
 impl SlicedData {
-    /// AVX2 slice loop: 8 rows as two 4-lane vectors (`x` composed from
-    /// scalar loads — see [`gather2`]) and a blend-predicated ragged span:
-    /// inactive lanes keep their accumulator bits exactly — `0.0·x[pad]`
-    /// products are computed but discarded before they can touch a result,
-    /// which is what keeps non-finite inputs bitwise identical to serial.
-    ///
-    /// # Safety
-    /// Caller contract of [`SlicedData::mul_rows`], plus AVX2 must be
-    /// available (guaranteed by `resolve()`).
-    #[target_feature(enable = "avx2")]
-    unsafe fn slices_avx2(
-        &self,
-        x: &[f64],
-        out: &mut [f64],
-        out_base: usize,
-        first: usize,
-        last: usize,
-    ) {
-        use core::arch::x86_64::*;
-        unsafe {
-            let xp = x.as_ptr();
-            let vp = self.vals.as_ptr();
-            let cp = self.cols.as_ptr();
-            // Hardware gathers: the 8 lane indices arrive in two 128-bit
-            // loads and the gather instructions carry the 8 `x` loads —
-            // fewer load-port uops per column offset than composing lanes
-            // from scalar loads (this kernel is load-port bound).
-            let compose = |o: usize| -> (__m256d, __m256d) {
-                let c0 = _mm_loadu_si128(cp.add(o) as *const __m128i);
-                let c1 = _mm_loadu_si128(cp.add(o + 4) as *const __m128i);
-                (
-                    _mm256_i32gather_pd::<8>(xp, c0),
-                    _mm256_i32gather_pd::<8>(xp, c1),
-                )
-            };
-            for s in first..last {
-                let base = *self.slice_ptr.get_unchecked(s);
-                let width = (*self.slice_ptr.get_unchecked(s + 1) - base) / LANES;
-                let row0 = s * LANES;
-                let out0 = row0 - out_base;
-                let lo = *self.min_len.get_unchecked(s) as usize;
-                let mut acc0 = _mm256_setzero_pd();
-                let mut acc1 = _mm256_setzero_pd();
-                // Lock-step span: every lane has a real entry at column
-                // offset j, so compose + multiply + add unpredicated. The
-                // mul/add stay separate instructions (no FMA contraction),
-                // matching the scalar loop's two roundings per product.
-                for j in 0..lo {
-                    let o = base + j * LANES;
-                    let (x0, x1) = compose(o);
-                    let v0 = _mm256_loadu_pd(vp.add(o));
-                    let v1 = _mm256_loadu_pd(vp.add(o + 4));
-                    acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(v0, x0));
-                    acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(v1, x1));
-                }
-                if lo < width {
-                    // Ragged span: per-lane lengths (tail rows count as 0)
-                    // gate each add via a blend — a padded cell's product
-                    // never reaches an accumulator. Padding repeats column
-                    // 0, so even inactive lanes read `x` in bounds.
-                    let eff = |l: usize| -> i64 {
-                        let len = *self.lens.get_unchecked(row0 + l);
-                        if len == TAIL_SENTINEL {
-                            0
-                        } else {
-                            len as i64
-                        }
-                    };
-                    let len0 = _mm256_set_epi64x(eff(3), eff(2), eff(1), eff(0));
-                    let len1 = _mm256_set_epi64x(eff(7), eff(6), eff(5), eff(4));
-                    for j in lo..width {
-                        let jv = _mm256_set1_epi64x(j as i64);
-                        let m0 = _mm256_castsi256_pd(_mm256_cmpgt_epi64(len0, jv));
-                        let m1 = _mm256_castsi256_pd(_mm256_cmpgt_epi64(len1, jv));
-                        let o = base + j * LANES;
-                        let (x0, x1) = compose(o);
-                        let v0 = _mm256_loadu_pd(vp.add(o));
-                        let v1 = _mm256_loadu_pd(vp.add(o + 4));
-                        let s0 = _mm256_add_pd(acc0, _mm256_mul_pd(v0, x0));
-                        let s1 = _mm256_add_pd(acc1, _mm256_mul_pd(v1, x1));
-                        acc0 = _mm256_blendv_pd(acc0, s0, m0);
-                        acc1 = _mm256_blendv_pd(acc1, s1, m1);
-                    }
-                }
-                let mut accs = [0.0f64; LANES];
-                _mm256_storeu_pd(accs.as_mut_ptr(), acc0);
-                _mm256_storeu_pd(accs.as_mut_ptr().add(4), acc1);
-                for (l, &a) in accs.iter().enumerate() {
-                    if *self.lens.get_unchecked(row0 + l) != TAIL_SENTINEL {
-                        *out.get_unchecked_mut(out0 + l) = a;
-                    }
-                }
-            }
-        }
-    }
+    gen_slices_avx2!(slices_avx2_u32, u32, load_idx8_u32);
+    gen_slices_avx2!(slices_avx2_u16, u16, load_idx8_u16);
+    gen_slices_block_avx2!(slices_block_avx2_u32, slices_block_avx2_u32_k, u32);
+    gen_slices_block_avx2!(slices_block_avx2_u16, slices_block_avx2_u16_k, u16);
 
     /// SSE2 slice loop: 8 rows as four 2-lane vectors, `x` composed from
     /// scalar loads, and the ragged span predicated with an `f64`-compare
@@ -718,9 +1435,11 @@ impl SlicedData {
     ///
     /// # Safety
     /// Caller contract of [`SlicedData::mul_rows`]. SSE2 is x86_64
-    /// baseline, so no runtime requirement beyond the cfg.
-    unsafe fn slices_sse2(
+    /// baseline, so no runtime requirement beyond the cfg; `cols` must be
+    /// this layout's own index array.
+    unsafe fn slices_sse2<I: IdxVal>(
         &self,
+        cols: &[I],
         x: &[f64],
         out: &mut [f64],
         out_base: usize,
@@ -731,12 +1450,11 @@ impl SlicedData {
         unsafe {
             let xp = x.as_ptr();
             let vp = self.vals.as_ptr();
-            let cp = self.cols.as_ptr();
+            let cp = cols.as_ptr();
             for s in first..last {
                 let base = *self.slice_ptr.get_unchecked(s);
                 let width = (*self.slice_ptr.get_unchecked(s + 1) - base) / LANES;
                 let row0 = s * LANES;
-                let out0 = row0 - out_base;
                 let lo = *self.min_len.get_unchecked(s) as usize;
                 let mut acc = [_mm_setzero_pd(); LANES / 2];
                 for j in 0..lo {
@@ -782,7 +1500,7 @@ impl SlicedData {
                 }
                 for (l, &a) in accs.iter().enumerate() {
                     if *self.lens.get_unchecked(row0 + l) != TAIL_SENTINEL {
-                        *out.get_unchecked_mut(out0 + l) = a;
+                        *out.get_unchecked_mut(self.lane_out(row0, l, out_base)) = a;
                     }
                 }
             }
@@ -823,19 +1541,302 @@ unsafe fn mul_rows_unchecked(
     out: &mut [f64],
     range: std::ops::Range<usize>,
 ) {
-    let row_ptr = m.row_ptr();
-    let col_idx = m.col_idx();
-    let values = m.values();
+    unsafe { mul_rows_rowwise_idx(m.row_ptr(), m.col_idx(), m.values(), x, out, range) }
+}
+
+/// The unchecked row-wise loop body, generic over the index array — the
+/// matrix's `u32` columns or the compact shortrow `u16` copy.
+///
+/// # Safety
+/// Contract of [`mul_rows_unchecked`]; `cols` must describe the same
+/// sparsity as `row_ptr`/`values`.
+unsafe fn mul_rows_rowwise_idx<I: IdxVal>(
+    row_ptr: &[usize],
+    cols: &[I],
+    values: &[f64],
+    x: &[f64],
+    out: &mut [f64],
+    range: std::ops::Range<usize>,
+) {
     unsafe {
         for (local, i) in range.enumerate() {
             let s = *row_ptr.get_unchecked(i);
             let e = *row_ptr.get_unchecked(i + 1);
             let mut acc = 0.0;
             for k in s..e {
-                acc +=
-                    values.get_unchecked(k) * x.get_unchecked(*col_idx.get_unchecked(k) as usize);
+                acc += values.get_unchecked(k) * x.get_unchecked(cols.get_unchecked(k).idx());
             }
             *out.get_unchecked_mut(local) = acc;
+        }
+    }
+}
+
+/// Safe blocked generic CSR loop — the blocked reference semantics: `k`
+/// interleaved right-hand sides, each output column accumulated with its
+/// own accumulator in the row's CSR entry order (column `j` is bitwise
+/// equal to [`mul_rows_generic`] on column `j` alone).
+pub(crate) fn mul_rows_block_generic(
+    m: &CsrMatrix,
+    x: &[f64],
+    out: &mut [f64],
+    range: std::ops::Range<usize>,
+    k: usize,
+) {
+    // Monomorphized per width like the unchecked loops (see
+    // `mul_rows_block_rowwise`): the const-size accumulator is what keeps
+    // the bounds-checked ground truth within sight of them.
+    match k {
+        1 => mul_rows_block_generic_k::<1>(m, x, out, range),
+        2 => mul_rows_block_generic_k::<2>(m, x, out, range),
+        3 => mul_rows_block_generic_k::<3>(m, x, out, range),
+        4 => mul_rows_block_generic_k::<4>(m, x, out, range),
+        5 => mul_rows_block_generic_k::<5>(m, x, out, range),
+        6 => mul_rows_block_generic_k::<6>(m, x, out, range),
+        7 => mul_rows_block_generic_k::<7>(m, x, out, range),
+        8 => mul_rows_block_generic_k::<8>(m, x, out, range),
+        _ => unreachable!("rhs block validated against MAX_RHS_BLOCK"),
+    }
+}
+
+/// Const-width body of [`mul_rows_block_generic`] (fully bounds-checked).
+fn mul_rows_block_generic_k<const K: usize>(
+    m: &CsrMatrix,
+    x: &[f64],
+    out: &mut [f64],
+    range: std::ops::Range<usize>,
+) {
+    let row_ptr = m.row_ptr();
+    let col_idx = m.col_idx();
+    let values = m.values();
+    for (local, i) in range.enumerate() {
+        let mut acc = [0.0f64; K];
+        for e in row_ptr[i]..row_ptr[i + 1] {
+            let v = values[e];
+            let c = col_idx[e] as usize * K;
+            for (j, a) in acc.iter_mut().enumerate() {
+                *a += v * x[c + j];
+            }
+        }
+        out[local * K..(local + 1) * K].copy_from_slice(&acc);
+    }
+}
+
+/// Unchecked blocked row-wise loop, generic over the index array. One
+/// streaming pass of the row's entries advances all `k` columns.
+///
+/// Dispatches the runtime width to a const-generic monomorphization:
+/// a `[f64; K]` accumulator compiles to straight-line register code, where
+/// a runtime-length `&mut acc[..k]` costs a `memset`/`memcpy` call pair
+/// per row — on short-row matrices those calls dominate the products
+/// themselves. Bits are unchanged: each column's accumulation order is
+/// identical at every width.
+///
+/// # Safety
+/// Contract of [`mul_rows_rowwise_idx`], with `x`/`out` holding `k`
+/// interleaved columns (`out.len() == range.len()·k`).
+unsafe fn mul_rows_block_rowwise<I: IdxVal>(
+    row_ptr: &[usize],
+    cols: &[I],
+    values: &[f64],
+    x: &[f64],
+    out: &mut [f64],
+    range: std::ops::Range<usize>,
+    k: usize,
+) {
+    unsafe {
+        match k {
+            1 => mul_rows_block_rowwise_k::<I, 1>(row_ptr, cols, values, x, out, range),
+            2 => mul_rows_block_rowwise_k::<I, 2>(row_ptr, cols, values, x, out, range),
+            3 => mul_rows_block_rowwise_k::<I, 3>(row_ptr, cols, values, x, out, range),
+            4 => mul_rows_block_rowwise_k::<I, 4>(row_ptr, cols, values, x, out, range),
+            5 => mul_rows_block_rowwise_k::<I, 5>(row_ptr, cols, values, x, out, range),
+            6 => mul_rows_block_rowwise_k::<I, 6>(row_ptr, cols, values, x, out, range),
+            7 => mul_rows_block_rowwise_k::<I, 7>(row_ptr, cols, values, x, out, range),
+            8 => mul_rows_block_rowwise_k::<I, 8>(row_ptr, cols, values, x, out, range),
+            _ => unreachable!("rhs block validated against MAX_RHS_BLOCK"),
+        }
+    }
+}
+
+/// Const-width body of [`mul_rows_block_rowwise`].
+///
+/// # Safety
+/// Contract of [`mul_rows_block_rowwise`] with `k = K`.
+unsafe fn mul_rows_block_rowwise_k<I: IdxVal, const K: usize>(
+    row_ptr: &[usize],
+    cols: &[I],
+    values: &[f64],
+    x: &[f64],
+    out: &mut [f64],
+    range: std::ops::Range<usize>,
+) {
+    unsafe {
+        for (local, i) in range.enumerate() {
+            let s = *row_ptr.get_unchecked(i);
+            let e = *row_ptr.get_unchecked(i + 1);
+            let mut acc = [0.0f64; K];
+            for kk in s..e {
+                let v = *values.get_unchecked(kk);
+                let c = cols.get_unchecked(kk).idx() * K;
+                for (j, a) in acc.iter_mut().enumerate() {
+                    *a += v * x.get_unchecked(c + j);
+                }
+            }
+            for (j, a) in acc.iter().enumerate() {
+                *out.get_unchecked_mut(local * K + j) = *a;
+            }
+        }
+    }
+}
+
+/// [`mul_rows_block_rowwise`] over a matrix's own CSR arrays.
+///
+/// # Safety
+/// Contract of [`mul_rows_block_rowwise`].
+unsafe fn block_rowwise_mat(
+    m: &CsrMatrix,
+    x: &[f64],
+    out: &mut [f64],
+    range: std::ops::Range<usize>,
+    k: usize,
+) {
+    unsafe { mul_rows_block_rowwise(m.row_ptr(), m.col_idx(), m.values(), x, out, range, k) }
+}
+
+/// AVX2 blocked row-wise loop (`k % 4 == 0`): per entry, broadcast the
+/// value and multiply against contiguous 4-wide blocks of the interleaved
+/// `x` — the blocked layout turns every gather into a plain vector load.
+/// Per-column accumulation stays in CSR entry order (separate mul/add, no
+/// FMA), so each column is bitwise identical to the scalar loop.
+///
+/// # Safety
+/// Contract of [`mul_rows_block_rowwise`], plus AVX2 must be available
+/// (guaranteed by `resolve()`).
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2")]
+unsafe fn mul_rows_block_rowwise_avx2(
+    m: &CsrMatrix,
+    x: &[f64],
+    out: &mut [f64],
+    range: std::ops::Range<usize>,
+    k: usize,
+) {
+    // Monomorphized per 4-wide block count (`[T; K / 4]` needs unstable
+    // const generics, so KB is its own parameter).
+    unsafe {
+        match k / 4 {
+            1 => mul_rows_block_rowwise_avx2_k::<1>(m, x, out, range),
+            2 => mul_rows_block_rowwise_avx2_k::<2>(m, x, out, range),
+            _ => unreachable!("rhs block validated against MAX_RHS_BLOCK"),
+        }
+    }
+}
+
+/// Const-width body of [`mul_rows_block_rowwise_avx2`]; `KB = k / 4`.
+///
+/// # Safety
+/// Contract of [`mul_rows_block_rowwise`] with `k = 4 * KB`, plus AVX2
+/// must be available (guaranteed by `resolve()`).
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2")]
+unsafe fn mul_rows_block_rowwise_avx2_k<const KB: usize>(
+    m: &CsrMatrix,
+    x: &[f64],
+    out: &mut [f64],
+    range: std::ops::Range<usize>,
+) {
+    use core::arch::x86_64::*;
+    let row_ptr = m.row_ptr();
+    let col_idx = m.col_idx();
+    let values = m.values();
+    unsafe {
+        let xp = x.as_ptr();
+        for (local, i) in range.enumerate() {
+            let s = *row_ptr.get_unchecked(i);
+            let e = *row_ptr.get_unchecked(i + 1);
+            let mut acc = [_mm256_setzero_pd(); MAX_RHS_BLOCK / 4];
+            for kk in s..e {
+                let v = _mm256_set1_pd(*values.get_unchecked(kk));
+                let c = *col_idx.get_unchecked(kk) as usize * (4 * KB);
+                for b in 0..KB {
+                    let xv = _mm256_loadu_pd(xp.add(c + 4 * b));
+                    let a = acc.get_unchecked_mut(b);
+                    *a = _mm256_add_pd(*a, _mm256_mul_pd(v, xv));
+                }
+            }
+            for b in 0..KB {
+                _mm256_storeu_pd(
+                    out.as_mut_ptr().add(local * (4 * KB) + 4 * b),
+                    *acc.get_unchecked(b),
+                );
+            }
+        }
+    }
+}
+
+/// SSE2 blocked row-wise loop (`k % 2 == 0`), same strategy two lanes at a
+/// time.
+///
+/// # Safety
+/// Contract of [`mul_rows_block_rowwise`]. SSE2 is x86_64 baseline.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+unsafe fn mul_rows_block_rowwise_sse2(
+    m: &CsrMatrix,
+    x: &[f64],
+    out: &mut [f64],
+    range: std::ops::Range<usize>,
+    k: usize,
+) {
+    // Monomorphized per 2-wide block count (`[T; K / 2]` needs unstable
+    // const generics, so KB is its own parameter).
+    unsafe {
+        match k / 2 {
+            1 => mul_rows_block_rowwise_sse2_k::<1>(m, x, out, range),
+            2 => mul_rows_block_rowwise_sse2_k::<2>(m, x, out, range),
+            3 => mul_rows_block_rowwise_sse2_k::<3>(m, x, out, range),
+            4 => mul_rows_block_rowwise_sse2_k::<4>(m, x, out, range),
+            _ => unreachable!("rhs block validated against MAX_RHS_BLOCK"),
+        }
+    }
+}
+
+/// Const-width body of [`mul_rows_block_rowwise_sse2`]; `KB = k / 2`.
+///
+/// # Safety
+/// Contract of [`mul_rows_block_rowwise`] with `k = 2 * KB`. SSE2 is
+/// x86_64 baseline.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+unsafe fn mul_rows_block_rowwise_sse2_k<const KB: usize>(
+    m: &CsrMatrix,
+    x: &[f64],
+    out: &mut [f64],
+    range: std::ops::Range<usize>,
+) {
+    use core::arch::x86_64::*;
+    let row_ptr = m.row_ptr();
+    let col_idx = m.col_idx();
+    let values = m.values();
+    unsafe {
+        let xp = x.as_ptr();
+        for (local, i) in range.enumerate() {
+            let s = *row_ptr.get_unchecked(i);
+            let e = *row_ptr.get_unchecked(i + 1);
+            let mut acc = [_mm_setzero_pd(); MAX_RHS_BLOCK / 2];
+            for kk in s..e {
+                let v = _mm_set1_pd(*values.get_unchecked(kk));
+                let c = *col_idx.get_unchecked(kk) as usize * (2 * KB);
+                for b in 0..KB {
+                    let xv = _mm_loadu_pd(xp.add(c + 2 * b));
+                    let a = acc.get_unchecked_mut(b);
+                    *a = _mm_add_pd(*a, _mm_mul_pd(v, xv));
+                }
+            }
+            for b in 0..KB {
+                _mm_storeu_pd(
+                    out.as_mut_ptr().add(local * (2 * KB) + 2 * b),
+                    *acc.get_unchecked(b),
+                );
+            }
         }
     }
 }
@@ -943,6 +1944,10 @@ unsafe fn mul_rows_shortrow_sse2(
 #[derive(Clone, Debug)]
 enum KernelData {
     Plain,
+    /// Compact `u16` copy of the matrix's column indices (shortrow kernel
+    /// with a narrow index width). Embeds structure, so plans holding it
+    /// record a content signature like the value-embedding layouts.
+    ShortIdx(Vec<u16>),
     Diag(DiagSplitData),
     Sliced(SlicedData),
 }
@@ -964,17 +1969,38 @@ pub struct Kernel {
     nrows: usize,
     ncols: usize,
     nnz: usize,
+    /// Resolved column-index width in bits (16 or 32) of the layout's index
+    /// arrays; 32 for layout-free kernels (they read the CSR's own `u32`).
+    index_width: u8,
+    /// Whether the layout is SELL-σ row-sorted.
+    sorted: bool,
 }
 
 impl Kernel {
+    /// [`Kernel::build_with`] under the default (`Auto`) index-width and
+    /// SELL-σ policies.
+    #[cfg(test)]
+    pub(crate) fn build(m: &CsrMatrix, choice: KernelChoice, backend: BackendChoice) -> Kernel {
+        Kernel::build_with(m, choice, backend, IndexWidthChoice::Auto, SellSort::Auto)
+    }
+
     /// Resolves `choice` for `m` (analyzing the matrix for `Auto`) and
     /// builds the kernel's layout; `backend` is clamped to the hardware
-    /// (see [`crate::simd::resolve`]). Unchecked kernels validate the CSR
+    /// (see [`crate::simd::resolve`]). `width` selects the column-index
+    /// storage width for the layout-backed kernels (widened transparently
+    /// when the matrix does not fit) and `sort` the SELL-σ row-sorting
+    /// policy for the sliced layout. Unchecked kernels validate the CSR
     /// column invariant once here. Crate-internal: the only safe way to
     /// use a kernel is through a [`ChunkPlan`](crate::ChunkPlan), whose
     /// content-signature check rejects a same-sparsity different-values
     /// matrix (this type's own guard checks shape/nnz only).
-    pub(crate) fn build(m: &CsrMatrix, choice: KernelChoice, backend: BackendChoice) -> Kernel {
+    pub(crate) fn build_with(
+        m: &CsrMatrix,
+        choice: KernelChoice,
+        backend: BackendChoice,
+        width: IndexWidthChoice,
+        sort: SellSort,
+    ) -> Kernel {
         let kind = match choice.forced() {
             Some(kind) => kind,
             None => MatrixProfile::analyze(m).select(),
@@ -987,13 +2013,25 @@ impl Kernel {
         } else {
             kind
         };
+        let compact = width.wants_u16(m.ncols());
         let (kind, data) = match kind {
-            KernelKind::Generic | KernelKind::ShortRow => (kind, KernelData::Plain),
+            KernelKind::Generic => (kind, KernelData::Plain),
+            KernelKind::ShortRow => {
+                if compact {
+                    let idx: Vec<u16> = m.col_idx().iter().map(|&c| c as u16).collect();
+                    (kind, KernelData::ShortIdx(idx))
+                } else {
+                    (kind, KernelData::Plain)
+                }
+            }
             KernelKind::DiagSplit => match DiagSplitData::build(m) {
                 Some(d) => (kind, KernelData::Diag(d)),
                 None => (KernelKind::Generic, KernelData::Plain),
             },
-            KernelKind::Sliced => (kind, KernelData::Sliced(SlicedData::build(m))),
+            KernelKind::Sliced => (
+                kind,
+                KernelData::Sliced(SlicedData::build(m, compact, sort)),
+            ),
         };
         let backend = match kind {
             KernelKind::Sliced => simd::resolve(backend),
@@ -1020,6 +2058,11 @@ impl Kernel {
         } else {
             backend
         };
+        let (index_width, sorted) = match &data {
+            KernelData::Sliced(s) => (s.cols.width(), s.row_map.is_some()),
+            KernelData::ShortIdx(_) => (16, false),
+            _ => (32, false),
+        };
         Kernel {
             kind,
             data,
@@ -1027,6 +2070,8 @@ impl Kernel {
             nrows: m.nrows(),
             ncols: m.ncols(),
             nnz: m.nnz(),
+            index_width,
+            sorted,
         }
     }
 
@@ -1038,6 +2083,16 @@ impl Kernel {
     /// The resolved execution backend.
     pub(crate) fn backend(&self) -> Backend {
         self.backend
+    }
+
+    /// Resolved column-index width in bits (16 or 32).
+    pub(crate) fn index_width(&self) -> u8 {
+        self.index_width
+    }
+
+    /// Whether the layout is SELL-σ row-sorted.
+    pub(crate) fn sorted(&self) -> bool {
+        self.sorted
     }
 
     /// Whether this kernel embeds a copy of the build matrix's values
@@ -1057,6 +2112,7 @@ impl Kernel {
         const W: usize = std::mem::size_of::<usize>();
         match &self.data {
             KernelData::Plain => 0,
+            KernelData::ShortIdx(idx) => idx.capacity() * std::mem::size_of::<u16>(),
             KernelData::Diag(d) => {
                 d.row_ptr.capacity() * W
                     + d.lower.capacity() * U
@@ -1070,8 +2126,9 @@ impl Kernel {
                     + s.min_len.capacity() * U
                     + s.lens.capacity() * U
                     + s.vals.capacity() * F
-                    + s.cols.capacity() * U
+                    + s.cols.heap_bytes()
                     + s.tail_rows.capacity() * U
+                    + s.row_map.as_ref().map_or(0, |rm| rm.capacity() * U)
             }
         }
     }
@@ -1108,11 +2165,107 @@ impl Kernel {
                     _ => unsafe { mul_rows_unchecked(m, x, out, range) },
                 },
             },
+            // Compact shortrow: the scalar loop streams the `u16` copy
+            // (half the index bytes — and scalar is shortrow's measured
+            // Auto policy); the SIMD variants keep their vector index
+            // loads on the matrix's own `u32` array. Bitwise identical
+            // either way — indices are exact.
+            // SAFETY: columns validated in `build`, bounds asserted above.
+            KernelData::ShortIdx(c) => match self.backend {
+                #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+                Backend::Avx2 => unsafe { mul_rows_shortrow_avx2(m, x, out, range) },
+                #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+                Backend::Sse2 => unsafe { mul_rows_shortrow_sse2(m, x, out, range) },
+                _ => unsafe { mul_rows_rowwise_idx(m.row_ptr(), c, m.values(), x, out, range) },
+            },
             // SAFETY: columns validated in `build`, bounds asserted above.
             KernelData::Diag(d) => unsafe { d.mul_rows(x, out, range) },
             // SAFETY: columns validated in `build`, bounds asserted above;
             // `self.backend` was resolved against the CPU.
             KernelData::Sliced(s) => unsafe { s.mul_rows(m, x, out, range, self.backend) },
+        }
+    }
+
+    /// Blocked (multi-vector) product: computes rows `range` of `Y = m·X`
+    /// over `k` **interleaved** right-hand sides (`x[col·k + j]`,
+    /// `out[(row − range.start)·k + j]`) in one streaming pass of the
+    /// matrix. Each output column is bitwise identical to a single-vector
+    /// [`Kernel::mul_rows`] call on that column — the blocked layer never
+    /// trades identity for speed.
+    ///
+    /// # Panics
+    /// As [`Kernel::mul_rows`], plus if `k` is 0 or above
+    /// [`MAX_RHS_BLOCK`], or the slice lengths disagree with `range`/`k`.
+    pub(crate) fn mul_rows_block(
+        &self,
+        m: &CsrMatrix,
+        x: &[f64],
+        out: &mut [f64],
+        range: std::ops::Range<usize>,
+        k: usize,
+    ) {
+        assert!((1..=MAX_RHS_BLOCK).contains(&k), "rhs block out of range");
+        if k == 1 {
+            // Identical bits, better-tuned single-vector loops.
+            self.mul_rows(m, x, out, range);
+            return;
+        }
+        assert!(
+            m.nrows() == self.nrows && m.ncols() == self.ncols && m.nnz() == self.nnz,
+            "kernel was built for a different matrix"
+        );
+        assert_eq!(x.len(), self.ncols * k, "x length mismatch");
+        assert!(range.end <= self.nrows, "row range out of bounds");
+        assert_eq!(out.len(), range.len() * k, "output slice mismatch");
+        match &self.data {
+            KernelData::Plain => match self.kind {
+                KernelKind::Generic => mul_rows_block_generic(m, x, out, range, k),
+                // SAFETY: columns validated in `build`, bounds asserted
+                // above; `self.backend` was resolved against the CPU.
+                _ => unsafe { self.block_rowwise_backend(m, x, out, range, k) },
+            },
+            // SAFETY: columns validated in `build`, bounds asserted above.
+            KernelData::ShortIdx(c) => match self.backend {
+                Backend::Scalar => unsafe {
+                    mul_rows_block_rowwise(m.row_ptr(), c, m.values(), x, out, range, k)
+                },
+                _ => unsafe { self.block_rowwise_backend(m, x, out, range, k) },
+            },
+            // SAFETY: columns validated in `build`, bounds asserted above.
+            KernelData::Diag(d) => unsafe { d.mul_rows_block(x, out, range, k) },
+            // SAFETY: columns validated in `build`, bounds asserted above;
+            // `self.backend` was resolved against the CPU.
+            KernelData::Sliced(s) => unsafe { s.mul_rows_block(m, x, out, range, k, self.backend) },
+        }
+    }
+
+    /// Blocked row-wise execution honoring the resolved backend: SIMD when
+    /// `k` is divisible by the lane count, scalar otherwise (bitwise
+    /// identical either way).
+    ///
+    /// # Safety
+    /// Contract of [`mul_rows_block_rowwise`]; `self.backend` must be
+    /// resolved against the CPU.
+    unsafe fn block_rowwise_backend(
+        &self,
+        m: &CsrMatrix,
+        x: &[f64],
+        out: &mut [f64],
+        range: std::ops::Range<usize>,
+        k: usize,
+    ) {
+        unsafe {
+            match self.backend {
+                #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+                Backend::Avx2 if k.is_multiple_of(4) => {
+                    mul_rows_block_rowwise_avx2(m, x, out, range, k)
+                }
+                #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+                Backend::Avx2 | Backend::Sse2 if k.is_multiple_of(2) => {
+                    mul_rows_block_rowwise_sse2(m, x, out, range, k)
+                }
+                _ => block_rowwise_mat(m, x, out, range, k),
+            }
         }
     }
 }
@@ -1300,6 +2453,212 @@ mod tests {
                 assert_eq!(bits(&want), bits(&got), "{choice:?}/{backend:?} chunked");
             }
         }
+    }
+
+    /// Every (kernel, backend, k) blocked product must be bitwise identical
+    /// per column to the serial single-vector product — including odd k
+    /// (no SIMD fit), chunk boundaries through slices, and non-finite
+    /// inputs.
+    #[test]
+    fn blocked_products_are_bitwise_identical_to_serial_columns() {
+        for (n, m, seed) in [(67usize, 67usize, 1u64), (123, 51, 2), (9, 9, 4)] {
+            let a = dense_to_csr(&pseudo_random(n, m, seed, 0.4));
+            for k in [1usize, 2, 3, 4, 5, 8] {
+                let mut x: Vec<f64> = (0..m * k)
+                    .map(|j| ((j * 37 + 11) % 23) as f64 - 11.0)
+                    .collect();
+                x[0] = f64::INFINITY;
+                if m * k > 5 {
+                    x[5] = f64::NAN;
+                }
+                let mut want = vec![0.0; n * k];
+                // Column-wise serial ground truth.
+                for j in 0..k {
+                    let xj: Vec<f64> = (0..m).map(|c| x[c * k + j]).collect();
+                    let mut yj = vec![0.0; n];
+                    a.mul_vec_into(&xj, &mut yj);
+                    for r in 0..n {
+                        want[r * k + j] = yj[r];
+                    }
+                }
+                let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+                // The serial blocked reference itself.
+                let mut got = vec![1.0; n * k];
+                a.mul_mat_into(&x, &mut got, k);
+                assert_eq!(bits(&want), bits(&got), "mul_mat_into k={k}");
+                for choice in ALL_FORCED {
+                    for backend in ALL_BACKENDS {
+                        let kernel = Kernel::build(&a, choice, backend);
+                        let mut got = vec![1.0; n * k];
+                        kernel.mul_rows_block(&a, &x, &mut got, 0..n, k);
+                        assert_eq!(bits(&want), bits(&got), "{choice:?}/{backend:?} k={k}");
+                        let mut got = vec![1.0; n * k];
+                        let mut start = 0;
+                        while start < n {
+                            let end = (start + 7).min(n);
+                            kernel.mul_rows_block(
+                                &a,
+                                &x,
+                                &mut got[start * k..end * k],
+                                start..end,
+                                k,
+                            );
+                            start = end;
+                        }
+                        assert_eq!(
+                            bits(&want),
+                            bits(&got),
+                            "{choice:?}/{backend:?} k={k} chunked"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// SELL-σ sorted and compact-index layouts must stay bitwise identical
+    /// to serial for both single-vector and blocked products, across
+    /// backends, chunk boundaries that slice through σ-windows, and
+    /// adversarial rows (empty, overlong, non-finite inputs).
+    #[test]
+    fn sorted_and_compact_layouts_stay_bitwise_identical() {
+        let n = 2 * SIGMA + 13; // ragged beyond the last full window
+        let mut b = CooBuilder::new(n, n);
+        for i in 0..n {
+            match i % 9 {
+                0 => {}
+                4 => {
+                    for d in 0..n / 2 {
+                        b.push(i, (i + d) % n, 0.25 + d as f64 * 1e-3);
+                    }
+                }
+                r => {
+                    b.push(i, i, 2.0);
+                    for d in 1..=r {
+                        b.push(i, (i + d * 5) % n, -0.125 / d as f64);
+                    }
+                }
+            }
+        }
+        let a = b.build();
+        let mut x: Vec<f64> = (0..n).map(|j| ((j * 29 + 7) % 13) as f64 - 6.0).collect();
+        x[0] = f64::NEG_INFINITY;
+        x[1] = f64::NAN;
+        let mut want = vec![0.0; n];
+        a.mul_vec_into(&x, &mut want);
+        let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+        let widths = [
+            IndexWidthChoice::Auto,
+            IndexWidthChoice::W16,
+            IndexWidthChoice::W32,
+            IndexWidthChoice::W64,
+        ];
+        for sort in [SellSort::Always, SellSort::Never, SellSort::Auto] {
+            for width in widths {
+                for backend in ALL_BACKENDS {
+                    let kernel = Kernel::build_with(&a, KernelChoice::Sliced, backend, width, sort);
+                    if sort == SellSort::Always {
+                        assert!(kernel.sorted(), "σ-sorting was requested");
+                    }
+                    let mut got = vec![0.0; n];
+                    kernel.mul_rows(&a, &x, &mut got, 0..n);
+                    assert_eq!(bits(&want), bits(&got), "{sort:?}/{width:?}/{backend:?}");
+                    // Chunk boundaries through a σ-window.
+                    let mut got = vec![0.0; n];
+                    for (lo, hi) in [(0usize, 5usize), (5, SIGMA + 9), (SIGMA + 9, n)] {
+                        kernel.mul_rows(&a, &x, &mut got[lo..hi], lo..hi);
+                    }
+                    assert_eq!(
+                        bits(&want),
+                        bits(&got),
+                        "{sort:?}/{width:?}/{backend:?} chunked"
+                    );
+                    // Blocked, k=4, chunked through the window too.
+                    let k = 4;
+                    let xk: Vec<f64> = (0..n * k).map(|i| x[i / k]).collect();
+                    let mut got = vec![0.0; n * k];
+                    for (lo, hi) in [(0usize, SIGMA - 3), (SIGMA - 3, n)] {
+                        kernel.mul_rows_block(&a, &xk, &mut got[lo * k..hi * k], lo..hi, k);
+                    }
+                    for r in 0..n {
+                        for j in 0..k {
+                            assert_eq!(
+                                got[r * k + j].to_bits(),
+                                want[r].to_bits(),
+                                "{sort:?}/{width:?}/{backend:?} blocked row {r}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Index-width resolution: `u16` only when the matrix fits, widened
+    /// transparently otherwise; shortrow gains a compact index copy under
+    /// narrow widths and stays layout-free under wide ones.
+    #[test]
+    fn index_widths_resolve_and_widen_transparently() {
+        let narrow = dense_to_csr(&pseudo_random(48, 48, 11, 0.4));
+        let k16 = Kernel::build_with(
+            &narrow,
+            KernelChoice::Sliced,
+            BackendChoice::Auto,
+            IndexWidthChoice::W16,
+            SellSort::Never,
+        );
+        assert_eq!(k16.index_width(), 16);
+        let k64 = Kernel::build_with(
+            &narrow,
+            KernelChoice::Sliced,
+            BackendChoice::Auto,
+            IndexWidthChoice::W64,
+            SellSort::Never,
+        );
+        assert_eq!(k64.index_width(), 32, "64 clamps to the CSR width");
+        // A matrix wider than u16 can address: forced 16 widens to 32.
+        let wide_cols = u16::MAX as usize + 10;
+        let mut b = CooBuilder::new(2 * LANES, wide_cols);
+        for i in 0..2 * LANES {
+            b.push(i, i, 1.0);
+            b.push(i, wide_cols - 1 - i, 2.0);
+        }
+        let wide = b.build();
+        let kw = Kernel::build_with(
+            &wide,
+            KernelChoice::Sliced,
+            BackendChoice::Auto,
+            IndexWidthChoice::W16,
+            SellSort::Never,
+        );
+        assert_eq!(kw.index_width(), 32, "u16 cannot address the columns");
+        let x = vec![1.0; wide_cols];
+        let mut want = vec![0.0; 2 * LANES];
+        wide.mul_vec_into(&x, &mut want);
+        let mut got = vec![0.0; 2 * LANES];
+        kw.mul_rows(&wide, &x, &mut got, 0..2 * LANES);
+        assert_eq!(want, got);
+        // Shortrow: compact copy under narrow widths only.
+        let sr16 = Kernel::build_with(
+            &narrow,
+            KernelChoice::ShortRow,
+            BackendChoice::Scalar,
+            IndexWidthChoice::W16,
+            SellSort::Never,
+        );
+        assert_eq!(sr16.index_width(), 16);
+        assert!(sr16.embeds_values(), "compact copy must trigger sig checks");
+        let sr64 = Kernel::build_with(
+            &narrow,
+            KernelChoice::ShortRow,
+            BackendChoice::Scalar,
+            IndexWidthChoice::W64,
+            SellSort::Never,
+        );
+        assert_eq!(sr64.index_width(), 32);
+        assert!(!sr64.embeds_values());
+        assert!(IndexWidthChoice::parse("16").is_ok());
+        assert!(IndexWidthChoice::parse("48").is_err());
     }
 
     /// Backend resolution policy: generic and diagsplit always run scalar;

@@ -29,8 +29,10 @@ pub mod workspace;
 
 pub use builder::CooBuilder;
 pub use csr::CsrMatrix;
-pub use kernel::{KernelChoice, KernelKind, MatrixProfile};
-pub use parallel::{effective_threads, ChunkPlan, ParallelConfig};
+pub use kernel::{
+    IndexWidthChoice, KernelChoice, KernelKind, MatrixProfile, SellSort, MAX_RHS_BLOCK,
+};
+pub use parallel::{effective_threads, ChunkPlan, ParallelConfig, RhsBlockChoice};
 pub use pool::{WorkerPool, WorkerPoolStats};
 pub use simd::{Backend, BackendChoice};
 pub use workspace::{Workspace, WorkspaceStats};

@@ -35,9 +35,70 @@
 //! there).
 
 use crate::csr::CsrMatrix;
-use crate::kernel::{Kernel, KernelChoice, KernelKind};
+use crate::kernel::{IndexWidthChoice, Kernel, KernelChoice, KernelKind, SellSort, MAX_RHS_BLOCK};
 use crate::pool::WorkerPool;
 use crate::simd::{Backend, BackendChoice};
+
+/// How many right-hand sides one streaming pass of the matrix should move
+/// (blocked SpMM). The matrix is the bandwidth bottleneck: stepping `k`
+/// vectors per pass amortizes the stream over `k` results, so per-vector
+/// cost drops nearly `k`-fold once the kernels are memory-bound. Affects
+/// speed only — each of the `k` columns is accumulated exactly as the
+/// serial single-vector product would, so every column stays bitwise
+/// identical to [`CsrMatrix::mul_vec_into`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum RhsBlockChoice {
+    /// Let the caller's grouping logic pick: blocks 4 wide whenever at
+    /// least two compatible computations can share a pass, else serial.
+    #[default]
+    Auto,
+    /// A fixed block width (1, 2, 4, or 8); `1` disables blocking.
+    Fixed(usize),
+}
+
+impl RhsBlockChoice {
+    /// Parses `"auto" | "1" | "2" | "4" | "8"`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "auto" => Ok(Self::Auto),
+            "1" => Ok(Self::Fixed(1)),
+            "2" => Ok(Self::Fixed(2)),
+            "4" => Ok(Self::Fixed(4)),
+            "8" => Ok(Self::Fixed(8)),
+            other => Err(format!(
+                "unknown rhs_block {other:?} (expected auto, 1, 2, 4, or 8)"
+            )),
+        }
+    }
+
+    /// The canonical spelling [`RhsBlockChoice::parse`] accepts.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Auto => "auto",
+            Self::Fixed(1) => "1",
+            Self::Fixed(2) => "2",
+            Self::Fixed(4) => "4",
+            Self::Fixed(8) => "8",
+            Self::Fixed(_) => "fixed",
+        }
+    }
+
+    /// Resolves the block width for a group of `group` compatible
+    /// computations: `Auto` blocks 4 wide when there is anything to group,
+    /// fixed widths are clamped to `[1, MAX_RHS_BLOCK]`.
+    pub fn resolve(self, group: usize) -> usize {
+        match self {
+            Self::Auto => {
+                if group >= 2 {
+                    4
+                } else {
+                    1
+                }
+            }
+            Self::Fixed(k) => k.clamp(1, MAX_RHS_BLOCK),
+        }
+    }
+}
 
 /// Tuning for the parallel SpMV kernels.
 #[derive(Clone, Copy, Debug)]
@@ -58,6 +119,19 @@ pub struct ParallelConfig {
     /// product it serves. Every kernel is bitwise identical to the serial
     /// product, so this knob affects speed only.
     pub kernel: KernelChoice,
+    /// Blocked-RHS stepping width for callers that can batch compatible
+    /// computations over one matrix (see [`RhsBlockChoice`]). Speed only:
+    /// every blocked column is bitwise identical to the serial product.
+    pub rhs_block: RhsBlockChoice,
+    /// Column-index storage width for the layout-backed kernels (see
+    /// [`IndexWidthChoice`]): `u16` halves index traffic on matrices
+    /// narrow enough to address, and is widened transparently otherwise.
+    pub index_width: IndexWidthChoice,
+    /// SELL-σ row sorting for the sliced layout (see [`SellSort`]):
+    /// whether rows are length-sorted within σ-windows before slicing.
+    /// Results are scattered back through the permutation, so sorting is
+    /// invisible in every output bit.
+    pub sell_sort: SellSort,
     /// Which execution backend the resolved kernel runs
     /// ([`BackendChoice::Auto`] probes the CPU once per process and takes
     /// the widest supported; forced values are clamped to the hardware —
@@ -76,6 +150,9 @@ impl Default for ParallelConfig {
             min_nnz: 50_000,
             threads: 0,
             kernel: KernelChoice::Auto,
+            rhs_block: RhsBlockChoice::Auto,
+            index_width: IndexWidthChoice::Auto,
+            sell_sort: SellSort::Auto,
             backend: BackendChoice::Auto,
         }
     }
@@ -136,7 +213,30 @@ impl ChunkPlan {
         choice: KernelChoice,
         backend: BackendChoice,
     ) -> ChunkPlan {
-        let kernel = Kernel::build(matrix, choice, backend);
+        Self::with_options(
+            matrix,
+            chunks,
+            choice,
+            backend,
+            IndexWidthChoice::Auto,
+            SellSort::Auto,
+        )
+    }
+
+    /// Like [`ChunkPlan::with_kernel_backend`] with explicit layout options:
+    /// a column-index storage width (widened transparently when the matrix
+    /// is too wide for the request) and the SELL-σ row-sorting policy for
+    /// the sliced layout. Layout options affect speed and plan bytes only —
+    /// never an output bit.
+    pub fn with_options(
+        matrix: &CsrMatrix,
+        chunks: usize,
+        choice: KernelChoice,
+        backend: BackendChoice,
+        width: IndexWidthChoice,
+        sort: SellSort,
+    ) -> ChunkPlan {
+        let kernel = Kernel::build_with(matrix, choice, backend, width, sort);
         let sig = kernel.embeds_values().then(|| matrix.content_sig());
         ChunkPlan {
             ranges: matrix.balanced_row_chunks(chunks),
@@ -173,6 +273,17 @@ impl ChunkPlan {
     /// a vector variant).
     pub fn backend(&self) -> Backend {
         self.kernel.backend()
+    }
+
+    /// The resolved column-index storage width in bits (16 when the layout
+    /// stores compact `u16` indices, else 32 — the CSR native width).
+    pub fn index_width(&self) -> u8 {
+        self.kernel.index_width()
+    }
+
+    /// Whether the resolved layout is SELL-σ row-sorted.
+    pub fn sorted(&self) -> bool {
+        self.kernel.sorted()
     }
 
     /// The resolved kernel.
@@ -260,6 +371,55 @@ impl CsrMatrix {
             let slice =
                 unsafe { std::slice::from_raw_parts_mut(out.0.add(range.start), range.len()) };
             plan.kernel().mul_rows(self, x, slice, range);
+        });
+    }
+
+    /// Blocked `Y = A·X` for `k` interleaved right-hand sides over a
+    /// precomputed [`ChunkPlan`] on a persistent [`WorkerPool`]: `x` holds
+    /// `ncols` rows of `k` columns (`x[c*k + j]`), `y` receives `nrows`
+    /// rows of `k` columns. One streaming pass of the matrix moves all `k`
+    /// vectors, which is what breaks the bandwidth wall for multi-horizon
+    /// sweeps. Every column is bitwise identical to the serial
+    /// [`CsrMatrix::mul_vec_into`] on that column alone, regardless of the
+    /// kernel, backend, block width, pool size, or chunking.
+    ///
+    /// # Panics
+    /// If `k` is 0 or exceeds [`MAX_RHS_BLOCK`], `x`/`y` lengths mismatch
+    /// `ncols*k`/`nrows*k`, or the plan was built from a different matrix.
+    pub fn mul_mat_pooled_into(
+        &self,
+        x: &[f64],
+        y: &mut [f64],
+        plan: &ChunkPlan,
+        pool: &WorkerPool,
+        k: usize,
+    ) {
+        assert!(
+            (1..=MAX_RHS_BLOCK).contains(&k),
+            "rhs block {k} out of range"
+        );
+        if k == 1 {
+            return self.mul_vec_pooled_into(x, y, plan, pool);
+        }
+        assert_eq!(x.len(), self.ncols() * k, "x length mismatch");
+        assert_eq!(y.len(), self.nrows() * k, "y length mismatch");
+        plan.check_matrix(self);
+        if plan.len() <= 1 {
+            if let Some(range) = plan.ranges.first() {
+                plan.kernel().mul_rows_block(self, x, y, range.clone(), k);
+            }
+            return;
+        }
+        let out = SendPtr(y.as_mut_ptr());
+        pool.run(plan.len(), move |c| {
+            let out = out;
+            let range = plan.ranges[c].clone();
+            // SAFETY: plan ranges are disjoint and within nrows, so each
+            // chunk writes a private `k`-column slice of `y`.
+            let slice = unsafe {
+                std::slice::from_raw_parts_mut(out.0.add(range.start * k), range.len() * k)
+            };
+            plan.kernel().mul_rows_block(self, x, slice, range, k);
         });
     }
 
@@ -384,6 +544,72 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Pooled blocked products: every column bitwise identical to serial,
+    /// across kernels, layout options, pool sizes, chunk counts, and block
+    /// widths.
+    #[test]
+    fn pooled_blocked_product_is_bitwise_serial_per_column() {
+        let n = 337;
+        let m = band_matrix(n);
+        let mut want = vec![0.0; n];
+        let x: Vec<f64> = (0..n).map(|i| ((i * 13) % 29) as f64 - 14.0).collect();
+        m.mul_vec_into(&x, &mut want);
+        let pool = WorkerPool::new(3);
+        for k in [1usize, 2, 4, 8] {
+            let xk: Vec<f64> = (0..n * k).map(|i| x[i / k]).collect();
+            for chunks in [1, 2, 7] {
+                for (choice, width, sort) in [
+                    (KernelChoice::Auto, IndexWidthChoice::Auto, SellSort::Auto),
+                    (
+                        KernelChoice::Sliced,
+                        IndexWidthChoice::W16,
+                        SellSort::Always,
+                    ),
+                    (KernelChoice::Sliced, IndexWidthChoice::W64, SellSort::Never),
+                    (
+                        KernelChoice::ShortRow,
+                        IndexWidthChoice::W16,
+                        SellSort::Auto,
+                    ),
+                ] {
+                    let plan = ChunkPlan::with_options(
+                        &m,
+                        chunks,
+                        choice,
+                        BackendChoice::Auto,
+                        width,
+                        sort,
+                    );
+                    let mut got = vec![0.0; n * k];
+                    m.mul_mat_pooled_into(&xk, &mut got, &plan, &pool, k);
+                    for r in 0..n {
+                        for j in 0..k {
+                            assert_eq!(
+                                got[r * k + j].to_bits(),
+                                want[r].to_bits(),
+                                "k={k} chunks={chunks} {choice:?}/{width:?}/{sort:?} row {r}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rhs_block_choice_parses_and_resolves() {
+        assert_eq!(RhsBlockChoice::parse("auto"), Ok(RhsBlockChoice::Auto));
+        assert_eq!(RhsBlockChoice::parse("4"), Ok(RhsBlockChoice::Fixed(4)));
+        assert!(RhsBlockChoice::parse("3").is_err());
+        assert!(RhsBlockChoice::parse("16").is_err());
+        assert_eq!(RhsBlockChoice::Auto.resolve(1), 1);
+        assert_eq!(RhsBlockChoice::Auto.resolve(2), 4);
+        assert_eq!(RhsBlockChoice::Auto.resolve(100), 4);
+        assert_eq!(RhsBlockChoice::Fixed(1).resolve(100), 1);
+        assert_eq!(RhsBlockChoice::Fixed(8).resolve(2), 8);
+        assert_eq!(RhsBlockChoice::Fixed(4).name(), "4");
     }
 
     #[test]

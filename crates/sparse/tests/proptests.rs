@@ -3,7 +3,8 @@
 
 use proptest::prelude::*;
 use regenr_sparse::{
-    BackendChoice, ChunkPlan, CooBuilder, CsrMatrix, KernelChoice, ParallelConfig, WorkerPool,
+    BackendChoice, ChunkPlan, CooBuilder, CsrMatrix, IndexWidthChoice, KernelChoice,
+    ParallelConfig, SellSort, WorkerPool, MAX_RHS_BLOCK,
 };
 
 /// Random dense matrix plus its CSR image.
@@ -233,6 +234,147 @@ proptest! {
         // An independently rebuilt identical matrix selects identically.
         let again = to_csr(&rows, n, m);
         prop_assert_eq!(first, ChunkPlan::new(&again, chunks_b).kernel_kind());
+    }
+
+    /// Blocked SpMM over `k` interleaved right-hand sides is bitwise
+    /// identical to `k` independent serial `mul_vec_into` products, for
+    /// every kernel × backend pair, pool size, chunk count, and block
+    /// width — on adversarial inputs (ragged rows, emptied rows, and
+    /// non-finite poison values where any reordered reduction or
+    /// unguarded padded cell would change bits).
+    #[test]
+    fn blocked_spmm_is_bitwise_k_serial_columns(
+        (rows, n, m) in arb_matrix(),
+        pool_threads in 1usize..4,
+        chunks in 1usize..9,
+        k in 1usize..MAX_RHS_BLOCK + 1,
+        poison in 0usize..4,
+        long_row in 0usize..12,
+    ) {
+        let mut rows = rows;
+        if n > 1 {
+            let lr = long_row % n;
+            for (j, v) in rows[lr].iter_mut().enumerate() {
+                *v = 0.5 + j as f64 * 1e-3;
+            }
+            rows[(lr + 1) % n].iter_mut().for_each(|v| *v = 0.0);
+        }
+        let c = to_csr(&rows, n, m);
+        // k distinct columns; poison one entry of one column.
+        let mut cols_x: Vec<Vec<f64>> = (0..k)
+            .map(|j| (0..m).map(|i| ((i * 13 + 5 + j * 7) % 11) as f64 - 5.0).collect())
+            .collect();
+        match poison {
+            0 => cols_x[0][0] = f64::INFINITY,
+            1 => cols_x[k - 1][m - 1] = f64::NAN,
+            2 => cols_x[k / 2][m / 2] = f64::NEG_INFINITY,
+            _ => {}
+        }
+        // Serial reference: one mul_vec_into per column.
+        let mut want_bits = vec![0u64; n * k];
+        for (j, xj) in cols_x.iter().enumerate() {
+            let mut yj = vec![0.0; n];
+            c.mul_vec_into(xj, &mut yj);
+            for (i, v) in yj.iter().enumerate() {
+                want_bits[i * k + j] = v.to_bits();
+            }
+        }
+        // Interleave the inputs.
+        let mut x = vec![0.0; m * k];
+        for (j, xj) in cols_x.iter().enumerate() {
+            for (i, v) in xj.iter().enumerate() {
+                x[i * k + j] = *v;
+            }
+        }
+        let pool = WorkerPool::new(pool_threads);
+        for choice in [
+            KernelChoice::Auto,
+            KernelChoice::Generic,
+            KernelChoice::ShortRow,
+            KernelChoice::DiagSplit,
+            KernelChoice::Sliced,
+        ] {
+            for backend in [BackendChoice::Auto, BackendChoice::Scalar, BackendChoice::Avx2] {
+                let plan = ChunkPlan::with_kernel_backend(&c, chunks, choice, backend);
+                let mut y = vec![1.0; n * k];
+                for _ in 0..2 {
+                    c.mul_mat_pooled_into(&x, &mut y, &plan, &pool, k);
+                    let got: Vec<u64> = y.iter().map(|v| v.to_bits()).collect();
+                    prop_assert_eq!(
+                        &want_bits, &got,
+                        "kernel {:?} backend {:?} k {} (resolved {:?}/{:?})",
+                        choice, backend, k, plan.kernel_kind(), plan.backend()
+                    );
+                }
+            }
+        }
+        // The serial blocked entry point obeys the same contract.
+        let mut y = vec![1.0; n * k];
+        c.mul_mat_into(&x, &mut y, k);
+        let got: Vec<u64> = y.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(&want_bits, &got, "serial mul_mat_into k {}", k);
+    }
+
+    /// SELL-σ row sorting and compact column indices are pure layout
+    /// changes: forcing any index width × sort policy produces bitwise
+    /// identical products to the serial kernel, for both the 1-vector and
+    /// blocked entry points.
+    #[test]
+    fn sorted_and_compact_layouts_are_bitwise_serial(
+        (rows, n, m) in arb_matrix(),
+        pool_threads in 1usize..4,
+        chunks in 1usize..9,
+        k in 1usize..MAX_RHS_BLOCK + 1,
+    ) {
+        let c = to_csr(&rows, n, m);
+        let x1: Vec<f64> = (0..m).map(|j| ((j * 13 + 5) % 11) as f64 - 5.0).collect();
+        let mut serial = vec![0.0; n];
+        c.mul_vec_into(&x1, &mut serial);
+        let serial_bits: Vec<u64> = serial.iter().map(|v| v.to_bits()).collect();
+        let mut xk = vec![0.0; m * k];
+        for i in 0..m {
+            for j in 0..k {
+                xk[i * k + j] = ((i * 13 + 5 + j * 7) % 11) as f64 - 5.0;
+            }
+        }
+        let mut want_k = vec![0u64; n * k];
+        for j in 0..k {
+            let xj: Vec<f64> = (0..m).map(|i| xk[i * k + j]).collect();
+            let mut yj = vec![0.0; n];
+            c.mul_vec_into(&xj, &mut yj);
+            for (i, v) in yj.iter().enumerate() {
+                want_k[i * k + j] = v.to_bits();
+            }
+        }
+        let pool = WorkerPool::new(pool_threads);
+        for width in [
+            IndexWidthChoice::Auto,
+            IndexWidthChoice::W16,
+            IndexWidthChoice::W32,
+            IndexWidthChoice::W64,
+        ] {
+            for sort in [SellSort::Auto, SellSort::Always, SellSort::Never] {
+                let plan = ChunkPlan::with_options(
+                    &c, chunks, KernelChoice::Sliced, BackendChoice::Auto, width, sort,
+                );
+                let mut y1 = vec![1.0; n];
+                c.mul_vec_pooled_into(&x1, &mut y1, &plan, &pool);
+                let got1: Vec<u64> = y1.iter().map(|v| v.to_bits()).collect();
+                prop_assert_eq!(
+                    &serial_bits, &got1,
+                    "width {:?} sort {:?} (resolved {} sorted {})",
+                    width, sort, plan.index_width(), plan.sorted()
+                );
+                let mut yk = vec![1.0; n * k];
+                c.mul_mat_pooled_into(&xk, &mut yk, &plan, &pool, k);
+                let gotk: Vec<u64> = yk.iter().map(|v| v.to_bits()).collect();
+                prop_assert_eq!(
+                    &want_k, &gotk,
+                    "blocked width {:?} sort {:?} k {}",
+                    width, sort, k
+                );
+            }
+        }
     }
 
     #[test]
