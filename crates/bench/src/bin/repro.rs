@@ -3,7 +3,10 @@
 //! ```text
 //! cargo run -p regenr-bench --release --bin repro -- [--quick] <what>
 //!   what ∈ { sizes | table1 | table2 | fig3 | fig4 | scalars | ablation |
-//!            sweep | compose | engine | kernels | serve | all }
+//!            sweep | compose | engine | kernels | serve | chaos | all }
+//!
+//! `chaos` (not part of `all`) storms an in-process server with faults
+//! injected through the failpoint layer; build with `--features failpoints`.
 //! ```
 //!
 //! Output goes to stdout (pretty tables) and `results/*.csv` (series data).
@@ -41,6 +44,7 @@ fn main() {
         "engine" => engine_grid(&w),
         "kernels" => kernel_ablation(&w),
         "serve" => serve_load(),
+        "chaos" => chaos(),
         "all" => {
             sizes(&w);
             table1(&w);
@@ -1314,6 +1318,8 @@ fn serve_load() {
             bad_requests: after.bad_requests - before.bad_requests,
             cells_streamed: after.cells_streamed - before.cells_streamed,
             inflight_highwater: after.inflight_highwater,
+            promotions: after.promotions - before.promotions,
+            handler_panics: after.handler_panics - before.handler_panics,
         };
         before = after;
         let rps = clients as f64 / (wall_ms / 1e3).max(1e-9);
@@ -1390,6 +1396,294 @@ fn serve_load() {
         "32-client identical storm ({storm_wall:.1} ms) must cost <= 2x one distinct \
          spec ({solo_wall:.1} ms)"
     );
+}
+
+/// `repro chaos` — a fault storm against an in-process server with
+/// failpoints armed. Each phase injects one class of infrastructure fault
+/// (leader death, chunk panic, NaN corruption, cache-build abort, slow
+/// writes) and asserts the robustness bars: no stranded client, recovered
+/// values bitwise-identical to running the fallback method directly, and
+/// a healthy server afterwards. Results land in `results/chaos.csv`.
+#[cfg(feature = "failpoints")]
+fn chaos() {
+    use regenr_engine::serve::http::http_request;
+    use regenr_engine::{Json, ServeConfig, Server};
+    use std::net::SocketAddr;
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    println!("\n== chaos: failpoint-driven fault storm ==");
+    regenr_failpoint::clear();
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        max_inflight: 4,
+        ..ServeConfig::default()
+    })
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    let runner = Arc::clone(&server);
+    let run_handle = std::thread::spawn(move || runner.run().expect("accept loop"));
+
+    // Storm `clients` identical posts at `path`; every client must come
+    // back within the watchdog window — a stranded follower (stuck waiting
+    // on a dead run) is exactly the bug this harness exists to catch.
+    fn storm(
+        addr: SocketAddr,
+        path: &'static str,
+        spec: &str,
+        clients: usize,
+    ) -> Vec<(u16, String)> {
+        let (tx, rx) = std::sync::mpsc::channel();
+        for _ in 0..clients {
+            let tx = tx.clone();
+            let spec = spec.to_string();
+            std::thread::spawn(move || {
+                let (status, body) = http_request(addr, "POST", path, &spec).expect("request");
+                let _ = tx.send((status, String::from_utf8_lossy(&body).into_owned()));
+            });
+        }
+        drop(tx);
+        let mut out = Vec::with_capacity(clients);
+        for i in 0..clients {
+            match rx.recv_timeout(Duration::from_secs(120)) {
+                Ok(r) => out.push(r),
+                Err(_) => panic!("stranded client: only {i}/{clients} responses arrived"),
+            }
+        }
+        out
+    }
+
+    fn num_at(doc: &Json, path: &[&str]) -> f64 {
+        let mut j = doc;
+        for key in path {
+            j = j.get(key).unwrap_or_else(|| panic!("missing {path:?}"));
+        }
+        let Json::Num(n) = j else {
+            panic!("{path:?} is not a number")
+        };
+        *n
+    }
+
+    let mut csv = CsvWriter::create(
+        "chaos",
+        "phase,clients,ok,promotions,handler_panics,retries,recovered_cells,wall_ms",
+    )
+    .unwrap();
+    let mut before_stats = server.stats();
+    let mut before_robust = server.robustness();
+    let mut record = |name: &str, clients: usize, ok: usize, wall_ms: f64| {
+        let stats = server.stats();
+        let robust = server.robustness();
+        let promotions = stats.promotions - before_stats.promotions;
+        let panics = stats.handler_panics - before_stats.handler_panics;
+        let retries = robust.retries - before_robust.retries;
+        let recovered = robust.recovered_cells - before_robust.recovered_cells;
+        println!(
+            "  {name:>12}: {ok}/{clients} ok in {wall_ms:>7.1} ms — promotions {promotions} \
+             handler_panics {panics} retries {retries} recovered_cells {recovered}"
+        );
+        csv.row(&[
+            name.into(),
+            clients.to_string(),
+            ok.to_string(),
+            promotions.to_string(),
+            panics.to_string(),
+            retries.to_string(),
+            recovered.to_string(),
+            format!("{wall_ms:.1}"),
+        ])
+        .unwrap();
+        before_stats = stats;
+        before_robust = robust;
+        (promotions, retries, recovered)
+    };
+
+    // Phase 1 — leader kill: 32 identical streaming clients; the elected
+    // leader panics mid-handler (after the stall, so followers have
+    // subscribed). A follower must be promoted and recompute: every
+    // client still receives a complete stream with an "ok" summary.
+    {
+        regenr_failpoint::configure("serve-leader=panic,count=1").unwrap();
+        let spec = r#"{"horizons":[1,10,100],"debug_stall_ms":150,"models":[{"kind":"raid","g":8}],"epsilon":1e-10}"#;
+        let t0 = Instant::now();
+        let results = storm(addr, "/sweep", spec, 32);
+        let wall = t0.elapsed().as_secs_f64() * 1e3;
+        let fired = regenr_failpoint::fired_count("serve-leader");
+        regenr_failpoint::clear();
+        assert!(fired >= 1, "the leader-kill failpoint never fired");
+        let ok = results
+            .iter()
+            .filter(|(status, body)| {
+                *status == 200
+                    && body
+                        .lines()
+                        .last()
+                        .is_some_and(|l| l.contains(r#""record":"summary""#))
+                    && body.lines().last().unwrap().contains(r#""status":"ok""#)
+            })
+            .count();
+        let (promotions, _, _) = record("leader-kill", 32, ok, wall);
+        assert_eq!(ok, 32, "every client must see a recovered, ok stream");
+        assert!(promotions >= 1, "a follower must have been promoted");
+    }
+
+    // Phase 2 — chunk panic: a pool chunk panics mid-SpMV; the supervisor
+    // catches the unwind, discards the worker's arenas, and retries the
+    // same method under the spec's "max_retries" budget.
+    {
+        regenr_failpoint::configure("pool-chunk=panic,count=1").unwrap();
+        let spec = r#"{"horizons":[10000],"max_retries":2,"models":[{"kind":"raid","g":20}],"epsilon":1e-10}"#;
+        let t0 = Instant::now();
+        let results = storm(addr, "/sweep/report", spec, 1);
+        let wall = t0.elapsed().as_secs_f64() * 1e3;
+        let chunk_fired = regenr_failpoint::fired_count("pool-chunk") >= 1;
+        regenr_failpoint::clear();
+        let ok = results.iter().filter(|(s, _)| *s == 200).count();
+        let (_, retries, _) = record("chunk-panic", 1, ok, wall);
+        assert_eq!(ok, 1, "the chunk panic must be absorbed, not surfaced");
+        if chunk_fired {
+            assert!(retries >= 1, "the supervisor must have retried the job");
+        } else {
+            // Single-threaded machines run the pool inline and never reach
+            // the chunk failpoint; the phase still proves a clean solve.
+            println!("      (pool ran inline; chunk failpoint not reached)");
+        }
+    }
+
+    // Phase 3 — NaN injection: RRL's inverted value is corrupted to NaN.
+    // The health check rejects it and the supervisor falls back to RR; the
+    // recovered value must be bitwise identical to asking for RR directly.
+    let nan_value = {
+        regenr_failpoint::configure("rrl-nan=nan,count=1").unwrap();
+        let spec = r#"{"horizons":[10000],"method":"rrl","models":[{"kind":"raid","g":8,"absorbing":true}],"epsilon":1e-10}"#;
+        let t0 = Instant::now();
+        let results = storm(addr, "/sweep/report", spec, 1);
+        let wall = t0.elapsed().as_secs_f64() * 1e3;
+        let fired = regenr_failpoint::fired_count("rrl-nan");
+        regenr_failpoint::clear();
+        assert!(fired >= 1, "the NaN failpoint never fired");
+        let (status, body) = &results[0];
+        assert_eq!(*status, 200, "the NaN must be recovered, not surfaced");
+        let doc = Json::parse(body).expect("report json");
+        let Some(Json::Arr(cells)) = doc.get("reports") else {
+            panic!("report has no cells: {body}")
+        };
+        assert_eq!(cells.len(), 1);
+        let cell = &cells[0];
+        let Some(Json::Str(via)) = cell.get("recovered_via") else {
+            panic!("cell must be annotated with recovered_via: {body}")
+        };
+        assert_eq!(via, "rr", "RRL's first fallback is RR");
+        assert!(num_at(cell, &["attempts"]) >= 2.0);
+        let (_, _, recovered) = record("nan-inject", 1, 1, wall);
+        assert!(recovered >= 1, "the recovery must be counted");
+        num_at(cell, &["value"])
+    };
+    // The bitwise bar: the same sweep asked to run RR directly (no faults
+    // armed) must produce the exact same bits the fallback produced.
+    {
+        let spec = r#"{"horizons":[10000],"method":"rr","models":[{"kind":"raid","g":8,"absorbing":true}],"epsilon":1e-10}"#;
+        let (status, body) = http_request(addr, "POST", "/sweep/report", spec).expect("request");
+        assert_eq!(status, 200);
+        let doc = Json::parse(&body_str(&body)).expect("report json");
+        let Some(Json::Arr(cells)) = doc.get("reports") else {
+            panic!("no cells")
+        };
+        let direct = num_at(&cells[0], &["value"]);
+        assert_eq!(
+            nan_value.to_bits(),
+            direct.to_bits(),
+            "recovered value {nan_value:e} must be bitwise identical to direct RR {direct:e}"
+        );
+        println!("      bitwise: recovered rr == direct rr ({nan_value:.12e})");
+    }
+
+    // Phase 4 — cache-build abort: the uniformization build panics once
+    // mid-construction. The cache's slot cleanup unpoisons the key and the
+    // supervisor's retry rebuilds it.
+    {
+        regenr_failpoint::configure("cache-build-unif=panic,count=1").unwrap();
+        let spec = r#"{"horizons":[100],"max_retries":1,"models":[{"kind":"raid","g":10}],"epsilon":1e-10}"#;
+        let t0 = Instant::now();
+        let results = storm(addr, "/sweep/report", spec, 1);
+        let wall = t0.elapsed().as_secs_f64() * 1e3;
+        let fired = regenr_failpoint::fired_count("cache-build-unif");
+        regenr_failpoint::clear();
+        assert!(fired >= 1, "the cache-build failpoint never fired");
+        let ok = results.iter().filter(|(s, _)| *s == 200).count();
+        let (_, retries, _) = record("cache-abort", 1, ok, wall);
+        assert_eq!(
+            ok, 1,
+            "the aborted cache build must be retried, not surfaced"
+        );
+        assert!(retries >= 1);
+    }
+
+    // Phase 5 — slow writes: every 5th cell record written to any client
+    // stalls. Streams slow down but nobody wedges or drops records.
+    {
+        regenr_failpoint::configure("serve-write=delay:2,every=5").unwrap();
+        let spec = r#"{"horizons":[1,10,100],"models":[{"kind":"raid","g":9}],"epsilon":1e-10}"#;
+        let t0 = Instant::now();
+        let results = storm(addr, "/sweep", spec, 32);
+        let wall = t0.elapsed().as_secs_f64() * 1e3;
+        regenr_failpoint::clear();
+        let ok = results
+            .iter()
+            .filter(|(status, body)| {
+                *status == 200
+                    && body
+                        .lines()
+                        .last()
+                        .is_some_and(|l| l.contains(r#""record":"summary""#))
+            })
+            .count();
+        record("slow-write", 32, ok, wall);
+        assert_eq!(ok, 32, "slow writes must not wedge or truncate any stream");
+    }
+
+    // The server must come out of the storm healthy: liveness green, stats
+    // servable, and a fresh (never-faulted) sweep solving cleanly.
+    let (status, body) = http_request(addr, "GET", "/healthz", "").expect("healthz");
+    assert_eq!(status, 200);
+    assert!(body_str(&body).contains("ok"), "healthz must be green");
+    let (status, body) = http_request(addr, "GET", "/stats", "").expect("stats");
+    assert_eq!(status, 200);
+    assert!(
+        body_str(&body).contains("robustness"),
+        "stats must carry the robustness aggregate"
+    );
+    let (status, _) = http_request(
+        addr,
+        "POST",
+        "/sweep/report",
+        r#"{"horizons":[1],"models":[{"kind":"raid","g":7}],"epsilon":1e-10}"#,
+    )
+    .expect("clean sweep");
+    assert_eq!(status, 200, "the server must still solve after the storm");
+
+    server.shutdown();
+    run_handle.join().expect("drain");
+    let total = server.stats();
+    println!(
+        "  healthy after storm: requests={} sweeps={} promotions={} handler_panics={}",
+        total.requests, total.sweeps, total.promotions, total.handler_panics
+    );
+    println!("  chaos: all bars passed");
+}
+
+#[cfg(feature = "failpoints")]
+fn body_str(body: &[u8]) -> String {
+    String::from_utf8_lossy(body).into_owned()
+}
+
+#[cfg(not(feature = "failpoints"))]
+fn chaos() {
+    eprintln!(
+        "repro chaos needs the failpoint layer compiled in:\n  cargo run -p regenr-bench \
+         --release --features failpoints --bin repro -- chaos"
+    );
+    std::process::exit(2);
 }
 
 fn quick_note(quick: bool) -> &'static str {

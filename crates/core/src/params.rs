@@ -346,6 +346,7 @@ impl RegenParams {
     /// Prefix-truncated copy at depths `(k, l)` (both must not exceed the
     /// stored depths).
     pub fn truncated(&self, k: usize, l: Option<usize>) -> RegenParams {
+        regenr_failpoint::failpoint!("rrl-truncate");
         assert!(k <= self.main.depth(), "k exceeds stored depth");
         let main = truncate_chain(&self.main, k);
         let primed = match (&self.primed, l) {

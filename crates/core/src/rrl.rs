@@ -229,6 +229,14 @@ impl<'a> RrlSolver<'a> {
         };
         let inversion_time = t1.elapsed();
 
+        // `mut` is used only when failpoint sites are compiled in.
+        #[allow(unused_mut)]
+        let mut value = value;
+        #[allow(unused_mut)]
+        let mut converged = converged;
+        regenr_failpoint::failpoint!("rrl-nan", |_fired| value = f64::NAN);
+        regenr_failpoint::failpoint!("rrl-nonconverged", |_fired| converged = false);
+
         RrlSolution {
             value,
             construction_steps: params.construction_steps(),

@@ -80,6 +80,12 @@ impl CtmcBuilder {
     /// clean input-level error, so generated models (spec files) can be
     /// rejected without panicking.
     pub fn explore<M: ModelSpec>(&self, spec: &M) -> Result<BuiltModel<M::State>, CtmcError> {
+        regenr_failpoint::failpoint_return!(
+            "ctmc-explore",
+            Err(CtmcError::Injected {
+                failpoint: "ctmc-explore"
+            })
+        );
         let mut states: Vec<M::State> = Vec::new();
         let mut index: HashMap<M::State, usize> = HashMap::new();
         let mut queue: VecDeque<usize> = VecDeque::new();
@@ -136,6 +142,12 @@ impl CtmcBuilder {
         }
 
         let n = states.len();
+        regenr_failpoint::failpoint_return!(
+            "ctmc-csr-build",
+            Err(CtmcError::Injected {
+                failpoint: "ctmc-csr-build"
+            })
+        );
         let mut exit = vec![0.0f64; n];
         let mut b = CooBuilder::with_capacity(n, n, triplets.len() + n);
         for (i, j, r) in triplets {
@@ -177,6 +189,12 @@ impl CtmcBuilder {
     /// two methods produce bit-for-bit the same [`Ctmc`]. The trade-off is
     /// that no [`BuiltModel`] index is returned.
     pub fn explore_streaming<M: ModelSpec>(&self, spec: &M) -> Result<Ctmc, CtmcError> {
+        regenr_failpoint::failpoint_return!(
+            "ctmc-explore-streaming",
+            Err(CtmcError::Injected {
+                failpoint: "ctmc-explore-streaming"
+            })
+        );
         let mut index: HashMap<M::State, usize> = HashMap::new();
         let mut queue: VecDeque<(M::State, usize)> = VecDeque::new();
         let mut initial_pairs: Vec<(usize, f64)> = Vec::new();
@@ -236,6 +254,12 @@ impl CtmcBuilder {
         }
 
         let n = exit.len();
+        regenr_failpoint::failpoint_return!(
+            "ctmc-csr-build",
+            Err(CtmcError::Injected {
+                failpoint: "ctmc-csr-build"
+            })
+        );
         drop(index);
         b.grow(n, n);
         for (i, &e) in exit.iter().enumerate() {

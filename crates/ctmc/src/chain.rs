@@ -29,6 +29,10 @@ pub enum CtmcError {
     /// models (e.g. `compose` specs) this is an input condition, not a bug:
     /// callers surface it as a spec-level error.
     StateSpaceExceeded { max_states: usize },
+    /// A fault injected by an armed failpoint (`failpoints` builds only).
+    /// Infrastructure, never a property of the model — supervisors retry,
+    /// and serve must not report it as a model error.
+    Injected { failpoint: &'static str },
 }
 
 impl fmt::Display for CtmcError {
@@ -62,6 +66,9 @@ impl fmt::Display for CtmcError {
             }
             CtmcError::StateSpaceExceeded { max_states } => {
                 write!(f, "state space exceeded the cap of {max_states} states")
+            }
+            CtmcError::Injected { failpoint } => {
+                write!(f, "fault injected at failpoint {failpoint}")
             }
         }
     }

@@ -488,6 +488,7 @@ impl ArtifactCache {
             return Ok(facts.clone());
         }
         let cleanup = SlotCleanup::new(&self.structure, fp, slot.clone());
+        regenr_failpoint::failpoint!("cache-build-facts");
         let info = analyze(ctmc)?;
         let facts = Arc::new(ChainFacts {
             fingerprint: fp,
@@ -533,6 +534,7 @@ impl ArtifactCache {
             return (unif.clone(), true);
         }
         let cleanup = SlotCleanup::new(&self.uniformized, key, slot.clone());
+        regenr_failpoint::failpoint!("cache-build-unif");
         let unif = Arc::new(Uniformized::new(ctmc, theta));
         {
             // Weak captures, NOT Arcs: the hook lives on the artifact, and
@@ -605,6 +607,7 @@ impl ArtifactCache {
             // Widening: the current entry keeps serving covered horizons
             // while we rebuild, so step without the slot lock.
             drop(guard);
+            regenr_failpoint::failpoint!("cache-build-params");
             let params = Arc::new(build(t)?);
             self.params_counters.record(false);
             let guard = lock(&slot);
@@ -618,6 +621,7 @@ impl ArtifactCache {
             return Ok((params, false));
         }
         let cleanup = SlotCleanup::new(&self.params, key, slot.clone());
+        regenr_failpoint::failpoint!("cache-build-params");
         let params = Arc::new(build(t)?);
         self.params_counters.record(false);
         self.store_params(guard, &slot, key, t, &params);

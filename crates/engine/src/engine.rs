@@ -39,7 +39,7 @@ use regenr_sparse::{
 };
 use regenr_transient::{solve_block_with, MeasureKind, SrBlockCell, SrOptions};
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -69,6 +69,11 @@ pub struct SolveRequest {
     pub method: MethodChoice,
     /// Regenerative state override for RR/RRL.
     pub regen_state: Option<usize>,
+    /// Extra same-method attempts the sweep supervisor may spend on a
+    /// failing cell before walking the method-fallback chain (panics,
+    /// solver errors, and health-check failures all count). `0` — the
+    /// default — means one attempt per method.
+    pub max_retries: usize,
 }
 
 impl SolveRequest {
@@ -82,6 +87,7 @@ impl SolveRequest {
             epsilon: 1e-12,
             method: MethodChoice::Auto,
             regen_state: None,
+            max_retries: 0,
         }
     }
 
@@ -100,6 +106,12 @@ impl SolveRequest {
     /// Sets the method selection.
     pub fn method(mut self, method: MethodChoice) -> Self {
         self.method = method;
+        self
+    }
+
+    /// Sets the supervisor's same-method retry budget.
+    pub fn max_retries(mut self, max_retries: usize) -> Self {
+        self.max_retries = max_retries;
         self
     }
 }
@@ -180,6 +192,15 @@ pub struct SolveReport {
     pub params_cache_hit: bool,
     /// Wall time of this cell's share of the solve.
     pub wall: Duration,
+    /// Solve attempts the supervisor spent on this cell's job (`1` for the
+    /// common healthy path). Execution accounting — omitted, like `wall`
+    /// and `kernel`, from `--stable` reports.
+    pub attempts: u32,
+    /// When the cell recovered on a *different* method than planned, the
+    /// method that produced this value (equal to `method`); `None` for
+    /// first-method solves. Execution accounting, omitted from `--stable`
+    /// reports.
+    pub recovered_via: Option<Method>,
 }
 
 /// A request that could not be planned or executed.
@@ -191,6 +212,11 @@ pub struct SweepFailure {
     pub measure: MeasureKind,
     /// What went wrong.
     pub error: String,
+    /// Whether the failure is *infrastructure* misbehaviour (panic,
+    /// injected fault, corrupted solution) rather than a property of the
+    /// request — see [`EngineError::is_infrastructure`]. The serve layer
+    /// keys its 5xx-vs-4xx split off this.
+    pub infrastructure: bool,
 }
 
 /// Execution-layer accounting for one sweep: how the shared worker pool and
@@ -231,6 +257,36 @@ pub struct ExecStats {
     pub blocked_cells: usize,
 }
 
+/// Supervisor accounting for one sweep: how often solutions failed the
+/// numerical-health check and what it took to recover them. All zero on the
+/// healthy path (and always, in builds without the `failpoints` feature,
+/// unless a genuine solver bug or non-convergence strikes).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RobustnessStats {
+    /// Attempts whose solutions were rejected by the health check
+    /// (non-finite value, value outside the reward bounds, convergence
+    /// flag unset).
+    pub health_failures: u64,
+    /// Jobs that produced their result on a fallback method after the
+    /// planned method's attempts were exhausted.
+    pub fallbacks: u64,
+    /// Re-attempts after a failed attempt, on any method (same-method
+    /// retries and fallback attempts both count).
+    pub retries: u64,
+    /// Cells whose final value arrived after at least one failed attempt.
+    pub recovered_cells: u64,
+}
+
+impl RobustnessStats {
+    /// Sums counters (for aggregating sweeps into service-level totals).
+    pub fn merge(&mut self, other: &RobustnessStats) {
+        self.health_failures += other.health_failures;
+        self.fallbacks += other.fallbacks;
+        self.retries += other.retries;
+        self.recovered_cells += other.recovered_cells;
+    }
+}
+
 /// Everything a sweep produced.
 #[derive(Clone, Debug, Default)]
 pub struct SweepReport {
@@ -248,6 +304,9 @@ pub struct SweepReport {
     pub cache: CacheStats,
     /// Worker-pool and workspace accounting for this sweep.
     pub exec: ExecStats,
+    /// Supervisor accounting: health-check failures, retries, fallbacks,
+    /// recovered cells.
+    pub robustness: RobustnessStats,
     /// Total wall time of the sweep.
     pub wall: Duration,
 }
@@ -348,15 +407,34 @@ impl Default for Engine {
 /// A sweep job's result slot, filled by whichever worker executes it.
 type JobCell = Mutex<Option<Result<Vec<SolveReport>, EngineError>>>;
 
-/// Best-effort extraction of a panic payload's message.
+/// Longest panic message a report will carry. Panic payloads are
+/// attacker/bug-controlled strings that end up in failure reports and
+/// NDJSON streams; a pathological payload must not bloat them.
+const MAX_PANIC_MESSAGE_BYTES: usize = 512;
+
+/// Best-effort extraction of a panic payload's message, bounded to
+/// [`MAX_PANIC_MESSAGE_BYTES`] (truncated on a char boundary, with any
+/// invalid UTF-8 already handled by the `&str`/`String` downcasts).
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
+    let msg: &str = if let Some(s) = payload.downcast_ref::<&str>() {
+        s
     } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
+        s.as_str()
     } else {
-        "non-string panic payload".to_string()
+        "non-string panic payload"
+    };
+    // Strip non-UTF8 lossily: `&str` is always valid UTF-8, but defensive
+    // re-encoding keeps the guarantee even if an unpaired surrogate ever
+    // sneaks through a downcast boundary.
+    let msg = String::from_utf8_lossy(msg.as_bytes());
+    if msg.len() <= MAX_PANIC_MESSAGE_BYTES {
+        return msg.into_owned();
     }
+    let mut cut = MAX_PANIC_MESSAGE_BYTES;
+    while !msg.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    format!("{}… [truncated {} bytes]", &msg[..cut], msg.len() - cut)
 }
 
 /// One planned unit of work: a run of horizons of one request that share a
@@ -379,6 +457,98 @@ struct Job {
     ts: Vec<f64>,
     /// Positions of those horizons in the request's `horizons` vector.
     slots: Vec<usize>,
+}
+
+impl Job {
+    /// A copy of this job dispatched to a different method (the supervisor's
+    /// fallback path). The dispatch `reason` is kept: it documents why the
+    /// *planned* method was chosen; the switch itself is recorded in
+    /// [`SolveReport::recovered_via`].
+    fn with_method(&self, method: Method) -> Job {
+        Job {
+            req_idx: self.req_idx,
+            fp: self.fp,
+            unif_fp: self.unif_fp,
+            facts: self.facts.clone(),
+            method,
+            reason: self.reason,
+            ts: self.ts.clone(),
+            slots: self.slots.clone(),
+        }
+    }
+}
+
+/// The supervisor's deterministic method-fallback chain: methods to try,
+/// in order, after the planned method's attempts are exhausted. Every
+/// fallback supports absorbing chains and MRR, ends in SR (the rigorous
+/// always-applicable baseline), and never *adds* capability requirements —
+/// so a fallback attempt can only fail for the same reasons any solve can.
+fn fallback_chain(method: Method) -> &'static [Method] {
+    match method {
+        Method::Rrl => &[Method::Rr, Method::Sr],
+        Method::Rr => &[Method::Sr],
+        Method::Adaptive => &[Method::Sr],
+        Method::Rsd => &[Method::Sr],
+        Method::Ode => &[Method::Sr],
+        Method::Sr => &[],
+    }
+}
+
+/// Live counters behind [`RobustnessStats`], shared by the sweep workers.
+#[derive(Default)]
+struct RobustCounters {
+    health_failures: AtomicU64,
+    fallbacks: AtomicU64,
+    retries: AtomicU64,
+    recovered_cells: AtomicU64,
+}
+
+impl RobustCounters {
+    fn snapshot(&self) -> RobustnessStats {
+        RobustnessStats {
+            health_failures: self.health_failures.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            recovered_cells: self.recovered_cells.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The supervisor's numerical-health check over one job's reports.
+///
+/// Every measure this engine computes is a reward expectation (TRR) or a
+/// time-average of one (MRR), so any healthy value lies in the closed
+/// reward range `[min r_i, max r_i]`; the tolerance absorbs inversion
+/// overshoot proportional to the request's error budget. Non-finite values
+/// and unset method convergence flags (RRL's inversion flag) are rejected
+/// outright.
+fn health_check(req: &SolveRequest, reports: &[SolveReport]) -> Result<(), String> {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &r in req.model.rewards() {
+        lo = lo.min(r);
+        hi = hi.max(r);
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        // Degenerate (empty) reward vector: nothing to bound.
+        (lo, hi) = (f64::NEG_INFINITY, f64::INFINITY);
+    }
+    let tol = (1e-9 + 10.0 * req.epsilon) * (1.0 + hi.abs());
+    for r in reports {
+        if !r.value.is_finite() {
+            return Err(format!("non-finite value {} at t={}", r.value, r.t));
+        }
+        if r.value < lo - tol || r.value > hi + tol {
+            return Err(format!(
+                "value {} at t={} outside reward bounds [{lo}, {hi}] (tol {tol})",
+                r.value, r.t
+            ));
+        }
+        if !r.converged {
+            return Err(format!("method {} did not converge at t={}", r.method, r.t));
+        }
+    }
+    Ok(())
 }
 
 /// One claimable unit of sweep execution: a lone job, or a group of SR jobs
@@ -670,8 +840,103 @@ impl Engine {
                 unif_cache_hit: unif_hit,
                 params_cache_hit: params_hit,
                 wall: per_cell,
+                attempts: 1,
+                recovered_via: None,
             })
             .collect())
+    }
+
+    /// Supervised execution of one job: run the planned method, health-check
+    /// every solution, and on a panic, a solver error, or a health failure
+    /// retry — first the same method up to the request's `max_retries`
+    /// budget, then down the deterministic [`fallback_chain`]. Backoff
+    /// between attempts is a short, bounded, deterministic sleep (failure
+    /// causes that heal with time — a cache slot mid-rebuild, a transient
+    /// pool stall — get room to do so without turning retries into a spin).
+    fn run_supervised(
+        &self,
+        req: &SolveRequest,
+        job: &Job,
+        ws: &mut Workspace,
+        counters: &RobustCounters,
+        prior_failures: u32,
+    ) -> Result<Vec<SolveReport>, EngineError> {
+        let mut attempts: u32 = prior_failures;
+        let mut last_err: Option<EngineError> = None;
+        for (mi, method) in std::iter::once(job.method)
+            .chain(fallback_chain(job.method).iter().copied())
+            .enumerate()
+        {
+            let tries = if mi == 0 {
+                1 + req.max_retries as u32
+            } else {
+                1
+            };
+            let fallback_job;
+            let job_m: &Job = if method == job.method {
+                job
+            } else {
+                fallback_job = job.with_method(method);
+                &fallback_job
+            };
+            for _ in 0..tries {
+                // Any attempt after the first (counting failures inherited
+                // from a blocked group) is a retry.
+                if attempts > 0 {
+                    counters.retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_millis(u64::from(attempts.min(4))));
+                }
+                attempts += 1;
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.run_job(req, job_m, ws)
+                }));
+                let err = match outcome {
+                    Err(payload) => {
+                        // Nothing the unwound solver touched may reach the
+                        // next occupant of this worker's arena.
+                        ws.discard_all();
+                        EngineError::JobPanicked(panic_message(&payload))
+                    }
+                    Ok(Err(e)) => e,
+                    Ok(Ok(mut reports)) => match health_check(req, &reports) {
+                        Err(why) => {
+                            counters.health_failures.fetch_add(1, Ordering::Relaxed);
+                            EngineError::Unhealthy(why)
+                        }
+                        Ok(()) => {
+                            if attempts > 1 {
+                                counters
+                                    .recovered_cells
+                                    .fetch_add(reports.len() as u64, Ordering::Relaxed);
+                            }
+                            if mi > 0 {
+                                counters.fallbacks.fetch_add(1, Ordering::Relaxed);
+                            }
+                            for r in &mut reports {
+                                r.attempts = attempts;
+                                r.recovered_via = (mi > 0).then_some(method);
+                            }
+                            return Ok(reports);
+                        }
+                    },
+                };
+                // Only infrastructure failures (panics, injected faults,
+                // corrupted solutions) are worth retrying; a model/request
+                // error is deterministic and would only be masked by a
+                // fallback silently answering a different question. On a
+                // *fallback* method the same error just means this method
+                // is ineligible for the model — move to the next one and
+                // keep reporting the infrastructure cause.
+                if !err.is_infrastructure() {
+                    if mi == 0 {
+                        return Err(err);
+                    }
+                    break;
+                }
+                last_err = Some(err);
+            }
+        }
+        Err(last_err.expect("supervisor made at least one attempt"))
     }
 
     /// Executes a group of SR jobs whose models share a generator as one
@@ -765,6 +1030,8 @@ impl Engine {
                         unif_cache_hit: unif_hit,
                         params_cache_hit: false,
                         wall: per_cell,
+                        attempts: 1,
+                        recovered_via: None,
                     })
                     .collect();
                 (j, reports)
@@ -879,6 +1146,7 @@ impl Engine {
                     model: req.name.clone(),
                     measure: req.measure,
                     error: e.to_string(),
+                    infrastructure: e.is_infrastructure(),
                 }),
             }
         }
@@ -893,24 +1161,24 @@ impl Engine {
         let ws_totals: Mutex<WorkspaceStats> = Mutex::new(WorkspaceStats::default());
         let blocked_cells = AtomicUsize::new(0);
 
-        // A panicking solver job must not unwind through the worker pool and
-        // abort the whole sweep (nor poison anything another worker needs):
-        // catch it here and report it as that request's failure. The job
+        // Every job runs under the supervisor: panics are caught (isolated
+        // from the worker pool and from groupmates), every solution is
+        // health-checked, and failing jobs retry down the method-fallback
+        // chain before they are reported as that request's failure. The job
         // cells themselves are written only after the catch, so they can
         // never be poisoned by solver code. Each worker owns one workspace
         // for all the units it claims, so scratch vectors are reused across
         // jobs, not just across the horizons of one.
-        let run_single = |i: usize, ws: &mut Workspace| {
+        let robust = RobustCounters::default();
+        let run_recover = |i: usize, ws: &mut Workspace, prior_failures: u32| {
             let job = &jobs[i];
-            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                self.run_job(&reqs[job.req_idx], job, ws)
-            }))
-            .unwrap_or_else(|payload| Err(EngineError::JobPanicked(panic_message(&payload))));
+            let outcome = self.run_supervised(&reqs[job.req_idx], job, ws, &robust, prior_failures);
             if let Ok(reports) = &outcome {
                 progress.on_reports(reports);
             }
             *crate::cache::lock(&results[i]) = Some(outcome);
         };
+        let run_single = |i: usize, ws: &mut Workspace| run_recover(i, ws, 0);
         let run_worker = || {
             let mut ws = Workspace::new();
             loop {
@@ -930,14 +1198,29 @@ impl Engine {
                             self.run_block(reqs, &jobs, members, &mut ws)
                         })) {
                             Ok(per_member) => {
-                                let cells: usize = members.iter().map(|&j| jobs[j].ts.len()).sum();
-                                blocked_cells.fetch_add(cells, Ordering::Relaxed);
                                 for (j, reports) in per_member {
-                                    progress.on_reports(&reports);
-                                    *crate::cache::lock(&results[j]) = Some(Ok(reports));
+                                    // Health-check each member individually:
+                                    // an unhealthy member *re-solves* under
+                                    // the supervisor (inheriting its failed
+                                    // attempt) instead of being dropped,
+                                    // while healthy groupmates publish
+                                    // their blocked results untouched.
+                                    let req = &reqs[jobs[j].req_idx];
+                                    if health_check(req, &reports).is_ok() {
+                                        blocked_cells
+                                            .fetch_add(jobs[j].ts.len(), Ordering::Relaxed);
+                                        progress.on_reports(&reports);
+                                        *crate::cache::lock(&results[j]) = Some(Ok(reports));
+                                    } else {
+                                        robust.health_failures.fetch_add(1, Ordering::Relaxed);
+                                        run_recover(j, &mut ws, 1);
+                                    }
                                 }
                             }
                             Err(_) => {
+                                // The group panicked as a whole: the arena
+                                // may hold the unwound propagation's state.
+                                ws.discard_all();
                                 for &j in members {
                                     run_single(j, &mut ws);
                                 }
@@ -973,7 +1256,7 @@ impl Engine {
         // Collect in (request, horizon) submission order.
         let mut per_req: Vec<Vec<Option<SolveReport>>> =
             reqs.iter().map(|r| vec![None; r.horizons.len()]).collect();
-        let mut failed_reqs: Vec<Option<String>> = vec![None; reqs.len()];
+        let mut failed_reqs: Vec<Option<(String, bool)>> = vec![None; reqs.len()];
         let cancelled = progress.cancelled();
         let mut cancelled_jobs = 0usize;
         for (job, cell) in jobs.iter().zip(results) {
@@ -986,22 +1269,27 @@ impl Engine {
                         per_req[job.req_idx][*slot] = Some(report);
                     }
                 }
-                Some(Err(e)) => failed_reqs[job.req_idx] = Some(e.to_string()),
+                Some(Err(e)) => {
+                    failed_reqs[job.req_idx] = Some((e.to_string(), e.is_infrastructure()))
+                }
                 // An unexecuted job under cancellation is the deadline
                 // doing its job — the request is partial, not failed. An
                 // unexecuted job *without* cancellation is a scheduler bug
                 // and must surface loudly.
                 None if cancelled => cancelled_jobs += 1,
-                None => failed_reqs[job.req_idx] = Some("job was not executed".into()),
+                // Not being executed at all is a scheduler fault, never a
+                // model property.
+                None => failed_reqs[job.req_idx] = Some(("job was not executed".into(), true)),
             }
         }
         let mut reports = Vec::new();
         for (req_idx, slots) in per_req.into_iter().enumerate() {
-            if let Some(error) = failed_reqs[req_idx].take() {
+            if let Some((error, infrastructure)) = failed_reqs[req_idx].take() {
                 failures.push(SweepFailure {
                     model: reqs[req_idx].name.clone(),
                     measure: reqs[req_idx].measure,
                     error,
+                    infrastructure,
                 });
                 continue;
             }
@@ -1023,6 +1311,7 @@ impl Engine {
                     .unwrap_or_else(std::sync::PoisonError::into_inner),
                 blocked_cells: blocked_cells.into_inner(),
             },
+            robustness: robust.snapshot(),
             wall: t0.elapsed(),
         }
     }
@@ -1548,5 +1837,35 @@ mod tests {
             .unwrap();
         assert_eq!(reports[0].value, 0.0);
         assert_eq!(reports[0].steps, 0);
+    }
+
+    /// Panic payloads are bug/attacker-controlled strings that land in
+    /// failure reports and NDJSON streams — the extractor must bound them
+    /// to [`MAX_PANIC_MESSAGE_BYTES`] without splitting a character.
+    #[test]
+    fn panic_messages_are_bounded_on_char_boundaries() {
+        fn extract(payload: impl std::any::Any + Send) -> String {
+            let boxed: Box<dyn std::any::Any + Send> = Box::new(payload);
+            panic_message(boxed.as_ref())
+        }
+
+        let short = extract("solver exploded");
+        assert_eq!(short, "solver exploded");
+        assert_eq!(extract(String::from("owned")), "owned");
+        assert_eq!(extract(42_i32), "non-string panic payload");
+
+        let long = extract("x".repeat(2_000));
+        assert!(
+            long.len() < MAX_PANIC_MESSAGE_BYTES + 64,
+            "{} bytes leaked through the bound",
+            long.len()
+        );
+        assert!(long.ends_with("[truncated 1488 bytes]"), "{long}");
+
+        // 3-byte chars: 512 is not a boundary (512 % 3 == 2), so the cut
+        // must back off rather than split the ellipsis mid-sequence.
+        let multi = extract("…".repeat(200));
+        assert!(multi.ends_with("[truncated 90 bytes]"), "{multi}");
+        assert!(multi.starts_with('…'));
     }
 }

@@ -49,8 +49,8 @@ pub mod spec;
 
 pub use cache::{ArtifactCache, CacheConfig, CacheStats, ChainFacts, PoolStats};
 pub use engine::{
-    DispatchReason, Engine, EngineOptions, ExecStats, MethodChoice, SolveReport, SolveRequest,
-    SweepFailure, SweepProgress, SweepReport,
+    DispatchReason, Engine, EngineOptions, ExecStats, MethodChoice, RobustnessStats, SolveReport,
+    SolveRequest, SweepFailure, SweepProgress, SweepReport,
 };
 pub use fingerprint::{canonicalize_spec, fingerprint};
 pub use json::Json;
@@ -58,8 +58,8 @@ pub use method::{Capabilities, Method, ALL_METHODS};
 pub use serve::{serve_stats_json, ServeConfig, ServeStats, Server};
 pub use solver::{build_solver, EngineSolution, SolveConfig, Solver, UnifiedSolver};
 pub use spec::{
-    cache_stats_json, cell_to_json, failure_to_json, report_to_json, stable_report_to_json,
-    SweepSpec,
+    cache_stats_json, cell_to_json, failure_to_json, report_to_json, robustness_json,
+    stable_report_to_json, SweepSpec,
 };
 
 use regenr_ctmc::CtmcError;
@@ -83,6 +83,10 @@ pub enum EngineError {
     /// payload is the panic message — this indicates a solver bug, not a
     /// bad request.
     JobPanicked(String),
+    /// A solution failed the supervisor's numerical-health check (non-finite
+    /// value, value outside the reward bounds, or a method-specific
+    /// convergence flag unset) and every retry/fallback was exhausted.
+    Unhealthy(String),
 }
 
 impl fmt::Display for EngineError {
@@ -96,7 +100,26 @@ impl fmt::Display for EngineError {
             EngineError::JobPanicked(message) => {
                 write!(f, "solver job panicked: {message}")
             }
+            EngineError::Unhealthy(reason) => {
+                write!(f, "numerical health check failed: {reason}")
+            }
         }
+    }
+}
+
+impl EngineError {
+    /// Whether this error describes *infrastructure* misbehaviour (a panic,
+    /// an injected fault, a corrupted solution) rather than a property of
+    /// the request or model. The serve layer maps infrastructure failures
+    /// to `5xx` and model/request errors to `4xx` — an injected fault must
+    /// never masquerade as a model error.
+    pub fn is_infrastructure(&self) -> bool {
+        matches!(
+            self,
+            EngineError::JobPanicked(_)
+                | EngineError::Unhealthy(_)
+                | EngineError::Chain(CtmcError::Injected { .. })
+        )
     }
 }
 

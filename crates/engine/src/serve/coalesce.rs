@@ -10,6 +10,16 @@
 //! spec document, so whitespace and formatting differences still coalesce
 //! while any semantic difference (including `deadline_ms`) keeps runs
 //! separate.
+//!
+//! Runs also survive their leader: when a leader unwinds before finishing
+//! and the run still has a retry budget and at least one subscribed
+//! follower, the dying [`LeaderGuard`] flags a **promotion** instead of
+//! failing the run — the first follower to observe it (via
+//! [`SharedRun::follow`] / [`SharedRun::wait_done_or_promote`]) retakes
+//! leadership and recomputes. Followers are never stranded: a run with no
+//! claimable promotion finishes as [`RunStatus::Error`], and the last
+//! follower abandoning an unclaimed promotion is told so it can fail the
+//! run itself.
 
 use crate::cache::lock;
 use crate::engine::{SolveReport, SweepReport};
@@ -48,6 +58,26 @@ struct RunState {
     done: bool,
     status: Option<RunStatus>,
     report: Option<SweepReport>,
+    /// Followers currently attached (able to claim a promotion).
+    subscribers: usize,
+    /// Leader re-elections still allowed for this run.
+    retries_left: u32,
+    /// A leader died with retries remaining; the first subscriber to
+    /// observe this claims it and retakes leadership.
+    promotion_pending: bool,
+}
+
+/// What a promotion-aware follower observed (see [`SharedRun::follow`]).
+pub enum FollowEvent {
+    /// New cells past the follower's cursor (possibly empty) and whether
+    /// the run has finished.
+    Cells(Vec<SolveReport>, bool),
+    /// The leader died with retries remaining and this subscriber won the
+    /// promotion race: it must retake leadership and recompute. The cells
+    /// already published stay valid — the recomputation is deterministic,
+    /// so re-pushed cells are bitwise duplicates, and the final report is
+    /// authoritative.
+    Promoted,
 }
 
 /// One in-flight sweep shared between a leader and any followers.
@@ -57,9 +87,12 @@ pub struct SharedRun {
 }
 
 impl SharedRun {
-    fn new() -> Self {
+    fn new(leader_retries: u32) -> Self {
         SharedRun {
-            state: Mutex::new(RunState::default()),
+            state: Mutex::new(RunState {
+                retries_left: leader_retries,
+                ..RunState::default()
+            }),
             cond: Condvar::new(),
         }
     }
@@ -110,6 +143,85 @@ impl SharedRun {
         (st.report.clone(), st.status.unwrap_or(RunStatus::Error))
     }
 
+    /// The promotion-aware variant of [`SharedRun::next_cells`]: blocks
+    /// until there is something past `cursor`, the run finishes, or a
+    /// pending promotion is claimed by this caller. Only subscribed
+    /// followers should call this — claiming a promotion obligates the
+    /// caller to retake leadership.
+    pub fn follow(&self, cursor: usize) -> FollowEvent {
+        let mut st = lock(&self.state);
+        loop {
+            if st.promotion_pending {
+                st.promotion_pending = false;
+                return FollowEvent::Promoted;
+            }
+            if st.cells.len() > cursor || st.done {
+                return FollowEvent::Cells(
+                    st.cells[cursor.min(st.cells.len())..].to_vec(),
+                    st.done,
+                );
+            }
+            st = self
+                .cond
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// The promotion-aware variant of [`SharedRun::wait_done`] for
+    /// followers that don't stream cells: `None` means this caller claimed
+    /// a pending promotion and must retake leadership.
+    pub fn wait_done_or_promote(&self) -> Option<(Option<SweepReport>, RunStatus)> {
+        let mut st = lock(&self.state);
+        loop {
+            if st.promotion_pending {
+                st.promotion_pending = false;
+                return None;
+            }
+            if st.done {
+                return Some((st.report.clone(), st.status.unwrap_or(RunStatus::Error)));
+            }
+            st = self
+                .cond
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Counts a follower in. Claimable promotions require at least one
+    /// subscriber, so the count must cover every attached follower —
+    /// [`InflightTable::join_or_lead`] subscribes under the table lock
+    /// before the follower is even returned.
+    pub fn subscribe(&self) {
+        lock(&self.state).subscribers += 1;
+    }
+
+    /// Counts a follower out. Returns `true` if this was the last
+    /// subscriber leaving behind an *unclaimed* promotion — the caller
+    /// must then finish the run as [`RunStatus::Error`] and unpublish the
+    /// key, or the run would strand (nobody left to recompute, key still
+    /// blocking fresh leaders).
+    pub fn unsubscribe(&self) -> bool {
+        let mut st = lock(&self.state);
+        st.subscribers = st.subscribers.saturating_sub(1);
+        st.promotion_pending && st.subscribers == 0 && !st.done
+    }
+
+    /// Called when a leader unwinds: offers the retry to the followers.
+    /// Succeeds (and flags a pending promotion) only when retries remain
+    /// and somebody is subscribed to claim it; on success the key must
+    /// stay published so the promoted follower re-leads the same run.
+    fn offer_retry(&self) -> bool {
+        let mut st = lock(&self.state);
+        if st.done || st.retries_left == 0 || st.subscribers == 0 {
+            return false;
+        }
+        st.retries_left -= 1;
+        st.promotion_pending = true;
+        self.cond.notify_all();
+        true
+    }
+
     fn is_done(&self) -> bool {
         lock(&self.state).done
     }
@@ -133,19 +245,28 @@ pub struct InflightTable {
 }
 
 impl InflightTable {
-    /// Joins the run for `key`, or leads a new one if `admit` grants a
-    /// slot. The whole decision happens under the table lock, so a
-    /// follower can never attach to a key whose leader was rejected, and
-    /// two leaders can never race on one key.
-    pub fn join_or_lead(&self, key: u64, admit: impl FnOnce() -> bool) -> Joined {
+    /// Joins the run for `key`, or leads a new one (with `leader_retries`
+    /// re-elections budgeted) if `admit` grants a slot. The whole decision
+    /// happens under the table lock, so a follower can never attach to a
+    /// key whose leader was rejected, two leaders can never race on one
+    /// key, and the follower is subscribed (promotion-eligible) before a
+    /// dying leader could possibly look for one.
+    pub fn join_or_lead(
+        &self,
+        key: u64,
+        leader_retries: u32,
+        admit: impl FnOnce() -> bool,
+    ) -> Joined {
+        regenr_failpoint::failpoint!("serve-coalesce");
         let mut runs = lock(&self.runs);
         if let Some(run) = runs.get(&key) {
+            run.subscribe();
             return Joined::Follower(run.clone());
         }
         if !admit() {
             return Joined::Rejected;
         }
-        let run = Arc::new(SharedRun::new());
+        let run = Arc::new(SharedRun::new(leader_retries));
         runs.insert(key, run.clone());
         Joined::Leader(run)
     }
@@ -199,6 +320,13 @@ impl<'a> LeaderGuard<'a> {
 
 impl Drop for LeaderGuard<'_> {
     fn drop(&mut self) {
+        // A dropped (not `finish`ed) guard means the leader unwound. If
+        // retries remain and a follower is subscribed, hand the run over
+        // instead of failing it: the key stays published and the promoted
+        // follower re-leads under a fresh guard.
+        if self.run.offer_retry() {
+            return;
+        }
         if !self.run.is_done() {
             self.run.finish(SweepReport::default(), RunStatus::Error);
         }
@@ -219,27 +347,33 @@ mod tests {
             admits.fetch_add(1, Ordering::SeqCst);
             true
         };
-        let Joined::Leader(run) = table.join_or_lead(7, admit) else {
+        let Joined::Leader(run) = table.join_or_lead(7, 0, admit) else {
             panic!("first arrival must lead");
         };
-        let Joined::Follower(follower) = table.join_or_lead(7, admit) else {
+        let Joined::Follower(follower) = table.join_or_lead(7, 0, admit) else {
             panic!("identical in-flight key must coalesce");
         };
         assert!(Arc::ptr_eq(&run, &follower));
         assert_eq!(admits.load(Ordering::SeqCst), 1, "followers skip admission");
         // A different key needs its own slot.
-        assert!(matches!(table.join_or_lead(8, || false), Joined::Rejected));
+        assert!(matches!(
+            table.join_or_lead(8, 0, || false),
+            Joined::Rejected
+        ));
         assert_eq!(table.len(), 1);
         table.complete(7);
         assert_eq!(table.len(), 0);
         // After completion the key leads again (fresh computation).
-        assert!(matches!(table.join_or_lead(7, || true), Joined::Leader(_)));
+        assert!(matches!(
+            table.join_or_lead(7, 0, || true),
+            Joined::Leader(_)
+        ));
     }
 
     #[test]
     fn followers_stream_cells_then_final_report() {
         let table = InflightTable::default();
-        let Joined::Leader(run) = table.join_or_lead(1, || true) else {
+        let Joined::Leader(run) = table.join_or_lead(1, 0, || true) else {
             panic!()
         };
         let follower = run.clone();
@@ -267,7 +401,7 @@ mod tests {
     #[test]
     fn leader_guard_releases_followers_on_unwind() {
         let table = InflightTable::default();
-        let Joined::Leader(run) = table.join_or_lead(3, || true) else {
+        let Joined::Leader(run) = table.join_or_lead(3, 0, || true) else {
             panic!()
         };
         {
@@ -278,5 +412,89 @@ mod tests {
         assert_eq!(status, RunStatus::Error);
         assert!(report.is_none() || report.unwrap().reports.is_empty());
         assert_eq!(table.len(), 0, "the key must be unpublished");
+    }
+
+    #[test]
+    fn dying_leader_promotes_a_subscribed_follower() {
+        let table = InflightTable::default();
+        let Joined::Leader(run) = table.join_or_lead(5, 2, || true) else {
+            panic!()
+        };
+        let Joined::Follower(follower) = table.join_or_lead(5, 2, || true) else {
+            panic!()
+        };
+        {
+            let _guard = LeaderGuard::new(&table, 5, run.clone());
+            // dropped without finish() — leader died
+        }
+        assert!(
+            !run.is_done(),
+            "with retries and a subscriber the run must not be failed"
+        );
+        assert_eq!(table.len(), 1, "the key must stay published for re-lead");
+        let FollowEvent::Promoted = follower.follow(0) else {
+            panic!("the subscribed follower must be promoted");
+        };
+        // The promoted follower re-leads and completes the run normally.
+        let guard = LeaderGuard::new(&table, 5, follower.clone());
+        guard.finish(SweepReport::default(), RunStatus::Ok);
+        let (report, status) = run.wait_done();
+        assert_eq!(status, RunStatus::Ok);
+        assert!(report.is_some());
+        assert_eq!(table.len(), 0);
+    }
+
+    #[test]
+    fn promotion_is_claimed_exactly_once() {
+        let table = InflightTable::default();
+        let Joined::Leader(run) = table.join_or_lead(6, 1, || true) else {
+            panic!()
+        };
+        let Joined::Follower(a) = table.join_or_lead(6, 1, || true) else {
+            panic!()
+        };
+        let Joined::Follower(_b) = table.join_or_lead(6, 1, || true) else {
+            panic!()
+        };
+        drop(LeaderGuard::new(&table, 6, run.clone()));
+        assert!(matches!(a.follow(0), FollowEvent::Promoted));
+        // The second follower must block on cells, not double-claim: finish
+        // the run and verify it observes completion instead.
+        run.finish(SweepReport::default(), RunStatus::Ok);
+        let (report, status) = run.wait_done();
+        assert!(report.is_some());
+        assert_eq!(status, RunStatus::Ok);
+        table.complete(6);
+    }
+
+    #[test]
+    fn leader_without_followers_or_retries_fails_the_run() {
+        let table = InflightTable::default();
+        // Retries budgeted but nobody subscribed: the retry has no one to
+        // run it, so the run fails instead of stranding the key.
+        let Joined::Leader(run) = table.join_or_lead(9, 3, || true) else {
+            panic!()
+        };
+        drop(LeaderGuard::new(&table, 9, run.clone()));
+        assert_eq!(run.wait_done().1, RunStatus::Error);
+        assert_eq!(table.len(), 0);
+    }
+
+    #[test]
+    fn last_unsubscriber_reports_an_unclaimed_promotion() {
+        let table = InflightTable::default();
+        let Joined::Leader(run) = table.join_or_lead(11, 1, || true) else {
+            panic!()
+        };
+        let Joined::Follower(follower) = table.join_or_lead(11, 1, || true) else {
+            panic!()
+        };
+        drop(LeaderGuard::new(&table, 11, run.clone()));
+        // The only follower leaves without claiming the promotion — it must
+        // learn it is abandoning the run so it can fail it cleanly.
+        assert!(follower.unsubscribe(), "unclaimed promotion must surface");
+        run.finish(SweepReport::default(), RunStatus::Error);
+        table.complete(11);
+        assert_eq!(run.wait_done().1, RunStatus::Error);
     }
 }

@@ -30,6 +30,12 @@
 //! 3. **Graceful lifecycle**: `POST /shutdown` or SIGTERM stops accepting,
 //!    drains in-flight connections, and returns from [`Server::run`]; the
 //!    cache and pool live as long as the server, not a request.
+//! 4. **Fault containment**: a leader that unwinds mid-sweep promotes a
+//!    subscribed follower to recompute (up to
+//!    [`ServeConfig::leader_retries`] re-elections per run) instead of
+//!    erroring every subscriber; handler panics answer `500`, exhausted
+//!    runs answer `503` — infrastructure faults never masquerade as model
+//!    errors, which keep their structured `4xx` bodies.
 //!
 //! Engine-wide knobs (`threads`, `kernel`, `backend`, `theta`, dispatch
 //! thresholds, `cache`) are fixed at server startup — a spec carrying them
@@ -45,7 +51,7 @@ use crate::cache::{lock, CacheConfig};
 use crate::engine::{Engine, EngineOptions, SolveReport, SweepProgress, SweepReport};
 use crate::json::Json;
 use crate::spec::{cache_stats_json, cell_to_json, failure_to_json, SweepSpec};
-use coalesce::{InflightTable, Joined, LeaderGuard, RunStatus, SharedRun};
+use coalesce::{FollowEvent, InflightTable, Joined, LeaderGuard, RunStatus, SharedRun};
 use http::{read_request, write_response, Chunked, HttpError, Request};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -69,6 +75,10 @@ pub struct ServeConfig {
     /// Artifact-cache capacity. A long-running service must bound its
     /// cache; the default keeps 256 models / 512 MiB under LRU eviction.
     pub cache: CacheConfig,
+    /// Leader re-elections budgeted per coalesced run: when a leader's
+    /// handler unwinds mid-sweep this many times, a subscribed follower is
+    /// promoted to recompute instead of every subscriber getting an error.
+    pub leader_retries: u32,
 }
 
 impl Default for ServeConfig {
@@ -82,6 +92,7 @@ impl Default for ServeConfig {
                 max_entries: Some(256),
                 max_bytes: Some(512 * 1024 * 1024),
             },
+            leader_retries: 2,
         }
     }
 }
@@ -107,6 +118,11 @@ pub struct ServeStats {
     pub cells_streamed: u64,
     /// High-water mark of concurrently computing sweeps.
     pub inflight_highwater: u64,
+    /// Followers promoted to leader after a leader died mid-sweep.
+    pub promotions: u64,
+    /// Request handlers that panicked (answered `500`; infrastructure
+    /// faults, never request errors).
+    pub handler_panics: u64,
 }
 
 #[derive(Default)]
@@ -119,6 +135,8 @@ struct ServeCounters {
     bad_requests: AtomicU64,
     cells_streamed: AtomicU64,
     inflight_highwater: AtomicU64,
+    promotions: AtomicU64,
+    handler_panics: AtomicU64,
 }
 
 impl ServeCounters {
@@ -132,6 +150,8 @@ impl ServeCounters {
             bad_requests: self.bad_requests.load(Ordering::Relaxed),
             cells_streamed: self.cells_streamed.load(Ordering::Relaxed),
             inflight_highwater: self.inflight_highwater.load(Ordering::Relaxed),
+            promotions: self.promotions.load(Ordering::Relaxed),
+            handler_panics: self.handler_panics.load(Ordering::Relaxed),
         }
     }
 }
@@ -153,6 +173,8 @@ pub fn serve_stats_json(s: &ServeStats) -> Json {
             "inflight_highwater".into(),
             Json::Num(s.inflight_highwater as f64),
         ),
+        ("promotions".into(), Json::Num(s.promotions as f64)),
+        ("handler_panics".into(), Json::Num(s.handler_panics as f64)),
     ])
 }
 
@@ -175,6 +197,19 @@ impl Gate {
             .inflight_highwater
             .fetch_max(*cur as u64, Ordering::Relaxed);
         true
+    }
+
+    /// Admits unconditionally — for a promoted follower retaking a dead
+    /// leader's run. The dead leader's slot is released as its handler
+    /// unwinds, but the promotion must never lose a race against that
+    /// release: transiently exceeding `max` by the in-flight promotions is
+    /// the lesser evil versus rejecting the retry (stranding followers).
+    fn admit_forced(&self, counters: &ServeCounters) {
+        let mut cur = lock(&self.cur);
+        *cur += 1;
+        counters
+            .inflight_highwater
+            .fetch_max(*cur as u64, Ordering::Relaxed);
     }
 
     fn release(&self) {
@@ -236,6 +271,8 @@ pub struct Server {
     local_addr: SocketAddr,
     shutdown: AtomicBool,
     active: AtomicUsize,
+    /// Service-lifetime aggregate of every sweep's [`RobustnessStats`].
+    robust: Mutex<crate::engine::RobustnessStats>,
 }
 
 impl Server {
@@ -261,6 +298,7 @@ impl Server {
             local_addr,
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
+            robust: Mutex::new(crate::engine::RobustnessStats::default()),
         }))
     }
 
@@ -277,6 +315,12 @@ impl Server {
     /// Current serve counters.
     pub fn stats(&self) -> ServeStats {
         self.counters.snapshot()
+    }
+
+    /// Service-lifetime robustness counters (summed over every sweep this
+    /// server computed, including leader retries and promoted recomputes).
+    pub fn robustness(&self) -> crate::engine::RobustnessStats {
+        *lock(&self.robust)
     }
 
     /// Requests a graceful shutdown: stop accepting, drain in-flight
@@ -304,8 +348,16 @@ impl Server {
                     let server = Arc::clone(self);
                     server.active.fetch_add(1, Ordering::SeqCst);
                     std::thread::spawn(move || {
+                        // Decrement on unwind too: a panicking handler
+                        // must not wedge the drain loop forever.
+                        struct Active(Arc<Server>);
+                        impl Drop for Active {
+                            fn drop(&mut self) {
+                                self.0.active.fetch_sub(1, Ordering::SeqCst);
+                            }
+                        }
+                        let _active = Active(Arc::clone(&server));
                         handle_connection(&server, stream);
-                        server.active.fetch_sub(1, Ordering::SeqCst);
                     });
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -384,9 +436,26 @@ fn parse_posted_spec(body: &[u8]) -> Result<(SweepSpec, u64), (u16, String)> {
             ));
         }
     }
-    let spec = SweepSpec::from_json(&doc).map_err(|e| (400, error_body("bad_spec", e)))?;
+    let spec = SweepSpec::from_json(&doc).map_err(|e| (400, error_body(spec_error_code(&e), e)))?;
     let key = spec_key(&doc);
     Ok((spec, key))
+}
+
+/// Names a spec error for the structured `"error"` field. Model-*build*
+/// failures (a compose model blowing its `max_states` cap, a component
+/// graph that cannot be compiled) get their own codes so a client can
+/// tell "your model is too big" from "your JSON is wrong" — all of them
+/// are request properties (`4xx`), never infrastructure (`5xx`). The
+/// matched phrases are the `Display` texts of our own error types, pinned
+/// by `posted_spec_validation_maps_to_http_errors`.
+fn spec_error_code(detail: &str) -> &'static str {
+    if detail.contains("state space exceeded the cap") {
+        "state_space_exceeded"
+    } else if detail.contains("failed to build") {
+        "model_build_failed"
+    } else {
+        "bad_spec"
+    }
 }
 
 /// The sweep observer a leader computes under: cells are published to the
@@ -440,35 +509,56 @@ fn summary_json(
     Json::Obj(fields)
 }
 
-/// Streams a shared run's cells to one client until the run finishes,
-/// then writes the summary. Leaders and followers go through this same
-/// function, so their streams cannot diverge.
-fn stream_run(
+/// Writes one batch of cell records to a client.
+fn write_cells(
+    server: &Server,
+    cells: &[SolveReport],
+    chunked: &mut Chunked<'_>,
+    stable: bool,
+) -> std::io::Result<()> {
+    for cell in cells {
+        regenr_failpoint::failpoint!("serve-write");
+        let Json::Obj(mut fields) = cell_to_json(cell, stable) else {
+            unreachable!("cell_to_json returns an object");
+        };
+        fields.insert(0, ("record".into(), Json::Str("cell".into())));
+        chunked.record(&Json::Obj(fields).to_string())?;
+        server
+            .counters
+            .cells_streamed
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    Ok(())
+}
+
+/// Streams a shared run's cells from `cursor` until the run finishes;
+/// returns the final cursor. Promotion-blind — leaders (original and
+/// promoted) stream through this.
+fn stream_cells_from(
+    server: &Server,
+    run: &SharedRun,
+    chunked: &mut Chunked<'_>,
+    stable: bool,
+    mut cursor: usize,
+) -> std::io::Result<usize> {
+    loop {
+        let (cells, done) = run.next_cells(cursor);
+        cursor += cells.len();
+        write_cells(server, &cells, chunked, stable)?;
+        if done {
+            return Ok(cursor);
+        }
+    }
+}
+
+/// Writes the final `"record":"summary"` line for a finished run.
+fn write_summary(
     server: &Server,
     run: &SharedRun,
     chunked: &mut Chunked<'_>,
     stable: bool,
     coalesced: bool,
 ) -> std::io::Result<()> {
-    let mut cursor = 0usize;
-    loop {
-        let (cells, done) = run.next_cells(cursor);
-        cursor += cells.len();
-        for cell in &cells {
-            let Json::Obj(mut fields) = cell_to_json(cell, stable) else {
-                unreachable!("cell_to_json returns an object");
-            };
-            fields.insert(0, ("record".into(), Json::Str("cell".into())));
-            chunked.record(&Json::Obj(fields).to_string())?;
-            server
-                .counters
-                .cells_streamed
-                .fetch_add(1, Ordering::Relaxed);
-        }
-        if done {
-            break;
-        }
-    }
     let (report, status) = run.wait_done();
     let report = report.unwrap_or_default();
     let summary = summary_json(
@@ -489,6 +579,9 @@ fn compute_as_leader(server: &Server, spec: &SweepSpec, guard: LeaderGuard<'_>) 
     if let Some(ms) = spec.debug_stall_ms {
         std::thread::sleep(Duration::from_millis(ms));
     }
+    // After the stall, so a chaos spec using `debug_stall_ms` can gather
+    // followers before the injected leader death.
+    regenr_failpoint::failpoint!("serve-leader");
     let deadline = spec
         .deadline_ms
         .map(|ms| Instant::now() + Duration::from_millis(ms));
@@ -497,6 +590,7 @@ fn compute_as_leader(server: &Server, spec: &SweepSpec, guard: LeaderGuard<'_>) 
         deadline,
     };
     let report = server.engine.sweep_observed(&spec.requests, &observer);
+    lock(&server.robust).merge(&report.robustness);
     let status = if report.cancelled_jobs > 0 && observer.cancelled() {
         server
             .counters
@@ -507,6 +601,78 @@ fn compute_as_leader(server: &Server, spec: &SweepSpec, guard: LeaderGuard<'_>) 
         RunStatus::Ok
     };
     guard.finish(report, status);
+}
+
+/// Computes as leader on a scoped thread while streaming the shared run's
+/// cells (from `cursor`) and the final summary to this connection. A
+/// compute panic is contained *here*, not propagated: the dying
+/// [`LeaderGuard`] either promotes a follower — whose recomputation this
+/// same loop keeps streaming — or fails the run, and either way this
+/// client still receives a complete, well-terminated body.
+#[allow(clippy::too_many_arguments)]
+fn lead_and_stream(
+    server: &Server,
+    spec: &SweepSpec,
+    guard: LeaderGuard<'_>,
+    run: &SharedRun,
+    chunked: &mut Chunked<'_>,
+    stable: bool,
+    cursor: usize,
+    coalesced: bool,
+) {
+    let streamed = std::thread::scope(|s| {
+        s.spawn(|| {
+            let computed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                compute_as_leader(server, spec, guard)
+            }));
+            if computed.is_err() {
+                server
+                    .counters
+                    .handler_panics
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        stream_cells_from(server, run, chunked, stable, cursor)
+    });
+    if streamed.is_ok() {
+        let _ = write_summary(server, run, chunked, stable, coalesced);
+    }
+}
+
+/// Follower-side cleanup: unsubscribes on scope exit (including unwind).
+/// If this abandons the run's last chance at a promoted leader, it fails
+/// the run and unpublishes the key so every other follower is released —
+/// nobody is left waiting on a run no one can finish.
+struct Subscription<'a> {
+    table: &'a InflightTable,
+    key: u64,
+    run: &'a Arc<SharedRun>,
+    active: bool,
+}
+
+impl<'a> Subscription<'a> {
+    fn new(table: &'a InflightTable, key: u64, run: &'a Arc<SharedRun>) -> Self {
+        // join_or_lead already subscribed us under the table lock.
+        Subscription {
+            table,
+            key,
+            run,
+            active: true,
+        }
+    }
+
+    fn end(&mut self) {
+        if std::mem::take(&mut self.active) && self.run.unsubscribe() {
+            self.run.finish(SweepReport::default(), RunStatus::Error);
+            self.table.complete(self.key);
+        }
+    }
+}
+
+impl Drop for Subscription<'_> {
+    fn drop(&mut self) {
+        self.end();
+    }
 }
 
 /// `POST /sweep`: chunked NDJSON streaming.
@@ -522,15 +688,54 @@ fn handle_sweep_stream(server: &Server, stream: &mut TcpStream, req: &Request) {
     };
     match server
         .table
-        .join_or_lead(key, || server.gate.admit(&server.counters))
-    {
+        .join_or_lead(key, server.cfg.leader_retries, || {
+            server.gate.admit(&server.counters)
+        }) {
         Joined::Rejected => reject_overloaded(server, stream),
         Joined::Follower(run) => {
             server.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+            let mut sub = Subscription::new(&server.table, key, &run);
             let Ok(mut chunked) = Chunked::start(stream) else {
-                return;
+                return; // sub drop unsubscribes (and fails a stranding run)
             };
-            let _ = stream_run(server, &run, &mut chunked, stable, true);
+            let mut cursor = 0usize;
+            loop {
+                match run.follow(cursor) {
+                    FollowEvent::Cells(cells, done) => {
+                        cursor += cells.len();
+                        if write_cells(server, &cells, &mut chunked, stable).is_err() {
+                            break;
+                        }
+                        if done {
+                            let _ = write_summary(server, &run, &mut chunked, stable, true);
+                            break;
+                        }
+                    }
+                    FollowEvent::Promoted => {
+                        // The leader died; this follower retakes the run.
+                        // It stops being a passive subscriber first, so a
+                        // second death with no other followers fails fast
+                        // instead of waiting on its own promotion.
+                        sub.end();
+                        server.counters.promotions.fetch_add(1, Ordering::Relaxed);
+                        server.gate.admit_forced(&server.counters);
+                        let _release = AdmitRelease(&server.gate);
+                        server.counters.sweeps.fetch_add(1, Ordering::Relaxed);
+                        let guard = LeaderGuard::new(&server.table, key, run.clone());
+                        lead_and_stream(
+                            server,
+                            &spec,
+                            guard,
+                            &run,
+                            &mut chunked,
+                            stable,
+                            cursor,
+                            true,
+                        );
+                        break;
+                    }
+                }
+            }
             let _ = chunked.finish();
         }
         Joined::Leader(run) => {
@@ -547,10 +752,7 @@ fn handle_sweep_stream(server: &Server, stream: &mut TcpStream, req: &Request) {
             // sides read the same shared run, so the leader's body is
             // byte-for-byte what a follower of the same run receives
             // (modulo the per-connection `coalesced` flag).
-            std::thread::scope(|s| {
-                s.spawn(|| compute_as_leader(server, &spec, guard));
-                let _ = stream_run(server, &run, &mut chunked, stable, false);
-            });
+            lead_and_stream(server, &spec, guard, &run, &mut chunked, stable, 0, false);
             let _ = chunked.finish();
         }
     }
@@ -570,25 +772,79 @@ fn handle_sweep_report(server: &Server, stream: &mut TcpStream, req: &Request) {
             return;
         }
     };
-    let report = match server
+    let (report, status) = match server
         .table
-        .join_or_lead(key, || server.gate.admit(&server.counters))
-    {
+        .join_or_lead(key, server.cfg.leader_retries, || {
+            server.gate.admit(&server.counters)
+        }) {
         Joined::Rejected => return reject_overloaded(server, stream),
         Joined::Follower(run) => {
             server.counters.coalesced.fetch_add(1, Ordering::Relaxed);
-            let (report, _status) = run.wait_done();
-            report.unwrap_or_default()
+            let mut sub = Subscription::new(&server.table, key, &run);
+            match run.wait_done_or_promote() {
+                Some((report, status)) => {
+                    sub.end();
+                    (report.unwrap_or_default(), status)
+                }
+                None => {
+                    // Promoted: recompute the dead leader's run here.
+                    sub.end();
+                    server.counters.promotions.fetch_add(1, Ordering::Relaxed);
+                    server.gate.admit_forced(&server.counters);
+                    let _release = AdmitRelease(&server.gate);
+                    server.counters.sweeps.fetch_add(1, Ordering::Relaxed);
+                    let guard = LeaderGuard::new(&server.table, key, run.clone());
+                    let computed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        compute_as_leader(server, &spec, guard)
+                    }));
+                    if computed.is_err() {
+                        server
+                            .counters
+                            .handler_panics
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    let (report, status) = run.wait_done();
+                    (report.unwrap_or_default(), status)
+                }
+            }
         }
         Joined::Leader(run) => {
             let _release = AdmitRelease(&server.gate);
             server.counters.sweeps.fetch_add(1, Ordering::Relaxed);
             let guard = LeaderGuard::new(&server.table, key, run.clone());
-            compute_as_leader(server, &spec, guard);
-            let (report, _status) = run.wait_done();
-            report.unwrap_or_default()
+            // A compute panic is contained: the dying guard promotes a
+            // follower (wait_done below then returns the recovered run —
+            // even this leader's own client gets the recomputed report)
+            // or fails the run, which the status check turns into a 503.
+            let computed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                compute_as_leader(server, &spec, guard)
+            }));
+            if computed.is_err() {
+                server
+                    .counters
+                    .handler_panics
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            let (report, status) = run.wait_done();
+            (report.unwrap_or_default(), status)
         }
     };
+    if status == RunStatus::Error {
+        // The sweep died for infrastructure reasons (leader panic with the
+        // retry budget exhausted) — never a property of the posted spec,
+        // so this must not look like a model error: 503, retryable.
+        let _ = write_response(
+            stream,
+            503,
+            &error_body(
+                "infrastructure",
+                "sweep failed for infrastructure reasons (leader died, retries \
+                 exhausted); the spec was accepted — retry the request"
+                    .into(),
+            ),
+        );
+        return;
+    }
     let doc = if stable {
         crate::spec::stable_report_to_json(&report)
     } else {
@@ -626,6 +882,10 @@ fn handle_stats(server: &Server, stream: &mut TcpStream) {
         ),
         ("inflight_runs".into(), Json::Num(server.table.len() as f64)),
         (
+            "robustness".into(),
+            crate::spec::robustness_json(&server.robustness()),
+        ),
+        (
             "cache".into(),
             cache_stats_json(&server.engine.cache().stats()),
         ),
@@ -657,35 +917,57 @@ fn handle_connection(server: &Server, mut stream: TcpStream) {
         Err(HttpError::Io(_)) => return,
     };
     server.counters.requests.fetch_add(1, Ordering::Relaxed);
-    match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/sweep") => handle_sweep_stream(server, &mut stream, &req),
-        ("POST", "/sweep/report") => handle_sweep_report(server, &mut stream, &req),
-        ("GET", "/healthz") => {
-            let _ = write_response(
-                &mut stream,
-                200,
-                &Json::Obj(vec![("status".into(), Json::Str("ok".into()))]).to_string(),
-            );
+    // A panicking handler answers 500 — an infrastructure fault must look
+    // like one, never close the connection silently or (worse) surface as
+    // a request error. If the handler already streamed a response body the
+    // 500 write simply fails or trails a finished exchange; best effort.
+    let dispatched = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        regenr_failpoint::failpoint!("serve-read");
+        match (req.method.as_str(), req.path.as_str()) {
+            ("POST", "/sweep") => handle_sweep_stream(server, &mut stream, &req),
+            ("POST", "/sweep/report") => handle_sweep_report(server, &mut stream, &req),
+            ("GET", "/healthz") => {
+                let _ = write_response(
+                    &mut stream,
+                    200,
+                    &Json::Obj(vec![("status".into(), Json::Str("ok".into()))]).to_string(),
+                );
+            }
+            ("GET", "/stats") => handle_stats(server, &mut stream),
+            ("POST", "/shutdown") => {
+                let _ = write_response(
+                    &mut stream,
+                    200,
+                    &Json::Obj(vec![("status".into(), Json::Str("draining".into()))]).to_string(),
+                );
+                server.shutdown();
+            }
+            (_, "/sweep" | "/sweep/report" | "/shutdown") | ("POST", "/healthz" | "/stats") => {
+                let _ = write_response(
+                    &mut stream,
+                    405,
+                    &error_body("method_not_allowed", format!("{} {}", req.method, req.path)),
+                );
+            }
+            _ => {
+                let _ =
+                    write_response(&mut stream, 404, &error_body("not_found", req.path.clone()));
+            }
         }
-        ("GET", "/stats") => handle_stats(server, &mut stream),
-        ("POST", "/shutdown") => {
-            let _ = write_response(
-                &mut stream,
-                200,
-                &Json::Obj(vec![("status".into(), Json::Str("draining".into()))]).to_string(),
-            );
-            server.shutdown();
-        }
-        (_, "/sweep" | "/sweep/report" | "/shutdown") | ("POST", "/healthz" | "/stats") => {
-            let _ = write_response(
-                &mut stream,
-                405,
-                &error_body("method_not_allowed", format!("{} {}", req.method, req.path)),
-            );
-        }
-        _ => {
-            let _ = write_response(&mut stream, 404, &error_body("not_found", req.path.clone()));
-        }
+    }));
+    if dispatched.is_err() {
+        server
+            .counters
+            .handler_panics
+            .fetch_add(1, Ordering::Relaxed);
+        let _ = write_response(
+            &mut stream,
+            500,
+            &error_body(
+                "internal_panic",
+                "request handler panicked; the fault is in the server, not the request".into(),
+            ),
+        );
     }
 }
 
@@ -776,6 +1058,21 @@ mod tests {
         // Bad JSON is a 400 with the byte offset.
         let err = parse_posted_spec(b"{nope").map(|_| ()).unwrap_err();
         assert!(err.1.contains("bad_json"), "{}", err.1);
+        // Model-build failures carry their own structured names — an
+        // over-cap compose spec is a *request* property: 4xx with the
+        // error named, never an infrastructure 5xx. This also pins the
+        // `Display` phrases `spec_error_code` keys on.
+        let err = parse_posted_spec(
+            br#"{"horizons": [1], "models": [
+                {"kind": "compose", "max_states": 5,
+                 "components": [
+                   {"name": "m", "count": 9, "lambda": 0.1, "mu": 1.0}]}]}"#,
+        )
+        .map(|_| ())
+        .unwrap_err();
+        assert_eq!(err.0, 400);
+        assert!(err.1.contains("state_space_exceeded"), "{}", err.1);
+        assert!(err.1.contains("cap of 5 states"), "{}", err.1);
         // A valid spec parses and produces a stable key.
         let (spec, key) = parse_posted_spec(
             br#"{"horizons":[1],"deadline_ms":50,"models":[{"kind":"cyclic","n":3}]}"#,

@@ -157,6 +157,7 @@ const KNOWN_SPEC_KEYS: &[&str] = &[
     "theta",
     "deadline_ms",
     "debug_stall_ms",
+    "max_retries",
 ];
 
 fn measure_name(m: MeasureKind) -> &'static str {
@@ -853,6 +854,7 @@ impl SweepSpec {
         };
         let default_horizons = get_horizons(doc)?;
         let default_measures = get_measures(doc)?.unwrap_or(vec![MeasureKind::Trr]);
+        let max_retries = get_u32(doc, "max_retries")?.unwrap_or(0) as usize;
 
         let models = doc
             .get("models")
@@ -892,6 +894,7 @@ impl SweepSpec {
                     epsilon,
                     method,
                     regen_state,
+                    max_retries,
                 });
             }
         }
@@ -950,6 +953,14 @@ pub fn cell_to_json(r: &SolveReport, stable: bool) -> Json {
         fields.push(("unif_cache_hit".into(), Json::Bool(r.unif_cache_hit)));
         fields.push(("params_cache_hit".into(), Json::Bool(r.params_cache_hit)));
         fields.push(("wall_seconds".into(), Json::Num(r.wall.as_secs_f64())));
+        // Supervision annotations are execution facts too: a recovered
+        // cell's *value* is bitwise-identical to running the fallback
+        // method directly, so --stable output stays byte-for-byte stable
+        // whether or not faults were injected.
+        fields.push(("attempts".into(), Json::Num(r.attempts as f64)));
+        if let Some(via) = r.recovered_via {
+            fields.push(("recovered_via".into(), Json::Str(via.name().into())));
+        }
     }
     Json::Obj(fields)
 }
@@ -960,6 +971,34 @@ pub fn failure_to_json(f: &SweepFailure) -> Json {
         ("model".into(), Json::Str(f.model.clone())),
         ("measure".into(), Json::Str(measure_name(f.measure).into())),
         ("error".into(), Json::Str(f.error.clone())),
+        (
+            "kind".into(),
+            Json::Str(
+                if f.infrastructure {
+                    "infrastructure"
+                } else {
+                    "model"
+                }
+                .into(),
+            ),
+        ),
+    ])
+}
+
+/// Serializes [`crate::engine::RobustnessStats`] (the report's
+/// `"execution".robustness` object; also aggregated by `GET /stats`).
+pub fn robustness_json(r: &crate::engine::RobustnessStats) -> Json {
+    Json::Obj(vec![
+        (
+            "health_failures".into(),
+            Json::Num(r.health_failures as f64),
+        ),
+        ("fallbacks".into(), Json::Num(r.fallbacks as f64)),
+        ("retries".into(), Json::Num(r.retries as f64)),
+        (
+            "recovered_cells".into(),
+            Json::Num(r.recovered_cells as f64),
+        ),
     ])
 }
 
@@ -1039,6 +1078,7 @@ fn report_to_json_opts(report: &SweepReport, stable: bool) -> Json {
                 // execution accounting like the rest of this object (the
                 // values themselves are bitwise independent of grouping).
                 ("blocked_cells".into(), Json::Num(exec.blocked_cells as f64)),
+                ("robustness".into(), robustness_json(&report.robustness)),
             ]),
         ));
         doc.push(("wall_seconds".into(), Json::Num(report.wall.as_secs_f64())));

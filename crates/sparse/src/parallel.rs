@@ -358,6 +358,10 @@ impl CsrMatrix {
         plan.check_matrix(self);
         if plan.len() <= 1 {
             if let Some(range) = plan.ranges.first() {
+                // Same fault name as the pooled path: single-chunk plans
+                // (1-core machines) must still be able to inject a chunk
+                // death for the supervisor's recovery story.
+                regenr_failpoint::failpoint!("pool-chunk");
                 plan.kernel().mul_rows(self, x, y, range.clone());
             }
             return;
@@ -406,6 +410,7 @@ impl CsrMatrix {
         plan.check_matrix(self);
         if plan.len() <= 1 {
             if let Some(range) = plan.ranges.first() {
+                regenr_failpoint::failpoint!("pool-chunk");
                 plan.kernel().mul_rows_block(self, x, y, range.clone(), k);
             }
             return;

@@ -271,12 +271,17 @@ impl WorkerPool {
     /// steals. Single-chunk jobs, single-thread pools, and a full slot
     /// table run inline on the caller — same results, no parallelism.
     pub fn run<F: Fn(usize) + Sync>(&self, n_chunks: usize, f: F) -> bool {
+        regenr_failpoint::failpoint!("pool-publish");
         if n_chunks == 0 {
             return false;
         }
         if n_chunks == 1 || self.threads == 1 || n_chunks > MAX_CHUNKS {
             self.inner.inline_runs.fetch_add(1, Ordering::Relaxed);
             for i in 0..n_chunks {
+                // Armed on the inline path too: a chunk "panic" here unwinds
+                // straight to the supervisor, so single-core machines can
+                // still exercise the chunk-death recovery story.
+                regenr_failpoint::failpoint!("pool-chunk");
                 f(i);
             }
             return false;
@@ -355,6 +360,7 @@ impl WorkerPool {
                 break;
             }
             drain.mid_chunk = true;
+            regenr_failpoint::failpoint!("pool-chunk");
             f(idx);
             drain.mid_chunk = false;
             slot.remaining.fetch_sub(1, Ordering::AcqRel);
@@ -479,8 +485,10 @@ fn try_execute_one(inner: &Inner, slot: &JobSlot) -> bool {
     // fields, and a valid claim keeps the closure alive until this chunk's
     // `remaining` decrement (the submitter cannot return before it).
     let call: unsafe fn(*const (), usize) = unsafe { std::mem::transmute(call) };
-    let outcome =
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe { call(data, idx) }));
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        regenr_failpoint::failpoint!("pool-chunk");
+        unsafe { call(data, idx) }
+    }));
     if let Err(payload) = outcome {
         // A panicking chunk must not kill the worker (later runs would be
         // starved): keep the payload for the submitter to re-raise.

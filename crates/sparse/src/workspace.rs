@@ -127,6 +127,15 @@ impl Workspace {
         }
     }
 
+    /// Drops every parked buffer. Call after catching a panic from a solver
+    /// that was using this workspace: `take_*` always overwrites the data it
+    /// hands out, but discarding the arena outright guarantees nothing an
+    /// unwound solver touched — contents *or* capacity bookkeeping — can
+    /// reach the next occupant. Counters are preserved.
+    pub fn discard_all(&mut self) {
+        self.free.clear();
+    }
+
     /// Usage counters and free-list gauges.
     pub fn stats(&self) -> WorkspaceStats {
         WorkspaceStats {

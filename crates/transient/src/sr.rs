@@ -173,9 +173,15 @@ impl<'a> SrSolver<'a> {
 
         let stepper = self.unif.stepper(&self.opts.parallel);
         let mut pi = ws.take_copied(self.ctmc.initial());
+        regenr_failpoint::failpoint!("sr-nan", |_fired| {
+            if let Some(slot) = pi.first_mut() {
+                *slot = f64::NAN;
+            }
+        });
         let mut next = ws.take_zeroed(pi.len());
         let mut accs = vec![KahanSum::new(); ts.len()];
         for n in 0..=max_right {
+            regenr_failpoint::failpoint!("sr-step");
             let rr = self.ctmc.reward_dot(&pi);
             for (acc, w) in accs.iter_mut().zip(&weights) {
                 let Some(w) = w else { continue };
@@ -386,6 +392,11 @@ pub fn solve_block_with(
                 pi[s * k + j] = v;
             }
         }
+        regenr_failpoint::failpoint!("sr-block-nan", |_fired| {
+            if let Some(slot) = pi.first_mut() {
+                *slot = f64::NAN;
+            }
+        });
         let mut next = ws.take_zeroed_block(n, k);
         for step in 0..=global_right {
             for (j, &i) in active.iter().enumerate() {
