@@ -3,7 +3,8 @@
 //! ```text
 //! cargo run -p regenr-bench --release --bin repro -- [--quick] <what>
 //!   what ∈ { sizes | table1 | table2 | fig3 | fig4 | scalars | ablation |
-//!            sweep | compose | engine | kernels | serve | chaos | all }
+//!            sweep | compose | engine | sensitivity | kernels | serve |
+//!            chaos | all }
 //!
 //! `chaos` (not part of `all`) storms an in-process server with faults
 //! injected through the failpoint layer; build with `--features failpoints`.
@@ -42,6 +43,7 @@ fn main() {
         "sweep" => sweep(),
         "compose" => compose_corpus(),
         "engine" => engine_grid(&w),
+        "sensitivity" => sensitivity(),
         "kernels" => kernel_ablation(&w),
         "serve" => serve_load(),
         "chaos" => chaos(),
@@ -57,6 +59,7 @@ fn main() {
             sweep();
             compose_corpus();
             engine_grid(&w);
+            sensitivity();
             kernel_ablation(&w);
             serve_load();
         }
@@ -821,6 +824,152 @@ fn pool_vs_spawn(w: &Workload) {
              thread-creation cost."
         );
     }
+}
+
+/// The artifact-graph delta-warm path under a sensitivity sweep: a G=40
+/// RAID rate grid (`lambda_d` scaled over 40 points, expressed through the
+/// spec layer's `"sensitivity"` form) solved twice — *cold*, clearing the
+/// cache before every point so each grid point pays the full uniformize +
+/// Tarjan + chunk-plan build, and *delta-warm*, sharing one engine so every
+/// point after the first re-binds the cached plans/layouts/facts onto its
+/// own rates. Asserts the reuse actually happened (`derived_hits > 0`, the
+/// process-global structure-analysis counter flat across the warm grid),
+/// that warm results are bitwise identical to cold, and that the warm
+/// median per-point time beats cold by ≥ 2×. `results/sensitivity.csv`
+/// records the per-point build/solve breakdown for both modes.
+fn sensitivity() {
+    use regenr_ctmc::analysis_runs;
+    use regenr_engine::{Engine, SolveReport, SweepSpec};
+
+    println!("\n== sensitivity: G=40 RAID lambda_d grid, cold vs delta-warm ==");
+    let grid: Vec<String> = (0..40)
+        .map(|i| format!("{}", 0.25 + 0.05 * i as f64))
+        .collect();
+    let spec_json = format!(
+        r#"{{"epsilon": 1e-12, "threads": 1, "horizons": [0.01, 0.1],
+            "cache": {{"max_entries": 8}}, "models": [
+            {{"kind": "raid", "g": 40, "absorbing": true,
+              "sensitivity": {{"param": "lambda_d", "grid": [{}]}}}}]}}"#,
+        grid.join(", ")
+    );
+    let spec = SweepSpec::parse(&spec_json).expect("sensitivity spec parses");
+    assert_eq!(spec.requests.len(), 40, "one request per grid point");
+
+    let mut csv = CsvWriter::create(
+        "sensitivity",
+        "point,factor,mode,build_seconds,solve_seconds,total_seconds,unif_hit",
+    )
+    .unwrap();
+    // One grid pass: per point, total wall of the sweep call split into the
+    // solver cells' own wall (solve) and the remainder (artifact builds +
+    // dispatch). Returns (per-point totals, reports).
+    let mut run_grid = |mode: &str, engine: &Engine, cold: bool| -> (Vec<f64>, Vec<SolveReport>) {
+        let mut totals = Vec::with_capacity(spec.requests.len());
+        let mut reports = Vec::new();
+        for (i, req) in spec.requests.iter().enumerate() {
+            if cold {
+                engine.cache().clear();
+            }
+            let t0 = std::time::Instant::now();
+            let sweep = engine.sweep(std::slice::from_ref(req));
+            let total = t0.elapsed().as_secs_f64();
+            assert!(sweep.failures.is_empty(), "{mode}: {:?}", sweep.failures);
+            let solve: f64 = sweep.reports.iter().map(|r| r.wall.as_secs_f64()).sum();
+            let factor = req.name.rsplit('=').next().unwrap_or("?");
+            csv.row(&[
+                i.to_string(),
+                factor.to_string(),
+                mode.into(),
+                format!("{:.6}", (total - solve).max(0.0)),
+                format!("{solve:.6}"),
+                format!("{total:.6}"),
+                sweep.reports.iter().any(|r| r.unif_cache_hit).to_string(),
+            ])
+            .unwrap();
+            totals.push(total);
+            reports.extend(sweep.reports);
+        }
+        (totals, reports)
+    };
+
+    // Both engines honour the spec's cache cap. Warm, the cap matters: an
+    // unbounded pool would retain all 40 uniformizations, so every point
+    // would allocate its matrices from fresh kernel pages; capped, the
+    // cost-aware eviction drops stale grid points (the structural parent is
+    // dependent-weighted and survives) and the allocator recycles their
+    // pages. Cold clears the cache per point anyway.
+    let cold_engine = Engine::with_cache_config(spec.options, spec.cache);
+    let (cold_totals, cold_reports) = run_grid("cold", &cold_engine, true);
+
+    let warm_engine = Engine::with_cache_config(spec.options, spec.cache);
+    // Prime with the first grid point, then count structure analyses: the
+    // remaining 39 points must not trigger a single fresh Tarjan pass.
+    let t0 = std::time::Instant::now();
+    let first = warm_engine.sweep(std::slice::from_ref(&spec.requests[0]));
+    let first_total = t0.elapsed().as_secs_f64();
+    assert!(first.failures.is_empty(), "{:?}", first.failures);
+    let analyses_before = analysis_runs();
+    // Replay the whole grid warm: point 0 hits the just-primed cache,
+    // points 1.. ride the delta path (derived facts + plan rebinds).
+    let (warm_points, warm_reports) = run_grid("warm", &warm_engine, false);
+    let warm_tail: Vec<f64> = std::iter::once(first_total)
+        .chain(warm_points.iter().copied())
+        .collect();
+    assert_eq!(
+        analysis_runs(),
+        analyses_before,
+        "warm grid points must re-bind cached chain facts, not re-analyze"
+    );
+    let stats = warm_engine.cache().stats();
+    assert!(
+        stats.derived_hits > 0,
+        "the grid shares one structure: {stats:?}"
+    );
+    assert!(
+        stats.rebinds > 0,
+        "rate variants must re-bind plans: {stats:?}"
+    );
+
+    // Warm results are bitwise identical to cleared-cache cold solves.
+    for (c, h) in cold_reports.iter().zip(&warm_reports) {
+        assert_eq!(c.model, h.model);
+        assert_eq!(
+            c.value.to_bits(),
+            h.value.to_bits(),
+            "{}: cold {} != warm {}",
+            c.model,
+            c.value,
+            h.value
+        );
+    }
+
+    let median = |xs: &[f64]| -> f64 {
+        let mut s = xs.to_vec();
+        s.sort_by(f64::total_cmp);
+        s[s.len() / 2]
+    };
+    // Skip the priming point when judging the warm path — it is a cold
+    // build by construction.
+    let cold_med = median(&cold_totals);
+    let warm_med = median(&warm_tail[1..]);
+    let speedup = cold_med / warm_med;
+    println!(
+        "  40 points x 2 horizons; cold median {:.4}s, delta-warm median {:.4}s ({speedup:.2}x)",
+        cold_med, warm_med
+    );
+    println!(
+        "  warm cache: derived_hits {}, rebinds {}, unif {}h/{}m; analyses flat at {}",
+        stats.derived_hits,
+        stats.rebinds,
+        stats.uniformized.hits,
+        stats.uniformized.misses,
+        analyses_before
+    );
+    assert!(
+        speedup >= 2.0,
+        "delta-warm must be >= 2x faster than cold per grid point, got {speedup:.2}x"
+    );
+    println!("  bitwise: warm values identical to cold-cache solves (80 cells)");
 }
 
 /// A synthetic diag-dense matrix — the diagsplit selection regime: long

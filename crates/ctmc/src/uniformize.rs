@@ -105,6 +105,13 @@ pub struct Uniformized {
     /// Chunk plans for `p_t`, computed once per chunk count (see
     /// [`Uniformized::stepper`]).
     plans: PlanCache,
+    /// Source position in `p`'s value array for each `p_t` entry — the
+    /// transpose permutation, computed lazily by the first
+    /// [`Uniformized::rebind_values`] and shared with every rebound
+    /// descendant (same pattern ⇒ same permutation). Later rebinds fill
+    /// `Pᵀ` with a sequential-write gather instead of re-running the
+    /// transpose counting sort.
+    t_perm: std::sync::OnceLock<Arc<Vec<u32>>>,
 }
 
 /// A DTMC stepping kernel bound to one uniformization: the chunk plan — and
@@ -214,6 +221,7 @@ impl Uniformized {
             p,
             p_t,
             plans: PlanCache::default(),
+            t_perm: std::sync::OnceLock::new(),
         }
     }
 
@@ -319,6 +327,123 @@ impl Uniformized {
     /// cache and therefore the hook; re-registering replaces it.
     pub fn set_plan_bytes_hook(&self, hook: impl Fn(usize) + Send + Sync + 'static) {
         regenr_sparse::pool::lock(&self.plans.0).hook = Some(Arc::new(hook));
+    }
+
+    /// Rebuilds this uniformization for a **rate variant** of the chain it
+    /// was built from — same sparsity structure, different numbers — while
+    /// reusing every cached chunk plan's kernel selection, compact-index
+    /// copy, and SELL-σ layout instead of re-deriving them from scratch.
+    /// The donor's plans are re-bound to the new `Pᵀ` via
+    /// [`ChunkPlan::rebind`] (structure cloned, values refilled), so the
+    /// returned artifact answers its first stepper request without a
+    /// matrix profile pass or layout build. The plan-bytes hook is **not**
+    /// carried over: the new artifact has its own owner (a cache registers
+    /// its own hook at insertion), and all rebound layouts exist at
+    /// construction time — charge [`Uniformized::approx_bytes`] up front.
+    ///
+    /// `Λ` is derived exactly as [`Uniformized::new`] would for `ctmc`, so
+    /// the result is bitwise identical to a cold `Uniformized::new(ctmc,
+    /// theta)` in `lambda`, `p`, and `p_t`; only the plan cache seeding
+    /// differs, and rebound layouts embed the same values a fresh build
+    /// would.
+    ///
+    /// # Panics
+    /// If `ctmc`'s uniformized matrix has a different sparsity pattern
+    /// than this one's (the donor belongs to a structurally different
+    /// chain).
+    pub fn rebind_values(&self, ctmc: &Ctmc, theta: f64) -> Self {
+        assert!(theta >= 0.0, "safety factor must be non-negative");
+        let max_rate = ctmc.generator().max_abs_diag();
+        let lambda = if max_rate == 0.0 {
+            1.0
+        } else {
+            max_rate * (1.0 + theta)
+        };
+        // Fill `P = I + Q/Λ` values straight through the donor's pattern: a
+        // lockstep walk of each donor `P` row against the corresponding `Q`
+        // row. `P`'s pattern is `Q`'s plus a materialized diagonal (see
+        // `identity_plus_scaled`), so the only donor entry allowed to miss
+        // in `Q` is the diagonal — any other mismatch, or a `Q` entry the
+        // donor lacks, means the chains are structurally different and the
+        // walk panics rather than rebinding garbage. This replaces a full
+        // `identity_plus_scaled` + `transpose` (allocation, counting sort)
+        // with two value passes over cloned patterns, which is what makes a
+        // delta-warm grid point cheap relative to a cold build.
+        let q = ctmc.generator();
+        let n = self.p.nrows();
+        let scale = 1.0 / lambda;
+        assert!(
+            q.nrows() == n && self.p.nnz() <= q.nnz() + n,
+            "uniformization rebind requires identical sparsity structure"
+        );
+        let mut vals = vec![0.0; self.p.nnz()];
+        for i in 0..n {
+            let mut qk = q.row_ptr()[i];
+            let qe = q.row_ptr()[i + 1];
+            let (ps, pe) = (self.p.row_ptr()[i], self.p.row_ptr()[i + 1]);
+            for (&j, v) in self.p.col_idx()[ps..pe].iter().zip(&mut vals[ps..pe]) {
+                if qk < qe && q.col_idx()[qk] == j {
+                    let x = q.values()[qk] * scale;
+                    *v = if j as usize == i { 1.0 + x } else { x };
+                    qk += 1;
+                } else {
+                    // Donor-only entry: must be the materialized diagonal.
+                    assert!(
+                        j as usize == i,
+                        "uniformization rebind requires identical sparsity structure"
+                    );
+                    *v = 1.0;
+                }
+            }
+            assert!(
+                qk == qe,
+                "uniformization rebind requires identical sparsity structure"
+            );
+        }
+        let p = self.p.with_values(vals);
+        debug_assert!(p.is_row_stochastic(1e-9));
+        // `Pᵀ` values via the cached transpose permutation: the donor's
+        // `Pᵀ` row_ptr already *is* the counting sort's prefix table, and
+        // within a transpose row the entries appear in source-row order —
+        // exactly the order a row-major walk of `P` emits them. The
+        // permutation is computed once per donor lineage and shared, so
+        // every later grid point fills `Pᵀ` with one sequential-write
+        // gather pass.
+        let src = self
+            .t_perm
+            .get_or_init(|| {
+                let mut next: Vec<usize> = self.p_t.row_ptr()[..n].to_vec();
+                let mut src = vec![0u32; self.p.nnz()];
+                for i in 0..n {
+                    for pk in self.p.row_ptr()[i]..self.p.row_ptr()[i + 1] {
+                        let j = self.p.col_idx()[pk] as usize;
+                        src[next[j]] = pk as u32;
+                        next[j] += 1;
+                    }
+                }
+                Arc::new(src)
+            })
+            .clone();
+        let p_vals = p.values();
+        let tvals: Vec<f64> = src.iter().map(|&k| p_vals[k as usize]).collect();
+        let p_t = self.p_t.with_values(tvals);
+        let plans = PlanCache::default();
+        {
+            let donor = regenr_sparse::pool::lock(&self.plans.0);
+            let mut inner = regenr_sparse::pool::lock(&plans.0);
+            for (key, plan) in donor.plans.iter() {
+                inner
+                    .plans
+                    .push((*key, Arc::new(plan.rebind(&self.p_t, &p_t))));
+            }
+        }
+        Uniformized {
+            lambda,
+            p,
+            p_t,
+            plans,
+            t_perm: std::sync::OnceLock::from(src),
+        }
     }
 
     /// Asserts this uniformization is plausibly built from `ctmc`: same
@@ -462,6 +587,82 @@ mod tests {
         assert_eq!(u.plan_bytes(), with_compact);
         // matrix_bytes + plan_bytes is exactly approx_bytes.
         assert_eq!(u.approx_bytes(), u.matrix_bytes() + u.plan_bytes());
+    }
+
+    /// `rebind_values` on a rate-scaled chain is bitwise identical to a
+    /// cold build — matrices, `Λ`, and stepped products — while arriving
+    /// with the donor's plans already re-bound (no hook replay needed,
+    /// layouts present at construction time).
+    #[test]
+    fn rebind_values_matches_cold_build_and_preseeds_plans() {
+        let n = 64;
+        let mut rates = Vec::new();
+        for i in 0..n - 1 {
+            rates.push((i, i + 1, 1.0 + i as f64 * 0.01));
+            rates.push((i + 1, i, 0.5));
+        }
+        let mut init = vec![0.0; n];
+        init[0] = 1.0;
+        let base = Ctmc::from_rates(n, &rates, init.clone(), vec![1.0; n]).unwrap();
+        let scaled_rates: Vec<_> = rates.iter().map(|&(i, j, r)| (i, j, r * 1.75)).collect();
+        let variant = Ctmc::from_rates(n, &scaled_rates, init, vec![1.0; n]).unwrap();
+        let donor = Uniformized::new(&base, 0.0);
+        // Populate the donor with a layout-backed plan and a plain one.
+        let cfg = ParallelConfig {
+            min_nnz: 0,
+            threads: 2,
+            kernel: KernelChoice::Sliced,
+            ..Default::default()
+        };
+        let _ = donor.stepper(&cfg);
+        let _ = donor.stepper(&ParallelConfig {
+            kernel: KernelChoice::Generic,
+            ..cfg
+        });
+        let warm = donor.rebind_values(&variant, 0.0);
+        let cold = Uniformized::new(&variant, 0.0);
+        assert_eq!(warm.lambda.to_bits(), cold.lambda.to_bits());
+        assert_eq!(warm.p_t.values(), cold.p_t.values());
+        assert_eq!(warm.p_t.row_ptr(), cold.p_t.row_ptr());
+        // Both donor plans arrived re-bound: layouts exist *before* the
+        // first stepper request, and no hook fires for them.
+        assert_eq!(warm.plan_bytes(), donor.plan_bytes());
+        assert!(warm.plan_bytes() > 0, "sliced layout must carry over");
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let charged = Arc::new(AtomicUsize::new(0));
+        let sink = charged.clone();
+        warm.set_plan_bytes_hook(move |b| {
+            sink.fetch_add(b, Ordering::Relaxed);
+        });
+        let pi: Vec<f64> = (0..n).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let mut got = vec![0.0; n];
+        let mut want = vec![0.0; n];
+        warm.stepper(&cfg).step(&pi, &mut got);
+        cold.stepper(&cfg).step(&pi, &mut want);
+        for (a, b) in got.iter().zip(&want) {
+            assert_eq!(a.to_bits(), b.to_bits(), "rebound step must be bitwise");
+        }
+        assert_eq!(
+            charged.load(Ordering::Relaxed),
+            0,
+            "pre-seeded plans must not re-charge"
+        );
+    }
+
+    /// Rebinding across genuinely different structures is rejected — a
+    /// donor from another chain must never silently produce wrong plans.
+    #[test]
+    #[should_panic(expected = "identical sparsity structure")]
+    fn rebind_values_rejects_different_structure() {
+        let u = Uniformized::new(&chain(), 0.0);
+        let other = Ctmc::from_rates(
+            3,
+            &[(0, 1, 2.0), (1, 2, 3.0), (2, 0, 0.5)],
+            vec![1.0, 0.0, 0.0],
+            vec![1.0, 0.5, 0.0],
+        )
+        .unwrap();
+        let _ = u.rebind_values(&other, 0.0);
     }
 
     #[test]

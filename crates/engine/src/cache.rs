@@ -1,17 +1,31 @@
-//! The engine's artifact cache.
+//! The engine's artifact cache: a two-level **artifact graph**.
 //!
 //! Solving a model at several horizons/tolerances/measures keeps recomputing
-//! the same expensive intermediates. The cache keys them by the model's
-//! structural [fingerprint] so *any*
-//! request over an identical chain reuses:
+//! the same expensive intermediates — and a sensitivity sweep re-solving one
+//! model over a grid of rate parameters recomputes intermediates that the
+//! rate grid never even changes. The cache therefore keys artifacts at two
+//! levels (see [`crate::fingerprint::ModelFps`]): a **structural**
+//! fingerprint (sparsity pattern, rate/reward/initial support) and the full
+//! **value** fingerprint (the actual numbers). Pure-topology artifacts key
+//! structurally and are shared by every rate variant; value-dependent
+//! artifacts key by value but can be **derived** from a structural sibling
+//! far cheaper than from scratch:
 //!
 //! * **structure facts** — Tarjan SCC analysis plus the maximum exit rate
 //!   (what `Auto` dispatch consults per horizon, and what the RR/RRL
-//!   constructors consume through `with_uniformized_facts` so the analysis
-//!   runs once per fingerprint, not once per job),
+//!   constructors consume through `with_uniformized_facts`). Keyed by the
+//!   *structural* fingerprint: the analysis is pure topology, so RR/RRL on
+//!   a rate variant is a cache hit — a *derived* hit
+//!   ([`CacheStats::derived_hits`]) that re-scans only the diagonal for the
+//!   new maximum exit rate,
 //! * **uniformizations** — `P = I + Q/Λ` and its transpose, keyed by the
-//!   safety factor `θ` (shared by SR, RSD, adaptive, RR and RRL through the
-//!   solvers' `with_uniformized` constructors),
+//!   generator's value fingerprint and the safety factor `θ` (shared by SR,
+//!   RSD, adaptive, RR and RRL through the solvers' `with_uniformized`
+//!   constructors). A miss whose generator *structure* has a live sibling
+//!   in the pool rebuilds by [`Uniformized::rebind_values`] — the sibling
+//!   donates its chunk plans, kernel selections, compact-index copies, and
+//!   SELL-σ layouts, and only the numbers are refilled
+//!   ([`CacheStats::rebinds`]),
 //! * **regenerative parameters** — the killed-chain sequences
 //!   (`a(k)`, …) consumed by RR *and* RRL, keyed by
 //!   `(regenerative state, ε, θ)`. The two methods construct identical
@@ -32,11 +46,17 @@
 //! for a long-running service that sees an open-ended stream of models. A
 //! [`CacheConfig`] (via [`ArtifactCache::with_config`] or
 //! `Engine::with_cache_config`) puts per-pool caps on entry count and
-//! approximate byte footprint; on overflow the least-recently-used entries
-//! are evicted. Eviction only drops the cache's reference — in-flight
-//! solvers holding an `Arc` to an evicted artifact keep it alive until they
-//! finish. Per-pool counters ([`PoolStats`]: hits, misses, evictions, plus
-//! the live entry/byte gauges) are embedded in sweep reports.
+//! approximate byte footprint; on overflow, eviction is **cost-aware**: the
+//! evicted entry is the one with the minimum `(rebuild cost × (1 +
+//! dependents), LRU stamp)` — a uniformization that regenerative
+//! parameters, chunk plans, and kernel layouts hang off is weighted by what
+//! losing it would cost, not just its bytes, and evicting it anyway counts
+//! the dependents as [`CacheStats::orphaned`]. Among equal weights the
+//! policy degrades to exact LRU. Eviction only drops the cache's reference
+//! — in-flight solvers holding an `Arc` to an evicted artifact keep it
+//! alive until they finish. Per-pool counters ([`PoolStats`]: hits, misses,
+//! evictions, plus the live entry/byte/rebuild-cost gauges) are embedded in
+//! sweep reports.
 //!
 //! Byte accounting follows artifacts that *grow after insertion*: kernel
 //! layouts are built lazily on a cached uniformization's chunk plans (first
@@ -54,7 +74,7 @@
 //! tolerate poisoning: a panicking solver job must not take the cache down
 //! with it.
 
-use crate::fingerprint::fingerprint;
+use crate::fingerprint::{fingerprint, model_fps, ModelFps};
 use regenr_core::{RegenOptions, RegenParams, RrlOptions, RrlSolver};
 use regenr_ctmc::{analyze, Ctmc, CtmcError, Uniformized};
 use std::collections::HashMap;
@@ -124,6 +144,12 @@ pub struct PoolStats {
     pub entries: usize,
     /// Approximate live bytes right now.
     pub bytes: usize,
+    /// Approximate total rebuild cost of the live entries, in the cache's
+    /// work units (roughly "array elements touched to rebuild from
+    /// scratch"). This is the quantity cost-aware eviction weighs (scaled
+    /// by each entry's dependent count) — surfaced so the eviction policy
+    /// is observable, not magic.
+    pub cost: u64,
 }
 
 /// A snapshot of all cache counters, embedded in sweep reports.
@@ -135,6 +161,24 @@ pub struct CacheStats {
     pub uniformized: PoolStats,
     /// Regenerative-parameter pool.
     pub regen_params: PoolStats,
+    /// Requests answered by *deriving* from a structurally identical
+    /// artifact built for different rate/reward numbers: structure facts
+    /// assembled from a rate variant's Tarjan analysis (the analysis
+    /// itself never re-ran). Counted inside the structure pool's `hits`
+    /// too — this splits out how many of those hits crossed a value
+    /// fingerprint.
+    pub derived_hits: u64,
+    /// Uniformizations rebuilt for new rates by re-binding a structural
+    /// donor's chunk plans and kernel layouts instead of re-planning from
+    /// scratch ([`Uniformized::rebind_values`]). Counted inside the
+    /// uniformized pool's `misses` too (a rebind still builds matrices).
+    pub rebinds: u64,
+    /// Dependent artifacts orphaned by evicting their parent: when
+    /// eviction drops a uniformization that regenerative parameters were
+    /// registered against, those dependents lose the artifact their
+    /// rebuild would have been cheap next to. Cumulative, like
+    /// `evictions`.
+    pub orphaned: u64,
 }
 
 #[derive(Default)]
@@ -178,23 +222,36 @@ pub(crate) use regenr_sparse::pool::lock;
 struct PoolEntry<V> {
     value: V,
     bytes: usize,
+    /// Estimated cost to rebuild this artifact from scratch, in work
+    /// units (charged alongside bytes when the artifact materializes and
+    /// grown by lazy-layout deltas). Zero until filled.
+    cost: u64,
+    /// Derived artifacts registered against this entry (regenerative
+    /// parameters hanging off a uniformization). Evicting an entry with
+    /// dependents orphans them — eviction weighs that in, and counts it.
+    dependents: u64,
     /// Whether an artifact has materialized in this entry's slot
     /// ([`LruPool::set_bytes`] ran). Only filled entries count toward — and
     /// may be evicted for — the capacity limits: an empty in-flight build
     /// slot must never cost a live artifact its place.
     filled: bool,
-    /// LRU stamp from the pool clock; smallest is evicted first.
+    /// LRU stamp from the pool clock; smallest is evicted first among
+    /// equal eviction weights.
     stamp: u64,
 }
 
-/// A mutex-free LRU map (callers wrap it in a `Mutex`). Eviction scans for
-/// the oldest stamp — `O(entries)`, fine at the capacities this cache is
-/// configured with (the artifacts themselves dwarf the scan).
+/// A mutex-free cost-aware LRU map (callers wrap it in a `Mutex`).
+/// Eviction scans for the minimum `(rebuild cost × (1 + dependents), LRU
+/// stamp)` — `O(entries)`, fine at the capacities this cache is configured
+/// with (the artifacts themselves dwarf the scan). Entries with equal
+/// weights degrade to exact least-recently-used order.
 struct LruPool<K, V> {
     map: HashMap<K, PoolEntry<V>>,
     clock: u64,
     bytes: usize,
     evictions: u64,
+    /// Dependents orphaned by evictions (cumulative).
+    orphaned: u64,
 }
 
 impl<K: Eq + Hash + Clone, V: Clone> LruPool<K, V> {
@@ -204,6 +261,7 @@ impl<K: Eq + Hash + Clone, V: Clone> LruPool<K, V> {
             clock: 0,
             bytes: 0,
             evictions: 0,
+            orphaned: 0,
         }
     }
 
@@ -243,6 +301,8 @@ impl<K: Eq + Hash + Clone, V: Clone> LruPool<K, V> {
             PoolEntry {
                 value: value.clone(),
                 bytes: 0,
+                cost: 0,
+                dependents: 0,
                 filled: false,
                 stamp,
             },
@@ -271,12 +331,14 @@ impl<K: Eq + Hash + Clone, V: Clone> LruPool<K, V> {
         key: &K,
         same: impl FnOnce(&V) -> bool,
         bytes: usize,
+        cost: u64,
         cfg: &CacheConfig,
     ) {
         if let Some(e) = self.map.get_mut(key) {
             if same(&e.value) {
                 self.bytes = self.bytes - e.bytes + bytes;
                 e.bytes = bytes;
+                e.cost = cost;
                 e.filled = true;
                 self.enforce(cfg);
             }
@@ -300,6 +362,7 @@ impl<K: Eq + Hash + Clone, V: Clone> LruPool<K, V> {
         key: &K,
         same: impl FnOnce(&V) -> bool,
         delta: usize,
+        cost_delta: u64,
         fill: bool,
         cfg: &CacheConfig,
     ) {
@@ -307,9 +370,23 @@ impl<K: Eq + Hash + Clone, V: Clone> LruPool<K, V> {
             if same(&e.value) {
                 self.bytes += delta;
                 e.bytes += delta;
+                e.cost += cost_delta;
                 e.filled |= fill;
                 self.enforce(cfg);
             }
+        }
+    }
+
+    /// Registers one more derived artifact hanging off `key` (best-effort:
+    /// a parent already evicted is silently skipped). Does **not** refresh
+    /// the LRU stamp — registration is bookkeeping, not a use. Dependents
+    /// are registered-lifetime counts: they are not decremented when the
+    /// derived artifact is itself evicted (the weight answers "how much
+    /// has been built against this parent", a monotone proxy that keeps
+    /// the two pools free of back-edges and lock-order coupling).
+    fn bump_dependents(&mut self, key: &K) {
+        if let Some(e) = self.map.get_mut(key) {
+            e.dependents += 1;
         }
     }
 
@@ -326,7 +403,15 @@ impl<K: Eq + Hash + Clone, V: Clone> LruPool<K, V> {
         }
     }
 
-    /// Evicts least-recently-used **filled** entries until both caps hold.
+    /// Evicts the cheapest-to-lose **filled** entries until both caps
+    /// hold. "Cheapest to lose" is the minimum of `(rebuild cost × (1 +
+    /// dependents), LRU stamp)`: an artifact that derived artifacts hang
+    /// off is weighted by what evicting it would orphan, not just its own
+    /// rebuild, and among equal weights the least-recently-used entry
+    /// goes first (pools whose entries all cost the same — e.g. variants
+    /// of one model family — behave exactly like plain LRU). Evicting a
+    /// parent with registered dependents counts them as `orphaned`.
+    ///
     /// Unfilled in-flight build slots neither count toward `max_entries`
     /// nor get evicted — they resolve through their own `set_bytes` or
     /// [`SlotCleanup`]. A single artifact larger than `max_bytes` ends up
@@ -339,18 +424,19 @@ impl<K: Eq + Hash + Clone, V: Clone> LruPool<K, V> {
             if !over_entries && !over_bytes {
                 return;
             }
-            let Some(oldest) = self
+            let Some(cheapest) = self
                 .map
                 .iter()
                 .filter(|(_, e)| e.filled)
-                .min_by_key(|(_, e)| e.stamp)
+                .min_by_key(|(_, e)| (e.cost.saturating_mul(1 + e.dependents), e.stamp))
                 .map(|(k, _)| k.clone())
             else {
                 return;
             };
-            if let Some(e) = self.map.remove(&oldest) {
+            if let Some(e) = self.map.remove(&cheapest) {
                 self.bytes -= e.bytes;
                 self.evictions += 1;
+                self.orphaned += e.dependents;
             }
         }
     }
@@ -362,6 +448,7 @@ impl<K: Eq + Hash + Clone, V: Clone> LruPool<K, V> {
             evictions: self.evictions,
             entries: self.map.len(),
             bytes: self.bytes,
+            cost: self.map.values().map(|e| e.cost).sum(),
         }
     }
 
@@ -429,6 +516,10 @@ impl<K: Eq + Hash + Clone, V> Drop for SlotCleanup<'_, K, V> {
 /// Shared artifact cache; see the module docs.
 pub struct ArtifactCache {
     cfg: CacheConfig,
+    /// Keyed by the **structural** fingerprint: Tarjan facts are pure
+    /// topology, so every rate/reward variant of one structure shares the
+    /// entry (value-dependent fields are fixed up per request — see
+    /// [`ArtifactCache::facts_for`]).
     structure: Mutex<LruPool<u64, Slot<Arc<ChainFacts>>>>,
     /// `Arc` so the plan-bytes re-accounting hook each cached
     /// [`Uniformized`] carries (see [`ArtifactCache::uniformized`]) can own
@@ -436,10 +527,21 @@ pub struct ArtifactCache {
     /// whatever thread builds a stepper on the artifact, for as long as the
     /// artifact lives.
     uniformized: Arc<Mutex<LruPool<UnifKey, Slot<Arc<Uniformized>>>>>,
+    /// Structural donor index for the uniformized pool: `(generator
+    /// structure fingerprint, θ bits) → pool key` of the latest artifact
+    /// with that structure. A miss whose structure has a live donor
+    /// rebuilds by [`Uniformized::rebind_values`] — reusing the donor's
+    /// chunk plans, kernel selections, and layouts — instead of planning
+    /// from scratch. Entries are three words each; stale ones (donor
+    /// evicted) fail the pool lookup harmlessly and are overwritten by
+    /// the next fresh build.
+    unif_donors: Mutex<HashMap<(u64, u64), UnifKey>>,
     params: Mutex<LruPool<ParamsKey, Slot<ParamsEntry>>>,
     structure_counters: Counters,
     uniformized_counters: Counters,
     params_counters: Counters,
+    derived_hits: AtomicU64,
+    rebinds: AtomicU64,
 }
 
 impl Default for ArtifactCache {
@@ -460,10 +562,13 @@ impl ArtifactCache {
             cfg,
             structure: Mutex::new(LruPool::new()),
             uniformized: Arc::new(Mutex::new(LruPool::new())),
+            unif_donors: Mutex::new(HashMap::new()),
             params: Mutex::new(LruPool::new()),
             structure_counters: Counters::default(),
             uniformized_counters: Counters::default(),
             params_counters: Counters::default(),
+            derived_hits: AtomicU64::new(0),
+            rebinds: AtomicU64::new(0),
         }
     }
 
@@ -477,21 +582,60 @@ impl ArtifactCache {
         fingerprint(ctmc)
     }
 
-    /// Structure facts for `ctmc`, computed exactly once per live
-    /// fingerprint entry (racers block on the per-key slot and count as
-    /// hits). Analysis errors are returned, not cached.
+    /// Structure facts for `ctmc` by its full fingerprint `fp` (which must
+    /// equal [`fingerprint`]`(ctmc)`). Compatibility wrapper around
+    /// [`ArtifactCache::facts_for`] that re-derives the model's structural
+    /// fingerprint; callers that already hold a [`ModelFps`] (the engine's
+    /// planner) should pass it directly.
     pub fn facts(&self, fp: u64, ctmc: &Ctmc) -> Result<Arc<ChainFacts>, CtmcError> {
-        let slot = lock(&self.structure).get_or_insert_with(fp, Slot::default);
+        let fps = model_fps(ctmc);
+        debug_assert_eq!(fps.full, fp, "fp must be fingerprint(ctmc)");
+        self.facts_for(&fps, ctmc)
+    }
+
+    /// Structure facts for `ctmc`, keyed **structurally**: Tarjan SCC
+    /// analysis depends only on the sparsity pattern and rate support, so
+    /// every rate/reward variant of one structure shares the pool entry,
+    /// and the analysis runs exactly once per live structure (racers block
+    /// on the per-key slot and count as hits). A request whose *value*
+    /// fingerprint differs from the stored entry's is a **derived hit**
+    /// ([`CacheStats::derived_hits`]): the topology facts are reused and
+    /// only the value-dependent fields — the full fingerprint and the
+    /// maximum exit rate, an `O(n)` diagonal scan — are recomputed.
+    /// Analysis errors are returned, not cached (soundly so: analysis
+    /// accepts or rejects on topology plus initial-distribution support,
+    /// both part of the structural key).
+    pub fn facts_for(&self, fps: &ModelFps, ctmc: &Ctmc) -> Result<Arc<ChainFacts>, CtmcError> {
+        let skey = fps.structure;
+        let slot = lock(&self.structure).get_or_insert_with(skey, Slot::default);
         let mut guard = lock(&slot);
         if let Some(facts) = guard.as_ref() {
             self.structure_counters.record(true);
-            return Ok(facts.clone());
+            if facts.fingerprint == fps.full {
+                return Ok(facts.clone());
+            }
+            // Derived hit: same topology, different numbers. Clone the
+            // topology facts, then recompute the value-dependent fields
+            // outside the slot lock.
+            let derived = ChainFacts {
+                fingerprint: fps.full,
+                n_states: facts.n_states,
+                absorbing: facts.absorbing.clone(),
+                irreducible: facts.irreducible,
+                max_rate: 0.0,
+            };
+            drop(guard);
+            self.derived_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::new(ChainFacts {
+                max_rate: ctmc.generator().max_abs_diag(),
+                ..derived
+            }));
         }
-        let cleanup = SlotCleanup::new(&self.structure, fp, slot.clone());
+        let cleanup = SlotCleanup::new(&self.structure, skey, slot.clone());
         regenr_failpoint::failpoint!("cache-build-facts");
         let info = analyze(ctmc)?;
         let facts = Arc::new(ChainFacts {
-            fingerprint: fp,
+            fingerprint: fps.full,
             n_states: ctmc.n_states(),
             irreducible: info.is_irreducible(),
             absorbing: info.absorbing,
@@ -501,10 +645,14 @@ impl ArtifactCache {
         *guard = Some(facts.clone());
         cleanup.disarm();
         drop(guard);
+        // Rebuild cost: Tarjan + the reachability transpose both walk the
+        // full pattern — a few passes over n + nnz elements.
+        let cost = (ctmc.n_states() + ctmc.generator().nnz()) as u64;
         lock(&self.structure).set_bytes(
-            &fp,
+            &skey,
             |v| Arc::ptr_eq(v, &slot),
             facts.approx_bytes(),
+            cost,
             &self.cfg,
         );
         Ok(facts)
@@ -526,6 +674,35 @@ impl ArtifactCache {
     /// never hears about; charges on an entry that was since evicted are
     /// identity-checked no-ops.
     pub fn uniformized(&self, fp: u64, ctmc: &Ctmc, theta: f64) -> (Arc<Uniformized>, bool) {
+        self.uniformized_inner(fp, None, ctmc, theta)
+    }
+
+    /// [`ArtifactCache::uniformized`] with the generator's **structural**
+    /// fingerprint alongside the full one — the delta-aware entry point
+    /// the engine uses. A miss first consults the structural donor index:
+    /// if a live artifact with the same generator structure (at the same
+    /// `θ`) exists, the new artifact is built by
+    /// [`Uniformized::rebind_values`] — fresh matrices, but every chunk
+    /// plan, kernel selection, and layout re-bound from the donor instead
+    /// of re-planned — and counted in [`CacheStats::rebinds`]. The result
+    /// is bitwise identical to a cold build; only the build cost differs.
+    pub fn uniformized_delta(
+        &self,
+        fp: u64,
+        structure_fp: u64,
+        ctmc: &Ctmc,
+        theta: f64,
+    ) -> (Arc<Uniformized>, bool) {
+        self.uniformized_inner(fp, Some(structure_fp), ctmc, theta)
+    }
+
+    fn uniformized_inner(
+        &self,
+        fp: u64,
+        structure_fp: Option<u64>,
+        ctmc: &Ctmc,
+        theta: f64,
+    ) -> (Arc<Uniformized>, bool) {
         let key = (fp, norm_key_bits(theta));
         let slot = lock(&self.uniformized).get_or_insert_with(key, Slot::default);
         let mut guard = lock(&slot);
@@ -535,7 +712,23 @@ impl ArtifactCache {
         }
         let cleanup = SlotCleanup::new(&self.uniformized, key, slot.clone());
         regenr_failpoint::failpoint!("cache-build-unif");
-        let unif = Arc::new(Uniformized::new(ctmc, theta));
+        // Structural-donor path: a live artifact with this generator
+        // structure donates its plans and layouts. Lock order: our (still
+        // unfilled) slot → donor index → pool → donor slot; donor slots
+        // are always *filled* (registered at materialization), and filled
+        // slots are only ever locked briefly by hit readers or rebinders,
+        // never while waiting on another slot — no cycle.
+        let donated = structure_fp.and_then(|sfp| {
+            let dkey = *lock(&self.unif_donors).get(&(sfp, norm_key_bits(theta)))?;
+            if dkey == key {
+                return None;
+            }
+            let donor_slot = lock(&self.uniformized).get(&dkey)?;
+            let donor = lock(&donor_slot).clone()?;
+            Some(Arc::new(donor.rebind_values(ctmc, theta)))
+        });
+        let rebound = donated.is_some();
+        let unif = donated.unwrap_or_else(|| Arc::new(Uniformized::new(ctmc, theta)));
         {
             // Weak captures, NOT Arcs: the hook lives on the artifact, and
             // the pool (via the slot) owns the artifact — strong captures
@@ -550,20 +743,52 @@ impl ArtifactCache {
                 let (Some(pool), Some(slot)) = (pool.upgrade(), hook_slot.upgrade()) else {
                     return;
                 };
-                lock(&pool).add_bytes(&key, |v| Arc::ptr_eq(v, &slot), delta, false, &cfg);
+                // A lazily built layout's rebuild cost scales with its
+                // element count — bytes/8 (f64/u64-dominated arrays) is
+                // the honest order of magnitude.
+                lock(&pool).add_bytes(
+                    &key,
+                    |v| Arc::ptr_eq(v, &slot),
+                    delta,
+                    (delta / 8) as u64,
+                    false,
+                    &cfg,
+                );
             });
         }
         self.uniformized_counters.record(false);
+        if rebound {
+            self.rebinds.fetch_add(1, Ordering::Relaxed);
+        }
         *guard = Some(unif.clone());
         cleanup.disarm();
         drop(guard);
+        // Fresh builds charge the matrices only (plans are lazy; the hook
+        // charges them as they materialize). Rebound builds arrive with
+        // the donor's plans already attached — charge everything up front,
+        // the hook will only ever see configurations the donor lacked.
+        // Cold-rebuild cost: build `P` (nnz), transpose it (2·nnz), scan
+        // the diagonal (n), plus re-deriving any carried layouts.
+        let bytes = if rebound {
+            unif.approx_bytes()
+        } else {
+            unif.matrix_bytes()
+        };
+        let cost = (3 * ctmc.generator().nnz() + 2 * ctmc.n_states()) as u64
+            + (unif.plan_bytes() / 8) as u64;
         lock(&self.uniformized).add_bytes(
             &key,
             |v| Arc::ptr_eq(v, &slot),
-            unif.matrix_bytes(),
+            bytes,
+            cost,
             true,
             &self.cfg,
         );
+        if let Some(sfp) = structure_fp {
+            // Latest artifact wins the donor role for its structure; a
+            // stale entry (evicted donor) is just a failed lookup later.
+            lock(&self.unif_donors).insert((sfp, norm_key_bits(theta)), key);
+        }
         (unif, false)
     }
 
@@ -586,6 +811,38 @@ impl ArtifactCache {
     pub fn regen_params(
         &self,
         fp: u64,
+        regen: &RegenOptions,
+        r: usize,
+        t: f64,
+        build: impl FnMut(f64) -> Result<RegenParams, CtmcError>,
+    ) -> Result<(Arc<RegenParams>, bool), CtmcError> {
+        self.regen_params_inner(fp, None, regen, r, t, build)
+    }
+
+    /// [`ArtifactCache::regen_params`] that also registers the built
+    /// parameters as a **dependent** of the uniformization they were
+    /// constructed on (keyed by `parent_unif_fp` at `θ = regen.theta`, the
+    /// key the solver's uniformization was cached under): cost-aware
+    /// eviction then weighs that parent by the artifacts hanging off it,
+    /// and evicting it anyway counts the dependents as
+    /// [`CacheStats::orphaned`]. Registration happens once per first
+    /// build — widening an entry does not re-register.
+    pub fn regen_params_linked(
+        &self,
+        fp: u64,
+        parent_unif_fp: u64,
+        regen: &RegenOptions,
+        r: usize,
+        t: f64,
+        build: impl FnMut(f64) -> Result<RegenParams, CtmcError>,
+    ) -> Result<(Arc<RegenParams>, bool), CtmcError> {
+        self.regen_params_inner(fp, Some(parent_unif_fp), regen, r, t, build)
+    }
+
+    fn regen_params_inner(
+        &self,
+        fp: u64,
+        parent_unif_fp: Option<u64>,
         regen: &RegenOptions,
         r: usize,
         t: f64,
@@ -626,6 +883,12 @@ impl ArtifactCache {
         self.params_counters.record(false);
         self.store_params(guard, &slot, key, t, &params);
         cleanup.disarm();
+        // First build: hang this entry off its uniformization. Params pool
+        // locks are all released here, so the established lock order
+        // (never hold two pools at once) is kept.
+        if let Some(pfp) = parent_unif_fp {
+            lock(&self.uniformized).bump_dependents(&(pfp, norm_key_bits(regen.theta)));
+        }
         Ok((params, false))
     }
 
@@ -647,28 +910,45 @@ impl ArtifactCache {
         });
         // Slot lock then pool lock — the established order (set_bytes is
         // never called by a pool-lock holder).
+        //
+        // Rebuild cost: the killed-chain construction steps the truncated
+        // chain once per stored depth level — the sequences' element count
+        // (≈ bytes/8) is the per-level footprint, and each level cost a
+        // matrix pass to produce.
         lock(&self.params).set_bytes(
             &key,
             |v| Arc::ptr_eq(v, slot),
             params.approx_bytes(),
+            (params.approx_bytes() / 8) as u64,
             &self.cfg,
         );
     }
 
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
+        let structure = lock(&self.structure).stats(&self.structure_counters);
+        let uniformized = lock(&self.uniformized).stats(&self.uniformized_counters);
+        let regen_params = lock(&self.params).stats(&self.params_counters);
         CacheStats {
-            structure: lock(&self.structure).stats(&self.structure_counters),
-            uniformized: lock(&self.uniformized).stats(&self.uniformized_counters),
-            regen_params: lock(&self.params).stats(&self.params_counters),
+            structure,
+            uniformized,
+            regen_params,
+            derived_hits: self.derived_hits.load(Ordering::Relaxed),
+            rebinds: self.rebinds.load(Ordering::Relaxed),
+            orphaned: lock(&self.structure).orphaned
+                + lock(&self.uniformized).orphaned
+                + lock(&self.params).orphaned,
         }
     }
 
     /// Drops every cached artifact (counters are kept; eviction counts are
-    /// not incremented — clearing is not capacity pressure).
+    /// not incremented — clearing is not capacity pressure). The donor
+    /// index goes too: a cleared cache must behave exactly like a fresh
+    /// one, cold rebuilds included.
     pub fn clear(&self) {
         lock(&self.structure).clear();
         lock(&self.uniformized).clear();
+        lock(&self.unif_donors).clear();
         lock(&self.params).clear();
     }
 }
@@ -846,14 +1126,28 @@ mod tests {
         assert_eq!(cache.stats().structure.entries, 1);
     }
 
+    /// A birth–death chain over `n` states: structurally distinct per `n`.
+    fn chain_with_states(n: usize) -> Ctmc {
+        let mut rates = Vec::new();
+        for i in 0..n - 1 {
+            rates.push((i, i + 1, 1.0));
+            rates.push((i + 1, i, 0.5));
+        }
+        let mut init = vec![0.0; n];
+        init[0] = 1.0;
+        Ctmc::from_rates(n, &rates, init, vec![1.0; n]).unwrap()
+    }
+
     /// Capacity is enforced when an artifact materializes, never when an
     /// empty build slot is inserted: a stream of invalid models at a full
     /// cap must not flush the live artifacts it can never replace.
     #[test]
     fn failing_builds_do_not_evict_live_artifacts() {
         let cache = ArtifactCache::with_config(CacheConfig::with_max_entries(2));
-        let a = chain_with_rate(1e-3);
-        let b = chain_with_rate(2e-3);
+        // Structurally distinct (the structure pool keys by topology, so
+        // mere rate variants would share one entry).
+        let a = chain_with_states(2);
+        let b = chain_with_states(3);
         let (fa, fb) = (fingerprint(&a), fingerprint(&b));
         cache.facts(fa, &a).unwrap();
         cache.facts(fb, &b).unwrap();
@@ -1068,6 +1362,200 @@ mod tests {
         let stats = tiny.stats().uniformized;
         assert_eq!(stats.entries, 0);
         assert_eq!(stats.bytes, 0);
+    }
+
+    /// Rate variants of one structure share a single structure-pool entry:
+    /// the second request is a *derived* hit — the Tarjan facts are reused,
+    /// only the value-dependent fields are recomputed.
+    #[test]
+    fn rate_variants_share_structure_facts_as_derived_hits() {
+        let cache = ArtifactCache::new();
+        let a = chain_with_rate(1e-3);
+        let b = chain_with_rate(2.0);
+        let fa = model_fps(&a);
+        let fb = model_fps(&b);
+        assert_eq!(fa.structure, fb.structure, "rate variants share structure");
+        assert_ne!(fa.full, fb.full);
+        let f1 = cache.facts_for(&fa, &a).unwrap();
+        let f2 = cache.facts_for(&fb, &b).unwrap();
+        // Topology facts identical; value-dependent fields are the
+        // variant's own.
+        assert_eq!(f1.irreducible, f2.irreducible);
+        assert_eq!(f1.absorbing, f2.absorbing);
+        assert_eq!(f1.max_rate, 1.0);
+        assert_eq!(f2.max_rate, 2.0, "derived facts recompute the exit rate");
+        assert_eq!(f2.fingerprint, fb.full);
+        let stats = cache.stats();
+        assert_eq!(stats.structure.entries, 1, "one entry per structure");
+        assert_eq!((stats.structure.hits, stats.structure.misses), (1, 1));
+        assert_eq!(stats.derived_hits, 1);
+        assert!(stats.structure.cost > 0, "rebuild cost must be charged");
+    }
+
+    /// A birth–death rate variant: same structure as [`chain_with_states`]
+    /// of the same size, different numbers.
+    fn scaled_chain(n: usize, scale: f64) -> Ctmc {
+        let mut rates = Vec::new();
+        for i in 0..n - 1 {
+            rates.push((i, i + 1, 1.0 * scale));
+            rates.push((i + 1, i, 0.5 * scale));
+        }
+        let mut init = vec![0.0; n];
+        init[0] = 1.0;
+        Ctmc::from_rates(n, &rates, init, vec![1.0; n]).unwrap()
+    }
+
+    /// The delta-aware lookup rebuilds a rate variant's uniformization by
+    /// re-binding the structural donor's plans — bitwise identical to a
+    /// cold build, with the donor's kernel layouts carried over instead of
+    /// re-planned.
+    #[test]
+    fn uniformized_rebind_reuses_donor_plans_bitwise() {
+        use regenr_sparse::{KernelChoice, ParallelConfig};
+        let a = scaled_chain(64, 1.0);
+        let b = scaled_chain(64, 1.75);
+        let fa = model_fps(&a);
+        let fb = model_fps(&b);
+        assert_eq!(fa.unif_structure, fb.unif_structure);
+        assert_ne!(fa.unif, fb.unif);
+        let cache = ArtifactCache::new();
+        let (ua, _) = cache.uniformized_delta(fa.unif, fa.unif_structure, &a, 0.0);
+        // Materialize a layout-backed plan on the donor.
+        let cfg = ParallelConfig {
+            min_nnz: 0,
+            threads: 1,
+            kernel: KernelChoice::Sliced,
+            ..Default::default()
+        };
+        let _ = ua.stepper(&cfg);
+        assert!(ua.plan_bytes() > 0);
+
+        let (ub, hit) = cache.uniformized_delta(fb.unif, fb.unif_structure, &b, 0.0);
+        assert!(!hit, "a rebind is still a miss (the artifact was built)");
+        let stats = cache.stats();
+        assert_eq!(stats.rebinds, 1);
+        assert_eq!(stats.uniformized.entries, 2);
+        // The donor's layout arrived pre-seeded on the new artifact…
+        assert_eq!(ub.plan_bytes(), ua.plan_bytes());
+        // …and byte accounting charged it up front (donor: matrices at
+        // insert + hook-charged layout; rebound: everything at insert).
+        assert_eq!(
+            stats.uniformized.bytes,
+            ua.approx_bytes() + ub.approx_bytes()
+        );
+        // Bitwise identity with a cold build, through the stepped product.
+        let cold = Uniformized::new(&b, 0.0);
+        assert_eq!(ub.lambda.to_bits(), cold.lambda.to_bits());
+        let n = b.n_states();
+        let pi: Vec<f64> = (0..n).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let mut got = vec![0.0; n];
+        let mut want = vec![0.0; n];
+        ub.stepper(&cfg).step(&pi, &mut got);
+        cold.stepper(&cfg).step(&pi, &mut want);
+        for (x, y) in got.iter().zip(&want) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // A repeat of the same variant is a plain hit, not another rebind.
+        let (_, hit) = cache.uniformized_delta(fb.unif, fb.unif_structure, &b, 0.0);
+        assert!(hit);
+        assert_eq!(cache.stats().rebinds, 1);
+    }
+
+    /// Acceptance: under a byte cap, a leaf artifact with no dependents is
+    /// evicted before a cheaper-by-bytes uniformization that regenerative
+    /// parameters hang off — and without the dependent edge, the same
+    /// pressure evicts the parent instead.
+    #[test]
+    fn cost_aware_eviction_keeps_parent_with_dependents() {
+        let parent = chain_with_states(48);
+        let leaf = chain_with_states(64);
+        let (fp_p, fp_l) = (fingerprint(&parent), fingerprint(&leaf));
+        let opts = RrlOptions::default();
+
+        // Dry run (unbounded) to size the cap: parent's full footprint
+        // (matrices + any layouts its params build materialized), plus the
+        // leaf's matrices, minus one byte — the leaf's insertion overflows.
+        let dry = ArtifactCache::new();
+        let (solver, _) = rrl_on_cache(&dry, fp_p, &parent, 0, opts).unwrap();
+        dry.regen_params_linked(fp_p, fp_p, &opts.regen, 0, 10.0, |h| solver.parameters(h))
+            .unwrap();
+        let parent_bytes = dry.stats().uniformized.bytes;
+        let leaf_bytes = Uniformized::new(&leaf, 0.0).matrix_bytes();
+
+        let run = |linked: bool| -> CacheStats {
+            let cache = ArtifactCache::with_config(CacheConfig {
+                max_entries: None,
+                max_bytes: Some(parent_bytes + leaf_bytes - 1),
+            });
+            let (solver, _) = rrl_on_cache(&cache, fp_p, &parent, 0, opts).unwrap();
+            if linked {
+                cache
+                    .regen_params_linked(fp_p, fp_p, &opts.regen, 0, 10.0, |h| solver.parameters(h))
+                    .unwrap();
+            } else {
+                cache
+                    .regen_params(fp_p, &opts.regen, 0, 10.0, |h| solver.parameters(h))
+                    .unwrap();
+            }
+            cache.uniformized(fp_l, &leaf, opts.regen.theta);
+            // Who survived? A hit means the entry is still resident.
+            let parent_resident = cache.uniformized(fp_p, &parent, opts.regen.theta).1;
+            let leaf_resident = cache.uniformized(fp_l, &leaf, opts.regen.theta).1;
+            if linked {
+                assert!(
+                    parent_resident,
+                    "the parent with dependents must survive byte pressure"
+                );
+                assert!(
+                    !leaf_resident,
+                    "the dependent-free leaf must be evicted first"
+                );
+            } else {
+                assert!(
+                    !parent_resident,
+                    "without the dependent edge the cheaper parent goes"
+                );
+                assert!(leaf_resident);
+            }
+            cache.stats()
+        };
+
+        let with_edge = run(true);
+        assert!(with_edge.uniformized.evictions >= 1);
+        assert_eq!(
+            with_edge.orphaned, 0,
+            "evicting the dependent-free leaf orphans nothing"
+        );
+        let without_edge = run(false);
+        assert!(without_edge.uniformized.evictions >= 1);
+    }
+
+    /// Evicting a parent that dependents were registered against counts
+    /// them as orphaned — capacity pressure can still claim it when every
+    /// alternative is heavier, but the loss is observable.
+    #[test]
+    fn orphaned_counts_dependents_of_evicted_parents() {
+        let parent = chain_with_states(16);
+        let fp_p = fingerprint(&parent);
+        let opts = RrlOptions::default();
+        let cache = ArtifactCache::with_config(CacheConfig {
+            max_entries: Some(1),
+            max_bytes: None,
+        });
+        let (solver, _) = rrl_on_cache(&cache, fp_p, &parent, 0, opts).unwrap();
+        cache
+            .regen_params_linked(fp_p, fp_p, &opts.regen, 0, 10.0, |h| solver.parameters(h))
+            .unwrap();
+        // Displace the parent with an artifact heavy enough that even the
+        // dependent-weighted parent is the cheaper loss.
+        let other = chain_with_states(128);
+        cache.uniformized(fingerprint(&other), &other, opts.regen.theta);
+        let stats = cache.stats();
+        assert_eq!(stats.uniformized.entries, 1, "cap must hold");
+        assert_eq!(
+            stats.orphaned, 1,
+            "evicting the params' parent must count the orphan"
+        );
     }
 
     #[test]

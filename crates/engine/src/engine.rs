@@ -27,7 +27,7 @@
 //! every core busy (see `regenr_sparse::pool`).
 
 use crate::cache::{ArtifactCache, CacheConfig, CacheStats, ChainFacts};
-use crate::fingerprint::{fingerprint, unif_fingerprint};
+use crate::fingerprint::{model_fps, ModelFps};
 use crate::method::Method;
 use crate::solver::{build_solver, EngineSolution, SolveConfig, Solver};
 use crate::EngineError;
@@ -69,6 +69,13 @@ pub struct SolveRequest {
     pub method: MethodChoice,
     /// Regenerative state override for RR/RRL.
     pub regen_state: Option<usize>,
+    /// Precomputed fingerprints for `model`, if the constructor already has
+    /// them (the spec layer fingerprints each model once at parse time, so
+    /// grid sweeps do not re-hash every matrix on every solve). Must
+    /// describe `model` exactly — the engine trusts it as a cache key and
+    /// only cross-checks under `debug_assertions`. `None` means the engine
+    /// fingerprints the model itself.
+    pub fps: Option<crate::fingerprint::ModelFps>,
     /// Extra same-method attempts the sweep supervisor may spend on a
     /// failing cell before walking the method-fallback chain (panics,
     /// solver errors, and health-check failures all count). `0` — the
@@ -87,6 +94,7 @@ impl SolveRequest {
             epsilon: 1e-12,
             method: MethodChoice::Auto,
             regen_state: None,
+            fps: None,
             max_retries: 0,
         }
     }
@@ -441,14 +449,15 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// method.
 struct Job {
     req_idx: usize,
-    /// Model fingerprint, computed once at plan time (hashing the full CSR
-    /// is `O(nnz)` — workers must not redo it).
-    fp: u64,
-    /// Generator-only fingerprint: the uniformization-artifact cache key
+    /// All five model fingerprints (full/structure/value and the
+    /// generator-only full/structural pair), computed once at plan time —
+    /// hashing the full CSR is `O(nnz)`, workers must not redo it. The
+    /// generator-only `unif` fingerprint keys the uniformization artifact
     /// (uniformization never sees initials or rewards, so models differing
-    /// only in those share one cached `Uniformized`) and the grouping key
-    /// for blocked sweep execution.
-    unif_fp: u64,
+    /// only in those share one cached `Uniformized`) and groups blocked
+    /// sweep execution; `unif_structure` lets the cache rebuild a rate
+    /// variant's uniformization by re-binding a structural donor's plans.
+    fps: ModelFps,
     /// Structure facts, resolved once at plan time.
     facts: Arc<ChainFacts>,
     method: Method,
@@ -467,8 +476,7 @@ impl Job {
     fn with_method(&self, method: Method) -> Job {
         Job {
             req_idx: self.req_idx,
-            fp: self.fp,
-            unif_fp: self.unif_fp,
+            fps: self.fps,
             facts: self.facts.clone(),
             method,
             reason: self.reason,
@@ -562,18 +570,20 @@ enum SweepUnit {
 /// Groups planned jobs into sweep units. SR jobs bucket by
 /// `(unif_fingerprint, epsilon)` — equal keys uniformize identically and
 /// share `SrOptions` — and each bucket is chunked to the width
-/// [`RhsBlockChoice::resolve`] picks (`Auto` → 4 when a bucket has company,
-/// `1` disables grouping entirely). Everything else — other methods,
-/// singleton buckets, odd tail chunks of one — stays a `Single` unit and
-/// runs exactly as before. Units come out in first-job order, so claim
-/// order matches the ungrouped sweep.
+/// [`RhsBlockChoice::plan_width`] picks (`Auto` → the maximum block width
+/// when a bucket has company — the executing worker sub-splits to the
+/// resolved kernel's preferred width once it knows it, see
+/// [`Engine::run_block`] — `1` disables grouping entirely). Everything
+/// else — other methods, singleton buckets, odd tail chunks of one — stays
+/// a `Single` unit and runs exactly as before. Units come out in first-job
+/// order, so claim order matches the ungrouped sweep.
 fn plan_units(jobs: &[Job], reqs: &[SolveRequest], rhs_block: RhsBlockChoice) -> Vec<SweepUnit> {
     use std::collections::HashMap;
     let mut buckets: HashMap<(u64, u64), Vec<usize>> = HashMap::new();
     for (i, job) in jobs.iter().enumerate() {
         if job.method == Method::Sr {
             buckets
-                .entry((job.unif_fp, reqs[job.req_idx].epsilon.to_bits()))
+                .entry((job.fps.unif, reqs[job.req_idx].epsilon.to_bits()))
                 .or_default()
                 .push(i);
         }
@@ -581,7 +591,7 @@ fn plan_units(jobs: &[Job], reqs: &[SolveRequest], rhs_block: RhsBlockChoice) ->
     let mut blocks: HashMap<usize, Vec<usize>> = HashMap::new();
     let mut follower = vec![false; jobs.len()];
     for members in buckets.into_values() {
-        let width = rhs_block.resolve(members.len());
+        let width = rhs_block.plan_width(members.len());
         if width < 2 {
             continue;
         }
@@ -703,9 +713,12 @@ impl Engine {
                 self.opts.theta
             )));
         }
-        let fp = fingerprint(&req.model);
-        let unif_fp = unif_fingerprint(&req.model);
-        let facts = self.cache.facts(fp, &req.model)?;
+        let fps = req.fps.unwrap_or_else(|| model_fps(&req.model));
+        debug_assert!(
+            req.fps.is_none_or(|f| f == model_fps(&req.model)),
+            "SolveRequest::fps does not describe SolveRequest::model"
+        );
+        let facts = self.cache.facts_for(&fps, &req.model)?;
         let mut jobs: Vec<Job> = Vec::new();
         for (slot, &t) in req.horizons.iter().enumerate() {
             if !t.is_finite() || t < 0.0 {
@@ -724,8 +737,7 @@ impl Engine {
                 }
                 _ => jobs.push(Job {
                     req_idx,
-                    fp,
-                    unif_fp,
+                    fps,
                     facts: facts.clone(),
                     method,
                     reason,
@@ -754,15 +766,18 @@ impl Engine {
             panic!("injected solver panic (test seam)");
         }
         let ctmc: &Ctmc = &req.model;
-        let fp = job.fp;
+        let fp = job.fps.full;
         let facts = &job.facts;
         let cfg = self.solve_config(req);
         // The ODE oracle never randomizes — don't build (or count) a
-        // uniformization for it.
+        // uniformization for it. The delta-aware lookup lets a rate
+        // variant's miss rebind a structural donor's plans and layouts.
         let (unif, unif_hit) = if job.method == Method::Ode {
             (None, false)
         } else {
-            let (unif, hit) = self.cache.uniformized(job.unif_fp, ctmc, cfg.theta);
+            let (unif, hit) =
+                self.cache
+                    .uniformized_delta(job.fps.unif, job.fps.unif_structure, ctmc, cfg.theta);
             (Some(unif), hit)
         };
         // The kernel (and execution backend) the solver's stepper resolves
@@ -970,13 +985,17 @@ impl Engine {
         let cfg = self.solve_config(first_req);
         // One shared uniformization for the whole group, under the same
         // generator-only key `run_job` uses — blocked and per-job execution
-        // hit the identical cache entry.
-        let (unif, unif_hit) = self
-            .cache
-            .uniformized(first.unif_fp, &first_req.model, cfg.theta);
-        let (kernel, backend) = {
+        // hit the identical cache entry (delta-aware, like `run_job`).
+        let (unif, unif_hit) = self.cache.uniformized_delta(
+            first.fps.unif,
+            first.fps.unif_structure,
+            &first_req.model,
+            cfg.theta,
+        );
+        let (kind, kernel, backend) = {
             let stepper = unif.stepper(&cfg.parallel);
-            (stepper.kernel_kind().name(), stepper.backend().name())
+            let kind = stepper.kernel_kind();
+            (kind, kind.name(), stepper.backend().name())
         };
         // Grouping guarantees equal epsilon (it is part of the bucket key),
         // and theta/parallel are engine-global, so one SrOptions serves
@@ -998,7 +1017,19 @@ impl Engine {
             })
             .collect();
         let t0 = Instant::now();
-        let solutions = solve_block_with(&unif, &opts, &cells, ws);
+        // The planner grouped at the maximum block width; now that the
+        // kernel is known, sub-split to the width it prefers (short-row
+        // kernels take the full block, the rest peak at 4). Each chunk is
+        // one blocked solve, and member order is preserved.
+        let width = cfg
+            .parallel
+            .rhs_block
+            .resolve_for(kind, members.len())
+            .max(1);
+        let mut solutions = Vec::with_capacity(cells.len());
+        for chunk in cells.chunks(width) {
+            solutions.extend(solve_block_with(&unif, &opts, chunk, ws));
+        }
         let total_cells: usize = members.iter().map(|&j| jobs[j].ts.len()).sum();
         let per_cell = t0.elapsed() / total_cells.max(1) as u32;
         members
@@ -1014,7 +1045,7 @@ impl Engine {
                     .zip(&sols)
                     .map(|(&t, sol)| SolveReport {
                         model: req.name.clone(),
-                        fingerprint: job.fp,
+                        fingerprint: job.fps.full,
                         measure: req.measure,
                         t,
                         method: job.method,
@@ -1071,9 +1102,14 @@ impl Engine {
                 .collect::<Result<Vec<_>, _>>()?;
             return Ok((solutions, false));
         }
-        let (params, hit) = self
-            .cache
-            .regen_params(job.fp, &regen, r, t_max, |h| build(h, ws))?;
+        // Linked: the parameters register as a dependent of the
+        // uniformization they were constructed on, so cost-aware eviction
+        // protects the parent artifact accordingly.
+        let (params, hit) =
+            self.cache
+                .regen_params_linked(job.fps.full, job.fps.unif, &regen, r, t_max, |h| {
+                    build(h, ws)
+                })?;
         let solutions = ts
             .iter()
             .map(|&t| {

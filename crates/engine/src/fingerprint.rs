@@ -69,7 +69,12 @@ fn canonicalize_model(model: &Json) -> Json {
     )
 }
 
-/// 64-bit FNV-1a state.
+/// 64-bit FNV-1a state over *words*: one xor + one multiply per `u64`
+/// instead of the textbook byte loop. Fingerprints are in-process cache
+/// keys, never persisted, so the only requirements are determinism and
+/// dispersion — and word-granular FNV keeps both while making the
+/// per-request fingerprint pass ~8× cheaper, which matters because a
+/// sensitivity sweep fingerprints a fresh model per grid point.
 #[derive(Clone, Copy, Debug)]
 struct Fnv(u64);
 
@@ -78,13 +83,12 @@ impl Fnv {
         Fnv(0xcbf2_9ce4_8422_2325)
     }
 
+    #[inline]
     fn write_u64(&mut self, v: u64) {
-        for b in v.to_le_bytes() {
-            self.0 ^= b as u64;
-            self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
-        }
+        self.0 = (self.0 ^ v).wrapping_mul(0x1000_0000_01b3);
     }
 
+    #[inline]
     fn write_f64(&mut self, v: f64) {
         self.write_u64(v.to_bits());
     }
@@ -111,6 +115,106 @@ pub fn fingerprint(ctmc: &Ctmc) -> u64 {
         h.write_f64(r);
     }
     h.0
+}
+
+/// The full fingerprint split along the structure/value axis — the keys of
+/// the two-level artifact graph in [`crate::cache::ArtifactCache`].
+///
+/// `structure` covers everything [`regenr_ctmc::structure::analyze`]'s
+/// output can depend on: the CSR sparsity pattern, the *support* of the rate
+/// values (Tarjan and absorbing-reachability both filter edges on
+/// `rate > 0.0`, so a rate dropping to exactly zero is a structural change,
+/// not a value change), the support of the initial distribution (initial
+/// mass on an absorbing state is a structural rejection), and the support of
+/// the reward vector. Two chains with equal `structure` fingerprints have
+/// identical topology facts, chunk plans, and kernel layouts; only the
+/// numbers differ — which is what `value` hashes. `unif`/`unif_structure`
+/// are the generator-only analogues (initials and rewards ignored), keying
+/// the uniformization pool and its delta-rebind donor index respectively.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ModelFps {
+    /// The classic full fingerprint ([`fingerprint`]): structure + values.
+    pub full: u64,
+    /// Pattern + value/initial/reward supports — the structural key.
+    pub structure: u64,
+    /// Rate, initial, and reward numbers — the value key.
+    pub value: u64,
+    /// Generator-only full fingerprint ([`unif_fingerprint`]).
+    pub unif: u64,
+    /// Generator-only structural key: pattern + rate support. Equal
+    /// `unif_structure` means an existing `Uniformized` can be rebound to
+    /// the new rates, reusing its plans and layouts.
+    pub unif_structure: u64,
+}
+
+/// Domain separator for [`ModelFps::structure`].
+const STRUCT_FP_SEP: u64 = 0x7374_7275_6374_2d00; // "struct-"
+/// Domain separator for [`ModelFps::value`].
+const VALUE_FP_SEP: u64 = 0x7661_6c75_652d_6600; // "value-f"
+/// Domain separator for [`ModelFps::unif_structure`].
+const UNIF_STRUCT_FP_SEP: u64 = 0x7573_7472_7563_7400; // "ustruct"
+
+/// Computes every fingerprint of [`ModelFps`] in one traversal of the
+/// model's arrays (five running hash states fed per element), so a
+/// sensitivity grid pays one memory pass per point instead of five. The
+/// `full` and `unif` components are bit-identical to standalone
+/// [`fingerprint`] / [`unif_fingerprint`] calls.
+pub fn model_fps(ctmc: &Ctmc) -> ModelFps {
+    let g = ctmc.generator();
+    let n = ctmc.n_states() as u64;
+
+    let mut f = Fnv::new(); // full ([`fingerprint`])
+    let mut u = Fnv::new(); // unif ([`unif_fingerprint`])
+    u.write_u64(0x756e_6966_2d66_7000);
+    let mut s = Fnv::new(); // structure
+    let mut us = Fnv::new(); // unif structure
+    s.write_u64(STRUCT_FP_SEP);
+    us.write_u64(UNIF_STRUCT_FP_SEP);
+    let mut v = Fnv::new(); // value
+    v.write_u64(VALUE_FP_SEP);
+
+    f.write_u64(n);
+    u.write_u64(n);
+    s.write_u64(n);
+    us.write_u64(n);
+    for &p in g.row_ptr() {
+        f.write_u64(p as u64);
+        u.write_u64(p as u64);
+        s.write_u64(p as u64);
+        us.write_u64(p as u64);
+    }
+    for &j in g.col_idx() {
+        f.write_u64(j as u64);
+        u.write_u64(j as u64);
+        s.write_u64(j as u64);
+        us.write_u64(j as u64);
+    }
+    for &x in g.values() {
+        let support = (x != 0.0) as u64;
+        f.write_f64(x);
+        u.write_f64(x);
+        s.write_u64(support);
+        us.write_u64(support);
+        v.write_f64(x);
+    }
+    for &a in ctmc.initial() {
+        f.write_f64(a);
+        s.write_u64((a > 0.0) as u64);
+        v.write_f64(a);
+    }
+    for &r in ctmc.rewards() {
+        f.write_f64(r);
+        s.write_u64((r != 0.0) as u64);
+        v.write_f64(r);
+    }
+
+    ModelFps {
+        full: f.0,
+        structure: s.0,
+        value: v.0,
+        unif: u.0,
+        unif_structure: us.0,
+    }
 }
 
 /// Fingerprint of the chain's *generator alone* — states and rate matrix,
@@ -187,6 +291,75 @@ mod tests {
         assert_eq!(unif_fingerprint(&a), unif_fingerprint(&c));
         assert_ne!(unif_fingerprint(&a), unif_fingerprint(&chain(2e-3)));
         assert_ne!(unif_fingerprint(&a), fingerprint(&a));
+    }
+
+    /// Scaling a rate changes the value fingerprint but not the structural
+    /// one — the property the delta-aware artifact graph keys on.
+    #[test]
+    fn rate_scaling_preserves_structure_fp_and_alters_value_fp() {
+        let a = model_fps(&chain(1e-3));
+        let b = model_fps(&chain(2e-3));
+        assert_eq!(a.structure, b.structure);
+        assert_eq!(a.unif_structure, b.unif_structure);
+        assert_ne!(a.value, b.value);
+        assert_ne!(a.full, b.full);
+        assert_ne!(a.unif, b.unif);
+        // The five hashes live in separate domains.
+        let fps = [a.full, a.structure, a.value, a.unif, a.unif_structure];
+        for i in 0..fps.len() {
+            for j in i + 1..fps.len() {
+                assert_ne!(fps[i], fps[j], "fp domains {i} and {j} collided");
+            }
+        }
+    }
+
+    /// The fused single-traversal `model_fps` must agree bit-for-bit with
+    /// the standalone full/unif fingerprint functions.
+    #[test]
+    fn model_fps_matches_standalone_fingerprints() {
+        for c in [
+            chain(1e-3),
+            chain(2e-3).with_initial(vec![0.5, 0.5]).unwrap(),
+            chain(0.7).with_rewards(vec![2.0, 0.0]).unwrap(),
+        ] {
+            let fps = model_fps(&c);
+            assert_eq!(fps.full, fingerprint(&c));
+            assert_eq!(fps.unif, unif_fingerprint(&c));
+        }
+    }
+
+    /// Value-only deltas share a structural key; support changes in the
+    /// initial distribution or rewards (which `analyze` keys off) do not.
+    #[test]
+    fn support_changes_are_structural() {
+        let a = Ctmc::from_rates(
+            3,
+            &[(0, 1, 1.0), (1, 0, 0.5), (1, 2, 1e-4)],
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 1.0],
+        )
+        .unwrap();
+        let fa = model_fps(&a);
+        // Same pattern, same supports, different numbers: value-only delta.
+        let b = Ctmc::from_rates(
+            3,
+            &[(0, 1, 2.0), (1, 0, 0.25), (1, 2, 2e-4)],
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 1.0],
+        )
+        .unwrap();
+        let fb = model_fps(&b);
+        assert_eq!(fa.structure, fb.structure);
+        assert_eq!(fa.unif_structure, fb.unif_structure);
+        // Initial support moving is structural (absorbing-mass rejection
+        // keys off it), as is a reward dropping to zero.
+        let c = a.with_initial(vec![0.5, 0.5, 0.0]).unwrap();
+        assert_ne!(model_fps(&c).structure, fa.structure);
+        let d = a.with_rewards(vec![0.0, 1.0, 0.0]).unwrap();
+        assert_ne!(model_fps(&d).structure, fa.structure);
+        // And the generator-only structural key ignores both.
+        assert_eq!(model_fps(&c).unif_structure, fa.unif_structure);
+        assert_eq!(model_fps(&d).unif_structure, fa.unif_structure);
     }
 
     #[test]

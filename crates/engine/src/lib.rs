@@ -13,10 +13,12 @@
 //!   logic (SR for small `Λt`, RSD for irreducible chains, RRL for
 //!   stiff/large-horizon absorbing cases) and structured [`SolveReport`]s
 //!   (method chosen, dispatch reason, step counts, error bounds);
-//! * [`ArtifactCache`] — uniformizations, structure analyses and RR/RRL
-//!   killed-chain parameters keyed by a structural model
-//!   [fingerprint](fingerprint::fingerprint), so repeated requests across
-//!   horizons/tolerances skip the expensive rebuilds;
+//! * [`ArtifactCache`] — a two-level artifact graph: uniformizations,
+//!   structure analyses and RR/RRL killed-chain parameters keyed by a
+//!   *structural* and a *value* [fingerprint](fingerprint::model_fps), so
+//!   repeated requests across horizons/tolerances skip the expensive
+//!   rebuilds and rate variants of one topology re-bind cached plans,
+//!   layouts, and Tarjan facts instead of rebuilding them;
 //! * [`Engine::sweep`] — scoped-thread parallel execution over
 //!   `(model × measure × horizon)` grids, plus the `regenr` CLI binary that
 //!   runs a sweep from a JSON spec and prints a JSON report.
@@ -52,7 +54,7 @@ pub use engine::{
     DispatchReason, Engine, EngineOptions, ExecStats, MethodChoice, RobustnessStats, SolveReport,
     SolveRequest, SweepFailure, SweepProgress, SweepReport,
 };
-pub use fingerprint::{canonicalize_spec, fingerprint};
+pub use fingerprint::{canonicalize_spec, fingerprint, model_fps, ModelFps};
 pub use json::Json;
 pub use method::{Capabilities, Method, ALL_METHODS};
 pub use serve::{serve_stats_json, ServeConfig, ServeStats, Server};

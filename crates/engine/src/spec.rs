@@ -63,6 +63,30 @@
 //! (`CtmcBuilder::explore_streaming`), never holding a separate state
 //! table and triplet buffer at peak.
 //!
+//! Any model object may carry a first-class `"sensitivity"` sweep form:
+//!
+//! ```json
+//! { "kind": "raid", "g": 20,
+//!   "sensitivity": { "param": "lambda_d", "grid": [0.5, 1, 2, 4] } }
+//! ```
+//!
+//! expands into one model instance per grid point with the named rate
+//! multiplied by the factor, requested as `{name}@{param}={factor}` (e.g.
+//! `raid_g20_ua@lambda_d=0.5`). Grid factors must be positive and finite:
+//! scaling a rate by a positive factor never changes which transitions
+//! exist, so every instance shares the base model's **structural**
+//! fingerprint by construction and the engine's artifact graph re-binds
+//! cached chunk plans, kernel layouts, and chain facts across the grid
+//! instead of rebuilding them (see `crate::cache`). Scalable parameters
+//! per kind — probabilities like `p_r` and `coverage` are deliberately not
+//! scalable: `raid` → `lambda_d`, `lambda_s`, `lambda_c`, `mu_drc`,
+//! `mu_drp`, `mu_crp`, `mu_sr`, `mu_g`; `two_state`/`duplex`/`machines` →
+//! `lambda`, `mu`; `multiproc` → `lambda_p`, `lambda_m`, `mu`, `delta`;
+//! `compose` → `lambda`, `mu` (applied to every class via the models
+//! crate's scaling hook); `inline` → `rate` (scales every transition).
+//! Unknown keys inside the `"sensitivity"` object are rejected by name,
+//! like everywhere else in a spec.
+//!
 //! Within a model object, unknown keys are rejected by name just like
 //! top-level keys: `{"kind": "duplex", "coverge": 0.9}` names the typo and
 //! lists the keys the kind accepts.
@@ -267,12 +291,15 @@ fn get_cache_config(doc: &Json) -> Result<CacheConfig, String> {
             ))
         }
     };
+    // 0 is a valid cap: retain nothing, every build is cold. The CI
+    // determinism check relies on it to compare delta-warm sweeps against
+    // genuinely cold ones through the CLI alone.
     let cap = |key: &str| -> Result<Option<usize>, String> {
         match get_f64(obj, key)? {
             None => Ok(None),
-            Some(x) if x >= 1.0 && x.fract() == 0.0 && x <= u64::MAX as f64 => Ok(Some(x as usize)),
+            Some(x) if x >= 0.0 && x.fract() == 0.0 && x <= u64::MAX as f64 => Ok(Some(x as usize)),
             Some(x) => Err(format!(
-                "field \"cache.{key}\" must be a positive integer, got {x}"
+                "field \"cache.{key}\" must be a non-negative integer, got {x}"
             )),
         }
     };
@@ -353,7 +380,74 @@ const COMMON_MODEL_KEYS: &[&str] = &[
     "method",
     "measures",
     "regen_state",
+    "sensitivity",
 ];
+
+/// Parses a model's `"sensitivity"` sweep form —
+/// `{"param": "lambda_d", "grid": [0.5, 1, 2]}` — into the parameter name
+/// and the validated factor grid. Factors are *multipliers on the base
+/// rate*; they must be positive and finite so scaling never changes which
+/// transitions exist (that is what guarantees every grid point shares the
+/// base model's structural fingerprint).
+fn parse_sensitivity(obj: &Json) -> Result<Option<(String, Vec<f64>)>, String> {
+    let v = match obj.get("sensitivity") {
+        None | Some(Json::Null) => return Ok(None),
+        Some(v) => v,
+    };
+    reject_unknown_keys(v, "\"sensitivity\"", &[&["param", "grid"]])?;
+    let param = v.get("param").and_then(Json::as_str).ok_or_else(|| {
+        "\"sensitivity\" needs a string \"param\" (the rate to scale)".to_string()
+    })?;
+    let grid = v
+        .get("grid")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "\"sensitivity\" needs a \"grid\" array of scale factors".to_string())?;
+    if grid.is_empty() {
+        return Err("\"sensitivity\" grid must not be empty".to_string());
+    }
+    let factors = grid
+        .iter()
+        .map(|x| {
+            x.as_f64()
+                .filter(|f| f.is_finite() && *f > 0.0)
+                .ok_or_else(|| {
+                    format!(
+                        "\"sensitivity\" grid factors must be positive finite numbers \
+                     (multipliers on the base rate), got {x}"
+                    )
+                })
+        })
+        .collect::<Result<Vec<f64>, String>>()?;
+    Ok(Some((param.to_string(), factors)))
+}
+
+/// Applies a sensitivity scale factor to the named rate of a model kind,
+/// erroring (by name, listing the scalable rates) when the parameter is
+/// not one of them — a typo'd param must never produce a grid of identical
+/// models. Probabilities (`p_r`, `coverage`) are deliberately *not*
+/// scalable: scaling them would change branching structure, not rates.
+fn apply_rate_scale(
+    kind: &str,
+    scale: Option<(&str, f64)>,
+    rates: &mut [(&str, &mut f64)],
+) -> Result<(), String> {
+    let Some((param, factor)) = scale else {
+        return Ok(());
+    };
+    for (name, v) in rates.iter_mut() {
+        if *name == param {
+            **v *= factor;
+            return Ok(());
+        }
+    }
+    if rates.is_empty() {
+        return Err(format!("{kind} models have no scalable rates"));
+    }
+    Err(format!(
+        "{kind} models have no scalable rate {param:?} (expected one of: {})",
+        rates.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(", ")
+    ))
+}
 
 /// Rejects unknown keys in `obj` by name, listing the keys `what` accepts.
 /// Mirrors the top-level typo guard: `{"kind": "duplex", "coverge": 0.9}`
@@ -385,7 +479,7 @@ fn reject_unknown_keys(obj: &Json, what: &str, known: &[&[&str]]) -> Result<(), 
 
 /// Builds a `"kind": "multiproc"` model (the degradable multiprocessor of
 /// `regenr_models::multiproc`).
-fn build_multiproc_model(obj: &Json) -> Result<(String, Ctmc), String> {
+fn build_multiproc_model(obj: &Json, scale: Option<(&str, f64)>) -> Result<(String, Ctmc), String> {
     let need_f64 =
         |key: &str| get_f64(obj, key)?.ok_or_else(|| format!("multiproc model needs {key:?}"));
     let need_u32 =
@@ -403,7 +497,7 @@ fn build_multiproc_model(obj: &Json) -> Result<(String, Ctmc), String> {
             )
         }
     };
-    let params = MultiprocParams {
+    let mut params = MultiprocParams {
         n_proc: need_u32("n_proc")?,
         n_mem: need_u32("n_mem")?,
         lambda_p: need_f64("lambda_p")?,
@@ -413,6 +507,16 @@ fn build_multiproc_model(obj: &Json) -> Result<(String, Ctmc), String> {
         delta,
         absorbing_crash: absorbing,
     };
+    apply_rate_scale(
+        "multiproc",
+        scale,
+        &mut [
+            ("lambda_p", &mut params.lambda_p),
+            ("lambda_m", &mut params.lambda_m),
+            ("mu", &mut params.mu),
+            ("delta", &mut params.delta),
+        ],
+    )?;
     if !(0.0..=1.0).contains(&params.coverage) {
         return Err(format!(
             "multiproc \"coverage\" must be in [0, 1], got {}",
@@ -505,7 +609,7 @@ fn parse_components(obj: &Json) -> Result<Vec<ComponentClass>, String> {
 
 /// Builds a `"kind": "compose"` model via streaming exploration (see
 /// `regenr_models::compose` and the module docs for the grammar).
-fn build_compose_model(obj: &Json) -> Result<(String, Ctmc), String> {
+fn build_compose_model(obj: &Json, scale: Option<(&str, f64)>) -> Result<(String, Ctmc), String> {
     let classes = parse_components(obj)?;
     let crews = get_u32(obj, "crews")?.unwrap_or(1);
     let uncovered = match obj.get("uncovered") {
@@ -553,6 +657,14 @@ fn build_compose_model(obj: &Json) -> Result<(String, Ctmc), String> {
     };
     let model = ComposeModel::new(classes, crews, uncovered, down_absorbing, reward)
         .map_err(|e| format!("compose model: {e}"))?;
+    // The models-crate scaling hook: every class's lambda or mu scaled
+    // in one shot, re-validated, state space unchanged by construction.
+    let model = match scale {
+        Some((param, factor)) => model
+            .with_scaled_rate(param, factor)
+            .map_err(|e| format!("compose model: {e}"))?,
+        None => model,
+    };
     let max_states = match get_u32(obj, "max_states")? {
         Some(0) => return Err("compose \"max_states\" must be at least 1".to_string()),
         Some(n) => n as usize,
@@ -565,8 +677,20 @@ fn build_compose_model(obj: &Json) -> Result<(String, Ctmc), String> {
 }
 
 /// Builds an inline model from a `"rates": [[from, to, rate], …]` triple
-/// list (see the module docs for the schema).
-fn build_inline_model(obj: &Json) -> Result<Ctmc, String> {
+/// list (see the module docs for the schema). Inline models have no named
+/// rate parameters, so their one scalable sensitivity param is `"rate"`:
+/// every transition rate is multiplied by the factor.
+fn build_inline_model(obj: &Json, scale: Option<(&str, f64)>) -> Result<Ctmc, String> {
+    let rate_factor = match scale {
+        None => 1.0,
+        Some(("rate", factor)) => factor,
+        Some((param, _)) => {
+            return Err(format!(
+                "inline models have no scalable rate {param:?} \
+                 (expected \"rate\", which scales every transition)"
+            ))
+        }
+    };
     let triples = obj.get("rates").and_then(Json::as_arr).ok_or_else(|| {
         "inline model needs a \"rates\" array of [from, to, rate] triples".to_string()
     })?;
@@ -588,7 +712,7 @@ fn build_inline_model(obj: &Json) -> Result<Ctmc, String> {
             .filter(|r| r.is_finite() && *r >= 0.0)
             .ok_or_else(|| format!("rates[{i}]: rate must be a non-negative finite number"))?;
         max_state = max_state.max(from).max(to);
-        rates.push((from, to, rate));
+        rates.push((from, to, rate * rate_factor));
     }
     let rewards = get_f64_array(obj, "rewards")?.ok_or_else(|| {
         "inline model needs a \"rewards\" array (per-state reward rates)".to_string()
@@ -634,7 +758,11 @@ fn build_inline_model(obj: &Json) -> Result<Ctmc, String> {
 }
 
 /// Builds the chain described by one model object; returns (name, chain).
-fn build_model(obj: &Json) -> Result<(String, Ctmc), String> {
+/// `scale` is a `(param, factor)` pair from a `"sensitivity"` expansion:
+/// the named rate is multiplied by the factor before the chain is built,
+/// so every grid point is a pure rate variant sharing the base model's
+/// structural fingerprint.
+fn build_model(obj: &Json, scale: Option<(&str, f64)>) -> Result<(String, Ctmc), String> {
     let kind = obj
         .get("kind")
         .and_then(Json::as_str)
@@ -688,6 +816,20 @@ fn build_model(obj: &Json) -> Result<(String, Ctmc), String> {
             if let Some(p_r) = get_f64(obj, "p_r")? {
                 params.p_r = p_r;
             }
+            apply_rate_scale(
+                "raid",
+                scale,
+                &mut [
+                    ("lambda_d", &mut params.lambda_d),
+                    ("lambda_s", &mut params.lambda_s),
+                    ("lambda_c", &mut params.lambda_c),
+                    ("mu_drc", &mut params.mu_drc),
+                    ("mu_drp", &mut params.mu_drp),
+                    ("mu_crp", &mut params.mu_crp),
+                    ("mu_sr", &mut params.mu_sr),
+                    ("mu_g", &mut params.mu_g),
+                ],
+            )?;
             let absorbing = get_bool(obj, "absorbing")?.unwrap_or(false);
             if absorbing {
                 params = params.with_absorbing_failure();
@@ -701,16 +843,28 @@ fn build_model(obj: &Json) -> Result<(String, Ctmc), String> {
             )
         }
         "two_state" => {
-            let lambda =
+            let mut lambda =
                 get_f64(obj, "lambda")?.ok_or_else(|| "two_state needs \"lambda\"".to_string())?;
             let absorbing = get_bool(obj, "absorbing")?.unwrap_or(false);
             if absorbing {
+                // The non-repairable variant has no repair rate to scale.
+                apply_rate_scale(
+                    "two_state (absorbing)",
+                    scale,
+                    &mut [("lambda", &mut lambda)],
+                )?;
                 (
                     "two_state_nonrepairable".to_string(),
                     regenr_models::two_state::non_repairable_unit(lambda),
                 )
             } else {
-                let mu = get_f64(obj, "mu")?.ok_or_else(|| "two_state needs \"mu\"".to_string())?;
+                let mut mu =
+                    get_f64(obj, "mu")?.ok_or_else(|| "two_state needs \"mu\"".to_string())?;
+                apply_rate_scale(
+                    "two_state",
+                    scale,
+                    &mut [("lambda", &mut lambda), ("mu", &mut mu)],
+                )?;
                 (
                     "two_state".to_string(),
                     regenr_models::two_state::repairable_unit(lambda, mu),
@@ -719,15 +873,21 @@ fn build_model(obj: &Json) -> Result<(String, Ctmc), String> {
         }
         "cyclic" => {
             let n = get_u32(obj, "n")?.ok_or_else(|| "cyclic needs \"n\"".to_string())?;
+            apply_rate_scale("cyclic", scale, &mut [])?;
             (
                 format!("cyclic_{n}"),
                 regenr_models::cyclic::ring(n as usize),
             )
         }
         "duplex" => {
-            let lambda =
+            let mut lambda =
                 get_f64(obj, "lambda")?.ok_or_else(|| "duplex needs \"lambda\"".to_string())?;
-            let mu = get_f64(obj, "mu")?.ok_or_else(|| "duplex needs \"mu\"".to_string())?;
+            let mut mu = get_f64(obj, "mu")?.ok_or_else(|| "duplex needs \"mu\"".to_string())?;
+            apply_rate_scale(
+                "duplex",
+                scale,
+                &mut [("lambda", &mut lambda), ("mu", &mut mu)],
+            )?;
             let coverage =
                 get_f64(obj, "coverage")?.ok_or_else(|| "duplex needs \"coverage\"".to_string())?;
             if !(0.0..=1.0).contains(&coverage) {
@@ -741,7 +901,7 @@ fn build_model(obj: &Json) -> Result<(String, Ctmc), String> {
             )
         }
         "machines" => {
-            let model = MachinesModel {
+            let mut model = MachinesModel {
                 machines: get_u32(obj, "machines")?
                     .ok_or_else(|| "machines model needs \"machines\"".to_string())?,
                 repairmen: get_u32(obj, "repairmen")?
@@ -750,6 +910,11 @@ fn build_model(obj: &Json) -> Result<(String, Ctmc), String> {
                     .ok_or_else(|| "machines model needs \"lambda\"".to_string())?,
                 mu: get_f64(obj, "mu")?.ok_or_else(|| "machines model needs \"mu\"".to_string())?,
             };
+            apply_rate_scale(
+                "machines",
+                scale,
+                &mut [("lambda", &mut model.lambda), ("mu", &mut model.mu)],
+            )?;
             let built = model
                 .build()
                 .map_err(|e| format!("machines model failed to build: {e}"))?;
@@ -758,9 +923,9 @@ fn build_model(obj: &Json) -> Result<(String, Ctmc), String> {
                 built.ctmc,
             )
         }
-        "multiproc" => build_multiproc_model(obj)?,
-        "compose" => build_compose_model(obj)?,
-        "inline" => ("inline".to_string(), build_inline_model(obj)?),
+        "multiproc" => build_multiproc_model(obj, scale)?,
+        "compose" => build_compose_model(obj, scale)?,
+        "inline" => ("inline".to_string(), build_inline_model(obj, scale)?),
         other => {
             return Err(format!(
                 "unknown model kind {other:?} \
@@ -866,36 +1031,65 @@ impl SweepSpec {
 
         let mut requests = Vec::new();
         for model_obj in models {
-            let (name, ctmc) = build_model(model_obj)?;
-            let model = Arc::new(ctmc);
-            let horizons = get_horizons(model_obj)?
-                .or_else(|| default_horizons.clone())
-                .ok_or_else(|| {
-                    format!("model {name:?} has no horizons (none at the top level either)")
-                })?;
-            let epsilon = get_epsilon(model_obj)?.unwrap_or(default_epsilon);
-            let method = match model_obj.get("method").and_then(Json::as_str) {
-                Some(s) => parse_method_choice(s)?,
-                None => default_method,
+            // The "sensitivity" sweep form expands one model object into a
+            // rate-scaled instance per grid point. Every instance shares
+            // the base model's *structural* fingerprint by construction
+            // (only rate values change, never which transitions exist), so
+            // the engine's artifact graph re-binds cached plans, layouts,
+            // and chain facts across the whole grid.
+            let points: Vec<Option<(String, f64)>> = match parse_sensitivity(model_obj)? {
+                None => vec![None],
+                Some((param, grid)) => grid
+                    .into_iter()
+                    .map(|factor| Some((param.clone(), factor)))
+                    .collect(),
             };
-            let regen_state = match model_obj.get("regen_state") {
-                None | Some(Json::Null) => None,
-                Some(v) => Some(v.as_usize().ok_or_else(|| {
-                    format!("field \"regen_state\" must be a non-negative integer, got {v}")
-                })?),
-            };
-            let measures = get_measures(model_obj)?.unwrap_or(default_measures.clone());
-            for measure in measures {
-                requests.push(SolveRequest {
-                    model: model.clone(),
-                    name: name.clone(),
-                    measure,
-                    horizons: horizons.clone(),
-                    epsilon,
-                    method,
-                    regen_state,
-                    max_retries,
-                });
+            for point in points {
+                let scale = point.as_ref().map(|(p, f)| (p.as_str(), *f));
+                let (base_name, ctmc) = build_model(model_obj, scale)?;
+                let name = match &point {
+                    // Grid points are distinguishable by name:
+                    // `raid_g20_ua@lambda_d=0.5`.
+                    Some((param, factor)) => format!("{base_name}@{param}={factor}"),
+                    None => base_name,
+                };
+                let model = Arc::new(ctmc);
+                // Fingerprint once here, not once per solve: a sensitivity
+                // grid hands the same engine dozens of rate variants, and
+                // hashing each 100k-entry matrix inside the timed sweep
+                // would dilute the delta-rebind win the grid exists to
+                // demonstrate.
+                let fps = Some(crate::fingerprint::model_fps(&model));
+                let horizons = get_horizons(model_obj)?
+                    .or_else(|| default_horizons.clone())
+                    .ok_or_else(|| {
+                        format!("model {name:?} has no horizons (none at the top level either)")
+                    })?;
+                let epsilon = get_epsilon(model_obj)?.unwrap_or(default_epsilon);
+                let method = match model_obj.get("method").and_then(Json::as_str) {
+                    Some(s) => parse_method_choice(s)?,
+                    None => default_method,
+                };
+                let regen_state = match model_obj.get("regen_state") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => Some(v.as_usize().ok_or_else(|| {
+                        format!("field \"regen_state\" must be a non-negative integer, got {v}")
+                    })?),
+                };
+                let measures = get_measures(model_obj)?.unwrap_or(default_measures.clone());
+                for measure in measures {
+                    requests.push(SolveRequest {
+                        model: model.clone(),
+                        name: name.clone(),
+                        measure,
+                        horizons: horizons.clone(),
+                        epsilon,
+                        method,
+                        regen_state,
+                        fps,
+                        max_retries,
+                    });
+                }
             }
         }
         Ok(SweepSpec {
@@ -1012,12 +1206,23 @@ pub fn cache_stats_json(stats: &crate::cache::CacheStats) -> Json {
             ("evictions".into(), Json::Num(p.evictions as f64)),
             ("entries".into(), Json::Num(p.entries as f64)),
             ("bytes".into(), Json::Num(p.bytes as f64)),
+            // Live rebuild-cost gauge (the eviction weight input), in
+            // array-elements-touched units — alongside bytes so capacity
+            // planning can see both axes.
+            ("cost".into(), Json::Num(p.cost as f64)),
         ])
     };
     Json::Obj(vec![
         ("structure".into(), pool(stats.structure)),
         ("uniformized".into(), pool(stats.uniformized)),
         ("regen_params".into(), pool(stats.regen_params)),
+        // Artifact-graph counters: structure facts served to rate variants
+        // of a cached topology, uniformizations built by re-binding a
+        // structural donor's plans, and dependents orphaned by evicting
+        // their parent artifact.
+        ("derived_hits".into(), Json::Num(stats.derived_hits as f64)),
+        ("rebinds".into(), Json::Num(stats.rebinds as f64)),
+        ("orphaned".into(), Json::Num(stats.orphaned as f64)),
     ])
 }
 
@@ -1078,6 +1283,16 @@ fn report_to_json_opts(report: &SweepReport, stable: bool) -> Json {
                 // execution accounting like the rest of this object (the
                 // values themselves are bitwise independent of grouping).
                 ("blocked_cells".into(), Json::Num(exec.blocked_cells as f64)),
+                // The artifact-graph reuse counters repeated here: how much
+                // of this sweep's build work was served by the graph
+                // (derived facts, plan rebinds) vs. lost to parent
+                // evictions — execution accounting, not results.
+                (
+                    "derived_hits".into(),
+                    Json::Num(report.cache.derived_hits as f64),
+                ),
+                ("rebinds".into(), Json::Num(report.cache.rebinds as f64)),
+                ("orphaned".into(), Json::Num(report.cache.orphaned as f64)),
                 ("robustness".into(), robustness_json(&report.robustness)),
             ]),
         ));
@@ -1155,7 +1370,14 @@ mod tests {
 
     #[test]
     fn rejects_bad_cache_config() {
-        for bad in ["0", "-1", "2.5", "1e400", "\"lots\""] {
+        // 0 is valid — a cache that retains nothing (cold every time).
+        let spec = SweepSpec::parse(
+            r#"{"horizons": [1], "cache": {"max_entries": 0},
+                "models": [{"kind": "cyclic", "n": 3}]}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.cache.max_entries, Some(0));
+        for bad in ["-1", "2.5", "1e400", "\"lots\""] {
             let doc = format!(
                 r#"{{"horizons": [1], "cache": {{"max_entries": {bad}}},
                     "models": [{{"kind": "cyclic", "n": 3}}]}}"#
@@ -1641,6 +1863,169 @@ mod tests {
         .map(|_| ())
         .unwrap_err();
         assert!(err.contains("ghost"), "{err}");
+    }
+
+    /// The `"sensitivity"` sweep form expands a model into rate-scaled
+    /// instances that share one *structural* fingerprint (the property the
+    /// artifact graph's delta-warm path rides on) while their full/value
+    /// fingerprints differ.
+    #[test]
+    fn sensitivity_expands_into_structure_sharing_rate_variants() {
+        let spec = SweepSpec::parse(
+            r#"{"horizons": [1, 100], "models": [
+                {"kind": "two_state", "lambda": 1e-3, "mu": 1.0,
+                 "sensitivity": {"param": "lambda", "grid": [0.5, 1, 2]}}]}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.requests.len(), 3);
+        let names: Vec<&str> = spec.requests.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "two_state@lambda=0.5",
+                "two_state@lambda=1",
+                "two_state@lambda=2"
+            ]
+        );
+        let fps: Vec<crate::ModelFps> = spec
+            .requests
+            .iter()
+            .map(|r| crate::model_fps(&r.model))
+            .collect();
+        for fp in &fps[1..] {
+            assert_eq!(
+                fp.structure, fps[0].structure,
+                "grid points must share the structural fingerprint"
+            );
+            assert_eq!(fp.unif_structure, fps[0].unif_structure);
+            assert_ne!(fp.full, fps[0].full, "values must differ");
+        }
+        // The middle point is factor 1: bitwise the base model.
+        assert_eq!(
+            crate::fingerprint(&spec.requests[1].model),
+            crate::fingerprint(&Arc::new(regenr_models::two_state::repairable_unit(
+                1e-3, 1.0
+            ))),
+        );
+        // A raid rate param works through the params table; the explicit
+        // "name" override still applies before the suffix.
+        let spec = SweepSpec::parse(
+            r#"{"horizons": [1], "models": [
+                {"kind": "raid", "g": 2, "name": "r",
+                 "sensitivity": {"param": "lambda_d", "grid": [0.25]}}]}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.requests[0].name, "r@lambda_d=0.25");
+    }
+
+    /// Bad sensitivity forms are named errors: unknown inner keys, bad
+    /// grids, and params that are not scalable rates for the kind.
+    #[test]
+    fn rejects_bad_sensitivity_forms() {
+        let fail = |model: &str| {
+            SweepSpec::parse(&format!(r#"{{"horizons": [1], "models": [{model}]}}"#))
+                .map(|_| ())
+                .unwrap_err()
+        };
+        let two_state = |sens: &str| {
+            format!(r#"{{"kind": "two_state", "lambda": 1e-3, "mu": 1.0, "sensitivity": {sens}}}"#)
+        };
+        // Unknown key inside the object, rejected by name.
+        let err = fail(&two_state(r#"{"params": "lambda", "grid": [1]}"#));
+        assert!(err.contains("\"params\""), "{err}");
+        // Missing/empty/invalid grids.
+        assert!(fail(&two_state(r#"{"param": "lambda"}"#)).contains("grid"));
+        assert!(fail(&two_state(r#"{"param": "lambda", "grid": []}"#)).contains("empty"));
+        // (Non-finite factors cannot arrive through JSON — the parser
+        // rejects `1e999`/`NaN` as invalid numbers before validation.)
+        for bad in ["[0]", "[-1]", "[\"2\"]"] {
+            let err = fail(&two_state(&format!(
+                r#"{{"param": "lambda", "grid": {bad}}}"#
+            )));
+            assert!(err.contains("positive finite"), "grid {bad}: {err}");
+        }
+        // A param that is not a scalable rate of the kind, with the valid
+        // set listed — probabilities are not rates.
+        let err = fail(&two_state(r#"{"param": "theta", "grid": [1]}"#));
+        assert!(err.contains("\"theta\"") && err.contains("lambda"), "{err}");
+        let err = fail(
+            r#"{"kind": "raid", "g": 2,
+                "sensitivity": {"param": "p_r", "grid": [1]}}"#,
+        );
+        assert!(err.contains("\"p_r\"") && err.contains("lambda_d"), "{err}");
+        let err = fail(
+            r#"{"kind": "cyclic", "n": 3,
+                "sensitivity": {"param": "lambda", "grid": [1]}}"#,
+        );
+        assert!(err.contains("no scalable rates"), "{err}");
+        let err = fail(
+            r#"{"kind": "inline", "rates": [[0, 1, 1.0]], "rewards": [1, 0],
+                "sensitivity": {"param": "lambda", "grid": [1]}}"#,
+        );
+        assert!(err.contains("\"rate\""), "{err}");
+    }
+
+    /// Compose and inline models scale through their own hooks: compose via
+    /// `ComposeModel::with_scaled_rate`, inline by scaling every triple.
+    #[test]
+    fn sensitivity_scales_compose_and_inline_models() {
+        let spec = SweepSpec::parse(
+            r#"{"horizons": [1], "models": [
+                {"kind": "compose", "components": [
+                   {"name": "m", "count": 2, "lambda": 0.1, "mu": 1.0}],
+                 "sensitivity": {"param": "lambda", "grid": [1, 2]}}]}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.requests.len(), 2);
+        let fps: Vec<crate::ModelFps> = spec
+            .requests
+            .iter()
+            .map(|r| crate::model_fps(&r.model))
+            .collect();
+        assert_eq!(fps[0].structure, fps[1].structure);
+        assert_ne!(fps[0].full, fps[1].full);
+        let spec = SweepSpec::parse(
+            r#"{"horizons": [1], "models": [
+                {"kind": "inline", "rates": [[0, 1, 0.5], [1, 0, 2.0]],
+                 "rewards": [1, 0],
+                 "sensitivity": {"param": "rate", "grid": [2]}}]}"#,
+        )
+        .unwrap();
+        let q = spec.requests[0].model.generator();
+        assert_eq!(q.get(0, 1), 1.0, "0.5 doubled");
+        assert_eq!(q.get(1, 0), 4.0, "2.0 doubled");
+    }
+
+    /// The cache JSON carries the artifact-graph counters and the per-pool
+    /// rebuild-cost gauge alongside bytes; `--stable` reports stay free of
+    /// all of it.
+    #[test]
+    fn cache_stats_json_surfaces_graph_counters_and_costs() {
+        let spec = SweepSpec::parse(
+            r#"{"horizons": [1, 10], "models": [
+                {"kind": "two_state", "lambda": 1e-3, "mu": 1.0,
+                 "sensitivity": {"param": "lambda", "grid": [1, 2, 4]}}]}"#,
+        )
+        .unwrap();
+        let engine = crate::Engine::with_cache_config(spec.options, spec.cache);
+        let report = engine.sweep(&spec.requests);
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        let stats = engine.cache().stats();
+        assert!(
+            stats.derived_hits > 0,
+            "a sensitivity grid must share structure facts: {stats:?}"
+        );
+        assert!(stats.structure.cost > 0, "facts carry a rebuild cost");
+        let cache_json = cache_stats_json(&stats).to_string();
+        for field in ["derived_hits", "rebinds", "orphaned", "\"cost\""] {
+            assert!(cache_json.contains(field), "cache json lacks {field}");
+        }
+        let full = report_to_json(&report).to_string();
+        let stable = stable_report_to_json(&report).to_string();
+        for field in ["derived_hits", "rebinds", "orphaned"] {
+            assert!(full.contains(field), "full report lacks {field}");
+            assert!(!stable.contains(field), "stable report leaks {field}");
+        }
     }
 
     #[test]

@@ -158,6 +158,15 @@ pub enum ComposeError {
     DownAbsorbingNeedsAbsorbing,
     /// A `working(class)` reward references an unknown class.
     UnknownRewardClass(String),
+    /// A rate-scaling request named an unknown parameter or used a factor
+    /// that is not positive and finite (see
+    /// [`ComposeModel::with_scaled_rate`]).
+    BadScale {
+        /// The requested parameter.
+        param: String,
+        /// The requested factor.
+        factor: f64,
+    },
 }
 
 impl fmt::Display for ComposeError {
@@ -185,6 +194,11 @@ impl fmt::Display for ComposeError {
             ComposeError::DownAbsorbingNeedsAbsorbing => write!(
                 f,
                 "down_absorbing requires the absorbing uncovered policy (not reboot)"
+            ),
+            ComposeError::BadScale { param, factor } => write!(
+                f,
+                "cannot scale {param:?} by {factor} \
+                 (param must be \"lambda\" or \"mu\", factor positive and finite)"
             ),
             ComposeError::UnknownRewardClass(name) => {
                 write!(f, "reward references unknown class {name:?}")
@@ -390,6 +404,39 @@ impl ComposeModel {
     /// The component classes, in declaration order.
     pub fn classes(&self) -> &[ComponentClass] {
         &self.classes
+    }
+
+    /// Returns a copy of this model with every class's failure rate
+    /// (`param = "lambda"`) or repair rate (`param = "mu"`) multiplied by
+    /// `factor`. This is the rate-scaling hook sensitivity sweeps use:
+    /// a positive finite factor never changes which rates are zero, so the
+    /// scaled model explores the identical state space and the compiled
+    /// chain shares the base model's *structural* fingerprint by
+    /// construction — the engine's artifact graph can re-bind cached
+    /// plans, layouts, and chain facts across the whole grid.
+    pub fn with_scaled_rate(&self, param: &str, factor: f64) -> Result<Self, ComposeError> {
+        let bad = || ComposeError::BadScale {
+            param: param.to_string(),
+            factor,
+        };
+        if !(factor.is_finite() && factor > 0.0) {
+            return Err(bad());
+        }
+        let mut classes = self.classes.clone();
+        for c in &mut classes {
+            match param {
+                "lambda" => c.lambda *= factor,
+                "mu" => c.mu *= factor,
+                _ => return Err(bad()),
+            }
+        }
+        ComposeModel::new(
+            classes,
+            self.crews,
+            self.uncovered,
+            self.down_absorbing,
+            self.reward.clone(),
+        )
     }
 
     /// Order-independent default model name: class names and counts in
@@ -828,5 +875,37 @@ mod tests {
             .unwrap_err(),
             ComposeError::UnknownRewardClass("ghost".into())
         );
+    }
+
+    /// The sensitivity-scaling hook: a scaled model explores the identical
+    /// state space (same pattern, so same structural fingerprint) with the
+    /// targeted rates multiplied; bad params/factors are rejected.
+    #[test]
+    fn scaled_rates_share_the_state_space_and_reject_bad_requests() {
+        let model = ComposeModel::new(
+            vec![
+                ComponentClass::new("a", 2, 0.1, 1.0).required(1),
+                ComponentClass::new("b", 1, 0.05, 0.5),
+            ],
+            1,
+            UncoveredPolicy::Absorbing,
+            false,
+            RewardKind::Down,
+        )
+        .unwrap();
+        let scaled = model.with_scaled_rate("lambda", 2.0).unwrap();
+        assert_eq!(scaled.classes()[0].lambda, 0.2);
+        assert_eq!(scaled.classes()[0].mu, 1.0, "mu untouched");
+        let base = model.build_streaming(10_000).unwrap();
+        let twice = scaled.build_streaming(10_000).unwrap();
+        assert_eq!(base.n_states(), twice.n_states());
+        assert_eq!(base.generator().row_ptr(), twice.generator().row_ptr());
+        assert_eq!(base.generator().col_idx(), twice.generator().col_idx());
+        for (bad_param, bad_factor) in [("rate", 2.0), ("mu", 0.0), ("mu", f64::NAN)] {
+            assert!(
+                model.with_scaled_rate(bad_param, bad_factor).is_err(),
+                "{bad_param} × {bad_factor} accepted"
+            );
+        }
     }
 }

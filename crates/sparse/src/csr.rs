@@ -1,5 +1,6 @@
 //! Compressed sparse row matrices.
 
+#[cfg(test)]
 use crate::builder::CooBuilder;
 
 /// An immutable CSR (compressed sparse row) matrix of `f64` entries.
@@ -35,7 +36,7 @@ impl PartialEq for CsrMatrix {
 }
 
 impl CsrMatrix {
-    /// Builds from raw CSR arrays. Intended for [`CooBuilder`]; validates the
+    /// Builds from raw CSR arrays. Intended for [`CooBuilder`](crate::builder::CooBuilder); validates the
     /// structural invariants in debug builds.
     pub(crate) fn from_parts(
         nrows: usize,
@@ -82,10 +83,12 @@ impl CsrMatrix {
             const OFFSET: u64 = 0xcbf29ce484222325;
             const PRIME: u64 = 0x100000001b3;
             let mut h = OFFSET;
+            // Word-granular FNV-1a: one xor+multiply per u64. The signature
+            // is an in-process guard, never persisted, and a value re-bind
+            // recomputes it over the whole nnz array — byte-granular hashing
+            // made that the single most expensive step of a delta rebind.
             let mut eat = |x: u64| {
-                for byte in x.to_le_bytes() {
-                    h = (h ^ u64::from(byte)).wrapping_mul(PRIME);
-                }
+                h = (h ^ x).wrapping_mul(PRIME);
             };
             eat(self.nrows as u64);
             eat(self.ncols as u64);
@@ -282,24 +285,67 @@ impl CsrMatrix {
 
     /// Returns `I + α·A` for square `A` (used to uniformize generators:
     /// `P = I + Q/Λ`). The diagonal is materialized even where `A` has none.
+    ///
+    /// Built directly in CSR form rather than via [`CooBuilder`](crate::builder::CooBuilder) (which
+    /// drops exact zeros): the result's pattern must be a pure function of
+    /// `A`'s pattern, never of value cancellation. `1 + α·a_ii` rounds to
+    /// exactly `0.0` for the row attaining the uniformization rate, and
+    /// dropping that entry would give structurally identical chains
+    /// different `P` patterns, breaking plan re-binding across rate
+    /// variants.
     pub fn identity_plus_scaled(&self, alpha: f64) -> CsrMatrix {
         assert_eq!(self.nrows, self.ncols, "matrix must be square");
-        let mut b = CooBuilder::new(self.nrows, self.ncols);
+        let mut row_ptr = Vec::with_capacity(self.nrows + 1);
+        let mut col_idx: Vec<u32> = Vec::with_capacity(self.values.len() + self.nrows);
+        let mut values: Vec<f64> = Vec::with_capacity(self.values.len() + self.nrows);
+        row_ptr.push(0usize);
         for i in 0..self.nrows {
             let mut has_diag = false;
             for (j, v) in self.row(i) {
+                if !has_diag && j > i {
+                    // Column-sorted insert of a missing diagonal.
+                    col_idx.push(i as u32);
+                    values.push(1.0);
+                    has_diag = true;
+                }
                 let mut val = alpha * v;
-                if i == j {
+                if j == i {
                     val += 1.0;
                     has_diag = true;
                 }
-                b.push(i, j, val);
+                col_idx.push(j as u32);
+                values.push(val);
             }
             if !has_diag {
-                b.push(i, i, 1.0);
+                col_idx.push(i as u32);
+                values.push(1.0);
             }
+            row_ptr.push(col_idx.len());
         }
-        b.build()
+        CsrMatrix::from_parts(self.nrows, self.ncols, row_ptr, col_idx, values)
+    }
+
+    /// A matrix with this one's exact sparsity pattern and `values` in
+    /// pattern order — the value re-bind primitive: a rate variant of a
+    /// cached matrix clones the pattern arrays (a memcpy) instead of
+    /// re-running construction, and the content signature starts fresh
+    /// (the values differ by definition).
+    ///
+    /// # Panics
+    /// If `values.len()` differs from this matrix's nnz.
+    pub fn with_values(&self, values: Vec<f64>) -> CsrMatrix {
+        assert_eq!(
+            values.len(),
+            self.nnz(),
+            "value re-bind requires one value per stored entry"
+        );
+        CsrMatrix::from_parts(
+            self.nrows,
+            self.ncols,
+            self.row_ptr.clone(),
+            self.col_idx.clone(),
+            values,
+        )
     }
 
     /// Dense copy (tests / tiny oracles only).

@@ -468,6 +468,29 @@ impl DiagSplitData {
         })
     }
 
+    /// Refills the embedded values/diagonal from `m` — a matrix with the
+    /// identical sparsity structure — reusing every structural array
+    /// (`row_ptr`/`lower`/`dmask`/`cols`) untouched. Replays `build`'s row
+    /// iteration, so filled positions correspond entry-for-entry.
+    fn rebind(&self, m: &CsrMatrix) -> DiagSplitData {
+        let mut d = self.clone();
+        let mut k = 0usize;
+        for i in 0..m.nrows() {
+            let mut diag = 0.0;
+            for (j, v) in m.row(i) {
+                if j == i {
+                    diag = v;
+                } else {
+                    d.vals[k] = v;
+                    k += 1;
+                }
+            }
+            d.diag[i] = diag;
+        }
+        debug_assert_eq!(k, d.vals.len(), "rebind matrix has a different pattern");
+        d
+    }
+
     /// # Safety
     /// Requires `cols[k] < x.len()` for all stored entries and
     /// `range.end <= diag.len() == x-compatible nrows` (validated by
@@ -756,6 +779,35 @@ impl SlicedData {
             tail_rows,
             row_map: perm,
         }
+    }
+
+    /// Refills the lane-interleaved values from `m` — a matrix with the
+    /// identical sparsity structure — reusing the slice geometry, compacted
+    /// columns, tail list, and SELL-σ permutation untouched (padding cells
+    /// keep their zeros). Replays `build`'s fill loop position-for-position.
+    fn rebind(&self, m: &CsrMatrix) -> SlicedData {
+        let mut out = self.clone();
+        let rp = m.row_ptr();
+        let mvals = m.values();
+        let full = self.slice_ptr.len() - 1;
+        #[allow(clippy::needless_range_loop)]
+        for s in 0..full {
+            let base = self.slice_ptr[s];
+            for l in 0..LANES {
+                let p = s * LANES + l;
+                if self.lens[p] == TAIL_SENTINEL {
+                    continue;
+                }
+                let i = match &self.row_map {
+                    Some(o) => o[p] as usize,
+                    None => p,
+                };
+                for (j, k) in (rp[i]..rp[i + 1]).enumerate() {
+                    out.vals[base + j * LANES + l] = mvals[k];
+                }
+            }
+        }
+        out
     }
 
     /// The execution granule: `(rows per granule, number of full granules)`.
@@ -2072,6 +2124,43 @@ impl Kernel {
             nnz: m.nnz(),
             index_width,
             sorted,
+        }
+    }
+
+    /// Rebinds this kernel to `m` — a matrix with the **identical sparsity
+    /// structure** but new values. Structure-only layouts (the shortrow
+    /// `u16` index copy) are shared unchanged; value-embedding layouts
+    /// (diagsplit, sliced) are refilled in place of a rebuild — no profile
+    /// re-analysis, no SELL-σ re-sort decision, no index re-compaction. The
+    /// donor's resolved kind/backend/width/sort carry over verbatim, which
+    /// is exactly right: every one of those decisions is a deterministic
+    /// function of the structure (plus the build-time choices), which the
+    /// rebind matrix shares by contract.
+    ///
+    /// # Panics
+    /// If `m`'s shape or nnz differ from the build matrix's. Full pattern
+    /// equality is the *caller's* contract ([`crate::ChunkPlan::rebind`]
+    /// asserts it against the donor matrix).
+    pub(crate) fn rebind(&self, m: &CsrMatrix) -> Kernel {
+        assert!(
+            m.nrows() == self.nrows && m.ncols() == self.ncols && m.nnz() == self.nnz,
+            "kernel rebind requires matching structure (shape/nnz differ)"
+        );
+        let data = match &self.data {
+            KernelData::Plain => KernelData::Plain,
+            KernelData::ShortIdx(idx) => KernelData::ShortIdx(idx.clone()),
+            KernelData::Diag(d) => KernelData::Diag(d.rebind(m)),
+            KernelData::Sliced(s) => KernelData::Sliced(s.rebind(m)),
+        };
+        Kernel {
+            kind: self.kind,
+            data,
+            backend: self.backend,
+            nrows: self.nrows,
+            ncols: self.ncols,
+            nnz: self.nnz,
+            index_width: self.index_width,
+            sorted: self.sorted,
         }
     }
 

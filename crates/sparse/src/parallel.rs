@@ -48,8 +48,9 @@ use crate::simd::{Backend, BackendChoice};
 /// identical to [`CsrMatrix::mul_vec_into`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum RhsBlockChoice {
-    /// Let the caller's grouping logic pick: blocks 4 wide whenever at
-    /// least two compatible computations can share a pass, else serial.
+    /// Let the caller's grouping logic pick a width **per resolved kernel**
+    /// (see [`RhsBlockChoice::auto_width`]) whenever at least two
+    /// compatible computations can share a pass, else serial.
     #[default]
     Auto,
     /// A fixed block width (1, 2, 4, or 8); `1` disables blocking.
@@ -83,14 +84,49 @@ impl RhsBlockChoice {
         }
     }
 
-    /// Resolves the block width for a group of `group` compatible
-    /// computations: `Auto` blocks 4 wide when there is anything to group,
-    /// fixed widths are clamped to `[1, MAX_RHS_BLOCK]`.
-    pub fn resolve(self, group: usize) -> usize {
+    /// The measured `Auto` block width for each resolved kernel (the
+    /// blocked-RHS ablation in `repro kernels` / `results/kernels.csv`):
+    /// shortrow's per-cell speedup keeps growing through `k = 8` (2.19× at
+    /// G=40, 2.83× at G=20 over `k = 1`, vs 1.99×/2.43× at `k = 4`) because
+    /// its bitwise in-order reduction is latency-bound and wider blocks hide
+    /// more of it; generic, diagsplit, and sliced stay at the all-round
+    /// `k = 4` — their measured blocked rows plateau there and wider
+    /// interleaving starts thrashing the per-row accumulator registers.
+    pub fn auto_width(kind: KernelKind) -> usize {
+        match kind {
+            KernelKind::ShortRow => MAX_RHS_BLOCK,
+            KernelKind::Generic | KernelKind::DiagSplit | KernelKind::Sliced => 4,
+        }
+    }
+
+    /// The width the caller's *grouping* stage should chunk compatible
+    /// computations to, before the kernel is resolved: `Auto` groups up to
+    /// [`MAX_RHS_BLOCK`] (execution narrows to
+    /// [`RhsBlockChoice::resolve_for`]'s per-kernel width once the kernel
+    /// is known), fixed widths are clamped to `[1, MAX_RHS_BLOCK]`.
+    pub fn plan_width(self, group: usize) -> usize {
         match self {
             Self::Auto => {
                 if group >= 2 {
-                    4
+                    MAX_RHS_BLOCK
+                } else {
+                    1
+                }
+            }
+            Self::Fixed(k) => k.clamp(1, MAX_RHS_BLOCK),
+        }
+    }
+
+    /// Resolves the *execution* block width for a group of `group`
+    /// compatible computations running on kernel `kind`: `Auto` uses the
+    /// per-kernel [`RhsBlockChoice::auto_width`] table when there is
+    /// anything to group, fixed widths are clamped to
+    /// `[1, MAX_RHS_BLOCK]`.
+    pub fn resolve_for(self, kind: KernelKind, group: usize) -> usize {
+        match self {
+            Self::Auto => {
+                if group >= 2 {
+                    Self::auto_width(kind)
                 } else {
                     1
                 }
@@ -243,6 +279,42 @@ impl ChunkPlan {
             kernel,
             nrows: matrix.nrows(),
             nnz: matrix.nnz(),
+            sig,
+        }
+    }
+
+    /// Rebinds this plan to `matrix`: a matrix with the **identical
+    /// sparsity structure** as `donor` (the matrix this plan was built
+    /// from) but new values. The nnz-balanced chunk ranges, the resolved
+    /// kernel kind/backend, the compact-index decision, and the SELL-σ
+    /// sort/permutation all carry over unchanged — each is a deterministic
+    /// function of the structure alone — and only the value-embedding
+    /// layouts are refilled from `matrix` (an `O(nnz)` copy instead of the
+    /// full profile-analyze + layout-build pass). The returned plan records
+    /// `matrix`'s content signature, so it guards its new matrix exactly
+    /// like a freshly built plan.
+    ///
+    /// # Panics
+    /// If this plan was not built from `donor`, or `donor` and `matrix`
+    /// differ in shape, row pointers, or column indices — rebinding across
+    /// structures would silently compute garbage, so the structure match is
+    /// asserted, not assumed.
+    pub fn rebind(&self, donor: &CsrMatrix, matrix: &CsrMatrix) -> ChunkPlan {
+        self.check_matrix(donor);
+        assert!(
+            donor.nrows() == matrix.nrows()
+                && donor.ncols() == matrix.ncols()
+                && donor.row_ptr() == matrix.row_ptr()
+                && donor.col_idx() == matrix.col_idx(),
+            "plan rebind requires identical sparsity structure"
+        );
+        let kernel = self.kernel.rebind(matrix);
+        let sig = kernel.embeds_values().then(|| matrix.content_sig());
+        ChunkPlan {
+            ranges: self.ranges.clone(),
+            kernel,
+            nrows: self.nrows,
+            nnz: self.nnz,
             sig,
         }
     }
@@ -609,12 +681,126 @@ mod tests {
         assert_eq!(RhsBlockChoice::parse("4"), Ok(RhsBlockChoice::Fixed(4)));
         assert!(RhsBlockChoice::parse("3").is_err());
         assert!(RhsBlockChoice::parse("16").is_err());
-        assert_eq!(RhsBlockChoice::Auto.resolve(1), 1);
-        assert_eq!(RhsBlockChoice::Auto.resolve(2), 4);
-        assert_eq!(RhsBlockChoice::Auto.resolve(100), 4);
-        assert_eq!(RhsBlockChoice::Fixed(1).resolve(100), 1);
-        assert_eq!(RhsBlockChoice::Fixed(8).resolve(2), 8);
+        // Grouping width: Auto chunks to the table maximum (execution
+        // narrows per kernel), singleton groups never block.
+        assert_eq!(RhsBlockChoice::Auto.plan_width(1), 1);
+        assert_eq!(RhsBlockChoice::Auto.plan_width(2), MAX_RHS_BLOCK);
+        assert_eq!(RhsBlockChoice::Fixed(1).plan_width(100), 1);
+        assert_eq!(RhsBlockChoice::Fixed(8).plan_width(2), 8);
+        // Execution width: per-kernel under Auto, clamped fixed otherwise.
+        for kind in [
+            KernelKind::Generic,
+            KernelKind::ShortRow,
+            KernelKind::DiagSplit,
+            KernelKind::Sliced,
+        ] {
+            assert_eq!(RhsBlockChoice::Auto.resolve_for(kind, 1), 1, "{kind:?}");
+            assert_eq!(
+                RhsBlockChoice::Auto.resolve_for(kind, 2),
+                RhsBlockChoice::auto_width(kind),
+                "{kind:?}"
+            );
+            assert_eq!(RhsBlockChoice::Fixed(8).resolve_for(kind, 2), 8);
+        }
+        assert_eq!(RhsBlockChoice::auto_width(KernelKind::ShortRow), 8);
+        assert_eq!(RhsBlockChoice::auto_width(KernelKind::Generic), 4);
+        assert_eq!(RhsBlockChoice::auto_width(KernelKind::DiagSplit), 4);
+        assert_eq!(RhsBlockChoice::auto_width(KernelKind::Sliced), 4);
         assert_eq!(RhsBlockChoice::Fixed(4).name(), "4");
+    }
+
+    /// Rebinding a plan to a same-structure different-values matrix must
+    /// (a) keep the resolved kernel/backend/layout decisions, (b) produce
+    /// products bitwise identical to a plan built fresh on the new matrix,
+    /// and (c) re-guard with the new matrix's content signature.
+    #[test]
+    fn plan_rebind_matches_fresh_build_for_every_kernel() {
+        let n = 256;
+        let a = band_matrix(n);
+        let mut bld = CooBuilder::new(n, n);
+        for (i, j, v) in a.iter() {
+            bld.push(i, j, v * 1.75 + 0.125); // same pattern, new values
+        }
+        let b = bld.build();
+        let x: Vec<f64> = (0..n).map(|i| ((i * 7) % 23) as f64 - 11.0).collect();
+        let mut want = vec![0.0; n];
+        b.mul_vec_into(&x, &mut want);
+        let pool = WorkerPool::new(2);
+        for choice in [
+            KernelChoice::Auto,
+            KernelChoice::Generic,
+            KernelChoice::ShortRow,
+            KernelChoice::DiagSplit,
+            KernelChoice::Sliced,
+        ] {
+            let donor_plan = ChunkPlan::with_options(
+                &a,
+                3,
+                choice,
+                BackendChoice::Auto,
+                IndexWidthChoice::Auto,
+                SellSort::Always,
+            );
+            let rebound = donor_plan.rebind(&a, &b);
+            assert_eq!(rebound.kernel_kind(), donor_plan.kernel_kind());
+            assert_eq!(rebound.backend(), donor_plan.backend());
+            assert_eq!(rebound.index_width(), donor_plan.index_width());
+            assert_eq!(rebound.sorted(), donor_plan.sorted());
+            assert_eq!(rebound.ranges(), donor_plan.ranges());
+            let mut got = vec![0.0; n];
+            b.mul_vec_pooled_into(&x, &mut got, &rebound, &pool);
+            for r in 0..n {
+                assert_eq!(
+                    got[r].to_bits(),
+                    want[r].to_bits(),
+                    "{choice:?} row {r} after rebind"
+                );
+            }
+            // Blocked path too: the refilled layouts serve SpMM unchanged.
+            let k = 4;
+            let xk: Vec<f64> = (0..n * k).map(|i| x[i / k]).collect();
+            let mut gotk = vec![0.0; n * k];
+            b.mul_mat_pooled_into(&xk, &mut gotk, &rebound, &pool, k);
+            for r in 0..n {
+                for j in 0..k {
+                    assert_eq!(gotk[r * k + j].to_bits(), want[r].to_bits());
+                }
+            }
+        }
+    }
+
+    /// A rebound value-embedding plan guards against the *donor* matrix —
+    /// the signature now describes the rebind target.
+    #[test]
+    #[should_panic(expected = "different matrix")]
+    fn rebound_plan_rejects_the_donor_matrix() {
+        let n = 64;
+        let a = band_matrix(n);
+        let mut bld = CooBuilder::new(n, n);
+        for (i, j, v) in a.iter() {
+            // Shift by 0.25 (not 1.0): no band entry is -0.25, so every
+            // entry stays nonzero and the COO builder keeps the pattern.
+            bld.push(i, j, v + 0.25);
+        }
+        let b = bld.build();
+        let plan = ChunkPlan::with_kernel(&a, 2, KernelChoice::DiagSplit);
+        let rebound = plan.rebind(&a, &b);
+        let mut y = vec![0.0; n];
+        a.mul_vec_pooled_into(&vec![1.0; n], &mut y, &rebound, WorkerPool::global());
+    }
+
+    /// Rebinding across different structures must be rejected loudly.
+    #[test]
+    #[should_panic(expected = "identical sparsity structure")]
+    fn rebind_across_structures_is_rejected() {
+        let a = band_matrix(64);
+        let mut bld = CooBuilder::new(64, 64);
+        for i in 0..64 {
+            bld.push(i, i, 1.0); // diagonal-only: different pattern
+        }
+        let b = bld.build();
+        let plan = ChunkPlan::new(&a, 2);
+        let _ = plan.rebind(&a, &b);
     }
 
     #[test]
